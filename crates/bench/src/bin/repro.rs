@@ -1,0 +1,352 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR]
+//!
+//! EXPERIMENT: table1 | table2 | table3 | fig1 | fig2 | fig3 | fig4 |
+//!             fig5 | race | triggers | evasion | dns-mechanism | https |
+//!             anonymity | world | threshold-audit | ablate-race | ablate-ooni | all
+//! ```
+//!
+//! Text tables go to stdout; with `--json DIR` each experiment also
+//! writes a machine-readable result file.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lucent_bench::{Caps, Scale};
+use lucent_core::experiments::{
+    anonymity, categories, dns_mechanism, evasion, fig2, fig5, https_note, mechanism, race,
+    table1, table2, table3, tracer_demo, triggers,
+};
+use lucent_core::lab::Lab;
+use lucent_core::metrics::PrecisionRecall;
+use lucent_core::probe::manual::inspect;
+use lucent_core::probe::ooni::web_connectivity_with;
+use lucent_topology::{India, IspId};
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    json_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::Small;
+    let mut json_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use tiny|small|paper");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                json_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| ".".into())));
+            }
+            "--help" | "-h" => {
+                println!("repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR]");
+                std::process::exit(0);
+            }
+            other => experiment = other.to_string(),
+        }
+    }
+    Args { experiment, scale, json_dir }
+}
+
+fn emit_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        let _ = fs::create_dir_all(dir);
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(s) => {
+                if let Err(e) = fs::write(&path, s) {
+                    eprintln!("warn: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warn: cannot serialize {name}: {e}"),
+        }
+    }
+}
+
+fn run_table1(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) {
+    let t = table1::run(lab, &table1::Table1Options { max_sites: caps.sites, ..Default::default() });
+    println!("{t}\n");
+    emit_json(json, "table1", &t);
+}
+
+fn run_table2(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) -> table2::Table2 {
+    let opts = table2::Table2Options {
+        inside_targets: caps.inside_targets,
+        hosts_per_path: caps.hosts_per_path,
+        max_sites: caps.sites,
+        ..Default::default()
+    };
+    let t = table2::run(lab, &opts);
+    println!("{t}\n");
+    emit_json(json, "table2", &t);
+    t
+}
+
+fn run_categories(lab: &Lab, scans: &table2::Table2, json: &Option<PathBuf>) {
+    let cats = categories::from_scans(lab, &scans.scans);
+    println!("{cats}\n");
+    emit_json(json, "categories", &cats);
+}
+
+fn run_fig5(lab: &mut Lab, scans: &table2::Table2, caps: Caps, json: &Option<PathBuf>) {
+    let mut rows = Vec::new();
+    for scan in &scans.scans {
+        let isp = IspId::ALL
+            .into_iter()
+            .find(|i| i.name() == scan.isp)
+            .expect("scan isp known");
+        if isp == IspId::Jio {
+            // The paper's Figure 5 plots Airtel, Vodafone, Idea.
+            continue;
+        }
+        rows.push(fig5::from_scan(lab, isp, scan, caps.consistency_paths));
+    }
+    let f = fig5::Fig5 { rows };
+    println!("{f}\n");
+    emit_json(json, "fig5", &f);
+}
+
+fn run_table3(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) {
+    let t = table3::run(lab, &table3::Table3Options { max_sites: caps.sites, ..Default::default() });
+    println!("{t}\n");
+    emit_json(json, "table3", &t);
+}
+
+fn run_fig1(lab: &mut Lab, json: &Option<PathBuf>) {
+    match tracer_demo::run(lab, IspId::Idea) {
+        Some(demo) => {
+            println!("{demo}\n");
+            emit_json(json, "fig1", &demo);
+        }
+        None => println!("fig1: no censored path found (unexpected)\n"),
+    }
+}
+
+fn run_fig2(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) {
+    let f = fig2::run(lab, &fig2::Fig2Options { max_sites: caps.sites, ..Default::default() });
+    println!("{f}\n");
+    emit_json(json, "fig2", &f);
+}
+
+fn run_fig3(lab: &mut Lab, json: &Option<PathBuf>) {
+    match mechanism::figure3(lab) {
+        Some(m) => {
+            println!("Figure 3 (interceptive mechanism, Idea):\n{m}\n");
+            emit_json(json, "fig3", &m);
+        }
+        None => println!("fig3: no covered remote path (unexpected for Idea)\n"),
+    }
+}
+
+fn run_fig4(lab: &mut Lab, json: &Option<PathBuf>) {
+    match mechanism::figure4(lab) {
+        Some(m) => {
+            println!("Figure 4 (wiretap mechanism, Airtel):\n{m}\n");
+            emit_json(json, "fig4", &m);
+        }
+        None => println!("fig4: no covered remote path from the Airtel client\n"),
+    }
+}
+
+fn run_race(lab: &mut Lab, json: &Option<PathBuf>) {
+    let r = race::run(lab, &race::RaceOptions::default());
+    println!("{r}\n");
+    emit_json(json, "race", &r);
+}
+
+fn run_triggers(lab: &mut Lab, json: &Option<PathBuf>) {
+    let t = triggers::run(lab, &[IspId::Airtel, IspId::Idea, IspId::Vodafone, IspId::Jio]);
+    println!("{t}\n");
+    emit_json(json, "triggers", &t);
+}
+
+fn run_evasion(lab: &mut Lab, json: &Option<PathBuf>) {
+    let e = evasion::run(lab, &evasion::EvasionOptions::default());
+    println!("{e}\n");
+    emit_json(json, "evasion", &e);
+}
+
+fn run_anonymity(lab: &mut Lab, json: &Option<PathBuf>) {
+    let a = anonymity::run(lab, &[IspId::Airtel, IspId::Idea, IspId::Vodafone, IspId::Jio], 30);
+    println!("{a}\n");
+    emit_json(json, "anonymity", &a);
+}
+
+fn run_https(lab: &mut Lab, json: &Option<PathBuf>) {
+    let h = https_note::run(
+        lab,
+        &[IspId::Airtel, IspId::Idea, IspId::Vodafone, IspId::Jio, IspId::Mtnl, IspId::Bsnl],
+        20,
+    );
+    println!("{h}\n");
+    emit_json(json, "https", &h);
+}
+
+fn run_dns_mechanism(lab: &mut Lab, json: &Option<PathBuf>) {
+    let d = dns_mechanism::run(lab, 3);
+    println!("{d}\n");
+    emit_json(json, "dns_mechanism", &d);
+}
+
+fn run_threshold_audit(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) {
+    println!("Threshold audit (§3.1): flagged-by-0.3-diff sites cleared by manual inspection");
+    let mut results = Vec::new();
+    for isp in [IspId::Airtel, IspId::Idea, IspId::Vodafone] {
+        let audit = table1::threshold_audit(lab, isp, caps.sites);
+        println!(
+            "  {}: flagged {}, cleared {} ({:.0}%)",
+            audit.isp,
+            audit.flagged,
+            audit.cleared,
+            audit.cleared_fraction() * 100.0
+        );
+        results.push(audit);
+    }
+    println!();
+    emit_json(json, "threshold_audit", &results);
+}
+
+/// Ablation: sweep the wiretap slow-injection probability and measure the
+/// render rate (DESIGN.md §5 — the paper's ≈3/10 emerges from this knob).
+fn run_ablate_race(scale: Scale, json: &Option<PathBuf>) {
+    println!("Ablation: wiretap slow-path probability → render rate (Airtel model)");
+    let mut rows = Vec::new();
+    for slow_prob in [0.0, 0.15, 0.3, 0.5, 0.8] {
+        let mut cfg = scale.config();
+        if let Some(p) = cfg.http.get_mut(&IspId::Airtel) {
+            p.slow_injection = Some((slow_prob, (150_000, 400_000)));
+        }
+        let mut lab = Lab::new(India::build(cfg));
+        let r = race::run(
+            &mut lab,
+            &race::RaceOptions { isps: vec![IspId::Airtel], attempts: 10, sites_per_isp: 4 },
+        );
+        let row = &r.rows[0];
+        println!(
+            "  slow_prob {:.2}: rendered {}/{} ({:.0}%)",
+            slow_prob,
+            row.rendered,
+            row.attempts,
+            row.rate() * 100.0
+        );
+        rows.push((slow_prob, row.rendered, row.attempts));
+    }
+    println!();
+    emit_json(json, "ablate_race", &rows);
+}
+
+/// Ablation: sweep OONI's body-proportion threshold and report the
+/// precision/recall trade-off in one ISP.
+fn run_ablate_ooni(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) {
+    println!("Ablation: OONI body-proportion threshold → precision/recall (Idea)");
+    let sites: Vec<_> = match caps.sites {
+        Some(n) => lab.india.corpus.pbw.iter().copied().take(n.min(60)).collect(),
+        None => lab.india.corpus.pbw.iter().copied().take(200).collect(),
+    };
+    // Manual verdicts once.
+    let manual: Vec<bool> = sites
+        .iter()
+        .map(|&s| inspect(lab, IspId::Idea, s).blocked)
+        .collect();
+    let mut rows = Vec::new();
+    for threshold in [0.3, 0.5, 0.7, 0.9] {
+        let mut pr = PrecisionRecall::default();
+        for (&site, &actual) in sites.iter().zip(&manual) {
+            let m = web_connectivity_with(lab, IspId::Idea, site, threshold);
+            pr.record(m.verdict.is_some(), actual);
+        }
+        println!(
+            "  threshold {:.1}: precision {:.2}, recall {:.2}",
+            threshold,
+            pr.precision(),
+            pr.recall()
+        );
+        rows.push((threshold, pr));
+    }
+    println!();
+    emit_json(json, "ablate_ooni", &rows);
+}
+
+fn main() {
+    let args = parse_args();
+    let caps = args.scale.caps();
+    println!(
+        "lucent repro — scale {:?} ({} PBWs{})\n",
+        args.scale,
+        caps.sites.map(|n| n.to_string()).unwrap_or_else(|| "all".into()),
+        if args.json_dir.is_some() { ", writing JSON" } else { "" },
+    );
+    let start = std::time::Instant::now();
+    let mut lab = args.scale.lab();
+    println!(
+        "world built: {} sites, {} ISPs, {} events so far ({:.1}s)\n",
+        lab.india.corpus.sites().len(),
+        lab.india.isps.len(),
+        lab.india.net.events_processed(),
+        start.elapsed().as_secs_f64()
+    );
+    let json = &args.json_dir;
+    match args.experiment.as_str() {
+        "table1" => run_table1(&mut lab, caps, json),
+        "table2" => {
+            run_table2(&mut lab, caps, json);
+        }
+        "table3" => run_table3(&mut lab, caps, json),
+        "fig1" => run_fig1(&mut lab, json),
+        "fig2" => run_fig2(&mut lab, caps, json),
+        "fig3" => run_fig3(&mut lab, json),
+        "fig4" => run_fig4(&mut lab, json),
+        "fig5" => {
+            let scans = run_table2(&mut lab, caps, json);
+            run_fig5(&mut lab, &scans, caps, json);
+        }
+        "race" => run_race(&mut lab, json),
+        "triggers" => run_triggers(&mut lab, json),
+        "evasion" => run_evasion(&mut lab, json),
+        "dns-mechanism" => run_dns_mechanism(&mut lab, json),
+        "https" => run_https(&mut lab, json),
+        "anonymity" => run_anonymity(&mut lab, json),
+        "world" => println!("{}", lab.india.summary()),
+        "threshold-audit" => run_threshold_audit(&mut lab, caps, json),
+        "ablate-race" => run_ablate_race(args.scale, json),
+        "ablate-ooni" => run_ablate_ooni(&mut lab, caps, json),
+        "all" => {
+            run_fig1(&mut lab, json);
+            run_table1(&mut lab, caps, json);
+            run_threshold_audit(&mut lab, caps, json);
+            let scans = run_table2(&mut lab, caps, json);
+            run_fig5(&mut lab, &scans, caps, json);
+            run_categories(&lab, &scans, json);
+            run_table3(&mut lab, caps, json);
+            run_fig2(&mut lab, caps, json);
+            run_fig3(&mut lab, json);
+            run_fig4(&mut lab, json);
+            run_race(&mut lab, json);
+            run_triggers(&mut lab, json);
+            run_evasion(&mut lab, json);
+            run_dns_mechanism(&mut lab, json);
+            run_https(&mut lab, json);
+            run_anonymity(&mut lab, json);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; see --help");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "done in {:.1}s wall, {} simulator events, virtual time {}",
+        start.elapsed().as_secs_f64(),
+        lab.india.net.events_processed(),
+        lab.now()
+    );
+}

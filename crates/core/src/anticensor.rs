@@ -1,0 +1,469 @@
+//! The anti-censorship techniques of Section 5 and their evaluation.
+//!
+//! None of them relies on third-party infrastructure (proxies, VPNs,
+//! Tor): they either craft requests the middlebox misparses but the
+//! server accepts, or filter the middlebox's injected packets at the
+//! client.
+
+use serde::Serialize;
+
+use lucent_middlebox::notice::looks_like_notice;
+use lucent_packet::http::RequestBuilder;
+use lucent_tcp::FilterRule;
+use lucent_topology::IspId;
+use lucent_web::SiteId;
+
+use crate::lab::{Lab, FETCH_TIMEOUT_MS};
+
+/// An evasion technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Technique {
+    /// Change the case of the `Host` keyword (`HOst:`).
+    HostKeywordCase,
+    /// Extra space between `Host:` and the value.
+    ExtraSpaceBeforeValue,
+    /// A tab instead of the single space.
+    TabBeforeValue,
+    /// Trailing whitespace after the domain.
+    TrailingSpace,
+    /// Prefix the domain with `www.`.
+    PrependWww,
+    /// Append a decoy `Host: allowed` after the request terminator
+    /// (covert-IM evasion).
+    DuplicateHostDecoy,
+    /// Split the GET across two TCP segments.
+    SegmentedRequest,
+    /// Use an `HTTP/2.0` version token.
+    Http2Version,
+    /// Drop FIN/RST packets whose IP-ID is the middlebox signature
+    /// (Airtel's 242) at the client firewall.
+    FirewallByIpId,
+    /// Drop all FIN/RST from the blocked site's address at the client
+    /// firewall.
+    FirewallBySource,
+    /// Resolve through a public resolver instead of the ISP's (DNS
+    /// poisoning evasion).
+    PublicResolver,
+    /// TCB teardown (INTANG-style, after Khattak et al. / Wang et al.,
+    /// whom the paper builds on): inject a RST whose TTL expires past the
+    /// middlebox but before the server. The stateful device purges its
+    /// flow record; the subsequent GET travels an "untracked" connection.
+    TcbTeardownRst,
+}
+
+impl Technique {
+    /// Every technique, in presentation order.
+    pub const ALL: [Technique; 12] = [
+        Technique::HostKeywordCase,
+        Technique::ExtraSpaceBeforeValue,
+        Technique::TabBeforeValue,
+        Technique::TrailingSpace,
+        Technique::PrependWww,
+        Technique::DuplicateHostDecoy,
+        Technique::SegmentedRequest,
+        Technique::Http2Version,
+        Technique::FirewallByIpId,
+        Technique::FirewallBySource,
+        Technique::PublicResolver,
+        Technique::TcbTeardownRst,
+    ];
+
+    /// Short label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::HostKeywordCase => "host-case",
+            Technique::ExtraSpaceBeforeValue => "extra-space",
+            Technique::TabBeforeValue => "tab",
+            Technique::TrailingSpace => "trailing-space",
+            Technique::PrependWww => "www-prefix",
+            Technique::DuplicateHostDecoy => "dup-host",
+            Technique::SegmentedRequest => "segmented",
+            Technique::Http2Version => "http2",
+            Technique::FirewallByIpId => "fw-ipid",
+            Technique::FirewallBySource => "fw-src",
+            Technique::PublicResolver => "alt-dns",
+            Technique::TcbTeardownRst => "tcb-teardown",
+        }
+    }
+
+    /// Build the crafted request for request-level techniques.
+    pub fn request(self, domain: &str) -> Option<Vec<u8>> {
+        let req = match self {
+            Technique::HostKeywordCase => {
+                RequestBuilder::get("/").raw_line(&format!("HOst: {domain}")).build()
+            }
+            Technique::ExtraSpaceBeforeValue => {
+                RequestBuilder::get("/").raw_line(&format!("Host:  {domain}")).build()
+            }
+            Technique::TabBeforeValue => {
+                RequestBuilder::get("/").raw_line(&format!("Host:\t{domain}")).build()
+            }
+            Technique::TrailingSpace => {
+                RequestBuilder::get("/").raw_line(&format!("Host: {domain} ")).build()
+            }
+            Technique::PrependWww => RequestBuilder::browser(&format!("www.{domain}"), "/").build(),
+            Technique::DuplicateHostDecoy => {
+                let mut req = RequestBuilder::browser(domain, "/").build();
+                req.extend_from_slice(b"Host: www.google.com\r\n\r\n");
+                req
+            }
+            Technique::Http2Version => RequestBuilder::get("/")
+                .version("HTTP/2.0")
+                .header("Host", domain)
+                .build(),
+            _ => return None,
+        };
+        Some(req)
+    }
+}
+
+/// Outcome of one evasion attempt.
+#[derive(Debug, Clone, Serialize)]
+pub struct Attempt {
+    /// Technique used.
+    pub technique: Technique,
+    /// Real content was retrieved.
+    pub success: bool,
+}
+
+/// Try `technique` against `site` from inside `isp`. Success means the
+/// actual site content rendered (not a notice, not a reset).
+pub fn attempt(lab: &mut Lab, isp: IspId, site: SiteId, technique: Technique) -> Attempt {
+    let s = lab.india.corpus.site(site);
+    let domain = s.domain.clone();
+    let client = lab.client_of(isp);
+    let public_dns = lab.india.public_dns_ip;
+
+    // Resolve honestly (HTTP techniques target HTTP filtering; the DNS
+    // technique is exercised separately below).
+    let ip = match technique {
+        Technique::PublicResolver => {
+            let out = lab.resolve(client, public_dns, &domain);
+            match out.ips.first() {
+                Some(&ip) => ip,
+                None => return Attempt { technique, success: false },
+            }
+        }
+        _ => match s.replicas.first() {
+            Some(&ip) => ip,
+            None => return Attempt { technique, success: false },
+        },
+    };
+
+    let success = match technique {
+        Technique::SegmentedRequest => {
+            let req = RequestBuilder::browser(&domain, "/").build();
+            let mid = req.windows(5).position(|w| w == b"Host:").map(|i| i + 2).unwrap_or(10);
+            fetch_segmented(lab, client, ip, &req, mid)
+        }
+        Technique::FirewallByIpId | Technique::FirewallBySource => {
+            let rule = if technique == Technique::FirewallByIpId {
+                FilterRule::drop_fin_rst_with_ip_id(242)
+            } else {
+                FilterRule::drop_fin_rst_from(ip)
+            };
+            let dropped_before = {
+                let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
+                host.firewall.add(rule);
+                host.firewall.dropped
+            };
+            let req = RequestBuilder::browser(&domain, "/").build();
+            let mut ok = run_attempts(lab, client, ip, req, false);
+            // The rule must actually be what saved the fetches: content
+            // rendering while injected teardown packets sailed past the
+            // filter is a race win, not an evasion. The wire inspection
+            // inside run_attempts is disabled for firewall techniques
+            // (pcap is pre-filter), so check the filter's own counter.
+            if ok {
+                let dropped = lab
+                    .india
+                    .net
+                    .node_ref::<lucent_tcp::TcpHost>(client)
+                    .firewall
+                    .dropped
+                    - dropped_before;
+                if dropped == 0 {
+                    ok = false;
+                }
+            }
+            lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).firewall.clear();
+            ok
+        }
+        Technique::PublicResolver => {
+            let req = RequestBuilder::browser(&domain, "/").build();
+            run_attempts(lab, client, ip, req, true)
+        }
+        Technique::TcbTeardownRst => tcb_teardown(lab, client, ip, &domain),
+        _ => match technique.request(&domain) {
+            Some(req) => run_attempts(lab, client, ip, req, true),
+            None => false,
+        },
+    };
+    Attempt { technique, success }
+}
+
+/// Repeated fetches must all render real content with *no injected
+/// packet on the wire at all*: a wiretap that lost the race still fires
+/// its notification-FIN and RST after the content, so the client's pcap
+/// (not just the socket outcome) is what separates a lucky render from a
+/// true evasion. `inspect_wire` is false for the firewall techniques,
+/// whose whole mechanism is that injected packets exist but get dropped.
+fn run_attempts(
+    lab: &mut Lab,
+    client: lucent_netsim::NodeId,
+    ip: std::net::Ipv4Addr,
+    req: Vec<u8>,
+    inspect_wire: bool,
+) -> bool {
+    if inspect_wire {
+        let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
+        host.enable_pcap();
+        let _ = host.take_pcap();
+    }
+    let mut evaded = true;
+    for _ in 0..2 {
+        let f = lab.http_fetch(client, ip, 80, req.clone(), FETCH_TIMEOUT_MS);
+        let ok = f
+            .response
+            .as_ref()
+            .map(|r| !looks_like_notice(r) && (r.status == 200 || r.status == 302))
+            .unwrap_or(false);
+        if !ok {
+            evaded = false;
+            break;
+        }
+        // Wait out any slow injection tail before judging.
+        lab.run_ms(600);
+        if inspect_wire {
+            let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
+            let injected = pcap.iter().any(|(_, p)| {
+                if p.src() != ip {
+                    return false;
+                }
+                let Some((h, payload)) = p.as_tcp() else { return false };
+                use lucent_packet::tcp::TcpFlags;
+                // An orderly server close is a bare FIN; the middlebox
+                // notice is FIN-with-payload, and nothing legitimate
+                // RSTs a healthy exchange.
+                (h.flags.contains(TcpFlags::FIN) && !payload.is_empty())
+                    || h.flags.contains(TcpFlags::RST)
+            });
+            if injected {
+                evaded = false;
+                break;
+            }
+        } else {
+            let reset = lab
+                .india
+                .net
+                .node_ref::<lucent_tcp::TcpHost>(client)
+                .events(f.sock)
+                .iter()
+                .any(|e| e.event == lucent_tcp::SocketEvent::Reset);
+            if reset {
+                evaded = false;
+                break;
+            }
+        }
+    }
+    if inspect_wire {
+        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).disable_pcap();
+    }
+    evaded
+}
+
+/// The TCB-teardown evasion: locate the middlebox with the tracer, then
+/// for each fetch inject a TTL-limited RST that desyncs only the device.
+fn tcb_teardown(
+    lab: &mut Lab,
+    client: lucent_netsim::NodeId,
+    ip: std::net::Ipv4Addr,
+    domain: &str,
+) -> bool {
+    use lucent_packet::tcp::{TcpFlags, TcpHeader};
+    let Some(mb_ttl) = crate::probe::tracer::http_tracer(lab, client, ip, domain, 24).censored_at_ttl
+    else {
+        return false; // nothing to desync (or nothing censoring this path)
+    };
+    let client_ip = lab.india.net.node_ref::<lucent_tcp::TcpHost>(client).ip;
+    for _ in 0..3 {
+        let sock = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).connect(ip, 80);
+        lab.india.net.wake(client);
+        lab.run_ms(400);
+        let host = lab.india.net.node_ref::<lucent_tcp::TcpHost>(client);
+        if host.state(sock) != lucent_tcp::TcpState::Established {
+            return false;
+        }
+        let (snd_nxt, rcv_nxt) = host.seq_cursors(sock).expect("established");
+        let local_port = host.local_addr(sock).expect("established").1;
+        // The desync RST: in-window for the middlebox, dead before the
+        // server.
+        let mut rst = TcpHeader::new(local_port, 80, TcpFlags::RST);
+        rst.seq = snd_nxt;
+        rst.ack = rcv_nxt;
+        let mut pkt = lucent_packet::Packet::tcp(client_ip, ip, rst, bytes::Bytes::new());
+        pkt.ip.ttl = mb_ttl;
+        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).raw_send(pkt);
+        lab.india.net.wake(client);
+        lab.run_ms(60);
+        // Now the ordinary browser request on the (still live) connection.
+        let req = RequestBuilder::browser(domain, "/").build();
+        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, &req);
+        lab.india.net.wake(client);
+        lab.run_ms(3_000);
+        let bytes = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_received(sock);
+        let reset = lab
+            .india
+            .net
+            .node_ref::<lucent_tcp::TcpHost>(client)
+            .events(sock)
+            .iter()
+            .any(|e| e.event == lucent_tcp::SocketEvent::Reset);
+        let ok = !reset
+            && lucent_packet::HttpResponse::parse(&bytes)
+                .map(|r| !looks_like_notice(&r) && (r.status == 200 || r.status == 302))
+                .unwrap_or(false);
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+fn fetch_segmented(
+    lab: &mut Lab,
+    client: lucent_netsim::NodeId,
+    ip: std::net::Ipv4Addr,
+    req: &[u8],
+    split: usize,
+) -> bool {
+    for _ in 0..3 {
+        let sock = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).connect(ip, 80);
+        lab.india.net.wake(client);
+        lab.run_ms(300);
+        if lab.india.net.node_ref::<lucent_tcp::TcpHost>(client).state(sock)
+            != lucent_tcp::TcpState::Established
+        {
+            return false;
+        }
+        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, &req[..split]);
+        lab.india.net.wake(client);
+        lab.run_ms(60);
+        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, &req[split..]);
+        lab.india.net.wake(client);
+        lab.run_ms(2_000);
+        let bytes = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_received(sock);
+        let reset = lab
+            .india
+            .net
+            .node_ref::<lucent_tcp::TcpHost>(client)
+            .events(sock)
+            .iter()
+            .any(|e| e.event == lucent_tcp::SocketEvent::Reset);
+        let ok = !reset
+            && lucent_packet::HttpResponse::parse(&bytes)
+                .map(|r| !looks_like_notice(&r) && r.status == 200)
+                .unwrap_or(false);
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_topology::{India, IndiaConfig};
+
+    /// A blocked, alive site actually censored on the client's path.
+    fn censored_site(lab: &mut Lab, isp: IspId) -> Option<SiteId> {
+        let master: Vec<SiteId> = lab.india.truth.http_master[&isp].iter().copied().collect();
+        let client = lab.client_of(isp);
+        for site in master {
+            let s = lab.india.corpus.site(site);
+            if !s.is_alive() || s.kind != lucent_web::SiteKind::Normal {
+                continue;
+            }
+            let (domain, ip) = (s.domain.clone(), s.replicas[0]);
+            let mut blocked = false;
+            for _ in 0..2 {
+                let f = lab.http_get(client, ip, &domain, 3_000);
+                if f.was_reset()
+                    || f.hit_timeout()
+                    || f.response.as_ref().map(looks_like_notice).unwrap_or(false)
+                {
+                    blocked = true;
+                    break;
+                }
+            }
+            if blocked {
+                return Some(site);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn extra_space_and_dup_host_evade_idea_but_case_change_does_not() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let site = censored_site(&mut lab, IspId::Idea).expect("censored site in Idea");
+        // Overt IM (StrictPattern): whitespace fudging works.
+        assert!(attempt(&mut lab, IspId::Idea, site, Technique::ExtraSpaceBeforeValue).success);
+        assert!(attempt(&mut lab, IspId::Idea, site, Technique::TabBeforeValue).success);
+        assert!(attempt(&mut lab, IspId::Idea, site, Technique::Http2Version).success);
+        // Case fudging does NOT evade a case-insensitive matcher.
+        assert!(!attempt(&mut lab, IspId::Idea, site, Technique::HostKeywordCase).success);
+        // Segmentation always works (no reassembly in any middlebox).
+        assert!(attempt(&mut lab, IspId::Idea, site, Technique::SegmentedRequest).success);
+    }
+
+    #[test]
+    fn case_change_and_firewall_evade_airtel() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let Some(site) = censored_site(&mut lab, IspId::Airtel) else {
+            return; // tiny world: the client's paths may dodge all devices
+        };
+        assert!(attempt(&mut lab, IspId::Airtel, site, Technique::HostKeywordCase).success);
+        assert!(attempt(&mut lab, IspId::Airtel, site, Technique::FirewallByIpId).success);
+        assert!(attempt(&mut lab, IspId::Airtel, site, Technique::FirewallBySource).success);
+    }
+
+    #[test]
+    fn dup_host_evades_covert_vodafone() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let Some(site) = censored_site(&mut lab, IspId::Vodafone) else {
+            return; // Vodafone's 11% coverage may miss the tiny client
+        };
+        assert!(attempt(&mut lab, IspId::Vodafone, site, Technique::DuplicateHostDecoy).success);
+        // The strict-pattern trick does nothing against LastHost.
+        assert!(!attempt(&mut lab, IspId::Vodafone, site, Technique::ExtraSpaceBeforeValue).success);
+    }
+
+    #[test]
+    fn public_resolver_evades_mtnl_dns_poisoning() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        // A site the default resolver poisons.
+        let default = lab.india.isps[&IspId::Mtnl].default_resolver;
+        let site = lab.india.truth.dns_resolvers[&IspId::Mtnl]
+            .iter()
+            .find(|(ip, _)| *ip == default)
+            .and_then(|(_, bl)| {
+                bl.iter().copied().find(|&s| {
+                    let site = lab.india.corpus.site(s);
+                    // Alive, and not ALSO collaterally blocked over HTTP by
+                    // MTNL's transit providers (the DNS fix can't help there).
+                    site.is_alive()
+                        && !lab
+                            .india
+                            .truth
+                            .borders
+                            .iter()
+                            .any(|((v, _), sites)| *v == IspId::Mtnl && sites.contains(&s))
+                })
+            });
+        let Some(site) = site else { return };
+        let a = attempt(&mut lab, IspId::Mtnl, site, Technique::PublicResolver);
+        assert!(a.success, "{a:?}");
+    }
+}

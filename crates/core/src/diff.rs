@@ -1,0 +1,103 @@
+//! The response-difference metric.
+//!
+//! The paper compares page bodies with Python's `difflib` and a 0.3
+//! threshold (§3.1, §3.4): *difference* below 0.3 ⇒ not blocked. This
+//! module provides an equivalent ratio over lines: similarity is the
+//! matched fraction of lines (multiset intersection), difference is its
+//! complement. Crucially — and unlike OONI — only the *body content* is
+//! compared, never headers (§6.2).
+
+use std::collections::HashMap;
+
+/// The paper's decision threshold.
+pub const DIFF_THRESHOLD: f64 = 0.3;
+
+/// Similarity in `[0, 1]` between two byte bodies: `2·M / T` where `M`
+/// counts matched lines (multiset) and `T` the total number of lines —
+/// the shape of `difflib.SequenceMatcher.ratio()`.
+pub fn similarity(a: &[u8], b: &[u8]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    fn count(buf: &[u8]) -> HashMap<&[u8], usize> {
+        let mut m: HashMap<&[u8], usize> = HashMap::new();
+        for line in buf.split(|&c| c == b'\n' || c == b'>') {
+            if !line.is_empty() {
+                *m.entry(line).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+    let ma = count(a);
+    let mb = count(b);
+    let total: usize = ma.values().sum::<usize>() + mb.values().sum::<usize>();
+    if total == 0 {
+        return 1.0;
+    }
+    let matched: usize = ma
+        .iter()
+        .map(|(line, &n)| n.min(mb.get(line).copied().unwrap_or(0)))
+        .sum();
+    2.0 * matched as f64 / total as f64
+}
+
+/// Difference = `1 − similarity`.
+pub fn difference(a: &[u8], b: &[u8]) -> f64 {
+    1.0 - similarity(a, b)
+}
+
+/// The paper's comparison: "difference less than the threshold ⇒
+/// non-blocked" (further inspection otherwise).
+pub fn below_threshold(a: &[u8], b: &[u8]) -> bool {
+    difference(a, b) < DIFF_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_bodies_have_zero_difference() {
+        let body = b"<html><body>line one\nline two</body></html>";
+        assert_eq!(difference(body, body), 0.0);
+        assert!(below_threshold(body, body));
+    }
+
+    #[test]
+    fn disjoint_bodies_have_full_difference() {
+        assert!(difference(b"aaa\nbbb\nccc", b"xxx\nyyy\nzzz") > 0.99);
+    }
+
+    #[test]
+    fn partial_overlap_scales() {
+        let a = b"shared line\nshared two\nunique a";
+        let b = b"shared line\nshared two\nunique b";
+        let d = difference(a, b);
+        assert!(d > 0.2 && d < 0.5, "{d}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(similarity(b"", b""), 1.0);
+        assert_eq!(similarity(b"x", b""), 0.0);
+        assert_eq!(similarity(b"", b"x"), 0.0);
+    }
+
+    #[test]
+    fn html_tag_boundaries_count_as_lines() {
+        // Same markup reflowed without newlines still compares as similar.
+        let a = b"<html><body><p>hello</p><p>world</p></body></html>";
+        let b = b"<html><body><p>hello</p><p>world</p></body></html>";
+        assert!(below_threshold(a, b));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = b"one\ntwo\nthree";
+        let b = b"one\nfour";
+        assert!((difference(a, b) - difference(b, a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! **§3 (corpus)** — the PBW list "spans 7 major categories viz., escort
+//! services, pornography, music, torrent sites, politics, tools and
+//! social networks": a per-category breakdown of what each ISP's measured
+//! blocked set actually contains.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::Serialize;
+
+use lucent_web::{Category, SiteId};
+
+use crate::lab::Lab;
+use crate::report;
+
+use super::table2::HttpScan;
+
+/// Category breakdown of one ISP's measured blocked set.
+#[derive(Debug, Clone, Serialize)]
+pub struct CategoryRow {
+    /// ISP.
+    pub isp: String,
+    /// Category name → blocked count.
+    pub by_category: BTreeMap<String, usize>,
+    /// Total blocked.
+    pub total: usize,
+}
+
+/// The breakdown table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Categories {
+    /// Per-ISP rows.
+    pub rows: Vec<CategoryRow>,
+}
+
+/// Break down prior Table 2 scans by category.
+pub fn from_scans(lab: &Lab, scans: &[HttpScan]) -> Categories {
+    let rows = scans
+        .iter()
+        .map(|scan| {
+            let mut by_category: BTreeMap<String, usize> = BTreeMap::new();
+            for &site in &scan.blocked_sites {
+                let cat = lab.india.corpus.site(SiteId(site)).category;
+                *by_category.entry(cat.slug().to_string()).or_insert(0) += 1;
+            }
+            CategoryRow {
+                isp: scan.isp.clone(),
+                total: scan.blocked_sites.len(),
+                by_category,
+            }
+        })
+        .collect();
+    Categories { rows }
+}
+
+impl fmt::Display for Categories {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut headers: Vec<&str> = vec!["ISP"];
+        let slugs: Vec<&str> = Category::PBW.iter().map(|c| c.slug()).collect();
+        headers.extend(slugs.iter());
+        headers.push("total");
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.isp.clone()];
+                for slug in &slugs {
+                    row.push(
+                        r.by_category
+                            .get(*slug)
+                            .map(|n| n.to_string())
+                            .unwrap_or_else(|| "0".into()),
+                    );
+                }
+                row.push(r.total.to_string());
+                row
+            })
+            .collect();
+        writeln!(f, "Blocked sites by category")?;
+        write!(f, "{}", report::table(&headers, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::table2::{scan_isp, Table2Options};
+    use lucent_topology::{India, IndiaConfig, IspId};
+
+    #[test]
+    fn category_totals_add_up() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let opts = Table2Options {
+            isps: vec![IspId::Idea],
+            inside_targets: 8,
+            hosts_per_path: 40,
+            max_sites: Some(40),
+            consistency_paths: 4,
+        };
+        let scan = scan_isp(&mut lab, IspId::Idea, &opts);
+        let cats = from_scans(&lab, &[scan]);
+        let row = &cats.rows[0];
+        let sum: usize = row.by_category.values().sum();
+        assert_eq!(sum, row.total);
+        assert!(row.total > 0);
+        assert!(cats.to_string().contains("Idea"));
+    }
+}

@@ -1,0 +1,218 @@
+//! **Figures 3 & 4** — the packet-level mechanism of each middlebox
+//! family, reconstructed from client- and remote-side captures exactly as
+//! the paper's controlled-remote-host experiments did.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use lucent_middlebox::notice::looks_like_notice;
+use lucent_packet::http::RequestBuilder;
+use lucent_packet::tcp::TcpFlags;
+use lucent_packet::HttpResponse;
+use lucent_topology::IspId;
+
+use crate::lab::{Lab, FETCH_TIMEOUT_MS};
+
+/// The observable sequence of one censored connection.
+#[derive(Debug, Clone, Serialize)]
+pub struct MechanismReport {
+    /// ISP whose middlebox was exercised.
+    pub isp: String,
+    /// The controlled remote host used.
+    pub remote: String,
+    /// The handshake completed (SYN/SYN-ACK/ACK seen at the remote).
+    pub handshake_at_remote: bool,
+    /// The GET payload reached the remote (wiretap signature; false for
+    /// interceptive devices).
+    pub get_reached_remote: bool,
+    /// The client received a forged notification page.
+    pub client_got_notice: bool,
+    /// The notification carried FIN (the disconnection part).
+    pub notice_had_fin: bool,
+    /// A follow-up RST reached the client.
+    pub client_got_rst: bool,
+    /// A RST reached the remote whose sequence differs from the client's
+    /// cursor (sent by the middlebox, not the client).
+    pub forged_rst_at_remote: bool,
+    /// The remote's (real) response was answered with RST by the client
+    /// (it arrived after the forged teardown).
+    pub late_response_rst_by_client: bool,
+    /// Human-readable packet transcript at the client.
+    pub transcript: String,
+}
+
+/// Exercise the mechanism against controlled remotes, trying `domains`
+/// until some (VP path, domain) combination is covered by a device that
+/// blocks it.
+pub fn observe(lab: &mut Lab, isp: IspId, domains: &[String]) -> Option<MechanismReport> {
+    for domain in domains {
+        if let Some(r) = observe_one(lab, isp, domain) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn observe_one(lab: &mut Lab, isp: IspId, blocked_domain: &str) -> Option<MechanismReport> {
+    let client = lab.client_of(isp);
+    let vps = lab.india.external_vps.clone();
+    for (remote_ip, remote_node) in vps {
+        {
+            let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
+            host.enable_pcap();
+            let _ = host.take_pcap();
+            let remote = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node);
+            remote.enable_pcap();
+            let _ = remote.take_pcap();
+        }
+        let request = RequestBuilder::browser(blocked_domain, "/").build();
+        let fetch = lab.http_fetch(client, remote_ip, 80, request, FETCH_TIMEOUT_MS);
+        lab.run_ms(30_000); // let the black-holed teardown play out
+        let (snd_nxt, _) = lab
+            .india
+            .net
+            .node_ref::<lucent_tcp::TcpHost>(client)
+            .seq_cursors(fetch.sock)
+            .unwrap_or((0, 0));
+
+        let client_pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
+        let remote_pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node).take_pcap();
+
+        let client_got_notice = fetch.response.as_ref().map(looks_like_notice).unwrap_or(false);
+        let client_got_rst = fetch.was_reset()
+            || client_pcap.iter().any(|(_, p)| {
+                p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::RST)).unwrap_or(false)
+            });
+        let censored = client_got_notice || client_got_rst || fetch.hit_timeout();
+        if !censored {
+            continue; // this VP's path is not covered; try the next
+        }
+        let handshake_at_remote = remote_pcap.iter().any(|(_, p)| {
+            p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::SYN)).unwrap_or(false)
+        });
+        let get_reached_remote = remote_pcap
+            .iter()
+            .any(|(_, p)| p.as_tcp().map(|(_, b)| !b.is_empty()).unwrap_or(false));
+        let forged_rst_at_remote = remote_pcap.iter().any(|(_, p)| {
+            p.as_tcp()
+                .map(|(h, _)| h.flags.contains(TcpFlags::RST) && h.seq != snd_nxt)
+                .unwrap_or(false)
+        });
+        let notice_had_fin = client_pcap.iter().any(|(_, p)| {
+            p.as_tcp()
+                .map(|(h, b)| h.flags.contains(TcpFlags::FIN) && !b.is_empty())
+                .unwrap_or(false)
+        });
+        // The remote (wiretap case) answered; did the client RST it? The
+        // client's RST to a late response appears in the client pcap as
+        // an outbound... pcap records inbound only, so infer from the
+        // remote side: a RST at the remote matching the client's cursor.
+        let late_response_rst_by_client = get_reached_remote
+            && remote_pcap.iter().any(|(_, p)| {
+                p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::RST)).unwrap_or(false)
+            });
+        let transcript = client_pcap
+            .iter()
+            .map(|(at, p)| {
+                let (h, b) = p.as_tcp().map(|(h, b)| (h.clone(), b.len())).unwrap_or_else(|| {
+                    (lucent_packet::TcpHeader::new(0, 0, TcpFlags::empty()), 0)
+                });
+                let kind = if b > 0 {
+                    match HttpResponse::parse(p.as_tcp().map(|(_, b)| &b[..]).unwrap_or(&[])) {
+                        Ok(r) if looks_like_notice(&r) => "NOTICE",
+                        Ok(_) => "HTTP",
+                        Err(_) => "DATA",
+                    }
+                } else {
+                    ""
+                };
+                format!("{at} <- {} [{}] seq={} ack={} len={b} ip_id={} {kind}", p.src(), h.flags, h.seq, h.ack, p.ip.identification)
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        return Some(MechanismReport {
+            isp: isp.name().to_string(),
+            remote: remote_ip.to_string(),
+            handshake_at_remote,
+            get_reached_remote,
+            client_got_notice,
+            notice_had_fin,
+            client_got_rst,
+            forged_rst_at_remote,
+            late_response_rst_by_client,
+            transcript,
+        });
+    }
+    None
+}
+
+impl fmt::Display for MechanismReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mechanism observation: {} via remote {}", self.isp, self.remote)?;
+        writeln!(f, "  handshake at remote:        {}", self.handshake_at_remote)?;
+        writeln!(f, "  GET reached remote:         {}", self.get_reached_remote)?;
+        writeln!(f, "  client got notice (+FIN):   {} ({})", self.client_got_notice, self.notice_had_fin)?;
+        writeln!(f, "  client got RST:             {}", self.client_got_rst)?;
+        writeln!(f, "  forged RST at remote:       {}", self.forged_rst_at_remote)?;
+        writeln!(f, "  late response RST'd:        {}", self.late_response_rst_by_client)?;
+        writeln!(f, "  client-side capture:")?;
+        for line in self.transcript.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 3: the interceptive mechanism, observed in Idea.
+pub fn figure3(lab: &mut Lab) -> Option<MechanismReport> {
+    let domains = pick_blocked_domains(lab, IspId::Idea, 8);
+    observe(lab, IspId::Idea, &domains)
+}
+
+/// Figure 4: the wiretap mechanism, observed in Airtel.
+pub fn figure4(lab: &mut Lab) -> Option<MechanismReport> {
+    let domains = pick_blocked_domains(lab, IspId::Airtel, 8);
+    observe(lab, IspId::Airtel, &domains)
+}
+
+fn pick_blocked_domains(lab: &Lab, isp: IspId, n: usize) -> Vec<String> {
+    lab.india
+        .truth
+        .http_master
+        .get(&isp)
+        .map(|master| {
+            master
+                .iter()
+                .take(n)
+                .map(|&s| lab.india.corpus.site(s).domain.clone())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_topology::{India, IndiaConfig};
+
+    #[test]
+    fn figure3_shows_interception() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let report = figure3(&mut lab).expect("a covered Idea path to some VP");
+        assert!(report.handshake_at_remote);
+        assert!(!report.get_reached_remote, "IM consumes the GET: {report}");
+        assert!(report.client_got_notice, "{report}");
+        assert!(report.forged_rst_at_remote, "{report}");
+    }
+
+    #[test]
+    fn figure4_shows_wiretap_race() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let Some(report) = figure4(&mut lab) else {
+            return; // tiny world: Airtel may not cover any VP path
+        };
+        assert!(report.get_reached_remote, "wiretap lets the GET through: {report}");
+        assert!(report.client_got_notice || report.client_got_rst, "{report}");
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per table/figure of the paper's evaluation, each producing
+//! a serializable result plus a paper-style text rendering.
+
+pub mod anonymity;
+pub mod categories;
+pub mod dns_mechanism;
+pub mod evasion;
+pub mod fig2;
+pub mod fig5;
+pub mod https_note;
+pub mod mechanism;
+pub mod race;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod tracer_demo;
+pub mod triggers;

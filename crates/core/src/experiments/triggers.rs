@@ -1,0 +1,172 @@
+//! **X3 (§3.4-III/IV, §4.2.1 caveat)** — what triggers the middleboxes:
+//! the TTL-twin experiment, the Host-field-only confirmation, the
+//! statefulness ladder and the flow-timeout probe, per ISP.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use lucent_middlebox::notice::looks_like_notice;
+use lucent_topology::IspId;
+
+use crate::lab::Lab;
+use crate::probe::trigger::{
+    host_field_only, stateful_ladder, timeout_probe, ttl_twin, HostFieldResult, StatefulLadder,
+    TwinResult,
+};
+
+/// One ISP's trigger characterization.
+#[derive(Debug, Clone, Serialize)]
+pub struct TriggerRow {
+    /// ISP measured.
+    pub isp: String,
+    /// The TTL-twin result.
+    pub twin: Option<TwinResult>,
+    /// The Host-field experiment.
+    pub host_field: Option<HostFieldResult>,
+    /// The statefulness ladder.
+    pub ladder: Option<StatefulLadder>,
+    /// (censored after 200 s idle, censored after refreshed idle).
+    pub timeout: Option<(bool, bool)>,
+}
+
+/// The full report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Triggers {
+    /// Per-ISP rows.
+    pub rows: Vec<TriggerRow>,
+}
+
+/// Locate a (blocked domain, replica ip, allowed domain) censored on the
+/// ISP client's path.
+fn fixture(lab: &mut Lab, isp: IspId) -> Option<(String, std::net::Ipv4Addr, String)> {
+    let master: Vec<_> = lab
+        .india
+        .truth
+        .http_master
+        .get(&isp)
+        .map(|m| m.iter().copied().collect())
+        .unwrap_or_default();
+    let client = lab.client_of(isp);
+    for site in master {
+        let s = lab.india.corpus.site(site);
+        if !s.is_alive() {
+            continue;
+        }
+        let (domain, ip) = (s.domain.clone(), s.replicas[0]);
+        let mut censored = false;
+        for _ in 0..2 {
+            let f = lab.http_get(client, ip, &domain, 3_000);
+            if f.was_reset()
+                || f.hit_timeout()
+                || f.response.as_ref().map(looks_like_notice).unwrap_or(false)
+            {
+                censored = true;
+                break;
+            }
+        }
+        if censored {
+            let allowed = lab
+                .india
+                .corpus
+                .popular
+                .first()
+                .map(|&p| lab.india.corpus.site(p).domain.clone())
+                .unwrap_or_else(|| "control.example".into());
+            return Some((domain, ip, allowed));
+        }
+    }
+    None
+}
+
+/// Run the characterization for the given ISPs.
+pub fn run(lab: &mut Lab, isps: &[IspId]) -> Triggers {
+    let mut rows = Vec::new();
+    for &isp in isps {
+        let Some((domain, ip, allowed)) = fixture(lab, isp) else {
+            rows.push(TriggerRow {
+                isp: isp.name().to_string(),
+                twin: None,
+                host_field: None,
+                ladder: None,
+                timeout: None,
+            });
+            continue;
+        };
+        let client = lab.client_of(isp);
+        rows.push(TriggerRow {
+            isp: isp.name().to_string(),
+            twin: ttl_twin(lab, client, ip, &domain),
+            host_field: host_field_only(lab, client, ip, &domain, &allowed),
+            ladder: stateful_ladder(lab, client, ip, &domain),
+            timeout: timeout_probe(lab, client, ip, &domain, 200),
+        });
+    }
+    Triggers { rows }
+}
+
+impl fmt::Display for Triggers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Trigger characterization (request-only, Host-field-only, stateful, 2-3 min timeout)")?;
+        for r in &self.rows {
+            writeln!(f, "{}:", r.isp)?;
+            match &r.twin {
+                Some(t) => writeln!(
+                    f,
+                    "  TTL twin: censored at n-1 = {}, at n = {} (rules out response inspection: {})",
+                    t.censored_short,
+                    t.censored_full,
+                    t.rules_out_response_inspection()
+                )?,
+                None => writeln!(f, "  TTL twin: (no censored path found)")?,
+            }
+            if let Some(h) = &r.host_field {
+                writeln!(
+                    f,
+                    "  Host-field only: blocked-in-Host={} blocked-elsewhere={} control={}",
+                    h.host_blocked, h.domain_elsewhere, h.control
+                )?;
+            }
+            if let Some(l) = &r.ladder {
+                writeln!(
+                    f,
+                    "  Stateful: full={} syn-only={} synack-first={} bare={} → stateful: {}",
+                    l.full_handshake,
+                    l.syn_only,
+                    l.syn_ack_first,
+                    l.no_handshake,
+                    l.is_stateful()
+                )?;
+            }
+            if let Some((idle, refreshed)) = r.timeout {
+                writeln!(
+                    f,
+                    "  200s idle: censored={idle}; with keep-alive refresh: censored={refreshed}"
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_topology::{India, IndiaConfig};
+
+    #[test]
+    fn idea_characterization_matches_the_paper() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let t = run(&mut lab, &[IspId::Idea]);
+        let row = &t.rows[0];
+        let twin = row.twin.as_ref().expect("censored path exists in Idea");
+        assert!(twin.censored_short && twin.censored_full);
+        let ladder = row.ladder.as_ref().unwrap();
+        assert!(ladder.is_stateful(), "{ladder:?}");
+        let hf = row.host_field.as_ref().unwrap();
+        assert!(hf.host_blocked && !hf.domain_elsewhere && !hf.control);
+        let (idle, refreshed) = row.timeout.unwrap();
+        assert!(!idle && refreshed);
+        assert!(t.to_string().contains("Idea"));
+    }
+}

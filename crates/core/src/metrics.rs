@@ -1,0 +1,134 @@
+//! Measurement arithmetic: precision/recall, coverage, consistency.
+
+use serde::Serialize;
+
+/// A precision/recall accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct PrecisionRecall {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+    /// True negatives.
+    pub tn: u64,
+}
+
+impl PrecisionRecall {
+    /// Record one (predicted, actual) pair.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Precision = TP / (TP + FP); 0 when nothing was predicted positive
+    /// (the convention Table 1 uses for its `0, 0` cells).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when nothing was actually positive.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// False-positive rate over predicted positives (the paper's "FP rate
+    /// ≈ 80% in Airtel" phrasing) = FP / (TP + FP).
+    pub fn false_discovery_rate(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Missed fraction of the tested population = FN / total tested.
+    pub fn miss_rate_of_population(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / total as f64
+        }
+    }
+}
+
+/// Coverage: fraction of probed paths (or resolvers) that are poisoned.
+pub fn coverage(poisoned: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        poisoned as f64 / total as f64
+    }
+}
+
+/// Consistency: given a per-site list of "how many of the N poisoned
+/// paths/resolvers block it", the average blocked fraction (§4.1, §4.2.2).
+pub fn consistency(per_site_blocking_counts: &[usize], poisoned_total: usize) -> f64 {
+    if per_site_blocking_counts.is_empty() || poisoned_total == 0 {
+        return 0.0;
+    }
+    let sum: f64 = per_site_blocking_counts
+        .iter()
+        .map(|&c| c as f64 / poisoned_total as f64)
+        .sum();
+    sum / per_site_blocking_counts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_worked_example() {
+        // The paper's Airtel example: |BO|=78, |BM|=133, |BO∩BM|=15.
+        let mut pr = PrecisionRecall::default();
+        for _ in 0..15 {
+            pr.record(true, true);
+        }
+        for _ in 0..(78 - 15) {
+            pr.record(true, false);
+        }
+        for _ in 0..(133 - 15) {
+            pr.record(false, true);
+        }
+        for _ in 0..(1200 - 78 - 118) {
+            pr.record(false, false);
+        }
+        assert!((pr.precision() - 0.19).abs() < 0.01, "{}", pr.precision());
+        assert!((pr.recall() - 0.11).abs() < 0.01, "{}", pr.recall());
+        assert!((pr.false_discovery_rate() - 0.80).abs() < 0.02);
+        assert!((pr.miss_rate_of_population() - 118.0 / 1200.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        let pr = PrecisionRecall::default();
+        assert_eq!(pr.precision(), 0.0);
+        assert_eq!(pr.recall(), 0.0);
+        assert_eq!(coverage(0, 0), 0.0);
+        assert_eq!(consistency(&[], 5), 0.0);
+        assert_eq!(consistency(&[1, 2], 0), 0.0);
+    }
+
+    #[test]
+    fn coverage_and_consistency() {
+        assert!((coverage(383, 448) - 0.855).abs() < 0.001);
+        // Two sites over 4 poisoned resolvers: blocked by 4 and by 2.
+        let c = consistency(&[4, 2], 4);
+        assert!((c - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,274 @@
+//! Interceptive vs wiretap classification (§4.2.1): the controlled
+//! remote-host corroboration, the render-rate race, and the
+//! ICMP-consumption test.
+
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+
+use lucent_middlebox::notice::looks_like_notice;
+use lucent_packet::http::RequestBuilder;
+use lucent_packet::tcp::TcpFlags;
+use lucent_topology::IspId;
+use lucent_web::SiteId;
+
+use crate::lab::{Lab, FETCH_TIMEOUT_MS};
+
+/// What the classifier concluded about an ISP's middleboxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MeasuredKind {
+    /// Wiretap: the request still reaches the destination.
+    Wiretap,
+    /// Interceptive: the request is consumed.
+    Interceptive,
+}
+
+/// Result of the controlled-remote-host experiment against one remote.
+#[derive(Debug, Clone, Serialize)]
+pub struct RemoteHostReport {
+    /// The remote used.
+    pub remote: Ipv4Addr,
+    /// The client observed censorship on this path at all.
+    pub censored: bool,
+    /// The crafted GET arrived at the remote (wiretap signature).
+    pub get_reached_remote: bool,
+    /// The client saw a notification page (overt) vs a bare reset.
+    pub client_saw_notice: bool,
+    /// A RST arrived at the remote whose sequence number differs from
+    /// the client's own cursor (the interceptive middlebox's forged
+    /// reset).
+    pub forged_rst_at_remote: bool,
+}
+
+/// Run the remote-host experiment from inside `isp` against the
+/// controlled host `remote`, requesting `blocked_domain`.
+pub fn remote_host_experiment(
+    lab: &mut Lab,
+    isp: IspId,
+    remote: Ipv4Addr,
+    remote_node: lucent_netsim::NodeId,
+    blocked_domain: &str,
+) -> RemoteHostReport {
+    let client = lab.client_of(isp);
+    {
+        // Enable and clear: stale packets from earlier attempts against
+        // the same remote must not contaminate this observation.
+        let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node);
+        host.enable_pcap();
+        let _ = host.take_pcap();
+    }
+    // Full-stack fetch so the client behaves like a browser.
+    let request = RequestBuilder::browser(blocked_domain, "/").build();
+    let fetch = lab.http_fetch(client, remote, 80, request, FETCH_TIMEOUT_MS);
+    // Allow the black-holed teardown to play out.
+    lab.run_ms(30_000);
+    let (snd_nxt, _) = lab
+        .india
+        .net
+        .node_ref::<lucent_tcp::TcpHost>(client)
+        .seq_cursors(fetch.sock)
+        .unwrap_or((0, 0));
+    let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node).take_pcap();
+    let get_reached_remote = pcap
+        .iter()
+        .any(|(_, p)| p.as_tcp().map(|(_, b)| !b.is_empty()).unwrap_or(false));
+    let forged_rst_at_remote = pcap.iter().any(|(_, p)| {
+        p.as_tcp()
+            .map(|(h, _)| h.flags.contains(TcpFlags::RST) && h.seq != snd_nxt)
+            .unwrap_or(false)
+    });
+    let client_saw_notice = fetch.response.as_ref().map(looks_like_notice).unwrap_or(false);
+    let censored = client_saw_notice || fetch.was_reset() || fetch.hit_timeout();
+    RemoteHostReport {
+        remote,
+        censored,
+        get_reached_remote,
+        client_saw_notice,
+        forged_rst_at_remote,
+    }
+}
+
+/// Try the remote-host experiment against every external VP until one
+/// path turns out to be covered; classify from it.
+pub fn classify_by_remote_hosts(
+    lab: &mut Lab,
+    isp: IspId,
+    blocked_domain: &str,
+) -> Option<(MeasuredKind, RemoteHostReport)> {
+    let vps = lab.india.external_vps.clone();
+    for (ip, node) in vps {
+        let report = remote_host_experiment(lab, isp, ip, node, blocked_domain);
+        if report.censored {
+            let kind = if report.get_reached_remote {
+                MeasuredKind::Wiretap
+            } else {
+                MeasuredKind::Interceptive
+            };
+            return Some((kind, report));
+        }
+    }
+    None
+}
+
+/// The render-rate race (§4.2.1): fraction of attempts on which the real
+/// site renders despite censorship. Wiretaps lose ~3/10 races;
+/// interceptive devices never do.
+pub fn render_rate(lab: &mut Lab, isp: IspId, site: SiteId, attempts: usize) -> (usize, usize) {
+    let s = lab.india.corpus.site(site);
+    let (domain, ip) = (s.domain.clone(), s.replicas[0]);
+    let client = lab.client_of(isp);
+    let mut rendered = 0;
+    for _ in 0..attempts {
+        let f = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
+        if let Some(resp) = &f.response {
+            if !looks_like_notice(resp) && resp.status == 200 {
+                rendered += 1;
+            }
+        }
+    }
+    (rendered, attempts)
+}
+
+/// The ICMP-consumption test (§4.2.1 "Interceptive middleboxes"): send
+/// crafted GETs with TTLs beyond the middlebox hop. A wiretap lets them
+/// through (ICMP Time-Exceeded still arrives from downstream routers); an
+/// interceptive device consumes them (censored responses, no ICMP).
+#[derive(Debug, Clone, Serialize)]
+pub struct IcmpConsumption {
+    /// TTL rungs past the device that elicited ICMP expiries for the
+    /// *blocked* domain.
+    pub blocked_icmp: usize,
+    /// Rungs eliciting censored responses for the blocked domain.
+    pub blocked_censored: usize,
+    /// Rungs eliciting ICMP for the control (allowed) domain.
+    pub control_icmp: usize,
+}
+
+impl IcmpConsumption {
+    /// Interceptive devices consume the request: ICMP only for controls.
+    pub fn verdict(&self) -> Option<MeasuredKind> {
+        if self.blocked_censored == 0 {
+            None
+        } else if self.blocked_icmp == 0 && self.control_icmp > 0 {
+            Some(MeasuredKind::Interceptive)
+        } else if self.blocked_icmp > 0 {
+            Some(MeasuredKind::Wiretap)
+        } else {
+            None
+        }
+    }
+}
+
+/// Run the ICMP-consumption test toward a censored destination.
+pub fn icmp_consumption(
+    lab: &mut Lab,
+    isp: IspId,
+    dst: Ipv4Addr,
+    blocked_domain: &str,
+    allowed_domain: &str,
+    mb_ttl: u8,
+) -> IcmpConsumption {
+    let client = lab.client_of(isp);
+    let path_len = lab.hops_to(client, dst, 30).unwrap_or(12);
+    let mut out = IcmpConsumption { blocked_icmp: 0, blocked_censored: 0, control_icmp: 0 };
+    for domain_is_blocked in [true, false] {
+        let domain = if domain_is_blocked { blocked_domain } else { allowed_domain };
+        for ttl in (mb_ttl + 1)..path_len {
+            let mut conn = lab.raw_connect(client, dst, 80, None);
+            if !conn.established {
+                continue;
+            }
+            let _ = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_icmp_inbox();
+            let req = RequestBuilder::browser(domain, "/").build();
+            lab.raw_send(&mut conn, &req, Some(ttl));
+            let packets = lab.raw_observe(&mut conn, 700);
+            let censored = packets.iter().any(|p| {
+                p.as_tcp()
+                    .map(|(h, b)| h.flags.contains(TcpFlags::RST) || !b.is_empty())
+                    .unwrap_or(false)
+            });
+            let icmp = lab
+                .india
+                .net
+                .node_mut::<lucent_tcp::TcpHost>(client)
+                .take_icmp_inbox()
+                .iter()
+                .any(|(_, p)| matches!(p.as_icmp(), Some(lucent_packet::IcmpMessage::TimeExceeded { .. })));
+            if domain_is_blocked {
+                if censored {
+                    out.blocked_censored += 1;
+                }
+                if icmp {
+                    out.blocked_icmp += 1;
+                }
+            } else if icmp {
+                out.control_icmp += 1;
+            }
+            lab.raw_close(&conn);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_topology::{India, IndiaConfig};
+
+    /// A blocked (domain, ip) censored on the Idea client's path.
+    fn censored_fixture(lab: &mut Lab, isp: IspId) -> Option<(String, Ipv4Addr)> {
+        let master: Vec<SiteId> = lab.india.truth.http_master[&isp].iter().copied().collect();
+        let client = lab.client_of(isp);
+        for site in master {
+            let s = lab.india.corpus.site(site);
+            if !s.is_alive() {
+                continue;
+            }
+            let (domain, ip) = (s.domain.clone(), s.replicas[0]);
+            let f = lab.http_get(client, ip, &domain, 3_000);
+            let blocked = f.was_reset()
+                || f.hit_timeout()
+                || f.response.as_ref().map(looks_like_notice).unwrap_or(false);
+            if blocked {
+                return Some((domain, ip));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn idea_classified_interceptive_by_icmp_consumption() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let (domain, ip) = censored_fixture(&mut lab, IspId::Idea).expect("censored path");
+        // The Idea IM sits right past the core (hop 2).
+        let res = icmp_consumption(&mut lab, IspId::Idea, ip, &domain, "top0000.com", 3);
+        assert_eq!(res.verdict(), Some(MeasuredKind::Interceptive), "{res:?}");
+    }
+
+    #[test]
+    fn airtel_classified_wiretap_by_icmp_consumption() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let Some((domain, ip)) = censored_fixture(&mut lab, IspId::Airtel) else {
+            // In a tiny world the client's paths may dodge every device.
+            return;
+        };
+        let res = icmp_consumption(&mut lab, IspId::Airtel, ip, &domain, "top0000.com", 3);
+        assert_eq!(res.verdict(), Some(MeasuredKind::Wiretap), "{res:?}");
+    }
+
+    #[test]
+    fn remote_host_distinguishes_kinds_when_paths_are_covered() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        // Idea: 92% coverage means the VP paths are nearly surely covered.
+        let blocked = lab.india.truth.http_master[&IspId::Idea]
+            .iter()
+            .map(|&s| lab.india.corpus.site(s).domain.clone())
+            .next()
+            .unwrap();
+        let got = classify_by_remote_hosts(&mut lab, IspId::Idea, &blocked);
+        let (kind, report) = got.expect("some VP path is covered in Idea");
+        assert_eq!(kind, MeasuredKind::Interceptive);
+        assert!(!report.get_reached_remote);
+        assert!(report.forged_rst_at_remote, "{report:?}");
+    }
+}

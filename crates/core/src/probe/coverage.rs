@@ -1,0 +1,259 @@
+//! Coverage and consistency probing of HTTP middleboxes (§4.2.2).
+//!
+//! Inside view: from the ISP's client, open connections to popular
+//! (Alexa-like) destinations and replay PBW Host headers until one
+//! triggers — the destination-hashed ECMP fabric makes each destination a
+//! distinct router-level path. Outside view: from an external vantage
+//! point, the same probing toward hosts with open port 80 inside the ISP
+//! (two per live prefix).
+
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+
+use lucent_middlebox::notice::looks_like_notice;
+use lucent_netsim::NodeId;
+use lucent_packet::http::RequestBuilder;
+use lucent_packet::tcp::TcpFlags;
+use lucent_packet::{HttpResponse, Packet};
+use lucent_topology::IspId;
+use lucent_web::SiteId;
+
+use crate::lab::Lab;
+
+/// One probed router-level path.
+#[derive(Debug, Clone, Serialize)]
+pub struct PathProbe {
+    /// The destination that selects this path.
+    pub target: Ipv4Addr,
+    /// A censorship response was observed for at least one Host.
+    pub poisoned: bool,
+    /// How many Hosts were tried before the first trigger (diagnostics).
+    pub tried: usize,
+}
+
+/// A full coverage scan.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoverageScan {
+    /// ISP scanned.
+    pub isp: String,
+    /// Whether the scan ran from inside the ISP.
+    pub inside: bool,
+    /// Per-path outcomes.
+    pub paths: Vec<PathProbe>,
+}
+
+impl CoverageScan {
+    /// Fraction of probed paths that are poisoned.
+    pub fn coverage(&self) -> f64 {
+        crate::metrics::coverage(
+            self.paths.iter().filter(|p| p.poisoned).count(),
+            self.paths.len(),
+        )
+    }
+
+    /// The poisoned targets.
+    pub fn poisoned_targets(&self) -> Vec<Ipv4Addr> {
+        self.paths.iter().filter(|p| p.poisoned).map(|p| p.target).collect()
+    }
+}
+
+/// Is this observed packet a censorship response (notice page or reset)
+/// rather than an ordinary server answer?
+fn censorship_response(pkt: &Packet) -> bool {
+    let Some((h, payload)) = pkt.as_tcp() else {
+        return false;
+    };
+    if h.flags.contains(TcpFlags::RST) {
+        return true;
+    }
+    if payload.is_empty() {
+        return false;
+    }
+    HttpResponse::parse(payload).map(|r| looks_like_notice(&r)).unwrap_or(false)
+}
+
+/// Probe one path: raw-connect to `target`, replay `hosts` until a
+/// censorship response appears or the list is exhausted.
+pub fn probe_path(
+    lab: &mut Lab,
+    from: NodeId,
+    target: Ipv4Addr,
+    hosts: &[String],
+    per_host_window_ms: u64,
+) -> PathProbe {
+    let mut conn = lab.raw_connect(from, target, 80, None);
+    if !conn.established {
+        return PathProbe { target, poisoned: false, tried: 0 };
+    }
+    let mut poisoned = false;
+    let mut tried = 0;
+    for host in hosts {
+        tried += 1;
+        let req = RequestBuilder::browser(host, "/").build();
+        lab.raw_send(&mut conn, &req, None);
+        let packets = lab.raw_observe(&mut conn, per_host_window_ms);
+        if packets.iter().any(censorship_response) {
+            poisoned = true;
+            break;
+        }
+    }
+    // Catch slow wiretap injections still in flight.
+    if !poisoned {
+        let packets = lab.raw_observe(&mut conn, 500);
+        poisoned = packets.iter().any(censorship_response);
+    }
+    lab.raw_close(&conn);
+    PathProbe { target, poisoned, tried }
+}
+
+/// Scan from inside the ISP toward up to `max_targets` popular sites,
+/// replaying up to `max_hosts` PBW domains per path.
+pub fn inside_scan(lab: &mut Lab, isp: IspId, max_targets: usize, max_hosts: usize) -> CoverageScan {
+    let client = lab.client_of(isp);
+    let targets: Vec<Ipv4Addr> = lab
+        .india
+        .corpus
+        .popular
+        .iter()
+        .take(max_targets)
+        .map(|&s| lab.india.corpus.site(s).replicas[0])
+        .collect();
+    let hosts: Vec<String> = lab
+        .india
+        .corpus
+        .pbw
+        .iter()
+        .take(max_hosts)
+        .map(|&s| lab.india.corpus.site(s).domain.clone())
+        .collect();
+    let mut paths = Vec::new();
+    for target in targets {
+        paths.push(probe_path(lab, client, target, &hosts, 120));
+    }
+    CoverageScan { isp: isp.name().to_string(), inside: true, paths }
+}
+
+/// Scan from an external vantage point toward the ISP's open-port-80
+/// hosts (two per prefix, as the paper sampled).
+pub fn outside_scan(lab: &mut Lab, isp: IspId, vp_index: usize, max_hosts: usize) -> CoverageScan {
+    let (_, vp_node) = lab.india.external_vps[vp_index % lab.india.external_vps.len()];
+    let targets: Vec<Ipv4Addr> =
+        lab.india.isps[&isp].edge_hosts.iter().map(|(ip, _)| *ip).collect();
+    let hosts: Vec<String> = lab
+        .india
+        .corpus
+        .pbw
+        .iter()
+        .take(max_hosts)
+        .map(|&s| lab.india.corpus.site(s).domain.clone())
+        .collect();
+    let mut paths = Vec::new();
+    for target in targets {
+        paths.push(probe_path(lab, vp_node, target, &hosts, 120));
+    }
+    CoverageScan { isp: isp.name().to_string(), inside: false, paths }
+}
+
+/// Per-path blocklist measurement for the consistency analysis (Figure
+/// 5): on each poisoned path, test each candidate site with a fresh
+/// connection and a generous window.
+pub fn per_path_blocklists(
+    lab: &mut Lab,
+    from: NodeId,
+    poisoned_targets: &[Ipv4Addr],
+    candidates: &[(SiteId, String)],
+) -> Vec<(Ipv4Addr, Vec<SiteId>)> {
+    let mut out = Vec::new();
+    for &target in poisoned_targets {
+        let mut blocked = Vec::new();
+        for (site, domain) in candidates {
+            let mut conn = lab.raw_connect(from, target, 80, None);
+            if !conn.established {
+                continue;
+            }
+            let req = RequestBuilder::browser(domain, "/").build();
+            lab.raw_send(&mut conn, &req, None);
+            let packets = lab.raw_observe(&mut conn, 600);
+            if packets.iter().any(censorship_response) {
+                blocked.push(*site);
+            }
+            lab.raw_close(&conn);
+        }
+        out.push((target, blocked));
+    }
+    out
+}
+
+/// Consistency from per-path blocklists: for every site blocked on at
+/// least one poisoned path, the fraction of poisoned paths blocking it;
+/// returns (average, per-site series).
+pub fn consistency_from_blocklists(blocklists: &[(Ipv4Addr, Vec<SiteId>)]) -> (f64, Vec<f64>) {
+    use std::collections::BTreeMap;
+    let n = blocklists.len();
+    if n == 0 {
+        return (0.0, Vec::new());
+    }
+    let mut counts: BTreeMap<SiteId, usize> = BTreeMap::new();
+    for (_, sites) in blocklists {
+        for &s in sites {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    let series: Vec<f64> = counts.values().map(|&c| c as f64 / n as f64).collect();
+    let avg = if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
+    (avg, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_topology::{India, IndiaConfig};
+
+    #[test]
+    fn idea_inside_coverage_is_high_and_jio_outside_is_zero() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let idea = inside_scan(&mut lab, IspId::Idea, 10, 40);
+        assert!(idea.coverage() > 0.5, "Idea inside coverage {}", idea.coverage());
+
+        let jio_out = outside_scan(&mut lab, IspId::Jio, 0, 40);
+        assert_eq!(jio_out.coverage(), 0.0, "Jio invisible from outside");
+    }
+
+    #[test]
+    fn jio_inside_coverage_is_nonzero_but_low() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let jio = inside_scan(&mut lab, IspId::Jio, 16, 40);
+        let c = jio.coverage();
+        assert!(c < 0.5, "Jio inside coverage should be low: {c}");
+    }
+
+    #[test]
+    fn consistency_math_from_blocklists() {
+        let t = |x: u8| Ipv4Addr::new(1, 1, 1, x);
+        let lists = vec![
+            (t(1), vec![SiteId(1), SiteId(2)]),
+            (t(2), vec![SiteId(1)]),
+        ];
+        let (avg, series) = consistency_from_blocklists(&lists);
+        // Site 1: 2/2, site 2: 1/2 → avg 0.75.
+        assert!((avg - 0.75).abs() < 1e-9);
+        assert_eq!(series.len(), 2);
+        assert_eq!(consistency_from_blocklists(&[]).0, 0.0);
+    }
+
+    #[test]
+    fn nkn_scan_sees_only_border_collateral() {
+        // NKN deploys nothing itself, but all its egress transits
+        // Vodafone/TATA border devices — an inside scan with PBW Hosts
+        // legitimately reports those as poisoned paths (the
+        // collateral-damage phenomenon of §4.3). What distinguishes NKN
+        // from a censoring ISP is that the blocklist behind the trigger
+        // is the *border* list, and NKN's own device list is empty.
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        assert!(lab.india.isps[&IspId::Nkn].devices.is_empty());
+        let nkn = inside_scan(&mut lab, IspId::Nkn, 6, 40);
+        let c = nkn.coverage();
+        assert!((0.0..=1.0).contains(&c), "{c}");
+    }
+}

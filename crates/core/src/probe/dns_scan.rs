@@ -1,0 +1,182 @@
+//! Open-resolver discovery and censorious-resolver identification
+//! (§3.2-III): scan the ISP's address space with a known-good query, then
+//! hit every responder with the full PBW list.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+
+use lucent_packet::ipv4::is_bogon;
+use lucent_topology::IspId;
+use lucent_web::SiteId;
+
+use crate::lab::Lab;
+
+/// Per-resolver scan outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResolverScan {
+    /// The resolver's address.
+    pub resolver: Ipv4Addr,
+    /// Sites it answered with a manipulated address.
+    pub manipulated: Vec<u32>,
+}
+
+/// The full DNS-filtering survey of one ISP.
+#[derive(Debug, Clone, Serialize)]
+pub struct DnsSurvey {
+    /// ISP surveyed.
+    pub isp: String,
+    /// Every open resolver discovered.
+    pub open_resolvers: Vec<Ipv4Addr>,
+    /// The censorious subset with their per-site manipulation lists.
+    pub poisoned: Vec<ResolverScan>,
+}
+
+impl DnsSurvey {
+    /// Coverage: poisoned / open (§4.1 metric 1).
+    pub fn coverage(&self) -> f64 {
+        crate::metrics::coverage(self.poisoned.len(), self.open_resolvers.len())
+    }
+
+    /// Consistency (§4.1 metric 2) and the per-site blocking fractions
+    /// behind Figure 2 (percent of poisoned resolvers blocking each
+    /// site, one entry per site blocked anywhere).
+    pub fn consistency_series(&self) -> (f64, Vec<f64>) {
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for scan in &self.poisoned {
+            for &site in &scan.manipulated {
+                *counts.entry(site).or_insert(0) += 1;
+            }
+        }
+        let n = self.poisoned.len();
+        let series: Vec<f64> = counts.values().map(|&c| c as f64 / n.max(1) as f64).collect();
+        let counts_vec: Vec<usize> = counts.values().copied().collect();
+        (crate::metrics::consistency(&counts_vec, n), series)
+    }
+}
+
+/// Discover open resolvers by querying every address of the ISP's leaf
+/// prefixes for a well-known uncensored name (§3.2-III "our own
+/// institution's website" — here a popular site with a known answer).
+pub fn find_open_resolvers(lab: &mut Lab, isp: IspId, stride: u32) -> Vec<Ipv4Addr> {
+    let probe_site = lab.india.corpus.popular[0];
+    let domain = lab.india.corpus.site(probe_site).domain.clone();
+    let expected: Vec<Ipv4Addr> = lab.india.corpus.site(probe_site).replicas.clone();
+    let client = lab.client_of(isp);
+    let prefixes = lab.india.isps[&isp].leaf_prefixes.clone();
+    let mut queries = Vec::new();
+    for prefix in &prefixes {
+        let mut host = 2u32;
+        while host < prefix.size() as u32 - 1 {
+            queries.push((prefix.nth(host), domain.clone()));
+            host += stride;
+        }
+    }
+    let answers = lab.bulk_resolve(client, &queries, 2_500);
+    queries
+        .iter()
+        .zip(answers)
+        .filter_map(|((ip, _), ans)| {
+            let ans = ans?;
+            // A responder that answers the known-good name with a real
+            // replica is a (correctly configured) resolver.
+            ans.iter().any(|a| expected.contains(a)).then_some(*ip)
+        })
+        .collect()
+}
+
+/// Identify which of `resolvers` manipulate answers, by querying every
+/// PBW and judging each answer with the §3.2 heuristics.
+pub fn survey(lab: &mut Lab, isp: IspId, resolvers: &[Ipv4Addr], pbw: &[SiteId]) -> DnsSurvey {
+    let client = lab.client_of(isp);
+    let prefix = lab.india.isps[&isp].prefix;
+    // Reference answers from the public resolver (via Tor — an uncensored
+    // path), one bulk pass.
+    let tor = lab.india.tor;
+    let public = lab.india.public_dns_ip;
+    let ref_queries: Vec<(Ipv4Addr, String)> = pbw
+        .iter()
+        .map(|&s| (public, lab.india.corpus.site(s).domain.clone()))
+        .collect();
+    let reference = lab.bulk_resolve(tor, &ref_queries, 2_500);
+
+    let mut poisoned = Vec::new();
+    for &resolver in resolvers {
+        let queries: Vec<(Ipv4Addr, String)> = pbw
+            .iter()
+            .map(|&s| (resolver, lab.india.corpus.site(s).domain.clone()))
+            .collect();
+        let answers = lab.bulk_resolve(client, &queries, 2_500);
+        let mut manipulated = Vec::new();
+        for ((&site, answer), reference) in pbw.iter().zip(&answers).zip(&reference) {
+            let Some(answer) = answer else { continue };
+            if answer.is_empty() {
+                // NXDOMAIN while the reference resolves ⇒ manipulation.
+                if reference.as_ref().map(|r| !r.is_empty()).unwrap_or(false) {
+                    manipulated.push(site.0);
+                }
+                continue;
+            }
+            let overlap = reference
+                .as_ref()
+                .map(|r| answer.iter().any(|ip| r.contains(ip)))
+                .unwrap_or(false);
+            if overlap {
+                continue;
+            }
+            if answer.iter().any(|&ip| is_bogon(ip) || prefix.contains(ip)) {
+                manipulated.push(site.0);
+            }
+        }
+        if !manipulated.is_empty() {
+            poisoned.push(ResolverScan { resolver, manipulated });
+        }
+    }
+    DnsSurvey {
+        isp: isp.name().to_string(),
+        open_resolvers: resolvers.to_vec(),
+        poisoned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_topology::{India, IndiaConfig};
+
+    #[test]
+    fn finds_all_deployed_resolvers_in_mtnl() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let deployed: Vec<Ipv4Addr> =
+            lab.india.isps[&IspId::Mtnl].resolvers.iter().map(|(ip, _)| *ip).collect();
+        let found = find_open_resolvers(&mut lab, IspId::Mtnl, 1);
+        for ip in &deployed {
+            assert!(found.contains(ip), "missed resolver {ip}");
+        }
+        // Nothing that isn't a resolver shows up.
+        assert_eq!(found.len(), deployed.len(), "{found:?}");
+    }
+
+    #[test]
+    fn survey_identifies_poisoned_resolvers() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let deployed: Vec<Ipv4Addr> =
+            lab.india.isps[&IspId::Mtnl].resolvers.iter().map(|(ip, _)| *ip).collect();
+        let pbw: Vec<SiteId> = lab.india.corpus.pbw.clone();
+        let survey = survey(&mut lab, IspId::Mtnl, &deployed, &pbw);
+        let truth_poisoned = lab.india.truth.dns_resolvers[&IspId::Mtnl].len();
+        // Every truly-poisoned resolver with a non-empty blocklist of
+        // *alive-name* sites should be caught; allow a small shortfall
+        // for resolvers whose sampled blocklists are empty.
+        assert!(
+            survey.poisoned.len() + 2 >= truth_poisoned,
+            "found {} of {truth_poisoned}",
+            survey.poisoned.len()
+        );
+        assert!(survey.coverage() > 0.0);
+        let (consistency, series) = survey.consistency_series();
+        assert!(consistency > 0.0 && consistency <= 1.0);
+        assert!(!series.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! The measurement probes, one module per methodology section of the
+//! paper.
+
+pub mod classify;
+pub mod coverage;
+pub mod detect;
+pub mod dns_scan;
+pub mod manual;
+pub mod ooni;
+pub mod tracer;
+pub mod trigger;
+
+use serde::Serialize;
+
+/// The censorship mechanism categories the study distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CensorKind {
+    /// DNS manipulation (poisoning or injection).
+    Dns,
+    /// Network/transport header filtering.
+    TcpIp,
+    /// HTTP request filtering by middleboxes.
+    Http,
+}

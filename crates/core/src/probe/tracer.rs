@@ -1,0 +1,263 @@
+//! Iterative Network Tracing (Figure 1): send censorship-triggering
+//! messages with increasing IP TTL until the malicious network element
+//! reveals itself.
+
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+
+use lucent_netsim::NodeId;
+use lucent_packet::http::RequestBuilder;
+use lucent_packet::tcp::TcpFlags;
+
+use crate::lab::Lab;
+
+/// What the client observed for one TTL rung.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Rung {
+    /// ICMP Time Exceeded from this router (None = silent/anonymized).
+    IcmpExpired(Option<Ipv4Addr>),
+    /// A censorship response (payload / FIN / RST forged from the
+    /// destination) arrived even though the request could not have
+    /// reached the destination.
+    Censored {
+        /// A notification payload was present (vs a bare RST).
+        notice: bool,
+    },
+    /// A genuine destination response (TTL reached the server).
+    ServerResponse,
+    /// Nothing within the window.
+    Silent,
+}
+
+/// Result of an HTTP trace toward one destination.
+#[derive(Debug, Clone, Serialize)]
+pub struct HttpTrace {
+    /// Observation per TTL (index 0 = TTL 1).
+    pub rungs: Vec<Rung>,
+    /// First TTL at which censorship appeared.
+    pub censored_at_ttl: Option<u8>,
+    /// Hop count to the destination (from plain traceroute).
+    pub path_len: Option<u8>,
+}
+
+/// Run the Iterative Network Tracer with crafted HTTP GETs toward
+/// `dst`, requesting `host_header` (§3.4-V).
+///
+/// Each rung uses a fresh raw connection (interceptive middleboxes
+/// black-hole a flow after triggering) whose handshake runs at full TTL;
+/// only the crafted GET is TTL-limited.
+pub fn http_tracer(
+    lab: &mut Lab,
+    client: NodeId,
+    dst: Ipv4Addr,
+    host_header: &str,
+    max_ttl: u8,
+) -> HttpTrace {
+    let path_len = lab.hops_to(client, dst, max_ttl);
+    let limit = path_len.map(|n| n.saturating_add(1)).unwrap_or(max_ttl).min(max_ttl);
+    let mut rungs = Vec::new();
+    let mut censored_at_ttl = None;
+    for ttl in 1..=limit {
+        let mut conn = lab.raw_connect(client, dst, 80, None);
+        if !conn.established {
+            lab.raw_close(&conn); // release the claimed port
+            rungs.push(Rung::Silent);
+            continue;
+        }
+        // Drain stale ICMP.
+        let _ = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_icmp_inbox();
+        let request = RequestBuilder::browser(host_header, "/").build();
+        lab.raw_send(&mut conn, &request, Some(ttl));
+        let packets = lab.raw_observe(&mut conn, 700);
+        let mut rung = Rung::Silent;
+        for pkt in &packets {
+            let Some((h, payload)) = pkt.as_tcp() else { continue };
+            // Injected packets forge the destination as source, so source
+            // filtering cannot help; what gives the middlebox away is a
+            // TCP response to a request whose TTL could not have reached
+            // the destination.
+            let is_payload = !payload.is_empty();
+            let is_rst = h.flags.contains(TcpFlags::RST);
+            if !is_payload && !is_rst {
+                continue; // bare ACKs
+            }
+            let below_dst = path_len.map(|n| ttl < n).unwrap_or(false);
+            rung = if below_dst {
+                Rung::Censored { notice: is_payload }
+            } else {
+                Rung::ServerResponse
+            };
+            break;
+        }
+        if rung == Rung::Silent {
+            // Check ICMP expiries.
+            for (_, pkt) in lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_icmp_inbox() {
+                if let Some(lucent_packet::IcmpMessage::TimeExceeded { .. }) = pkt.as_icmp() {
+                    rung = Rung::IcmpExpired(Some(pkt.src()));
+                    break;
+                }
+            }
+        }
+        if matches!(rung, Rung::Censored { .. }) && censored_at_ttl.is_none() {
+            censored_at_ttl = Some(ttl);
+        }
+        rungs.push(rung);
+        lab.raw_close(&conn);
+        if censored_at_ttl.is_some() {
+            break; // located — the paper stops here too
+        }
+    }
+    HttpTrace { rungs, censored_at_ttl, path_len }
+}
+
+/// The DNS mechanism question (§3.2-III): poisoned resolver or on-path
+/// injector?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DnsMechanism {
+    /// Manipulated answers only from the final hop: the resolver itself.
+    Poisoning,
+    /// Manipulated answer from an earlier hop.
+    Injection {
+        /// The TTL at which the forged answer appeared.
+        at_ttl: u8,
+    },
+    /// No manipulated answer observed at all.
+    NotCensored,
+}
+
+/// Run the DNS variant of the tracer: the query for `domain` is sent to
+/// `resolver` with increasing TTL; a manipulated answer arriving while
+/// the query cannot yet have reached the resolver betrays an injector.
+pub fn dns_tracer(
+    lab: &mut Lab,
+    client: NodeId,
+    resolver: Ipv4Addr,
+    domain: &str,
+    manipulated: impl Fn(&[Ipv4Addr]) -> bool,
+    max_ttl: u8,
+) -> DnsMechanism {
+    let path_len = lab.hops_to(client, resolver, max_ttl);
+    let limit = path_len.unwrap_or(max_ttl).min(max_ttl);
+    for ttl in 1..=limit {
+        let out = lab.resolve_ttl(client, resolver, domain, Some(ttl));
+        for resp in &out.responses {
+            if manipulated(&resp.a_records()) {
+                let at_resolver = path_len.map(|n| ttl >= n).unwrap_or(true);
+                return if at_resolver {
+                    DnsMechanism::Poisoning
+                } else {
+                    DnsMechanism::Injection { at_ttl: ttl }
+                };
+            }
+        }
+    }
+    DnsMechanism::NotCensored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_topology::{India, IndiaConfig, IspId};
+    use lucent_web::SiteId;
+
+    fn lab() -> Lab {
+        Lab::new(India::build(IndiaConfig::tiny()))
+    }
+
+    /// A site blocked by the device on the client's egress path to the
+    /// site's own replica, if one exists in this tiny world.
+    fn blocked_on_path(lab: &mut Lab, isp: IspId) -> Option<(SiteId, Ipv4Addr)> {
+        let master: Vec<SiteId> = lab.india.truth.http_master[&isp].iter().copied().collect();
+        for site in master {
+            let s = lab.india.corpus.site(site);
+            if !s.is_alive() {
+                continue;
+            }
+            let ip = s.replicas[0];
+            let domain = s.domain.clone();
+            let client = lab.client_of(isp);
+            let f = lab.http_get(client, ip, &domain, 3_000);
+            let censored = f.was_reset()
+                || f.hit_timeout()
+                || f
+                    .response
+                    .as_ref()
+                    .map(lucent_middlebox::notice::looks_like_notice)
+                    .unwrap_or(false);
+            if censored {
+                return Some((site, ip));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn tracer_locates_interceptive_middlebox_in_idea() {
+        let mut lab = lab();
+        let (site, ip) = blocked_on_path(&mut lab, IspId::Idea).expect("a blocked path in Idea");
+        let domain = lab.india.corpus.site(site).domain.clone();
+        let client = lab.client_of(IspId::Idea);
+        let trace = http_tracer(&mut lab, client, ip, &domain, 24);
+        let at = trace.censored_at_ttl.expect("censorship located");
+        let n = trace.path_len.expect("path measured");
+        assert!(at < n, "middlebox strictly before the destination: {trace:?}");
+        // The Idea IM sits on the gateway↔core link: leaf is hop 1, the
+        // core hop 2, so the trigger appears by TTL 3.
+        assert!(at <= 3, "{trace:?}");
+    }
+
+    #[test]
+    fn tracer_sees_only_icmp_for_unblocked_host() {
+        let mut lab = lab();
+        let client = lab.client_of(IspId::Idea);
+        let site = lab
+            .india
+            .corpus
+            .popular
+            .iter()
+            .map(|&s| lab.india.corpus.site(s))
+            .find(|s| s.is_alive())
+            .unwrap();
+        let ip = site.replicas[0];
+        let trace = http_tracer(&mut lab, client, ip, "definitely-not-blocked.example", 24);
+        assert!(trace.censored_at_ttl.is_none(), "{trace:?}");
+        // Every rung strictly before the destination is ICMP or silent
+        // (anonymized cores); at and past the destination the server
+        // itself answers.
+        let n = usize::from(trace.path_len.expect("path measured"));
+        for rung in &trace.rungs[..n - 1] {
+            assert!(
+                matches!(rung, Rung::IcmpExpired(_) | Rung::Silent),
+                "{trace:?}"
+            );
+        }
+        for rung in &trace.rungs[n - 1..] {
+            assert_eq!(*rung, Rung::ServerResponse, "{trace:?}");
+        }
+    }
+
+    #[test]
+    fn dns_tracer_reports_poisoning_in_mtnl() {
+        let mut lab = lab();
+        let client = lab.client_of(IspId::Mtnl);
+        let (resolver, blocklist) = lab.india.truth.dns_resolvers[&IspId::Mtnl]
+            .iter()
+            .find(|(_, bl)| !bl.is_empty())
+            .cloned()
+            .expect("a poisoned resolver with sites");
+        let site = *blocklist.iter().next().unwrap();
+        let domain = lab.india.corpus.site(site).domain.clone();
+        let notice_ip = lab.india.isps[&IspId::Mtnl].notice_ip;
+        let prefix = lab.india.isps[&IspId::Mtnl].prefix;
+        let mech = dns_tracer(
+            &mut lab,
+            client,
+            resolver,
+            &domain,
+            |ips| ips.iter().any(|&ip| ip == notice_ip || prefix.contains(ip) || lucent_packet::ipv4::is_bogon(ip)),
+            24,
+        );
+        assert_eq!(mech, DnsMechanism::Poisoning);
+    }
+}

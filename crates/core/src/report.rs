@@ -1,0 +1,71 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a (precision, recall) pair the way Table 1 prints cells.
+pub fn pr_cell(p: f64, r: f64) -> String {
+    format!("{p:.2}, {r:.2}")
+}
+
+/// Render an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.752), "75.2%");
+        assert_eq!(pr_cell(0.19, 0.11), "0.19, 0.11");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["ISP", "Coverage"],
+            &[
+                vec!["Airtel".into(), "75.2%".into()],
+                vec!["Jio".into(), "6.4%".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("ISP"));
+        assert!(lines[2].starts_with("Airtel"));
+        // Header and data columns align.
+        let col = lines[0].find("Coverage").unwrap();
+        assert_eq!(lines[2].find("75.2%").unwrap(), col);
+    }
+}

@@ -1,0 +1,188 @@
+//! A DNS-injection middlebox — the mechanism the paper *tests for* with
+//! the Iterative Network Tracer and rules out in Indian ISPs (Section 3.2
+//! finds poisoning only).
+//!
+//! The discriminating experiment only means something if the detector can
+//! tell the two mechanisms apart, so the simulator must be able to deploy
+//! an injector. It sits inline on a path; queries for blocked names
+//! elicit a forged response *from the middlebox's position* while the
+//! original query continues to the resolver (whose honest answer arrives
+//! later and loses).
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration};
+use lucent_packet::dns::{DnsMessage, Name};
+use lucent_packet::{Packet, Transport, UdpHeader};
+
+/// Interface toward the clients (queries arrive here).
+pub const CLIENT_SIDE: IfaceId = IfaceId(0);
+/// Interface toward the resolvers.
+pub const RESOLVER_SIDE: IfaceId = IfaceId(1);
+
+/// An inline DNS injector with a per-device blocklist.
+pub struct DnsInjectorNode {
+    blocklist: HashSet<Name>,
+    /// Address placed in forged A records.
+    pub forged_ip: Ipv4Addr,
+    /// Injection processing delay (the forged answer still beats the real
+    /// one because it skips the resolver round-trip).
+    pub delay: SimDuration,
+    label: String,
+    /// Number of forged responses sent.
+    pub injections: u64,
+}
+
+impl DnsInjectorNode {
+    /// Build an injector.
+    pub fn new(
+        blocklist: impl IntoIterator<Item = Name>,
+        forged_ip: Ipv4Addr,
+        label: impl Into<String>,
+    ) -> Self {
+        DnsInjectorNode {
+            blocklist: blocklist.into_iter().collect(),
+            forged_ip,
+            delay: SimDuration::from_micros(200),
+            label: label.into(),
+            injections: 0,
+        }
+    }
+
+    fn inspect(&mut self, ctx: &mut NodeCtx<'_>, pkt: &Packet) {
+        let Transport::Udp(udp, payload) = &pkt.transport else {
+            return;
+        };
+        if udp.dst_port != 53 {
+            return;
+        }
+        let Ok(query) = DnsMessage::parse(payload) else {
+            return;
+        };
+        if query.flags.response {
+            return;
+        }
+        let Some(q) = query.questions.first() else {
+            return;
+        };
+        if !self.blocklist.contains(&q.name) {
+            return;
+        }
+        self.injections += 1;
+        let forged = DnsMessage::answer_a(&query, &[self.forged_ip], 60);
+        let mut bytes = Vec::new();
+        if forged.emit(&mut bytes).is_err() {
+            return;
+        }
+        // Forge the resolver as source so the client's stub accepts it.
+        let reply = Packet::udp(
+            pkt.dst(),
+            pkt.src(),
+            UdpHeader::new(udp.dst_port, udp.src_port),
+            bytes,
+        );
+        ctx.send_delayed(CLIENT_SIDE, reply, self.delay);
+    }
+}
+
+impl Node for DnsInjectorNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: Packet) {
+        if iface == CLIENT_SIDE {
+            self.inspect(ctx, &pkt);
+            // Injection does not suppress the original query.
+            ctx.send(RESOLVER_SIDE, pkt);
+        } else {
+            ctx.send(CLIENT_SIDE, pkt);
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{shared, DnsCatalog};
+    use crate::resolver::ResolverApp;
+    use lucent_netsim::Network;
+    use lucent_tcp::TcpHost;
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(10, 0, 53, 53);
+    const FORGED: Ipv4Addr = Ipv4Addr::new(59, 144, 9, 9);
+
+    /// client -- injector -- resolver (direct, no routers needed).
+    fn build(blocked: &[&str]) -> (Network, lucent_netsim::NodeId, lucent_netsim::NodeId) {
+        let mut net = Network::new();
+        let client = net.add_node(Box::new(TcpHost::new(CLIENT, "client", 1)));
+        let mut resolver_host = TcpHost::new(RESOLVER, "resolver", 2);
+        let mut catalog = DnsCatalog::new();
+        catalog.add_global("blocked.example", vec![Ipv4Addr::new(198, 51, 100, 1)]);
+        catalog.add_global("ok.example", vec![Ipv4Addr::new(198, 51, 100, 2)]);
+        resolver_host.set_udp_app(53, Box::new(ResolverApp::honest(shared(catalog), 0)));
+        let resolver = net.add_node(Box::new(resolver_host));
+        let injector = net.add_node(Box::new(DnsInjectorNode::new(
+            blocked.iter().map(|s| Name::new(s)),
+            FORGED,
+            "injector",
+        )));
+        let ms = SimDuration::from_millis(1);
+        net.connect(client, IfaceId::PRIMARY, injector, CLIENT_SIDE, ms);
+        net.connect(injector, RESOLVER_SIDE, resolver, IfaceId::PRIMARY, ms);
+        (net, client, resolver)
+    }
+
+    fn query(net: &mut Network, client: lucent_netsim::NodeId, name: &str) -> Vec<DnsMessage> {
+        let q = DnsMessage::query_a(7, name);
+        let mut bytes = Vec::new();
+        q.emit(&mut bytes).unwrap();
+        {
+            let c = net.node_mut::<TcpHost>(client);
+            c.udp_bind(5353);
+            c.udp_send(5353, RESOLVER, 53, &bytes);
+        }
+        net.wake(client);
+        net.run_for(SimDuration::from_millis(50));
+        net.node_mut::<TcpHost>(client)
+            .take_udp_inbox()
+            .into_iter()
+            .map(|d| DnsMessage::parse(&d.payload).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn blocked_query_gets_two_answers_forged_first() {
+        let (mut net, client, _) = build(&["blocked.example"]);
+        let answers = query(&mut net, client, "blocked.example");
+        assert_eq!(answers.len(), 2, "forged + real");
+        assert_eq!(answers[0].a_records(), vec![FORGED], "injection wins the race");
+        assert_eq!(answers[1].a_records(), vec![Ipv4Addr::new(198, 51, 100, 1)]);
+    }
+
+    #[test]
+    fn unblocked_query_gets_single_honest_answer() {
+        let (mut net, client, _) = build(&["blocked.example"]);
+        let answers = query(&mut net, client, "ok.example");
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].a_records(), vec![Ipv4Addr::new(198, 51, 100, 2)]);
+    }
+
+    #[test]
+    fn responses_transit_unmolested() {
+        let (mut net, client, _) = build(&[]);
+        let answers = query(&mut net, client, "blocked.example");
+        assert_eq!(answers.len(), 1, "empty blocklist injector is a plain wire");
+    }
+}

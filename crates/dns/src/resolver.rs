@@ -1,0 +1,227 @@
+//! Resolver applications: honest resolution and the poisoned variant the
+//! paper finds in MTNL and BSNL.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use lucent_packet::dns::{DnsMessage, Name, Rcode};
+use lucent_tcp::{UdpApp, UdpIo};
+
+use crate::catalog::{RegionId, SharedCatalog};
+
+/// How a poisoned resolver manipulates answers for blocked names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonMode {
+    /// Answer with a static address inside the ISP (typically a notice
+    /// server) — the "static IP address of the same ISP appearing multiple
+    /// times" pattern the paper's frequency analysis keys on.
+    StaticIp(Ipv4Addr),
+    /// Answer with a bogon address.
+    Bogon(Ipv4Addr),
+    /// Answer NXDOMAIN.
+    NxDomain,
+}
+
+impl PoisonMode {
+    /// The manipulated A-record address, if this mode produces one.
+    pub fn answer_ip(&self) -> Option<Ipv4Addr> {
+        match self {
+            PoisonMode::StaticIp(ip) | PoisonMode::Bogon(ip) => Some(*ip),
+            PoisonMode::NxDomain => None,
+        }
+    }
+}
+
+/// A recursive resolver serving UDP port 53.
+///
+/// With an empty blocklist this is an honest resolver; with a blocklist
+/// and a [`PoisonMode`] it is a poisoned one. The distinction the paper
+/// measures — *which* resolvers of an ISP are poisoned, and *which* names
+/// each poisons — lives entirely in per-resolver configuration, which is
+/// how the coverage/consistency spread of Figure 2 arises.
+pub struct ResolverApp {
+    catalog: SharedCatalog,
+    region: RegionId,
+    blocklist: HashSet<Name>,
+    mode: PoisonMode,
+    /// Count of queries answered (diagnostics).
+    pub queries: u64,
+    /// Count of manipulated answers produced.
+    pub poisoned_answers: u64,
+}
+
+impl ResolverApp {
+    /// An honest resolver.
+    pub fn honest(catalog: SharedCatalog, region: RegionId) -> Self {
+        ResolverApp {
+            catalog,
+            region,
+            blocklist: HashSet::new(),
+            mode: PoisonMode::NxDomain,
+            queries: 0,
+            poisoned_answers: 0,
+        }
+    }
+
+    /// A poisoned resolver blocking `blocklist` with the given mode.
+    pub fn poisoned(
+        catalog: SharedCatalog,
+        region: RegionId,
+        blocklist: impl IntoIterator<Item = Name>,
+        mode: PoisonMode,
+    ) -> Self {
+        ResolverApp {
+            catalog,
+            region,
+            blocklist: blocklist.into_iter().collect(),
+            mode,
+            queries: 0,
+            poisoned_answers: 0,
+        }
+    }
+
+    /// True if this resolver manipulates any name.
+    pub fn is_poisoned(&self) -> bool {
+        !self.blocklist.is_empty()
+    }
+
+    /// The blocklist (ground truth for experiment scoring).
+    pub fn blocklist(&self) -> &HashSet<Name> {
+        &self.blocklist
+    }
+
+    fn answer(&mut self, query: &DnsMessage) -> DnsMessage {
+        let Some(q) = query.questions.first() else {
+            return DnsMessage::error(query, Rcode::FormErr);
+        };
+        if self.blocklist.contains(&q.name) {
+            self.poisoned_answers += 1;
+            return match self.mode.answer_ip() {
+                Some(ip) => DnsMessage::answer_a(query, &[ip], 300),
+                None => DnsMessage::error(query, Rcode::NxDomain),
+            };
+        }
+        match self.catalog.borrow().resolve(&q.name, self.region) {
+            Some(ips) => DnsMessage::answer_a(query, &ips, 300),
+            None => DnsMessage::error(query, Rcode::NxDomain),
+        }
+    }
+}
+
+impl UdpApp for ResolverApp {
+    fn on_datagram(&mut self, io: &mut UdpIo, src: Ipv4Addr, src_port: u16, payload: &[u8]) {
+        let Ok(query) = DnsMessage::parse(payload) else {
+            return; // garbage in, silence out
+        };
+        if query.flags.response {
+            return;
+        }
+        self.queries += 1;
+        let response = self.answer(&query);
+        let mut bytes = Vec::new();
+        if response.emit(&mut bytes).is_ok() {
+            io.out.push((src, src_port, bytes));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{shared, DnsCatalog};
+    use lucent_netsim::SimTime;
+
+    fn catalog() -> SharedCatalog {
+        let mut c = DnsCatalog::new();
+        c.add_global("ok.example", vec![Ipv4Addr::new(198, 51, 100, 7)]);
+        c.add_global("blocked.example", vec![Ipv4Addr::new(198, 51, 100, 8)]);
+        shared(c)
+    }
+
+    fn ask(app: &mut ResolverApp, name: &str) -> Option<DnsMessage> {
+        let q = DnsMessage::query_a(42, name);
+        let mut bytes = Vec::new();
+        q.emit(&mut bytes).unwrap();
+        let mut io = UdpIo { out: Vec::new(), now: SimTime::ZERO };
+        app.on_datagram(&mut io, Ipv4Addr::new(10, 0, 0, 9), 5000, &bytes);
+        io.out.pop().map(|(_, _, b)| DnsMessage::parse(&b).unwrap())
+    }
+
+    #[test]
+    fn honest_resolver_answers_catalog() {
+        let mut app = ResolverApp::honest(catalog(), 0);
+        let r = ask(&mut app, "ok.example").unwrap();
+        assert_eq!(r.a_records(), vec![Ipv4Addr::new(198, 51, 100, 7)]);
+        assert_eq!(r.id, 42);
+        assert!(r.flags.response);
+        assert_eq!(app.queries, 1);
+        assert!(!app.is_poisoned());
+    }
+
+    #[test]
+    fn honest_resolver_nxdomain_for_unknown() {
+        let mut app = ResolverApp::honest(catalog(), 0);
+        let r = ask(&mut app, "unknown.example").unwrap();
+        assert_eq!(r.flags.rcode, Rcode::NxDomain);
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn poisoned_resolver_manipulates_only_blocklist() {
+        let static_ip = Ipv4Addr::new(59, 144, 1, 1);
+        let mut app = ResolverApp::poisoned(
+            catalog(),
+            0,
+            [Name::new("blocked.example")],
+            PoisonMode::StaticIp(static_ip),
+        );
+        let blocked = ask(&mut app, "blocked.example").unwrap();
+        assert_eq!(blocked.a_records(), vec![static_ip]);
+        let ok = ask(&mut app, "ok.example").unwrap();
+        assert_eq!(ok.a_records(), vec![Ipv4Addr::new(198, 51, 100, 7)]);
+        assert_eq!(app.poisoned_answers, 1);
+        assert!(app.is_poisoned());
+    }
+
+    #[test]
+    fn bogon_mode_returns_bogon() {
+        let bogon = Ipv4Addr::new(10, 10, 34, 34);
+        let mut app = ResolverApp::poisoned(
+            catalog(),
+            0,
+            [Name::new("blocked.example")],
+            PoisonMode::Bogon(bogon),
+        );
+        let r = ask(&mut app, "blocked.example").unwrap();
+        assert_eq!(r.a_records(), vec![bogon]);
+        assert!(lucent_packet::ipv4::is_bogon(r.a_records()[0]));
+    }
+
+    #[test]
+    fn nxdomain_mode_denies_existence() {
+        let mut app = ResolverApp::poisoned(
+            catalog(),
+            0,
+            [Name::new("blocked.example")],
+            PoisonMode::NxDomain,
+        );
+        let r = ask(&mut app, "blocked.example").unwrap();
+        assert_eq!(r.flags.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn garbage_and_responses_are_ignored() {
+        let mut app = ResolverApp::honest(catalog(), 0);
+        let mut io = UdpIo { out: Vec::new(), now: SimTime::ZERO };
+        app.on_datagram(&mut io, Ipv4Addr::new(1, 1, 1, 1), 1, b"\xff\xfe");
+        assert!(io.out.is_empty());
+        // A response message must not be echoed back (loop prevention).
+        let q = DnsMessage::query_a(1, "ok.example");
+        let resp = DnsMessage::answer_a(&q, &[Ipv4Addr::new(9, 9, 9, 9)], 60);
+        let mut bytes = Vec::new();
+        resp.emit(&mut bytes).unwrap();
+        app.on_datagram(&mut io, Ipv4Addr::new(1, 1, 1, 1), 1, &bytes);
+        assert!(io.out.is_empty());
+        assert_eq!(app.queries, 0);
+    }
+}

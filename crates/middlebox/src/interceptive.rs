@@ -1,0 +1,433 @@
+//! The interceptive middlebox (IM): an inline element akin to a
+//! transparent proxy — the middlebox family the paper reports discovering
+//! in the wild for the first time (Idea and Vodafone).
+//!
+//! On trigger it (Figure 3):
+//! 1. does **not** forward the offending request — the server never sees
+//!    it, and crafted GETs with TTLs beyond the device's hop never elicit
+//!    ICMP Time-Exceeded;
+//! 2. answers the client itself — *overt* devices with a notification
+//!    page + FIN, *covert* ones with a bare RST;
+//! 3. resets the server side with a forged client RST (whose sequence
+//!    number differs from anything the client itself ever sends);
+//! 4. black-holes every subsequent client→server packet of the flow,
+//!    including the client's FIN handshake and final RST.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration, SimTime};
+use lucent_packet::tcp::{TcpFlags, TcpHeader};
+use lucent_packet::{Packet, Transport};
+
+use crate::config::MiddleboxConfig;
+use crate::flow::{FlowKey, FlowTable, Inspectable};
+
+const SWEEP: u64 = 1;
+const SWEEP_EVERY: SimDuration = SimDuration(30_000_000);
+
+/// An inline interceptive middlebox with two interfaces. Packets arriving
+/// on one interface leave on the other; which side faces clients is
+/// discovered per-flow from SYN direction, so wiring order does not
+/// matter.
+pub struct InterceptiveMiddlebox {
+    /// Device configuration. `cfg.notice == None` makes it covert.
+    pub cfg: MiddleboxConfig,
+    flows: FlowTable,
+    /// Black-holed flows → when they were reset (for expiry).
+    blackholed: HashMap<FlowKey, SimTime>,
+    label: String,
+    sweep_armed: bool,
+    /// Number of interceptions performed.
+    pub interceptions: u64,
+    /// (time, client, domain) trigger log.
+    pub trigger_log: Vec<(SimTime, std::net::Ipv4Addr, String)>,
+}
+
+impl InterceptiveMiddlebox {
+    /// Build an IM.
+    pub fn new(cfg: MiddleboxConfig, label: impl Into<String>) -> Self {
+        let flows = FlowTable::new(cfg.flow_timeout);
+        InterceptiveMiddlebox {
+            cfg,
+            flows,
+            blackholed: HashMap::new(),
+            label: label.into(),
+            sweep_armed: false,
+            interceptions: 0,
+            trigger_log: Vec::new(),
+        }
+    }
+
+    fn other(iface: IfaceId) -> IfaceId {
+        if iface == IfaceId(0) {
+            IfaceId(1)
+        } else {
+            IfaceId(0)
+        }
+    }
+
+    fn maybe_arm_sweep(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.sweep_armed && (!self.flows.is_empty() || !self.blackholed.is_empty()) {
+            self.sweep_armed = true;
+            ctx.set_timer(SWEEP_EVERY, SWEEP);
+        }
+    }
+
+    fn intercept(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        in_iface: IfaceId,
+        insp: &Inspectable,
+        get_header: &TcpHeader,
+        domain: &str,
+    ) {
+        self.interceptions += 1;
+        self.trigger_log.push((ctx.now(), insp.key.client.0, domain.to_string()));
+        let (client_ip, client_port) = insp.key.client;
+        let (server_ip, server_port) = insp.key.server;
+
+        // (2) Answer the client ourselves, forged as the server.
+        if let Some(style) = &self.cfg.notice {
+            let body = style.render().emit();
+            let mut h = TcpHeader::new(
+                server_port,
+                client_port,
+                TcpFlags::FIN | TcpFlags::PSH | TcpFlags::ACK,
+            );
+            h.seq = insp.forge_seq;
+            h.ack = insp.forge_ack;
+            let mut pkt = Packet::tcp(server_ip, client_ip, h, Bytes::from(body));
+            pkt.ip.ttl = 57;
+            pkt.ip.identification = self.cfg.fixed_ip_id.unwrap_or(0x4d49); // "MI"
+            ctx.send(in_iface, pkt);
+        } else {
+            let mut rst = TcpHeader::new(server_port, client_port, TcpFlags::RST);
+            rst.seq = insp.forge_seq;
+            let mut pkt = Packet::tcp(server_ip, client_ip, rst, Bytes::new());
+            pkt.ip.ttl = 57;
+            pkt.ip.identification = self.cfg.fixed_ip_id.unwrap_or(0x4d49);
+            ctx.send(in_iface, pkt);
+        }
+
+        // (3) Reset the server side, forged as the client. The sequence
+        // number equals the server's rcv_nxt — the GET's own sequence —
+        // which differs from the client's post-GET cursor: the paper's
+        // tell that the RST the remote host received was not the client's.
+        let mut rst = TcpHeader::new(client_port, server_port, TcpFlags::RST);
+        rst.seq = get_header.seq;
+        let mut pkt = Packet::tcp(client_ip, server_ip, rst, Bytes::new());
+        pkt.ip.ttl = 57;
+        ctx.send(Self::other(in_iface), pkt);
+
+        // (4) Black-hole the rest of the flow.
+        self.blackholed.insert(insp.key, ctx.now());
+        self.flows.remove(&insp.key);
+    }
+}
+
+impl Node for InterceptiveMiddlebox {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: Packet) {
+        let out = Self::other(iface);
+        let Transport::Tcp(h, payload) = &pkt.transport else {
+            ctx.send(out, pkt); // ICMP, UDP: pass through untouched
+            return;
+        };
+
+        // Black-holed flow? Drop client→server packets silently.
+        let as_client_key =
+            FlowKey { client: (pkt.src(), h.src_port), server: (pkt.dst(), h.dst_port) };
+        if self.blackholed.contains_key(&as_client_key) {
+            ctx.trace_drop(&pkt, "im-blackhole");
+            return;
+        }
+
+        // SYN-time gating, identical to the wiretap.
+        let track = !(h.flags.contains(TcpFlags::SYN)
+            && !h.flags.contains(TcpFlags::ACK)
+            && (!self.cfg.inspects_port(h.dst_port) || !self.cfg.inspects_client(pkt.src())));
+
+        if track {
+            let h = h.clone();
+            let payload = payload.clone();
+            if let Some(insp) = self.flows.observe(&pkt, ctx.now()) {
+                if let Some(domain) = self.cfg.matcher.extract(&payload) {
+                    if self.cfg.blocks(&domain) {
+                        self.intercept(ctx, iface, &insp, &h, &domain);
+                        self.maybe_arm_sweep(ctx);
+                        return; // (1) the request is consumed
+                    }
+                }
+            }
+            self.maybe_arm_sweep(ctx);
+        }
+        ctx.send(out, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token == SWEEP {
+            self.sweep_armed = false;
+            self.flows.sweep(ctx.now());
+            let timeout = self.flows.timeout;
+            let now = ctx.now();
+            self.blackholed.retain(|_, at| now.since(*at) < timeout);
+            self.maybe_arm_sweep(ctx);
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notice::{looks_like_notice, NoticeStyle};
+    use lucent_netsim::routing::Cidr;
+    use lucent_netsim::{Network, NodeId, RouterNode};
+    use lucent_packet::http::RequestBuilder;
+    use lucent_packet::HttpResponse;
+    use lucent_tcp::{FixedResponder, SocketEvent, TcpHost, TcpState};
+    use std::net::Ipv4Addr;
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 2);
+
+    struct Rig {
+        net: Network,
+        client: NodeId,
+        server: NodeId,
+        im: NodeId,
+    }
+
+    /// client -- r1 -- IM -- r2 -- server
+    fn build(cfg: MiddleboxConfig) -> Rig {
+        let mut net = Network::new();
+        let client = net.add_node(Box::new(TcpHost::new(CLIENT, "client", 1)));
+        let mut server_host = TcpHost::new(SERVER, "server", 2);
+        server_host.enable_pcap();
+        server_host.listen(80, || {
+            Box::new(FixedResponder::new(
+                HttpResponse::new(
+                    200,
+                    "OK",
+                    b"<html><head><title>Real</title></head><body>content</body></html>".to_vec(),
+                )
+                .emit(),
+            ))
+        });
+        let server = net.add_node(Box::new(server_host));
+        let mut r1 = RouterNode::new(Ipv4Addr::new(10, 0, 0, 1), "r1");
+        r1.table.add(Cidr::new(CLIENT, 24), IfaceId(0));
+        r1.table.add(Cidr::new(SERVER, 24), IfaceId(1));
+        let mut r2 = RouterNode::new(Ipv4Addr::new(203, 0, 113, 1), "r2");
+        r2.table.add(Cidr::new(CLIENT, 24), IfaceId(0));
+        r2.table.add(Cidr::new(SERVER, 24), IfaceId(1));
+        let r1 = net.add_node(Box::new(r1));
+        let r2 = net.add_node(Box::new(r2));
+        let im = net.add_node(Box::new(InterceptiveMiddlebox::new(cfg, "im")));
+        let ms = SimDuration::from_millis(1);
+        net.connect(client, IfaceId::PRIMARY, r1, IfaceId(0), ms);
+        net.connect(r1, IfaceId(1), im, IfaceId(0), ms);
+        net.connect(im, IfaceId(1), r2, IfaceId(0), ms);
+        net.connect(r2, IfaceId(1), server, IfaceId::PRIMARY, ms);
+        Rig { net, client, server, im }
+    }
+
+    fn overt_cfg(domain: &str) -> MiddleboxConfig {
+        let mut cfg = MiddleboxConfig::new([domain.to_string()]);
+        cfg.matcher = crate::matcher::HostMatcher::StrictPattern;
+        cfg.notice = Some(NoticeStyle::idea_like());
+        cfg
+    }
+
+    fn covert_cfg(domain: &str) -> MiddleboxConfig {
+        let mut cfg = MiddleboxConfig::new([domain.to_string()]);
+        cfg.matcher = crate::matcher::HostMatcher::LastHost;
+        cfg.notice = None;
+        cfg
+    }
+
+    fn fetch(rig: &mut Rig, request: Vec<u8>) -> (lucent_tcp::SocketId, Vec<u8>) {
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(100));
+        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &request);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(2_000));
+        let bytes = rig.net.node_mut::<TcpHost>(rig.client).take_received(sock);
+        (sock, bytes)
+    }
+
+    #[test]
+    fn overt_interception_returns_notice_and_server_never_sees_get() {
+        let mut rig = build(overt_cfg("blocked.example"));
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        let (_, bytes) = fetch(&mut rig, req);
+        let resp = HttpResponse::parse(&bytes).unwrap();
+        assert!(looks_like_notice(&resp));
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 1);
+        // Server pcap: handshake and the middlebox RST only — no payload.
+        let pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        assert!(pcap.iter().all(|(_, p)| p.as_tcp().map(|(_, b)| b.is_empty()).unwrap_or(true)),
+            "no payload byte ever reaches the server");
+        assert!(
+            pcap.iter()
+                .any(|(_, p)| p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::RST)).unwrap_or(false)),
+            "forged client RST resets the server side"
+        );
+    }
+
+    #[test]
+    fn covert_interception_returns_bare_rst() {
+        let mut rig = build(covert_cfg("blocked.example"));
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        let (sock, bytes) = fetch(&mut rig, req);
+        assert!(bytes.is_empty(), "no notification from a covert device");
+        let events: Vec<_> = rig
+            .net
+            .node_ref::<TcpHost>(rig.client)
+            .events(sock)
+            .iter()
+            .map(|e| e.event.clone())
+            .collect();
+        assert!(events.contains(&SocketEvent::Reset), "{events:?}");
+    }
+
+    #[test]
+    fn unblocked_traffic_passes_through() {
+        let mut rig = build(overt_cfg("blocked.example"));
+        let req = RequestBuilder::browser("allowed.example", "/").build();
+        let (_, bytes) = fetch(&mut rig, req);
+        let resp = HttpResponse::parse(&bytes).unwrap();
+        assert_eq!(resp.title().as_deref(), Some("Real"));
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+    }
+
+    #[test]
+    fn blackhole_swallows_post_trigger_client_packets() {
+        let mut rig = build(overt_cfg("blocked.example"));
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        let (sock, _) = fetch(&mut rig, req);
+        // The client auto-closed on the forged FIN; its FIN retransmits
+        // then aborts. Give it time, then check the server never saw any
+        // of it (only handshake + the MB RST).
+        rig.net.run_for(SimDuration::from_secs(60));
+        let state = rig.net.node_ref::<TcpHost>(rig.client).state(sock);
+        assert_eq!(state, TcpState::Closed, "FIN handshake black-holed, client gave up");
+        let events: Vec<_> = rig
+            .net
+            .node_ref::<TcpHost>(rig.client)
+            .events(sock)
+            .iter()
+            .map(|e| e.event.clone())
+            .collect();
+        assert!(events.contains(&SocketEvent::TimedOut), "{events:?}");
+        let pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        let fins = pcap
+            .iter()
+            .filter(|(_, p)| p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::FIN)).unwrap_or(false))
+            .count();
+        assert_eq!(fins, 0, "client FINs never reach the server");
+    }
+
+    #[test]
+    fn server_side_rst_seq_differs_from_client_cursor() {
+        let mut rig = build(overt_cfg("blocked.example"));
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        let req_len = req.len() as u32;
+        let (sock, _) = fetch(&mut rig, req);
+        let (snd_nxt, _) = rig.net.node_ref::<TcpHost>(rig.client).seq_cursors(sock).unwrap();
+        let pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        let rst = pcap
+            .iter()
+            .find_map(|(_, p)| {
+                let (h, _) = p.as_tcp()?;
+                h.flags.contains(TcpFlags::RST).then(|| h.clone())
+            })
+            .expect("server saw a RST");
+        // The middlebox used the pre-GET sequence; the client's cursor
+        // has advanced past the GET (and its own FIN).
+        assert_eq!(rst.seq.wrapping_add(req_len), snd_nxt.wrapping_sub(1));
+        assert_ne!(rst.seq, snd_nxt);
+    }
+
+    #[test]
+    fn traceroute_passes_through_the_inline_device() {
+        // ICMP must transit an IM unharmed or the tracer would see the
+        // world end at the middlebox for *all* traffic.
+        let mut rig = build(overt_cfg("blocked.example"));
+        {
+            let c = rig.net.node_mut::<TcpHost>(rig.client);
+            c.udp_bind(33000);
+            let mut probe = Packet::udp(
+                CLIENT,
+                SERVER,
+                lucent_packet::UdpHeader::new(33000, 33435),
+                &b"trace"[..],
+            );
+            probe.ip.ttl = 32;
+            c.raw_send(probe);
+        }
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(100));
+        let icmp = rig.net.node_mut::<TcpHost>(rig.client).take_icmp_inbox();
+        assert_eq!(icmp.len(), 1, "port unreachable from the destination");
+        assert_eq!(icmp[0].1.src(), SERVER);
+    }
+
+    #[test]
+    fn fragmented_get_slips_past_but_server_reassembles() {
+        let mut rig = build(overt_cfg("blocked.example"));
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(100));
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        let mid = req.windows(5).position(|w| w == b"Host:").unwrap() + 2; // split inside "Host"
+        let (a, b) = req.split_at(mid);
+        rig.net.node_mut::<TcpHost>(rig.client).send(sock, a);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(50));
+        rig.net.node_mut::<TcpHost>(rig.client).send(sock, b);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(2_000));
+        let bytes = rig.net.node_mut::<TcpHost>(rig.client).take_received(sock);
+        let resp = HttpResponse::parse(&bytes).unwrap();
+        assert_eq!(resp.title().as_deref(), Some("Real"), "fragmentation evades the IM");
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+    }
+
+    #[test]
+    fn duplicate_host_evades_covert_im_and_gets_content_plus_400() {
+        let mut rig = build(covert_cfg("blocked.example"));
+        // The server in this rig is a FixedResponder (answers anything),
+        // so we only check the IM let the request pass.
+        let mut req = RequestBuilder::browser("blocked.example", "/").build();
+        req.extend_from_slice(b"Host: allowed.example\r\n\r\n");
+        let (_, bytes) = fetch(&mut rig, req);
+        assert!(!bytes.is_empty(), "request reached the server");
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+    }
+
+    #[test]
+    fn extra_space_evades_overt_im() {
+        let mut rig = build(overt_cfg("blocked.example"));
+        let req = RequestBuilder::get("/")
+            .raw_line("Host:  blocked.example")
+            .build();
+        let (_, bytes) = fetch(&mut rig, req);
+        assert!(!bytes.is_empty());
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+    }
+}

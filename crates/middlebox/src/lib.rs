@@ -1,0 +1,38 @@
+//! # lucent-middlebox
+//!
+//! The censorship middleboxes of *Where The Light Gets In*, §4.2.1:
+//!
+//! * **Wiretap middleboxes (WM)** — hosts on a router mirror port. They
+//!   see a *copy* of traffic, so they can inject but not drop; their
+//!   forged `200 OK + FIN` notification and follow-up `RST` race the real
+//!   server response (the paper measures ≈3/10 requests escaping).
+//!   Airtel and Reliance Jio deploy these; Airtel's stamps the fixed
+//!   IP-Identifier 242 the evasion firewall keys on.
+//! * **Interceptive middleboxes (IM)** — inline elements akin to
+//!   transparent proxies. They consume the triggering request (the server
+//!   never sees it), answer the client themselves — *overtly* with a
+//!   notification page or *covertly* with a bare RST — reset the server
+//!   side with a forged client RST, and black-hole the rest of the flow.
+//!   Idea (overt) and Vodafone (covert) deploy these.
+//!
+//! Both kinds are **stateful** (they inspect only after observing a full
+//! 3-way handshake, with a 2–3 minute flow timeout refreshed by traffic),
+//! are triggered **solely by the `Host` header** of a request, and differ
+//! in *how* they match that header — differences Section 5's evasion
+//! techniques exploit, reproduced here in [`matcher::HostMatcher`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod flow;
+pub mod interceptive;
+pub mod matcher;
+pub mod notice;
+pub mod wiretap;
+
+pub use config::MiddleboxConfig;
+pub use interceptive::InterceptiveMiddlebox;
+pub use matcher::HostMatcher;
+pub use notice::NoticeStyle;
+pub use wiretap::WiretapMiddlebox;

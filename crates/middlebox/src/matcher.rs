@@ -1,0 +1,264 @@
+//! How middleboxes extract the requested domain from raw payload bytes.
+//!
+//! This is the exact surface the paper's evasion techniques attack, so
+//! the three matchers are deliberately *different* and deliberately
+//! *wrong* in the ways the paper infers:
+//!
+//! | Matcher        | Deployed by | Defeated by |
+//! |----------------|-------------|-------------|
+//! | `ExactToken`   | WMs (Airtel, Jio) | changing the case of `Host` |
+//! | `StrictPattern`| overt IMs (Idea)  | extra spaces/tabs around the value, HTTP/2.0 version token |
+//! | `LastHost`     | covert IMs (Vodafone) | appending a second `Host:` line after `\r\n\r\n` |
+//!
+//! All three scan the raw packet payload without TCP stream reassembly,
+//! so requests fragmented across segments evade every one of them — also
+//! as the paper reports.
+
+/// A middlebox's Host-extraction routine.
+///
+/// ```
+/// use lucent_middlebox::HostMatcher;
+/// use lucent_packet::http::RequestBuilder;
+///
+/// let fudged = RequestBuilder::get("/").raw_line("HOst: blocked.example").build();
+/// // The wiretap matcher wants the literal token `Host` — evaded:
+/// assert_eq!(HostMatcher::ExactToken.extract(&fudged), None);
+/// // The interceptive matchers are case-insensitive — not evaded:
+/// assert_eq!(
+///     HostMatcher::LastHost.extract(&fudged).as_deref(),
+///     Some("blocked.example")
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostMatcher {
+    /// Case-*sensitive* literal `Host` keyword; whitespace-tolerant value
+    /// parse; first occurrence wins.
+    ExactToken,
+    /// Case-insensitive keyword but the line must be exactly
+    /// `Host: value` — one space, no tabs, no surrounding whitespace —
+    /// and the request line must carry an `HTTP/1.x` version token.
+    StrictPattern,
+    /// Case-insensitive, whitespace-tolerant, but the *last* `Host:`
+    /// occurrence in the payload wins (no `\r\n\r\n` framing awareness).
+    LastHost,
+}
+
+impl HostMatcher {
+    /// Extract the domain this matcher believes is being requested, if
+    /// any. Returns a lowercased, whitespace-trimmed domain.
+    pub fn extract(&self, payload: &[u8]) -> Option<String> {
+        match self {
+            HostMatcher::ExactToken => extract_exact_token(payload),
+            HostMatcher::StrictPattern => extract_strict(payload),
+            HostMatcher::LastHost => extract_last(payload),
+        }
+    }
+}
+
+fn lines(payload: &[u8]) -> impl Iterator<Item = &[u8]> {
+    payload
+        .split(|&b| b == b'\n')
+        .map(|l| l.strip_suffix(b"\r").unwrap_or(l))
+}
+
+fn finish(value: &[u8]) -> Option<String> {
+    let s = std::str::from_utf8(value).ok()?;
+    let s = s.trim_matches([' ', '\t']);
+    if s.is_empty() {
+        return None;
+    }
+    Some(s.to_ascii_lowercase())
+}
+
+/// Case-sensitive `Host` keyword, tolerant value.
+fn extract_exact_token(payload: &[u8]) -> Option<String> {
+    for line in lines(payload) {
+        if let Some(rest) = line.strip_prefix(b"Host:") {
+            return finish(rest);
+        }
+    }
+    None
+}
+
+/// Case-insensitive keyword, rigid `": value"` shape, HTTP/1.x required.
+fn extract_strict(payload: &[u8]) -> Option<String> {
+    // The device looks for a conventional HTTP/1.x request; version
+    // tokens it does not recognize make it pass the packet through.
+    let first = lines(payload).next()?;
+    let first_str = std::str::from_utf8(first).ok()?;
+    if !first_str.contains("HTTP/1.") {
+        return None;
+    }
+    for line in lines(payload) {
+        let Ok(text) = std::str::from_utf8(line) else { continue };
+        let Some(idx) = text.to_ascii_lowercase().find("host:") else { continue };
+        if idx != 0 {
+            continue;
+        }
+        let value = &text[5..];
+        // Exactly one leading space, then a clean value.
+        let Some(v) = value.strip_prefix(' ') else { return None };
+        if v.starts_with(' ')
+            || v.starts_with('\t')
+            || v.ends_with(' ')
+            || v.ends_with('\t')
+            || v.is_empty()
+        {
+            return None; // fudged: device fails to parse and gives up
+        }
+        return Some(v.to_ascii_lowercase());
+    }
+    None
+}
+
+/// Case-insensitive, last occurrence wins, no framing awareness.
+fn extract_last(payload: &[u8]) -> Option<String> {
+    let mut found = None;
+    for line in lines(payload) {
+        let Ok(text) = std::str::from_utf8(line) else { continue };
+        let trimmed = text.trim_start_matches([' ', '\t']);
+        if trimmed.len() >= 5 && trimmed[..5].eq_ignore_ascii_case("host:") {
+            if let Some(v) = finish(trimmed[5..].as_bytes()) {
+                found = Some(v);
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_packet::http::RequestBuilder;
+
+    fn browser(host: &str) -> Vec<u8> {
+        RequestBuilder::browser(host, "/").build()
+    }
+
+    #[test]
+    fn all_matchers_catch_a_plain_browser_request() {
+        let req = browser("blocked.example");
+        for m in [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost] {
+            assert_eq!(m.extract(&req).as_deref(), Some("blocked.example"), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn case_fudging_defeats_exact_token_only() {
+        for fudge in ["HOst", "HoST", "HOST", "host"] {
+            let req = RequestBuilder::get("/")
+                .raw_line(&format!("{fudge}: blocked.example"))
+                .build();
+            assert_eq!(HostMatcher::ExactToken.extract(&req), None, "{fudge}");
+            assert_eq!(
+                HostMatcher::LastHost.extract(&req).as_deref(),
+                Some("blocked.example"),
+                "{fudge}"
+            );
+            assert_eq!(
+                HostMatcher::StrictPattern.extract(&req).as_deref(),
+                Some("blocked.example"),
+                "{fudge}"
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_fudging_defeats_strict_pattern_only() {
+        for line in [
+            "Host:  blocked.example",
+            "Host:\tblocked.example",
+            "Host: blocked.example ",
+            "Host: blocked.example\t",
+        ] {
+            let req = RequestBuilder::get("/").raw_line(line).build();
+            assert_eq!(HostMatcher::StrictPattern.extract(&req), None, "{line:?}");
+            assert_eq!(
+                HostMatcher::ExactToken.extract(&req).as_deref(),
+                Some("blocked.example"),
+                "{line:?}"
+            );
+            assert_eq!(
+                HostMatcher::LastHost.extract(&req).as_deref(),
+                Some("blocked.example"),
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_host_after_terminator_defeats_last_host_only() {
+        let mut req = browser("blocked.example");
+        req.extend_from_slice(b"Host: allowed.example\r\n\r\n");
+        assert_eq!(
+            HostMatcher::LastHost.extract(&req).as_deref(),
+            Some("allowed.example"),
+            "covert IM sees only the decoy"
+        );
+        assert_eq!(
+            HostMatcher::ExactToken.extract(&req).as_deref(),
+            Some("blocked.example")
+        );
+        assert_eq!(
+            HostMatcher::StrictPattern.extract(&req).as_deref(),
+            Some("blocked.example")
+        );
+    }
+
+    #[test]
+    fn http2_version_token_defeats_strict_pattern() {
+        let req = RequestBuilder::get("/")
+            .version("HTTP/2.0")
+            .header("Host", "blocked.example")
+            .build();
+        assert_eq!(HostMatcher::StrictPattern.extract(&req), None);
+        assert_eq!(
+            HostMatcher::ExactToken.extract(&req).as_deref(),
+            Some("blocked.example")
+        );
+    }
+
+    #[test]
+    fn domain_outside_host_field_does_not_match() {
+        // Section 3.4 IV: the domain fudged into the path or a random
+        // header must not trigger.
+        let req = RequestBuilder::get("/blocked.example/page")
+            .header("Host", "allowed.example")
+            .header("X-Ref", "blocked.example")
+            .build();
+        for m in [HostMatcher::ExactToken, HostMatcher::StrictPattern] {
+            assert_eq!(m.extract(&req).as_deref(), Some("allowed.example"), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn fragmented_request_has_no_complete_host_line() {
+        let req = browser("blocked.example");
+        let split = req.windows(5).position(|w| w == b"Host:").unwrap() + 3; // mid-"Host"
+        for m in [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost] {
+            let a = m.extract(&req[..split]);
+            assert_ne!(a.as_deref(), Some("blocked.example"), "{m:?} first fragment");
+            // The second fragment has "t: blocked.example" — no keyword.
+            let b = m.extract(&req[split..]);
+            assert_ne!(b.as_deref(), Some("blocked.example"), "{m:?} second fragment");
+        }
+    }
+
+    #[test]
+    fn non_utf8_and_empty_payloads_are_safe() {
+        for m in [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost] {
+            assert_eq!(m.extract(b""), None);
+            assert_eq!(m.extract(&[0xff, 0xfe, b'\n', 0x80]), None);
+            assert_eq!(m.extract(b"Host:\r\n"), None, "empty value");
+        }
+    }
+
+    #[test]
+    fn value_is_lowercased() {
+        let req = RequestBuilder::get("/").raw_line("Host: BLOCKED.Example").build();
+        assert_eq!(
+            HostMatcher::ExactToken.extract(&req).as_deref(),
+            Some("blocked.example")
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Censorship notification pages.
+//!
+//! Section 6 documents their fingerprints: Airtel's page embeds an iframe
+//! redirecting to `airtel.com/dot`; Jio's redirects to an internal IP;
+//! none carry an HTML `<title>` and all mimic ordinary server headers —
+//! the two properties that make OONI's header-name and title comparisons
+//! mislabel them as non-censorship.
+
+use lucent_packet::HttpResponse;
+
+/// Per-ISP notification page style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoticeStyle {
+    /// Target of the embedded iframe (`airtel.com/dot`,
+    /// `http://1.2.3.4/notice`, a DoT order page, ...).
+    pub iframe_url: String,
+    /// `Server` header to mimic.
+    pub server_header: String,
+    /// Statutory text shown to the user.
+    pub statutory_text: String,
+}
+
+impl NoticeStyle {
+    /// The Airtel-style notice.
+    pub fn airtel_like() -> Self {
+        NoticeStyle {
+            iframe_url: "http://www.airtel.com/dot".into(),
+            server_header: "nginx".into(),
+            statutory_text:
+                "This website has been blocked as per the directions of the Department of Telecommunications."
+                    .into(),
+        }
+    }
+
+    /// A Jio-style notice redirecting to an internal address.
+    pub fn jio_like() -> Self {
+        NoticeStyle {
+            iframe_url: "http://10.101.0.25/block".into(),
+            server_header: "Apache".into(),
+            statutory_text: "The requested URL cannot be accessed as per Government regulations.".into(),
+        }
+    }
+
+    /// An Idea-style (overt IM) notice.
+    pub fn idea_like() -> Self {
+        NoticeStyle {
+            iframe_url: "http://www.ideacellular.com/dot-compliance".into(),
+            server_header: "nginx".into(),
+            statutory_text: "Access to this site has been restricted per DoT order.".into(),
+        }
+    }
+
+    /// Render the notification response. No `<title>`; header names
+    /// mimic an ordinary origin.
+    pub fn render(&self) -> HttpResponse {
+        let body = format!(
+            "<html><head></head><body><iframe src=\"{url}\" width=\"100%\" height=\"100%\" \
+             frameborder=\"0\"></iframe><!-- {text} --></body></html>",
+            url = self.iframe_url,
+            text = self.statutory_text,
+        );
+        HttpResponse::new(200, "OK", body.into_bytes())
+            .with_header("Server", &self.server_header)
+            .with_header("Content-Type", "text/html")
+    }
+
+    /// Signature check used by ground-truth "manual inspection": does a
+    /// response body look like this notice?
+    pub fn matches(&self, resp: &HttpResponse) -> bool {
+        let Ok(body) = std::str::from_utf8(&resp.body) else {
+            return false;
+        };
+        body.contains(&self.iframe_url)
+    }
+}
+
+/// Does a response look like *any* censorship notice (iframe-only page,
+/// no title, 200 OK)? This is the generic fingerprint a human inspector
+/// recognizes instantly.
+pub fn looks_like_notice(resp: &HttpResponse) -> bool {
+    if resp.status != 200 || resp.title().is_some() {
+        return false;
+    }
+    let Ok(body) = std::str::from_utf8(&resp.body) else {
+        return false;
+    };
+    body.contains("<iframe") && (body.contains("/dot") || body.contains("block") || body.contains("DoT") || body.contains("regulation"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notices_have_no_title_and_embed_iframe() {
+        for style in [NoticeStyle::airtel_like(), NoticeStyle::jio_like(), NoticeStyle::idea_like()] {
+            let page = style.render();
+            assert_eq!(page.status, 200);
+            assert!(page.title().is_none(), "notices carry no <title>");
+            assert!(style.matches(&page));
+            assert!(looks_like_notice(&page));
+        }
+    }
+
+    #[test]
+    fn ordinary_pages_do_not_look_like_notices() {
+        let page = HttpResponse::new(
+            200,
+            "OK",
+            b"<html><head><title>Real</title></head><body>content</body></html>".to_vec(),
+        );
+        assert!(!looks_like_notice(&page));
+        assert!(!NoticeStyle::airtel_like().matches(&page));
+    }
+
+    #[test]
+    fn styles_are_distinguishable() {
+        let airtel = NoticeStyle::airtel_like().render();
+        assert!(NoticeStyle::airtel_like().matches(&airtel));
+        assert!(!NoticeStyle::jio_like().matches(&airtel));
+    }
+
+    #[test]
+    fn header_names_mimic_ordinary_servers() {
+        let page = NoticeStyle::airtel_like().render();
+        let names = page.header_names();
+        assert!(names.contains(&"server".to_string()));
+        assert!(names.contains(&"content-length".to_string()));
+        assert!(names.contains(&"content-type".to_string()));
+    }
+}

@@ -1,0 +1,388 @@
+//! The wiretap middlebox (WM): a host on a router mirror port.
+//!
+//! It sees copies of packets, so it can only *inject*, never drop — which
+//! is why its forged notification races the real server response and
+//! loses roughly 3 times in 10 (Section 4.2.1). Airtel and Reliance Jio
+//! operate WMs; Airtel's stamps IP-Identifier 242 on everything it sends.
+
+use std::any::Any;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration, SimTime};
+use lucent_packet::tcp::{TcpFlags, TcpHeader};
+use lucent_packet::Packet;
+
+use crate::config::MiddleboxConfig;
+use crate::flow::{FlowTable, Inspectable};
+
+const SWEEP: u64 = 1;
+const SWEEP_EVERY: SimDuration = SimDuration(30_000_000);
+
+/// A wiretap middlebox node. Connect its single interface to a router
+/// mirror port ([`lucent_netsim::RouterNode::with_mirror`]).
+pub struct WiretapMiddlebox {
+    /// Device configuration.
+    pub cfg: MiddleboxConfig,
+    flows: FlowTable,
+    rng: StdRng,
+    label: String,
+    sweep_armed: bool,
+    /// Number of censorship injections performed.
+    pub injections: u64,
+    /// Record of (time, client, domain) trigger events (diagnostics and
+    /// ground truth for experiments).
+    pub trigger_log: Vec<(SimTime, std::net::Ipv4Addr, String)>,
+}
+
+impl WiretapMiddlebox {
+    /// Build a WM.
+    pub fn new(cfg: MiddleboxConfig, label: impl Into<String>) -> Self {
+        let flows = FlowTable::new(cfg.flow_timeout);
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x77aa_77aa);
+        WiretapMiddlebox {
+            cfg,
+            flows,
+            rng,
+            label: label.into(),
+            sweep_armed: false,
+            injections: 0,
+            trigger_log: Vec::new(),
+        }
+    }
+
+    fn maybe_arm_sweep(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.sweep_armed && !self.flows.is_empty() {
+            self.sweep_armed = true;
+            ctx.set_timer(SWEEP_EVERY, SWEEP);
+        }
+    }
+
+    fn ip_id(&mut self, seq: u32) -> u16 {
+        self.cfg.fixed_ip_id.unwrap_or_else(|| {
+            let mut id = (seq.wrapping_mul(2654435761) >> 16) as u16;
+            if id == 242 {
+                id = 241; // never collide with the Airtel signature
+            }
+            id
+        })
+    }
+
+    fn inject(&mut self, ctx: &mut NodeCtx<'_>, insp: &Inspectable, domain: &str) {
+        self.injections += 1;
+        self.trigger_log.push((ctx.now(), insp.key.client.0, domain.to_string()));
+        let (client_ip, client_port) = insp.key.client;
+        let (server_ip, server_port) = insp.key.server;
+        // Wiretaps work off copies and search all flows; occasionally the
+        // device falls behind and the injection arrives after the real
+        // response (the slow tail configured in `slow_injection`).
+        let range = match self.cfg.slow_injection {
+            Some((p, slow_range)) if self.rng.gen_bool(p) => slow_range,
+            _ => self.cfg.injection_delay_us,
+        };
+        let delay_us = self.rng.gen_range(range.0..=range.1);
+        let delay = SimDuration::from_micros(delay_us);
+
+        let notice_len = if let Some(style) = &self.cfg.notice {
+            let body = style.render().emit();
+            let mut h = TcpHeader::new(
+                server_port,
+                client_port,
+                TcpFlags::FIN | TcpFlags::PSH | TcpFlags::ACK,
+            );
+            h.seq = insp.forge_seq;
+            h.ack = insp.forge_ack;
+            let len = body.len() as u32;
+            let id = self.ip_id(h.seq);
+            let mut pkt = Packet::tcp(server_ip, client_ip, h, Bytes::from(body));
+            pkt.ip.ttl = 57; // plausible residual TTL on a forged packet
+            pkt.ip.identification = id;
+            ctx.send_delayed(IfaceId::PRIMARY, pkt, delay);
+            len + 1 // FIN occupies one sequence number
+        } else {
+            0
+        };
+
+        // The follow-up RST that forces immediate teardown even if the
+        // FIN handshake is still in flight (Figure 4).
+        let mut rst = TcpHeader::new(server_port, client_port, TcpFlags::RST);
+        rst.seq = insp.forge_seq.wrapping_add(notice_len);
+        let id = self.ip_id(rst.seq);
+        let mut pkt = Packet::tcp(server_ip, client_ip, rst, Bytes::new());
+        pkt.ip.ttl = 57;
+        pkt.ip.identification = id;
+        ctx.send_delayed(IfaceId::PRIMARY, pkt, delay + SimDuration::from_micros(120));
+    }
+}
+
+impl Node for WiretapMiddlebox {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+        let Some((h, payload)) = pkt.as_tcp() else {
+            return; // a wiretap discards what it does not understand
+        };
+        // Gate tracking at SYN time: port and client-source filters.
+        if h.flags.contains(TcpFlags::SYN)
+            && !h.flags.contains(TcpFlags::ACK)
+            && (!self.cfg.inspects_port(h.dst_port) || !self.cfg.inspects_client(pkt.src()))
+        {
+            return;
+        }
+        let payload = payload.clone();
+        let Some(insp) = self.flows.observe(&pkt, ctx.now()) else {
+            self.maybe_arm_sweep(ctx);
+            return;
+        };
+        self.maybe_arm_sweep(ctx);
+        let Some(domain) = self.cfg.matcher.extract(&payload) else {
+            return;
+        };
+        if self.cfg.blocks(&domain) {
+            self.inject(ctx, &insp, &domain);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token == SWEEP {
+            self.sweep_armed = false;
+            self.flows.sweep(ctx.now());
+            self.maybe_arm_sweep(ctx);
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notice::{looks_like_notice, NoticeStyle};
+    use lucent_netsim::routing::Cidr;
+    use lucent_netsim::{Network, NodeId, RouterNode};
+    use lucent_packet::http::RequestBuilder;
+    use lucent_packet::HttpResponse;
+    use lucent_tcp::{SocketEvent, TcpHost, TcpState, FixedResponder};
+    use std::net::Ipv4Addr;
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 2);
+
+    struct Rig {
+        net: Network,
+        client: NodeId,
+        server: NodeId,
+        wm: NodeId,
+    }
+
+    /// client -- r (mirror→ WM) -- server. `server_delay_ms` models how
+    /// far/slow the real site is: the WM race outcome depends on it.
+    fn build(cfg: MiddleboxConfig, server_extra_ms: u64) -> Rig {
+        let mut net = Network::new();
+        let client = net.add_node(Box::new(TcpHost::new(CLIENT, "client", 1)));
+        let mut server_host = TcpHost::new(SERVER, "server", 2);
+        server_host.listen(80, move || {
+            Box::new(FixedResponder::new(
+                HttpResponse::new(
+                    200,
+                    "OK",
+                    b"<html><head><title>Real</title></head><body>the real content</body></html>"
+                        .to_vec(),
+                )
+                .emit(),
+            ))
+        });
+        server_host.listen(8080, move || {
+            Box::new(FixedResponder::new(HttpResponse::new(200, "OK", b"alt".to_vec()).emit()))
+        });
+        let server = net.add_node(Box::new(server_host));
+        let mut r = RouterNode::new(Ipv4Addr::new(10, 0, 0, 1), "r");
+        r.table.add(Cidr::new(CLIENT, 24), IfaceId(0));
+        r.table.add(Cidr::new(SERVER, 24), IfaceId(1));
+        r.mirrors.push(IfaceId(2));
+        let r = net.add_node(Box::new(r));
+        let wm = net.add_node(Box::new(WiretapMiddlebox::new(cfg, "wm")));
+        let ms = SimDuration::from_millis(1);
+        net.connect(client, IfaceId::PRIMARY, r, IfaceId(0), ms);
+        net.connect(r, IfaceId(1), server, IfaceId::PRIMARY, SimDuration::from_millis(1 + server_extra_ms));
+        net.connect(r, IfaceId(2), wm, IfaceId::PRIMARY, SimDuration::from_micros(80));
+        Rig { net, client, server, wm }
+    }
+
+    fn cfg_blocking(domain: &str) -> MiddleboxConfig {
+        let mut cfg = MiddleboxConfig::new([domain.to_string()]);
+        cfg.fixed_ip_id = Some(242);
+        cfg.notice = Some(NoticeStyle::airtel_like());
+        cfg
+    }
+
+    /// Browser-like fetch; returns (received bytes, final events).
+    fn fetch(rig: &mut Rig, host: &str, port: u16) -> Vec<u8> {
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, port);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(100));
+        let req = RequestBuilder::browser(host, "/").build();
+        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &req);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(2000));
+        rig.net.node_mut::<TcpHost>(rig.client).take_received(sock)
+    }
+
+    #[test]
+    fn blocked_host_draws_notification_when_injection_wins() {
+        let mut rig = build(cfg_blocking("blocked.example"), 30);
+        let got = fetch(&mut rig, "blocked.example", 80);
+        let resp = HttpResponse::parse(&got).expect("got a response");
+        assert!(looks_like_notice(&resp), "expected notice, got: {resp:?}");
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 1);
+    }
+
+    #[test]
+    fn real_response_wins_when_server_is_fast() {
+        // Injection delay 300–900us; server RTT ~2ms here but make
+        // injection artificially slow to force the loss.
+        let mut cfg = cfg_blocking("blocked.example");
+        cfg.injection_delay_us = (50_000, 60_000);
+        let mut rig = build(cfg, 0);
+        let got = fetch(&mut rig, "blocked.example", 80);
+        let resp = HttpResponse::parse(&got).unwrap();
+        assert_eq!(resp.title().as_deref(), Some("Real"), "server outruns the wiretap");
+        // The middlebox still fired — it just lost.
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 1);
+    }
+
+    #[test]
+    fn unblocked_host_fetches_cleanly() {
+        let mut rig = build(cfg_blocking("blocked.example"), 5);
+        let got = fetch(&mut rig, "allowed.example", 80);
+        let resp = HttpResponse::parse(&got).unwrap();
+        assert_eq!(resp.title().as_deref(), Some("Real"));
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+    }
+
+    #[test]
+    fn injected_packets_carry_fixed_ip_id() {
+        let mut rig = build(cfg_blocking("blocked.example"), 30);
+        rig.net.node_mut::<TcpHost>(rig.client).enable_pcap();
+        let _ = fetch(&mut rig, "blocked.example", 80);
+        let pcap = rig.net.node_mut::<TcpHost>(rig.client).take_pcap();
+        let injected: Vec<_> = pcap
+            .iter()
+            .filter(|(_, p)| p.ip.identification == 242)
+            .collect();
+        assert!(injected.len() >= 2, "notification + RST both stamped 242");
+        assert!(injected.iter().any(|(_, p)| p.as_tcp().unwrap().0.flags.contains(TcpFlags::FIN)));
+        assert!(injected.iter().any(|(_, p)| p.as_tcp().unwrap().0.flags.contains(TcpFlags::RST)));
+        // Forged source: the server's address.
+        assert!(injected.iter().all(|(_, p)| p.src() == SERVER));
+    }
+
+    #[test]
+    fn port_8080_is_not_inspected() {
+        let mut rig = build(cfg_blocking("blocked.example"), 5);
+        let got = fetch(&mut rig, "blocked.example", 8080);
+        let resp = HttpResponse::parse(&got).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"alt");
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+    }
+
+    #[test]
+    fn client_filter_blinds_outside_sources() {
+        let mut cfg = cfg_blocking("blocked.example");
+        cfg.client_filter = Some(vec!["192.168.0.0/16".parse().unwrap()]); // not our client
+        let mut rig = build(cfg, 5);
+        let got = fetch(&mut rig, "blocked.example", 80);
+        let resp = HttpResponse::parse(&got).unwrap();
+        assert_eq!(resp.title().as_deref(), Some("Real"));
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+    }
+
+    #[test]
+    fn crafted_get_without_handshake_is_invisible() {
+        let mut rig = build(cfg_blocking("blocked.example"), 5);
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        let mut h = TcpHeader::new(5000, 80, TcpFlags::ACK | TcpFlags::PSH);
+        h.seq = 1;
+        h.ack = 1;
+        {
+            let c = rig.net.node_mut::<TcpHost>(rig.client);
+            c.raw_claim_port(5000);
+            c.raw_send(Packet::tcp(CLIENT, SERVER, h, Bytes::from(req)));
+        }
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(100));
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+    }
+
+    #[test]
+    fn flow_state_expires_after_timeout() {
+        let mut cfg = cfg_blocking("blocked.example");
+        cfg.flow_timeout = SimDuration::from_secs(150);
+        let mut rig = build(cfg, 5);
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(100));
+        assert_eq!(rig.net.node_ref::<TcpHost>(rig.client).state(sock), TcpState::Established);
+        // Let the middlebox state rot past the timeout, then send the GET.
+        rig.net.run_for(SimDuration::from_secs(200));
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &req);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(2000));
+        assert_eq!(
+            rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections,
+            0,
+            "purged state means no trigger"
+        );
+        let got = rig.net.node_mut::<TcpHost>(rig.client).take_received(sock);
+        let resp = HttpResponse::parse(&got).unwrap();
+        assert_eq!(resp.title().as_deref(), Some("Real"));
+    }
+
+    #[test]
+    fn late_real_response_is_rst_by_client() {
+        // Figure 4's postscript: the client, already closed by the forged
+        // FIN+RST, answers the server's late real response with RST.
+        let mut rig = build(cfg_blocking("blocked.example"), 30);
+        rig.net.node_mut::<TcpHost>(rig.server).enable_pcap();
+        let _ = fetch(&mut rig, "blocked.example", 80);
+        let server_pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        assert!(
+            server_pcap
+                .iter()
+                .any(|(_, p)| p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::RST)).unwrap_or(false)),
+            "server must see a RST for its late response"
+        );
+    }
+
+    #[test]
+    fn client_connection_events_show_fin_then_reset() {
+        let mut rig = build(cfg_blocking("blocked.example"), 30);
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(100));
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &req);
+        rig.net.wake(rig.client);
+        rig.net.run_for(SimDuration::from_millis(2000));
+        let events: Vec<_> = rig
+            .net
+            .node_ref::<TcpHost>(rig.client)
+            .events(sock)
+            .iter()
+            .map(|e| e.event.clone())
+            .collect();
+        assert!(events.contains(&SocketEvent::PeerFin), "{events:?}");
+    }
+}

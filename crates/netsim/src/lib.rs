@@ -1,0 +1,38 @@
+//! # lucent-netsim
+//!
+//! A deterministic, discrete-event, packet-level network simulator.
+//!
+//! Everything the measurement study in *Where The Light Gets In* does to a
+//! network happens through packets: TTL manipulation, TCP state, forged
+//! injections, packet races. This crate provides exactly that substrate —
+//! nodes exchanging [`lucent_packet::Packet`] values over latency links
+//! under a virtual clock — and nothing higher. TCP stacks, DNS resolvers,
+//! web servers and censorship middleboxes are separate crates implementing
+//! the [`Node`] trait.
+//!
+//! Design points (in the smoltcp tradition):
+//!
+//! * **Deterministic**: one event queue ordered by `(time, sequence)`;
+//!   every source of randomness is an explicitly seeded RNG owned by the
+//!   node that needs it. The same seed replays the same packet trace.
+//! * **Event-driven**: nodes implement [`Node::on_packet`]/[`Node::on_timer`]
+//!   and never block. External drivers (the measurement harness) poke nodes
+//!   through [`Network::wake`] and downcasting accessors, then step the
+//!   clock.
+//! * **No global state**: a [`Network`] is a plain value; tests build dozens.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod network;
+pub mod node;
+pub mod router;
+pub mod routing;
+pub mod time;
+pub mod trace;
+
+pub use network::{DropReason, Network};
+pub use node::{IfaceId, Node, NodeCtx, NodeId, WAKE};
+pub use router::RouterNode;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Dir, TraceEntry, TraceHandle};

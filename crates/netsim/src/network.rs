@@ -1,0 +1,545 @@
+//! The [`Network`]: nodes, links, the event queue and the virtual clock.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use lucent_packet::Packet;
+
+use crate::node::{IfaceId, Node, NodeCtx, NodeId, WAKE};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Dir, TraceHandle};
+
+/// Why the engine itself discarded a packet (node-level drops are traced by
+/// the nodes; these are wiring-level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Sent out an interface with no link attached.
+    UnconnectedIface,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Endpoint {
+    peer: NodeId,
+    peer_iface: IfaceId,
+    latency: SimDuration,
+}
+
+enum EventKind {
+    Deliver { node: NodeId, iface: IfaceId, pkt: Packet },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Engine internals shared with [`NodeCtx`]; lives in its own struct so a
+/// node callback can enqueue effects while its own box is temporarily out
+/// of the node table.
+pub(crate) struct Inner {
+    pub(crate) now: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    links: Vec<Vec<Option<Endpoint>>>,
+    pub(crate) trace: TraceHandle,
+    drops: HashMap<DropReason, u64>,
+    events_processed: u64,
+    wire_fidelity: bool,
+}
+
+impl Inner {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    pub(crate) fn transmit(
+        &mut self,
+        from: NodeId,
+        label: &str,
+        iface: IfaceId,
+        pkt: Packet,
+        extra_delay: SimDuration,
+    ) {
+        self.trace.record(self.now, from, label, Dir::Tx, &pkt);
+        // Wire-fidelity mode: serialize to octets and reparse at every
+        // link, proving the structured fast path hides nothing (and
+        // measuring what that fidelity costs — see the substrate bench).
+        let pkt = if self.wire_fidelity {
+            match Packet::parse(&pkt.emit()) {
+                Ok(p) => {
+                    debug_assert_eq!(p, pkt);
+                    p
+                }
+                Err(e) => panic!("wire-fidelity roundtrip failed: {e}"),
+            }
+        } else {
+            pkt
+        };
+        let ep = self
+            .links
+            .get(from.0 as usize)
+            .and_then(|ifaces| ifaces.get(usize::from(iface.0)))
+            .copied()
+            .flatten();
+        match ep {
+            Some(ep) => {
+                let at = self.now + ep.latency + extra_delay;
+                self.push(at, EventKind::Deliver { node: ep.peer, iface: ep.peer_iface, pkt });
+            }
+            None => {
+                *self.drops.entry(DropReason::UnconnectedIface).or_insert(0) += 1;
+            }
+        }
+    }
+
+    pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, token });
+    }
+}
+
+/// A simulated network: a set of [`Node`]s wired by point-to-point links,
+/// advanced one event at a time.
+///
+/// ```
+/// use lucent_netsim::{Network, RouterNode, SimDuration, IfaceId};
+/// use lucent_netsim::routing::Cidr;
+/// use std::net::Ipv4Addr;
+///
+/// let mut net = Network::new();
+/// let r = net.add_node(Box::new(RouterNode::new(Ipv4Addr::new(10, 0, 0, 1), "r1")));
+/// assert_eq!(net.node_count(), 1);
+/// net.node_mut::<RouterNode>(r).table.add(Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8), IfaceId(0));
+/// net.run_for(SimDuration::from_millis(5));
+/// assert_eq!(net.now().millis(), 5);
+/// ```
+pub struct Network {
+    inner: Inner,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    labels: Vec<String>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// An empty network at time zero.
+    pub fn new() -> Self {
+        Network {
+            inner: Inner {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                links: Vec::new(),
+                trace: TraceHandle::new(),
+                drops: HashMap::new(),
+                events_processed: 0,
+                wire_fidelity: false,
+            },
+            nodes: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.labels.push(node.label().to_string());
+        self.nodes.push(Some(node));
+        self.inner.links.push(Vec::new());
+        id
+    }
+
+    /// Connect `(a, ai)` to `(b, bi)` with symmetric latency.
+    ///
+    /// Panics if either interface is already connected: topology bugs must
+    /// fail loudly at build time, not silently misroute packets later.
+    pub fn connect(&mut self, a: NodeId, ai: IfaceId, b: NodeId, bi: IfaceId, latency: SimDuration) {
+        let slot_a = Self::iface_slot(&mut self.inner.links, a, ai);
+        assert!(slot_a.is_none(), "iface {ai:?} of node {a:?} already connected");
+        *slot_a = Some(Endpoint { peer: b, peer_iface: bi, latency });
+        let slot_b = Self::iface_slot(&mut self.inner.links, b, bi);
+        assert!(slot_b.is_none(), "iface {bi:?} of node {b:?} already connected");
+        *slot_b = Some(Endpoint { peer: a, peer_iface: ai, latency });
+    }
+
+    fn iface_slot(
+        links: &mut [Vec<Option<Endpoint>>],
+        n: NodeId,
+        i: IfaceId,
+    ) -> &mut Option<Endpoint> {
+        let ifaces = &mut links[n.0 as usize];
+        let idx = usize::from(i.0);
+        if ifaces.len() <= idx {
+            ifaces.resize(idx + 1, None);
+        }
+        &mut ifaces[idx]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// The shared packet trace.
+    pub fn trace(&self) -> TraceHandle {
+        self.inner.trace.clone()
+    }
+
+    /// Enable wire-fidelity mode: every transmitted packet is serialized
+    /// to octets and re-parsed (checksums verified) before delivery.
+    /// Slower; used by fidelity tests and the substrate ablation bench.
+    pub fn set_wire_fidelity(&mut self, on: bool) {
+        self.inner.wire_fidelity = on;
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of point-to-point links (each `connect` call is one link).
+    pub fn link_count(&self) -> usize {
+        self.inner
+            .links
+            .iter()
+            .map(|ifaces| ifaces.iter().filter(|e| e.is_some()).count())
+            .sum::<usize>()
+            / 2
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed
+    }
+
+    /// Wiring-level drop counters.
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.inner.drops.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Borrow a node, downcast to its concrete type.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("node is mid-dispatch")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Borrow a node mutably, downcast to its concrete type.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("node is mid-dispatch")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Enqueue a [`crate::WAKE`] timer for `node` at the current instant —
+    /// the driver-side kick after mutating application state through
+    /// [`Network::node_mut`].
+    pub fn wake(&mut self, node: NodeId) {
+        self.inner.schedule_timer(node, SimDuration::ZERO, WAKE);
+    }
+
+    /// Deliver `pkt` to `node` on `iface` at the current instant, as if it
+    /// had arrived from a link. Used by tests and fault injection.
+    pub fn inject(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
+        self.inner.push(self.inner.now, EventKind::Deliver { node, iface, pkt });
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.inner.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Process one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.inner.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.inner.now, "time went backwards");
+        self.inner.now = ev.at;
+        self.inner.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { node, iface, pkt } => {
+                let Some(mut boxed) = self.nodes.get_mut(node.0 as usize).and_then(Option::take)
+                else {
+                    return true; // node removed or mid-dispatch: drop
+                };
+                let label = std::mem::take(&mut self.labels[node.0 as usize]);
+                self.inner.trace.record(self.inner.now, node, &label, Dir::Rx, &pkt);
+                {
+                    let mut ctx = NodeCtx { inner: &mut self.inner, node, label: &label };
+                    boxed.on_packet(&mut ctx, iface, pkt);
+                }
+                self.labels[node.0 as usize] = label;
+                self.nodes[node.0 as usize] = Some(boxed);
+            }
+            EventKind::Timer { node, token } => {
+                let Some(mut boxed) = self.nodes.get_mut(node.0 as usize).and_then(Option::take)
+                else {
+                    return true;
+                };
+                let label = std::mem::take(&mut self.labels[node.0 as usize]);
+                {
+                    let mut ctx = NodeCtx { inner: &mut self.inner, node, label: &label };
+                    boxed.on_timer(&mut ctx, token);
+                }
+                self.labels[node.0 as usize] = label;
+                self.nodes[node.0 as usize] = Some(boxed);
+            }
+        }
+        true
+    }
+
+    /// Process the next event only if it is due at or before `deadline`.
+    ///
+    /// Returns `true` if an event was processed. When the next event lies
+    /// beyond the deadline (or the queue is empty), the clock is advanced
+    /// to `deadline` and `false` is returned — the driver's virtual
+    /// timeout primitive.
+    pub fn step_before(&mut self, deadline: SimTime) -> bool {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.step(),
+            _ => {
+                if self.inner.now < deadline {
+                    self.inner.now = deadline;
+                }
+                false
+            }
+        }
+    }
+
+    /// Run until the queue is empty or `max_events` have been processed.
+    /// Returns the number of events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run all events due at or before `deadline`, then advance the clock
+    /// to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.step_before(deadline) {}
+    }
+
+    /// Run for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.inner.now + d;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucent_packet::{Packet, UdpHeader};
+    use std::any::Any;
+    use std::net::Ipv4Addr;
+
+    /// Echoes every UDP packet back out the interface it came from, after
+    /// a configurable think time.
+    struct Echo {
+        think: SimDuration,
+        seen: u32,
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: Packet) {
+            self.seen += 1;
+            let reply = Packet::udp(pkt.dst(), pkt.src(), UdpHeader::new(7, 7), &b"echo"[..]);
+            ctx.send_delayed(iface, reply, self.think);
+        }
+        fn label(&self) -> &str {
+            "echo"
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Counts deliveries; on WAKE sends one probe.
+    struct Probe {
+        target_iface: IfaceId,
+        got: Vec<SimTime>,
+    }
+
+    impl Node for Probe {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, _pkt: Packet) {
+            self.got.push(ctx.now());
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            if token == WAKE {
+                let p = Packet::udp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    UdpHeader::new(7, 7),
+                    &b"ping"[..],
+                );
+                ctx.send(self.target_iface, p);
+            }
+        }
+        fn label(&self) -> &str {
+            "probe"
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_net(latency_ms: u64, think_ms: u64) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Probe { target_iface: IfaceId::PRIMARY, got: vec![] }));
+        let b = net.add_node(Box::new(Echo { think: SimDuration::from_millis(think_ms), seen: 0 }));
+        net.connect(a, IfaceId::PRIMARY, b, IfaceId::PRIMARY, SimDuration::from_millis(latency_ms));
+        (net, a, b)
+    }
+
+    #[test]
+    fn round_trip_latency_is_symmetric() {
+        let (mut net, a, b) = two_node_net(5, 2);
+        net.wake(a);
+        net.run_until_idle(100);
+        assert_eq!(net.node_ref::<Echo>(b).seen, 1);
+        let got = &net.node_ref::<Probe>(a).got;
+        assert_eq!(got.len(), 1);
+        // 5ms there + 2ms think + 5ms back.
+        assert_eq!(got[0], SimTime::ZERO + SimDuration::from_millis(12));
+    }
+
+    #[test]
+    fn unconnected_iface_counts_drop() {
+        let mut net = Network::new();
+        let a = net.add_node(Box::new(Probe { target_iface: IfaceId(3), got: vec![] }));
+        net.wake(a);
+        net.run_until_idle(10);
+        assert_eq!(net.drops(DropReason::UnconnectedIface), 1);
+    }
+
+    #[test]
+    fn step_before_respects_deadline_and_advances_clock() {
+        let (mut net, a, _) = two_node_net(50, 0);
+        net.wake(a);
+        // Only the wake timer (t=0) and the transmit fit before t=10ms.
+        let deadline = SimTime::ZERO + SimDuration::from_millis(10);
+        net.run_until(deadline);
+        assert_eq!(net.now(), deadline);
+        assert!(net.node_ref::<Probe>(a).got.is_empty());
+        // Finishing the run delivers the echo at 100ms.
+        net.run_until_idle(100);
+        assert_eq!(net.node_ref::<Probe>(a).got.len(), 1);
+        assert_eq!(net.now(), SimTime::ZERO + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn events_at_same_instant_preserve_fifo_order() {
+        // Two wakes at t=0 must fire in the order they were enqueued.
+        let (mut net, a, _) = two_node_net(1, 0);
+        net.wake(a);
+        net.wake(a);
+        net.run_until_idle(100);
+        assert_eq!(net.node_ref::<Probe>(a).got.len(), 2);
+        assert_eq!(net.events_processed(), 2 + 2 + 2); // 2 wakes, 2 delivers at echo, 2 replies
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let (mut net, a, b) = two_node_net(1, 0);
+        net.connect(a, IfaceId::PRIMARY, b, IfaceId(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn inject_delivers_immediately() {
+        let (mut net, _, b) = two_node_net(1, 0);
+        let p = Packet::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            UdpHeader::new(9, 9),
+            &b"inj"[..],
+        );
+        net.inject(b, IfaceId::PRIMARY, p);
+        net.run_until_idle(10);
+        assert_eq!(net.node_ref::<Echo>(b).seen, 1);
+    }
+
+    #[test]
+    fn run_until_idle_respects_event_budget() {
+        let (mut net, a, _) = two_node_net(1, 1);
+        net.wake(a);
+        let n = net.run_until_idle(2);
+        assert_eq!(n, 2);
+        assert!(net.peek_time().is_some());
+    }
+
+    #[test]
+    fn wire_fidelity_mode_preserves_behaviour() {
+        let run = |fidelity: bool| {
+            let (mut net, a, b) = {
+                let (net, a, b) = two_node_net(5, 2);
+                (net, a, b)
+            };
+            net.set_wire_fidelity(fidelity);
+            net.wake(a);
+            net.run_until_idle(100);
+            (
+                net.node_ref::<Echo>(b).seen,
+                net.node_ref::<Probe>(a).got.clone(),
+                net.events_processed(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_records_tx_and_rx() {
+        let (mut net, a, _) = two_node_net(1, 0);
+        net.trace().enable_all();
+        net.wake(a);
+        net.run_until_idle(100);
+        let entries = net.trace().entries();
+        // probe tx, echo rx, echo tx, probe rx
+        assert_eq!(entries.len(), 4);
+        assert!(matches!(entries[0].dir, Dir::Tx));
+        assert!(matches!(entries[1].dir, Dir::Rx));
+        assert_eq!(entries[0].label, "probe");
+        assert_eq!(entries[1].label, "echo");
+    }
+}

@@ -1,0 +1,146 @@
+//! The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header.
+
+use std::net::Ipv4Addr;
+
+/// Incremental RFC 1071 one's-complement sum.
+///
+/// Feed byte slices with [`Checksum::add`]; extract the final folded,
+/// complemented 16-bit checksum with [`Checksum::finish`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+    /// True when an odd byte is pending pairing with the next slice's first
+    /// byte, preserving correctness across arbitrarily split inputs.
+    odd: Option<u8>,
+}
+
+impl Checksum {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a slice of bytes into the running sum.
+    pub fn add(&mut self, data: &[u8]) {
+        let mut data = data;
+        if let Some(hi) = self.odd.take() {
+            if let Some((&lo, rest)) = data.split_first() {
+                self.sum += u32::from(u16::from_be_bytes([hi, lo]));
+                data = rest;
+            } else {
+                self.odd = Some(hi);
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.odd = Some(*last);
+        }
+    }
+
+    /// Fold a big-endian `u16` into the running sum.
+    pub fn add_u16(&mut self, v: u16) {
+        self.add(&v.to_be_bytes());
+    }
+
+    /// Finish: fold carries and return the one's-complement checksum.
+    pub fn finish(mut self) -> u16 {
+        if let Some(hi) = self.odd.take() {
+            self.sum += u32::from(u16::from_be_bytes([hi, 0]));
+        }
+        while self.sum >> 16 != 0 {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
+        !(self.sum as u16)
+    }
+}
+
+/// Compute the checksum of a single contiguous buffer.
+pub fn of(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add(data);
+    c.finish()
+}
+
+/// Verify a buffer whose checksum field is already in place: the sum over
+/// the whole buffer must be zero (i.e. `finish` returns 0).
+pub fn verify(data: &[u8]) -> bool {
+    of(data) == 0
+}
+
+/// Fold the TCP/UDP pseudo-header (RFC 793 §3.1) into `c`.
+///
+/// `proto` is the IP protocol number (6 for TCP, 17 for UDP) and `len` is
+/// the transport segment length including its header.
+pub fn pseudo_header(c: &mut Checksum, src: Ipv4Addr, dst: Ipv4Addr, proto: u8, len: u16) {
+    c.add(&src.octets());
+    c.add(&dst.octets());
+    c.add_u16(u16::from(proto));
+    c.add_u16(len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(of(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_buffer_pads_with_zero() {
+        assert_eq!(of(&[0xab]), !0xab00u16);
+        assert_eq!(of(&[0xab, 0x00]), of(&[0xab]));
+    }
+
+    #[test]
+    fn split_feeding_matches_contiguous() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let whole = of(&data);
+        for split in [0usize, 1, 3, 128, 255, 256] {
+            let mut c = Checksum::new();
+            c.add(&data[..split]);
+            c.add(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+        // Three-way odd splits exercise the pending-odd-byte path.
+        let mut c = Checksum::new();
+        c.add(&data[..5]);
+        c.add(&data[5..6]);
+        c.add(&data[6..]);
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn verify_accepts_buffer_with_embedded_checksum() {
+        let mut buf = vec![0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let ck = of(&buf);
+        buf[10] = (ck >> 8) as u8;
+        buf[11] = (ck & 0xff) as u8;
+        assert!(verify(&buf));
+        buf[4] ^= 0xff;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn empty_buffer_checksums_to_all_ones() {
+        assert_eq!(of(&[]), 0xffff);
+    }
+
+    #[test]
+    fn pseudo_header_is_order_sensitive_in_value_not_result() {
+        let mut a = Checksum::new();
+        pseudo_header(&mut a, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6, 20);
+        let mut b = Checksum::new();
+        pseudo_header(&mut b, Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 0, 1), 6, 20);
+        // One's-complement addition commutes, so swapping src/dst yields the
+        // same sum — a known property, asserted here so nobody "fixes" it.
+        assert_eq!(a.finish(), b.finish());
+    }
+}

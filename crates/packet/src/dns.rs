@@ -1,0 +1,563 @@
+//! DNS message wire format (RFC 1035): header, questions, resource
+//! records, A/CNAME rdata, and name compression (parsed, never emitted).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::error::ParseError;
+
+/// Maximum length of a domain name on the wire (RFC 1035 §2.3.4).
+const MAX_NAME_LEN: usize = 255;
+/// Cap on compression-pointer hops, defeating pointer loops.
+const MAX_POINTER_HOPS: usize = 32;
+
+/// A fully-qualified domain name, stored lowercase without the trailing dot.
+///
+/// DNS matching is case-insensitive; normalizing at construction keeps every
+/// comparison in the resolver substrate a plain equality test.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(String);
+
+impl Name {
+    /// Build a name from a dotted string; normalizes case and strips any
+    /// trailing dot. Empty labels (other than the root itself) are invalid
+    /// on the wire but tolerated here for ergonomic construction of test
+    /// fixtures — `emit` will reject them.
+    pub fn new(s: &str) -> Self {
+        Name(s.trim_end_matches('.').to_ascii_lowercase())
+    }
+
+    /// The dotted representation without trailing dot.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterate over labels.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.').filter(|l| !l.is_empty())
+    }
+
+    /// Append this name, uncompressed, to `out`.
+    fn emit(&self, out: &mut Vec<u8>) -> Result<(), ParseError> {
+        let mut total = 0usize;
+        for label in self.labels() {
+            if label.len() > 63 {
+                return Err(ParseError::BadName);
+            }
+            total += label.len() + 1;
+            if total > MAX_NAME_LEN {
+                return Err(ParseError::BadName);
+            }
+            out.push(label.len() as u8);
+            out.extend_from_slice(label.as_bytes());
+        }
+        out.push(0);
+        Ok(())
+    }
+
+    /// Decode a (possibly compressed) name starting at `pos` in `msg`.
+    ///
+    /// Returns the name and the offset just past its *in-place* encoding
+    /// (i.e. past the first pointer if one is used).
+    fn parse(msg: &[u8], pos: usize) -> Result<(Name, usize), ParseError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut cursor = pos;
+        let mut end_after: Option<usize> = None;
+        let mut hops = 0usize;
+        let mut total = 0usize;
+        loop {
+            let &len = msg.get(cursor).ok_or(ParseError::BadName)?;
+            if len & 0xc0 == 0xc0 {
+                let &lo = msg.get(cursor + 1).ok_or(ParseError::BadName)?;
+                if end_after.is_none() {
+                    end_after = Some(cursor + 2);
+                }
+                cursor = usize::from(u16::from_be_bytes([len & 0x3f, lo]));
+                hops += 1;
+                if hops > MAX_POINTER_HOPS {
+                    return Err(ParseError::BadName);
+                }
+            } else if len == 0 {
+                let end = end_after.unwrap_or(cursor + 1);
+                let name = Name(labels.join(".")); // already lowercased below
+                return Ok((name, end));
+            } else if len & 0xc0 != 0 {
+                return Err(ParseError::BadName); // reserved label types
+            } else {
+                let len = usize::from(len);
+                total += len + 1;
+                if total > MAX_NAME_LEN {
+                    return Err(ParseError::BadName);
+                }
+                let bytes = msg
+                    .get(cursor + 1..cursor + 1 + len)
+                    .ok_or(ParseError::BadName)?;
+                let label: String = bytes.iter().map(|b| (*b as char).to_ascii_lowercase()).collect();
+                labels.push(label);
+                cursor += 1 + len;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Record/query type. Only the types the measurement pipeline uses are
+/// first-class; everything else is carried numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnsType {
+    /// IPv4 address record.
+    A,
+    /// Canonical-name alias.
+    Cname,
+    /// Any other type, by number.
+    Other(u16),
+}
+
+impl DnsType {
+    /// Numeric type code.
+    pub fn code(self) -> u16 {
+        match self {
+            DnsType::A => 1,
+            DnsType::Cname => 5,
+            DnsType::Other(n) => n,
+        }
+    }
+
+    /// From numeric code.
+    pub fn from_code(n: u16) -> Self {
+        match n {
+            1 => DnsType::A,
+            5 => DnsType::Cname,
+            other => DnsType::Other(other),
+        }
+    }
+}
+
+/// Response code (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Query refused.
+    Refused,
+    /// Any other code.
+    Other(u8),
+}
+
+impl Rcode {
+    /// Numeric code.
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::Refused => 5,
+            Rcode::Other(n) => n,
+        }
+    }
+
+    /// From numeric code.
+    pub fn from_code(n: u8) -> Self {
+        match n {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// Decoded DNS header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DnsFlags {
+    /// True for responses, false for queries.
+    pub response: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Default for DnsFlags {
+    fn default() -> Self {
+        DnsFlags { response: false, rd: true, ra: false, aa: false, rcode: Rcode::NoError }
+    }
+}
+
+/// A question entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DnsQuestion {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: DnsType,
+}
+
+/// A resource record in the answer section.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DnsRecord {
+    /// Owner name.
+    pub name: Name,
+    /// Time-to-live, seconds.
+    pub ttl: u32,
+    /// Record data.
+    pub data: RecordData,
+}
+
+/// Typed rdata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RecordData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// A canonical-name alias.
+    Cname(Name),
+    /// Opaque rdata for other types.
+    Other {
+        /// Type code.
+        rtype: u16,
+        /// Raw rdata bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+impl RecordData {
+    /// The type code of this rdata.
+    pub fn rtype(&self) -> u16 {
+        match self {
+            RecordData::A(_) => 1,
+            RecordData::Cname(_) => 5,
+            RecordData::Other { rtype, .. } => *rtype,
+        }
+    }
+}
+
+/// A DNS message: header, one-or-more questions, answers.
+///
+/// Authority and additional sections are not modelled — no system in the
+/// paper inspects them — but their counts parse as zero and emit as zero,
+/// so wire compatibility is preserved.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DnsMessage {
+    /// Transaction id, echoed by responders.
+    pub id: u16,
+    /// Header flags.
+    pub flags: DnsFlags,
+    /// Question section.
+    pub questions: Vec<DnsQuestion>,
+    /// Answer section.
+    pub answers: Vec<DnsRecord>,
+}
+
+impl DnsMessage {
+    /// Build a standard recursive A query.
+    pub fn query_a(id: u16, name: &str) -> Self {
+        DnsMessage {
+            id,
+            flags: DnsFlags::default(),
+            questions: vec![DnsQuestion { name: Name::new(name), qtype: DnsType::A }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Build a response to `query` carrying the given A records.
+    pub fn answer_a(query: &DnsMessage, ips: &[Ipv4Addr], ttl: u32) -> Self {
+        let name = query.questions.first().map(|q| q.name.clone()).unwrap_or_else(|| Name::new(""));
+        DnsMessage {
+            id: query.id,
+            flags: DnsFlags { response: true, rd: query.flags.rd, ra: true, aa: false, rcode: Rcode::NoError },
+            questions: query.questions.clone(),
+            answers: ips
+                .iter()
+                .map(|ip| DnsRecord { name: name.clone(), ttl, data: RecordData::A(*ip) })
+                .collect(),
+        }
+    }
+
+    /// Build an NXDOMAIN (or other error) response to `query`.
+    pub fn error(query: &DnsMessage, rcode: Rcode) -> Self {
+        DnsMessage {
+            id: query.id,
+            flags: DnsFlags { response: true, rd: query.flags.rd, ra: true, aa: false, rcode },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+        }
+    }
+
+    /// All A-record addresses in the answer section.
+    pub fn a_records(&self) -> Vec<Ipv4Addr> {
+        self.answers
+            .iter()
+            .filter_map(|r| match r.data {
+                RecordData::A(ip) => Some(ip),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialize to wire format (no compression).
+    pub fn emit(&self, out: &mut Vec<u8>) -> Result<(), ParseError> {
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.flags.response {
+            flags |= 0x8000;
+        }
+        if self.flags.aa {
+            flags |= 0x0400;
+        }
+        if self.flags.rd {
+            flags |= 0x0100;
+        }
+        if self.flags.ra {
+            flags |= 0x0080;
+        }
+        flags |= u16::from(self.flags.rcode.code() & 0x0f);
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // NSCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // ARCOUNT
+        for q in &self.questions {
+            q.name.emit(out)?;
+            out.extend_from_slice(&q.qtype.code().to_be_bytes());
+            out.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        }
+        for r in &self.answers {
+            r.name.emit(out)?;
+            out.extend_from_slice(&r.data.rtype().to_be_bytes());
+            out.extend_from_slice(&1u16.to_be_bytes());
+            out.extend_from_slice(&r.ttl.to_be_bytes());
+            match &r.data {
+                RecordData::A(ip) => {
+                    out.extend_from_slice(&4u16.to_be_bytes());
+                    out.extend_from_slice(&ip.octets());
+                }
+                RecordData::Cname(name) => {
+                    let mut rdata = Vec::new();
+                    name.emit(&mut rdata)?;
+                    out.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+                    out.extend_from_slice(&rdata);
+                }
+                RecordData::Other { bytes, .. } => {
+                    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+                    out.extend_from_slice(bytes);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a message from wire format, following compression pointers.
+    pub fn parse(buf: &[u8]) -> Result<DnsMessage, ParseError> {
+        if buf.len() < 12 {
+            return Err(ParseError::Truncated { what: "dns", need: 12, have: buf.len() });
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        let flags_raw = u16::from_be_bytes([buf[2], buf[3]]);
+        let flags = DnsFlags {
+            response: flags_raw & 0x8000 != 0,
+            aa: flags_raw & 0x0400 != 0,
+            rd: flags_raw & 0x0100 != 0,
+            ra: flags_raw & 0x0080 != 0,
+            rcode: Rcode::from_code((flags_raw & 0x0f) as u8),
+        };
+        let qdcount = u16::from_be_bytes([buf[4], buf[5]]);
+        let ancount = u16::from_be_bytes([buf[6], buf[7]]);
+        let nscount = u16::from_be_bytes([buf[8], buf[9]]);
+        let arcount = u16::from_be_bytes([buf[10], buf[11]]);
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(usize::from(qdcount.min(16)));
+        for _ in 0..qdcount {
+            let (name, next) = Name::parse(buf, pos)?;
+            pos = next;
+            let ty = buf.get(pos..pos + 2).ok_or(ParseError::BadLength { what: "dns" })?;
+            let qtype = DnsType::from_code(u16::from_be_bytes([ty[0], ty[1]]));
+            pos += 4; // type + class
+            if pos > buf.len() {
+                return Err(ParseError::BadLength { what: "dns" });
+            }
+            questions.push(DnsQuestion { name, qtype });
+        }
+        let mut answers = Vec::with_capacity(usize::from(ancount.min(32)));
+        let total_rrs = u32::from(ancount) + u32::from(nscount) + u32::from(arcount);
+        for i in 0..total_rrs {
+            let (name, next) = Name::parse(buf, pos)?;
+            pos = next;
+            let fixed = buf.get(pos..pos + 10).ok_or(ParseError::BadLength { what: "dns" })?;
+            let rtype = u16::from_be_bytes([fixed[0], fixed[1]]);
+            let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+            let rdlen = usize::from(u16::from_be_bytes([fixed[8], fixed[9]]));
+            pos += 10;
+            let rdata = buf.get(pos..pos + rdlen).ok_or(ParseError::BadLength { what: "dns" })?;
+            let rdata_pos = pos;
+            pos += rdlen;
+            if i >= u32::from(ancount) {
+                continue; // skip authority/additional records
+            }
+            let data = match rtype {
+                1 if rdlen == 4 => RecordData::A(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3])),
+                5 => {
+                    let (cname, _) = Name::parse(buf, rdata_pos)?;
+                    RecordData::Cname(cname)
+                }
+                _ => RecordData::Other { rtype, bytes: rdata.to_vec() },
+            };
+            answers.push(DnsRecord { name, ttl, data });
+        }
+        Ok(DnsMessage { id, flags, questions, answers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_normalizes_case_and_dot() {
+        let n = Name::new("WWW.Example.COM.");
+        assert_eq!(n.as_str(), "www.example.com");
+        assert_eq!(n.labels().count(), 3);
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::query_a(0x1234, "blocked.example.in");
+        let mut out = Vec::new();
+        q.emit(&mut out).unwrap();
+        let parsed = DnsMessage::parse(&out).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn answer_roundtrip_with_multiple_a() {
+        let q = DnsMessage::query_a(7, "cdn.example.com");
+        let ips = ["1.2.3.4".parse().unwrap(), "5.6.7.8".parse().unwrap()];
+        let a = DnsMessage::answer_a(&q, &ips, 300);
+        let mut out = Vec::new();
+        a.emit(&mut out).unwrap();
+        let parsed = DnsMessage::parse(&out).unwrap();
+        assert_eq!(parsed, a);
+        assert_eq!(parsed.a_records(), ips);
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let q = DnsMessage::query_a(9, "gone.example.com");
+        let e = DnsMessage::error(&q, Rcode::NxDomain);
+        let mut out = Vec::new();
+        e.emit(&mut out).unwrap();
+        let parsed = DnsMessage::parse(&out).unwrap();
+        assert_eq!(parsed.flags.rcode, Rcode::NxDomain);
+        assert!(parsed.answers.is_empty());
+    }
+
+    #[test]
+    fn cname_roundtrip() {
+        let q = DnsMessage::query_a(3, "www.example.com");
+        let mut a = DnsMessage::answer_a(&q, &["9.9.9.9".parse().unwrap()], 60);
+        a.answers.insert(
+            0,
+            DnsRecord {
+                name: Name::new("www.example.com"),
+                ttl: 60,
+                data: RecordData::Cname(Name::new("edge.cdn.example.net")),
+            },
+        );
+        let mut out = Vec::new();
+        a.emit(&mut out).unwrap();
+        assert_eq!(DnsMessage::parse(&out).unwrap(), a);
+    }
+
+    #[test]
+    fn parses_compressed_names() {
+        // Hand-encode: query for a.b + answer whose name is a pointer to
+        // offset 12 (the question name).
+        let mut buf = vec![
+            0x00, 0x01, 0x81, 0x80, // id, flags: response
+            0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+        ];
+        buf.extend_from_slice(&[1, b'a', 1, b'b', 0]); // "a.b" at offset 12
+        buf.extend_from_slice(&[0, 1, 0, 1]); // qtype A, class IN
+        buf.extend_from_slice(&[0xc0, 12]); // pointer to offset 12
+        buf.extend_from_slice(&[0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 10, 0, 0, 1]);
+        let msg = DnsMessage::parse(&buf).unwrap();
+        assert_eq!(msg.questions[0].name.as_str(), "a.b");
+        assert_eq!(msg.answers[0].name.as_str(), "a.b");
+        assert_eq!(msg.a_records(), vec![Ipv4Addr::new(10, 0, 0, 1)]);
+    }
+
+    #[test]
+    fn pointer_loop_is_rejected() {
+        let mut buf = vec![0x00, 0x01, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0];
+        buf.extend_from_slice(&[0xc0, 12]); // points at itself
+        buf.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(DnsMessage::parse(&buf), Err(ParseError::BadName));
+    }
+
+    #[test]
+    fn overlong_label_rejected_on_emit() {
+        let long = "x".repeat(64);
+        let q = DnsMessage::query_a(1, &format!("{long}.com"));
+        let mut out = Vec::new();
+        assert_eq!(q.emit(&mut out), Err(ParseError::BadName));
+    }
+
+    #[test]
+    fn overlong_name_rejected_on_emit() {
+        let label = "y".repeat(63);
+        let name = [label.as_str(); 5].join(".");
+        let q = DnsMessage::query_a(1, &name);
+        let mut out = Vec::new();
+        assert_eq!(q.emit(&mut out), Err(ParseError::BadName));
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        assert!(DnsMessage::parse(&[0, 1, 2]).is_err());
+        let q = DnsMessage::query_a(5, "ok.com");
+        let mut out = Vec::new();
+        q.emit(&mut out).unwrap();
+        assert!(DnsMessage::parse(&out[..out.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn parse_skips_authority_and_additional() {
+        // One answer + nscount 1: second record must be skipped, not parsed
+        // into answers.
+        let q = DnsMessage::query_a(2, "s.com");
+        let a = DnsMessage::answer_a(&q, &["1.1.1.1".parse().unwrap()], 30);
+        let mut out = Vec::new();
+        a.emit(&mut out).unwrap();
+        // Patch NSCOUNT to 1 and append a minimal NS-ish record.
+        out[8..10].copy_from_slice(&1u16.to_be_bytes());
+        out.extend_from_slice(&[0]); // root name
+        out.extend_from_slice(&[0, 2, 0, 1, 0, 0, 0, 10, 0, 1, b'x']);
+        let parsed = DnsMessage::parse(&out).unwrap();
+        assert_eq!(parsed.answers.len(), 1);
+    }
+
+    #[test]
+    fn wire_names_parse_case_insensitively() {
+        let mut out = Vec::new();
+        DnsMessage::query_a(1, "MiXeD.CoM").emit(&mut out).unwrap();
+        let parsed = DnsMessage::parse(&out).unwrap();
+        assert_eq!(parsed.questions[0].name.as_str(), "mixed.com");
+    }
+}

@@ -1,0 +1,153 @@
+//! ICMPv4 messages (RFC 792): echo, time-exceeded and destination
+//! unreachable — the three message types the paper's tooling depends on
+//! (traceroute and the Iterative Network Tracer).
+
+use crate::checksum;
+use crate::error::ParseError;
+
+/// An owned ICMPv4 message.
+///
+/// Time-exceeded and unreachable messages carry the leading bytes of the
+/// original datagram (IP header + 8 bytes in real networks; we keep
+/// whatever was supplied) so traceroute-style tools can match responses to
+/// the probes that elicited them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IcmpMessage {
+    /// Echo request (type 8), as sent by `ping`/UDP-less traceroute probes.
+    EchoRequest {
+        /// Identifier used to demultiplex concurrent pingers.
+        ident: u16,
+        /// Monotone sequence number.
+        seq: u16,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier echoed from the request.
+        ident: u16,
+        /// Sequence echoed from the request.
+        seq: u16,
+    },
+    /// TTL expired in transit (type 11, code 0). The workhorse of both
+    /// traceroute and the Iterative Network Tracer.
+    TimeExceeded {
+        /// Leading bytes of the expired datagram.
+        original: Vec<u8>,
+    },
+    /// Destination unreachable (type 3).
+    DestUnreachable {
+        /// Code: 0 net, 1 host, 3 port unreachable.
+        code: u8,
+        /// Leading bytes of the offending datagram.
+        original: Vec<u8>,
+    },
+}
+
+impl IcmpMessage {
+    /// The ICMP type number of this message.
+    pub fn type_code(&self) -> (u8, u8) {
+        match self {
+            IcmpMessage::EchoReply { .. } => (0, 0),
+            IcmpMessage::EchoRequest { .. } => (8, 0),
+            IcmpMessage::TimeExceeded { .. } => (11, 0),
+            IcmpMessage::DestUnreachable { code, .. } => (3, *code),
+        }
+    }
+
+    /// Serialize into `out` with a valid ICMP checksum.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        let (ty, code) = self.type_code();
+        out.push(ty);
+        out.push(code);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        match self {
+            IcmpMessage::EchoRequest { ident, seq } | IcmpMessage::EchoReply { ident, seq } => {
+                out.extend_from_slice(&ident.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+            }
+            IcmpMessage::TimeExceeded { original }
+            | IcmpMessage::DestUnreachable { original, .. } => {
+                out.extend_from_slice(&[0, 0, 0, 0]); // unused
+                out.extend_from_slice(original);
+            }
+        }
+        let ck = checksum::of(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parse an ICMP message, verifying its checksum.
+    pub fn parse(buf: &[u8]) -> Result<IcmpMessage, ParseError> {
+        if buf.len() < 8 {
+            return Err(ParseError::Truncated { what: "icmp", need: 8, have: buf.len() });
+        }
+        if !checksum::verify(buf) {
+            return Err(ParseError::BadChecksum { what: "icmp" });
+        }
+        let ident = u16::from_be_bytes([buf[4], buf[5]]);
+        let seq = u16::from_be_bytes([buf[6], buf[7]]);
+        match (buf[0], buf[1]) {
+            (0, 0) => Ok(IcmpMessage::EchoReply { ident, seq }),
+            (8, 0) => Ok(IcmpMessage::EchoRequest { ident, seq }),
+            (11, 0) => Ok(IcmpMessage::TimeExceeded { original: buf[8..].to_vec() }),
+            (3, code) => Ok(IcmpMessage::DestUnreachable { code, original: buf[8..].to_vec() }),
+            (ty, _) => Err(ParseError::Unsupported { what: "icmp", value: u32::from(ty) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        for msg in [
+            IcmpMessage::EchoRequest { ident: 77, seq: 3 },
+            IcmpMessage::EchoReply { ident: 77, seq: 3 },
+        ] {
+            let mut out = Vec::new();
+            msg.emit(&mut out);
+            assert_eq!(IcmpMessage::parse(&out).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn time_exceeded_carries_original() {
+        let msg = IcmpMessage::TimeExceeded { original: b"original ip header + 8".to_vec() };
+        let mut out = Vec::new();
+        msg.emit(&mut out);
+        assert_eq!(IcmpMessage::parse(&out).unwrap(), msg);
+    }
+
+    #[test]
+    fn unreachable_codes_roundtrip() {
+        for code in [0u8, 1, 3] {
+            let msg = IcmpMessage::DestUnreachable { code, original: vec![1, 2, 3, 4] };
+            let mut out = Vec::new();
+            msg.emit(&mut out);
+            assert_eq!(IcmpMessage::parse(&out).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let msg = IcmpMessage::EchoRequest { ident: 1, seq: 1 };
+        let mut out = Vec::new();
+        msg.emit(&mut out);
+        out[5] ^= 1;
+        assert_eq!(IcmpMessage::parse(&out), Err(ParseError::BadChecksum { what: "icmp" }));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut out = vec![42u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = checksum::of(&out);
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(IcmpMessage::parse(&out), Err(ParseError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(matches!(IcmpMessage::parse(&[11, 0, 0]), Err(ParseError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,225 @@
+//! IPv4 header representation, parse and emit (RFC 791).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::ParseError;
+
+/// IP protocol number for ICMP.
+pub const PROTO_ICMP: u8 = 1;
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// The fixed 20-byte IPv4 header length (options are not used by any system
+/// modelled here; parse tolerates them, emit never produces them).
+pub const HEADER_LEN: usize = 20;
+
+/// An owned IPv4 header.
+///
+/// `total_len` is *not* stored: it is derived from the payload at emit time
+/// so the structured and wire representations can never disagree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Source address. Middleboxes forge this field; nothing in the
+    /// simulator ever validates it against topology, exactly like the
+    /// networks in the paper.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Time-to-live. Decremented by every router; the Iterative Network
+    /// Tracer manipulates this directly.
+    pub ttl: u8,
+    /// IP protocol number of the payload ([`PROTO_TCP`] etc).
+    pub protocol: u8,
+    /// Identification field. Airtel's wiretap middleboxes stamp the fixed
+    /// value 242 here — the hook the paper's client-side firewall rule uses.
+    pub identification: u16,
+    /// DSCP/ECN byte; carried verbatim, never interpreted.
+    pub tos: u8,
+    /// Don't-fragment flag. The simulator never fragments, but crafted
+    /// probes set it and the wire format must carry it.
+    pub dont_frag: bool,
+}
+
+impl Ipv4Header {
+    /// A conventional header with TTL 64, as emitted by client stacks.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            ttl: 64,
+            protocol,
+            identification: 0,
+            tos: 0,
+            dont_frag: true,
+        }
+    }
+
+    /// Serialize the header followed by `payload` into `out`.
+    ///
+    /// The header checksum is computed over the final header bytes.
+    pub fn emit(&self, payload: &[u8], out: &mut Vec<u8>) {
+        let total_len = (HEADER_LEN + payload.len()) as u16;
+        let start = out.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push(self.tos);
+        out.extend_from_slice(&total_len.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        let frag: u16 = if self.dont_frag { 0x4000 } else { 0 };
+        out.extend_from_slice(&frag.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let ck = checksum::of(&out[start..start + HEADER_LEN]);
+        out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    /// Parse a header from the front of `buf`.
+    ///
+    /// Returns the header and the payload slice delimited by `total_len`.
+    /// The header checksum is verified; options are accepted and skipped.
+    pub fn parse(buf: &[u8]) -> Result<(Ipv4Header, &[u8]), ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated { what: "ipv4", need: HEADER_LEN, have: buf.len() });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::Unsupported { what: "ipv4", value: u32::from(version) });
+        }
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if ihl < HEADER_LEN || buf.len() < ihl {
+            return Err(ParseError::BadLength { what: "ipv4" });
+        }
+        if !checksum::verify(&buf[..ihl]) {
+            return Err(ParseError::BadChecksum { what: "ipv4" });
+        }
+        let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total_len < ihl || total_len > buf.len() {
+            return Err(ParseError::BadLength { what: "ipv4" });
+        }
+        let frag = u16::from_be_bytes([buf[6], buf[7]]);
+        let header = Ipv4Header {
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+            ttl: buf[8],
+            protocol: buf[9],
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            tos: buf[1],
+            dont_frag: frag & 0x4000 != 0,
+        };
+        Ok((header, &buf[ihl..total_len]))
+    }
+}
+
+/// Test whether `ip` falls in any of the bogon ranges the paper checks
+/// poisoned DNS answers against (RFC 1918, loopback, link-local, CGN,
+/// TEST-NETs, class E, unspecified).
+pub fn is_bogon(ip: Ipv4Addr) -> bool {
+    let o = ip.octets();
+    ip.is_private()
+        || ip.is_loopback()
+        || ip.is_link_local()
+        || ip.is_unspecified()
+        || ip.is_broadcast()
+        || ip.is_documentation()
+        || o[0] == 100 && (64..128).contains(&o[1]) // 100.64/10 CGN
+        || o[0] >= 240 // class E
+        || o[0] == 192 && o[1] == 0 && o[2] == 0 // 192.0.0/24
+        || o[0] == 198 && (o[1] == 18 || o[1] == 19) // 198.18/15 benchmark
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Ipv4Header {
+        Ipv4Header {
+            src: Ipv4Addr::new(10, 1, 2, 3),
+            dst: Ipv4Addr::new(203, 0, 113, 9),
+            ttl: 9,
+            protocol: PROTO_TCP,
+            identification: 242,
+            tos: 0,
+            dont_frag: true,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let payload = b"GET / HTTP/1.1\r\n\r\n";
+        let mut out = Vec::new();
+        hdr().emit(payload, &mut out);
+        assert_eq!(out.len(), HEADER_LEN + payload.len());
+        let (parsed, body) = Ipv4Header::parse(&out).unwrap();
+        assert_eq!(parsed, hdr());
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let mut out = Vec::new();
+        hdr().emit(b"abc", &mut out);
+        for cut in 0..HEADER_LEN {
+            assert!(matches!(
+                Ipv4Header::parse(&out[..cut]),
+                Err(ParseError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_checksum() {
+        let mut out = Vec::new();
+        hdr().emit(b"", &mut out);
+        out[8] = out[8].wrapping_add(1); // bump TTL without fixing checksum
+        assert_eq!(Ipv4Header::parse(&out), Err(ParseError::BadChecksum { what: "ipv4" }));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let mut out = Vec::new();
+        hdr().emit(b"", &mut out);
+        out[0] = 0x65;
+        assert!(matches!(Ipv4Header::parse(&out), Err(ParseError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_total_len_beyond_buffer() {
+        let mut out = Vec::new();
+        hdr().emit(b"xy", &mut out);
+        // Claim 4 extra bytes, then re-fix the header checksum so the
+        // length check (not the checksum) is what trips.
+        let longer = (out.len() as u16 + 4).to_be_bytes();
+        out[2..4].copy_from_slice(&longer);
+        out[10] = 0;
+        out[11] = 0;
+        let ck = checksum::of(&out[..HEADER_LEN]);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(Ipv4Header::parse(&out), Err(ParseError::BadLength { what: "ipv4" }));
+    }
+
+    #[test]
+    fn trailing_bytes_after_total_len_are_ignored() {
+        let mut out = Vec::new();
+        hdr().emit(b"hi", &mut out);
+        out.extend_from_slice(b"ethernet padding");
+        let (_, body) = Ipv4Header::parse(&out).unwrap();
+        assert_eq!(body, b"hi");
+    }
+
+    #[test]
+    fn bogon_classification() {
+        for ip in ["10.0.0.1", "192.168.4.4", "172.16.9.1", "127.0.0.1", "169.254.1.1",
+                   "100.64.0.1", "0.0.0.0", "240.1.1.1", "198.18.0.5", "192.0.2.1"] {
+            assert!(is_bogon(ip.parse().unwrap()), "{ip} should be bogon");
+        }
+        for ip in ["8.8.8.8", "1.1.1.1", "203.0.114.1", "59.144.0.1", "100.128.0.1"] {
+            assert!(!is_bogon(ip.parse().unwrap()), "{ip} should not be bogon");
+        }
+    }
+}

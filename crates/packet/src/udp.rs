@@ -1,0 +1,134 @@
+//! UDP header representation, parse and emit (RFC 768).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::{self, Checksum};
+use crate::error::ParseError;
+use crate::ipv4::PROTO_UDP;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// An owned UDP header. The length field is derived at emit time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port (53 for all DNS traffic modelled here).
+    pub dst_port: u16,
+}
+
+impl UdpHeader {
+    /// Construct a header.
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        UdpHeader { src_port, dst_port }
+    }
+
+    /// Serialize header + payload with the pseudo-header checksum.
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        let len = (HEADER_LEN + payload.len()) as u16;
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(payload);
+        let mut c = Checksum::new();
+        checksum::pseudo_header(&mut c, src, dst, PROTO_UDP, len);
+        c.add(&out[start..]);
+        let mut ck = c.finish();
+        if ck == 0 {
+            ck = 0xffff; // RFC 768: transmitted zero means "no checksum"
+        }
+        out[start + 6..start + 8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parse a UDP datagram, verifying length and checksum.
+    pub fn parse<'a>(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        buf: &'a [u8],
+    ) -> Result<(UdpHeader, &'a [u8]), ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated { what: "udp", need: HEADER_LEN, have: buf.len() });
+        }
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < HEADER_LEN || len > buf.len() {
+            return Err(ParseError::BadLength { what: "udp" });
+        }
+        let ck_field = u16::from_be_bytes([buf[6], buf[7]]);
+        if ck_field != 0 {
+            let mut c = Checksum::new();
+            checksum::pseudo_header(&mut c, src, dst, PROTO_UDP, len as u16);
+            c.add(&buf[..len]);
+            if c.finish() != 0 {
+                return Err(ParseError::BadChecksum { what: "udp" });
+            }
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            },
+            &buf[HEADER_LEN..len],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let h = UdpHeader::new(5353, 53);
+        let mut out = Vec::new();
+        h.emit(A, B, b"dns query bytes", &mut out);
+        let (parsed, body) = UdpHeader::parse(A, B, &out).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(body, b"dns query bytes");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let h = UdpHeader::new(1000, 53);
+        let mut out = Vec::new();
+        h.emit(A, B, b"hello", &mut out);
+        let last = out.len() - 1;
+        out[last] ^= 0x01;
+        assert_eq!(UdpHeader::parse(A, B, &out), Err(ParseError::BadChecksum { what: "udp" }));
+    }
+
+    #[test]
+    fn zero_checksum_means_unchecked() {
+        let h = UdpHeader::new(1, 2);
+        let mut out = Vec::new();
+        h.emit(A, B, b"data", &mut out);
+        out[6] = 0;
+        out[7] = 0;
+        // Checksum disabled: parse must accept regardless of payload.
+        assert!(UdpHeader::parse(A, B, &out).is_ok());
+    }
+
+    #[test]
+    fn length_field_bounds_payload() {
+        let h = UdpHeader::new(1, 2);
+        let mut out = Vec::new();
+        h.emit(A, B, b"abcd", &mut out);
+        out[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(UdpHeader::parse(A, B, &out), Err(ParseError::BadLength { what: "udp" }));
+        out[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert_eq!(UdpHeader::parse(A, B, &out), Err(ParseError::BadLength { what: "udp" }));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(
+            UdpHeader::parse(A, B, &[1, 2, 3]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! Socket identifiers, connection states and the event log drivers poll.
+
+use lucent_netsim::SimTime;
+
+/// Index of a socket within one [`crate::TcpHost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketId(pub u32);
+
+/// TCP connection state (RFC 793 names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpState {
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// SYN received (passive open), SYN-ACK sent.
+    SynRcvd,
+    /// Connection established.
+    Established,
+    /// Our FIN sent from Established, not yet acknowledged.
+    FinWait1,
+    /// Our FIN acknowledged; awaiting peer's FIN.
+    FinWait2,
+    /// Peer's FIN received while Established; we have not closed yet.
+    CloseWait,
+    /// Both FINs in flight; ours unacknowledged.
+    Closing,
+    /// Peer closed first and we sent our FIN.
+    LastAck,
+    /// Connection done; absorbing stray segments.
+    TimeWait,
+    /// Fully closed (or aborted).
+    Closed,
+}
+
+impl TcpState {
+    /// True for states in which the connection is usable for sending data.
+    pub fn can_send(self) -> bool {
+        matches!(self, TcpState::Established | TcpState::CloseWait)
+    }
+
+    /// True once the connection has been fully opened at some point.
+    pub fn is_synchronized(self) -> bool {
+        !matches!(self, TcpState::SynSent | TcpState::SynRcvd | TcpState::Closed)
+    }
+}
+
+/// Things that happened on a socket, timestamped with virtual time.
+///
+/// The measurement harness reconstructs the paper's observations ("the
+/// censorship notification arrived, then the connection died, then the
+/// *real* response was answered with RST") from this log plus the pcap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketEvent {
+    /// Three-way handshake completed.
+    Established,
+    /// New bytes were appended to the receive buffer.
+    Data {
+        /// Number of bytes in this delivery.
+        len: usize,
+    },
+    /// Peer's FIN arrived (orderly shutdown from the remote side).
+    PeerFin,
+    /// A RST arrived and the connection was torn down.
+    Reset,
+    /// Retransmissions were exhausted; the connection was aborted.
+    TimedOut,
+    /// The connection reached `Closed` through the normal FIN handshake.
+    Closed,
+}
+
+/// A timestamped socket event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedEvent {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub event: SocketEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn can_send_only_when_open_for_writing() {
+        assert!(TcpState::Established.can_send());
+        assert!(TcpState::CloseWait.can_send());
+        for s in [
+            TcpState::SynSent,
+            TcpState::SynRcvd,
+            TcpState::FinWait1,
+            TcpState::FinWait2,
+            TcpState::Closing,
+            TcpState::LastAck,
+            TcpState::TimeWait,
+            TcpState::Closed,
+        ] {
+            assert!(!s.can_send(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn synchronized_states() {
+        assert!(!TcpState::SynSent.is_synchronized());
+        assert!(!TcpState::SynRcvd.is_synchronized());
+        assert!(TcpState::Established.is_synchronized());
+        assert!(TcpState::TimeWait.is_synchronized());
+        assert!(!TcpState::Closed.is_synchronized());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the TCP state machine: safety under arbitrary
+//! segments, and delivery correctness under loss with retransmission.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use lucent_netsim::SimTime;
+use lucent_packet::tcp::{TcpFlags, TcpHeader};
+use lucent_tcp::tcb::{Tcb, TimerAsk};
+use lucent_tcp::TcpState;
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn t(ms: u64) -> SimTime {
+    SimTime(ms * 1_000)
+}
+
+/// Drive both ends through the handshake.
+fn established() -> (Tcb, Tcb) {
+    let mut a = Tcb::connect((A_IP, 4000), (B_IP, 80), 1_000, t(0));
+    let (syn_out, _) = a.poll(t(0));
+    let (syn, _) = &syn_out[0];
+    let mut b = Tcb::accept((B_IP, 80), (A_IP, 4000), 9_000, syn, t(0));
+    for _ in 0..8 {
+        let (fa, _) = a.poll(t(1));
+        let (fb, _) = b.poll(t(1));
+        if fa.is_empty() && fb.is_empty() {
+            break;
+        }
+        for (h, p) in fa {
+            b.on_segment(&h, &p, t(1));
+        }
+        for (h, p) in fb {
+            a.on_segment(&h, &p, t(1));
+        }
+    }
+    assert_eq!(a.state, TcpState::Established);
+    assert_eq!(b.state, TcpState::Established);
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary segments never panic the state machine, and the receive
+    /// buffer never shrinks.
+    #[test]
+    fn arbitrary_segments_are_safe(
+        segs in proptest::collection::vec(
+            (0u8..0x40, any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..48,
+        )
+    ) {
+        let (mut a, _b) = established();
+        let mut last_len = 0usize;
+        for (i, (flags, seq, ack, payload)) in segs.into_iter().enumerate() {
+            let mut h = TcpHeader::new(80, 4000, TcpFlags(flags));
+            h.seq = seq;
+            h.ack = ack;
+            a.on_segment(&h, &payload, t(10 + i as u64));
+            let _ = a.poll(t(10 + i as u64));
+            prop_assert!(a.recv_buf.len() >= last_len || a.recv_buf.is_empty());
+            last_len = a.recv_buf.len();
+        }
+    }
+
+    /// Lossless in-order exchange delivers exactly the sent bytes.
+    #[test]
+    fn lossless_delivery_is_exact(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..512), 1..12)
+    ) {
+        let (mut a, mut b) = established();
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            expected.extend_from_slice(chunk);
+            a.send(chunk);
+        }
+        for step in 0..128u64 {
+            let (fa, _) = a.poll(t(100 + step));
+            let (fb, _) = b.poll(t(100 + step));
+            if fa.is_empty() && fb.is_empty() {
+                break;
+            }
+            for (h, p) in fa {
+                b.on_segment(&h, &p, t(100 + step));
+            }
+            for (h, p) in fb {
+                a.on_segment(&h, &p, t(100 + step));
+            }
+        }
+        prop_assert_eq!(b.take_received(), expected);
+        prop_assert!(a.send_drained());
+    }
+
+    /// Under random segment loss (bounded below the retry budget, as a
+    /// correctness property must be — unbounded loss legitimately aborts
+    /// the connection), retransmission timeouts still deliver every byte
+    /// in order.
+    #[test]
+    fn lossy_delivery_recovers_via_retransmission(
+        payload in proptest::collection::vec(any::<u8>(), 1..2_000),
+        loss_seed in any::<u64>(),
+    ) {
+        let (mut a, mut b) = established();
+        a.send(&payload);
+        let mut x = loss_seed | 1;
+        let mut dropped: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+        let mut roll = move |seq: u32| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let count = dropped.entry(seq).or_insert(0);
+            if x % 100 < 30 && *count < 2 {
+                *count += 1;
+                true
+            } else {
+                false
+            }
+        };
+        let mut now = 100u64;
+        for _round in 0..64 {
+            now += 500;
+            let (fa, ask) = a.poll(t(now));
+            for (h, p) in fa {
+                if !roll(h.seq) {
+                    b.on_segment(&h, &p, t(now));
+                }
+            }
+            let (fb, _) = b.poll(t(now));
+            for (h, p) in fb {
+                a.on_segment(&h, &p, t(now)); // ACK path is lossless
+            }
+            if a.send_drained() {
+                break;
+            }
+            if let TimerAsk::Retransmit { .. } = ask {
+                a.on_retransmit_timeout(t(now + 400));
+            } else if !a.send_drained() {
+                a.on_retransmit_timeout(t(now + 400));
+            }
+        }
+        prop_assert_eq!(b.take_received(), payload);
+    }
+
+    /// Duplicated (replayed) data segments never corrupt the stream.
+    #[test]
+    fn duplicate_segments_do_not_corrupt(
+        payload in proptest::collection::vec(any::<u8>(), 1..600),
+        dup_every in 1usize..4,
+    ) {
+        let (mut a, mut b) = established();
+        a.send(&payload);
+        let mut now = 100u64;
+        for _ in 0..64 {
+            now += 1;
+            let (fa, _) = a.poll(t(now));
+            if fa.is_empty() {
+                let (fb, _) = b.poll(t(now));
+                if fb.is_empty() {
+                    break;
+                }
+                for (h, p) in fb {
+                    a.on_segment(&h, &p, t(now));
+                }
+                continue;
+            }
+            for (i, (h, p)) in fa.iter().enumerate() {
+                b.on_segment(h, p, t(now));
+                if i % dup_every == 0 {
+                    b.on_segment(h, p, t(now)); // replay
+                }
+            }
+            let (fb, _) = b.poll(t(now));
+            for (h, p) in fb {
+                a.on_segment(&h, &p, t(now));
+            }
+        }
+        prop_assert_eq!(b.take_received(), payload);
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-ISP censorship profiles and the overall simulation configuration,
+//! with calibration constants lifted from the paper's tables.
+
+use std::collections::BTreeMap;
+
+use lucent_middlebox::{HostMatcher, NoticeStyle};
+use lucent_web::CorpusConfig;
+
+use crate::ids::IspId;
+
+/// Which middlebox family an ISP deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbKind {
+    /// Wiretap middlebox on router mirror ports.
+    Wiretap,
+    /// Interceptive middlebox with a notification page.
+    InterceptiveOvert,
+    /// Interceptive middlebox answering with a bare RST.
+    InterceptiveCovert,
+}
+
+/// HTTP-filtering deployment of one ISP (Table 2 + Figure 5 targets).
+#[derive(Debug, Clone)]
+pub struct HttpProfile {
+    /// Device family.
+    pub kind: MbKind,
+    /// Host-extraction behaviour.
+    pub matcher: HostMatcher,
+    /// Notification style (`None` only for covert devices).
+    pub notice: Option<NoticeStyle>,
+    /// Fraction of core paths whose devices inspect *inside* clients.
+    pub coverage_inside: f64,
+    /// Fraction of core paths whose devices also inspect *outside*
+    /// clients (≤ `coverage_inside`).
+    pub coverage_outside: f64,
+    /// Size of the ISP's master blocklist (sites sampled from the PBWs).
+    pub blocked_sites: usize,
+    /// Per-site device-inclusion probability range: each site gets a
+    /// stable q ∈ [lo, hi]; each device blocks it with probability q.
+    /// The mean of this range is the ISP's Figure-5 consistency.
+    pub consistency_q: (f64, f64),
+    /// Fixed IP-Identifier on injected packets (Airtel: 242).
+    pub fixed_ip_id: Option<u16>,
+    /// Wiretap slow-path: (probability, delay range µs).
+    pub slow_injection: Option<(f64, (u64, u64))>,
+}
+
+/// DNS-poisoning deployment of one ISP (Figure 2 targets).
+#[derive(Debug, Clone)]
+pub struct DnsProfile {
+    /// Total open resolvers.
+    pub resolvers: usize,
+    /// How many of them are poisoned.
+    pub poisoned: usize,
+    /// Master DNS blocklist size.
+    pub blocked_sites: usize,
+    /// Per-site resolver-inclusion probability range (mean = Figure-2
+    /// consistency).
+    pub consistency_q: (f64, f64),
+    /// Fraction of poisoned resolvers answering with the ISP's static
+    /// notice address; the rest answer with a bogon.
+    pub static_ip_fraction: f64,
+}
+
+/// Collateral-damage calibration: how many sites a transit censor blocks
+/// for a victim (Table 3).
+pub type CollateralPlan = BTreeMap<(IspId, IspId), usize>;
+
+/// The whole-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct IndiaConfig {
+    /// Parallel core routers per ISP (path-diversity resolution: coverage
+    /// is quantized to 1/K).
+    pub cores_per_isp: usize,
+    /// Leaf routers (= internal /24 prefixes) per ISP.
+    pub leaves_per_isp: usize,
+    /// Corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// Number of /24 hosting pools on the simulated internet.
+    pub hosting_pools: usize,
+    /// HTTP censorship deployments.
+    pub http: BTreeMap<IspId, HttpProfile>,
+    /// DNS censorship deployments.
+    pub dns: BTreeMap<IspId, DnsProfile>,
+    /// Collateral calibration (victim, censor) → blocked-site count.
+    pub collateral: CollateralPlan,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl IndiaConfig {
+    /// Full paper-scale configuration: 1200 PBWs, 1000 popular sites,
+    /// MTNL 448/383 and BSNL 182/17 resolvers, 40 cores per ISP.
+    pub fn paper() -> Self {
+        Self::with_scale(40, 24, CorpusConfig::default(), (448, 383), (182, 17))
+    }
+
+    /// A small configuration for tests: same structure, ~10× smaller.
+    pub fn small() -> Self {
+        let corpus = CorpusConfig {
+            pbw_count: 120,
+            popular_count: 60,
+            ..CorpusConfig::default()
+        };
+        Self::with_scale(20, 6, corpus, (40, 34), (24, 3))
+    }
+
+    /// A micro configuration for unit tests that only need structure.
+    pub fn tiny() -> Self {
+        let corpus = CorpusConfig {
+            pbw_count: 40,
+            popular_count: 20,
+            ..CorpusConfig::default()
+        };
+        Self::with_scale(8, 3, corpus, (8, 6), (6, 1))
+    }
+
+    fn with_scale(
+        cores: usize,
+        leaves: usize,
+        corpus: CorpusConfig,
+        mtnl_res: (usize, usize),
+        bsnl_res: (usize, usize),
+    ) -> Self {
+        let pbw = corpus.pbw_count;
+        // Scale the paper's absolute counts to the configured corpus size
+        // (ratios preserved: 234/1200, 338/1200, 483/1200, 200/1200).
+        let scale = |paper_count: usize| ((paper_count * pbw) as f64 / 1200.0).round() as usize;
+        let mut http = BTreeMap::new();
+        http.insert(
+            IspId::Airtel,
+            HttpProfile {
+                kind: MbKind::Wiretap,
+                matcher: HostMatcher::ExactToken,
+                notice: Some(NoticeStyle::airtel_like()),
+                coverage_inside: 0.752,
+                coverage_outside: 0.542,
+                blocked_sites: scale(234),
+                consistency_q: (0.02, 0.23),
+                fixed_ip_id: Some(242),
+                slow_injection: Some((0.3, (150_000, 400_000))),
+            },
+        );
+        http.insert(
+            IspId::Idea,
+            HttpProfile {
+                kind: MbKind::InterceptiveOvert,
+                matcher: HostMatcher::StrictPattern,
+                notice: Some(NoticeStyle::idea_like()),
+                coverage_inside: 0.92,
+                coverage_outside: 0.90,
+                blocked_sites: scale(338),
+                consistency_q: (0.56, 0.98),
+                fixed_ip_id: None,
+                slow_injection: None,
+            },
+        );
+        http.insert(
+            IspId::Vodafone,
+            HttpProfile {
+                kind: MbKind::InterceptiveCovert,
+                matcher: HostMatcher::LastHost,
+                notice: None,
+                coverage_inside: 0.11,
+                coverage_outside: 0.025,
+                blocked_sites: scale(483),
+                consistency_q: (0.02, 0.21),
+                fixed_ip_id: None,
+                slow_injection: None,
+            },
+        );
+        http.insert(
+            IspId::Jio,
+            HttpProfile {
+                kind: MbKind::Wiretap,
+                matcher: HostMatcher::ExactToken,
+                notice: Some(NoticeStyle::jio_like()),
+                coverage_inside: 0.064,
+                coverage_outside: 0.0,
+                blocked_sites: scale(200),
+                consistency_q: (0.20, 0.50),
+                fixed_ip_id: None,
+                slow_injection: Some((0.3, (150_000, 400_000))),
+            },
+        );
+        // TATA censors only as transit (border devices); no internal
+        // coverage is modelled, so inside/outside are zero.
+        http.insert(
+            IspId::Tata,
+            HttpProfile {
+                kind: MbKind::Wiretap,
+                matcher: HostMatcher::ExactToken,
+                notice: Some(NoticeStyle {
+                    iframe_url: "http://www.tatacommunications.com/dot-blocked".into(),
+                    server_header: "nginx".into(),
+                    statutory_text: "Blocked under DoT instructions.".into(),
+                }),
+                coverage_inside: 0.0,
+                coverage_outside: 0.0,
+                blocked_sites: scale(220),
+                consistency_q: (0.3, 0.9),
+                fixed_ip_id: None,
+                slow_injection: None,
+            },
+        );
+
+        let mut dns = BTreeMap::new();
+        dns.insert(
+            IspId::Mtnl,
+            DnsProfile {
+                resolvers: mtnl_res.0,
+                poisoned: mtnl_res.1,
+                blocked_sites: scale(400),
+                consistency_q: (0.10, 0.78),
+                static_ip_fraction: 0.8,
+            },
+        );
+        dns.insert(
+            IspId::Bsnl,
+            DnsProfile {
+                resolvers: bsnl_res.0,
+                poisoned: bsnl_res.1,
+                blocked_sites: scale(300),
+                consistency_q: (0.01, 0.14),
+                static_ip_fraction: 0.7,
+            },
+        );
+
+        let mut collateral = BTreeMap::new();
+        collateral.insert((IspId::Nkn, IspId::Vodafone), scale(69));
+        collateral.insert((IspId::Nkn, IspId::Tata), scale(8));
+        collateral.insert((IspId::Sify, IspId::Tata), scale(142));
+        collateral.insert((IspId::Sify, IspId::Airtel), scale(2).max(1));
+        collateral.insert((IspId::Siti, IspId::Airtel), scale(110));
+        collateral.insert((IspId::Mtnl, IspId::Tata), scale(134));
+        collateral.insert((IspId::Mtnl, IspId::Airtel), scale(25));
+        collateral.insert((IspId::Bsnl, IspId::Tata), scale(156));
+        collateral.insert((IspId::Bsnl, IspId::Airtel), scale(1).max(1));
+
+        IndiaConfig {
+            cores_per_isp: cores,
+            leaves_per_isp: leaves,
+            corpus,
+            hosting_pools: 16,
+            http,
+            dns,
+            collateral,
+            seed: 0x11d1_a0_2018,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_published_counts() {
+        let cfg = IndiaConfig::paper();
+        assert_eq!(cfg.http[&IspId::Airtel].blocked_sites, 234);
+        assert_eq!(cfg.http[&IspId::Idea].blocked_sites, 338);
+        assert_eq!(cfg.http[&IspId::Vodafone].blocked_sites, 483);
+        assert_eq!(cfg.http[&IspId::Jio].blocked_sites, 200);
+        assert_eq!(cfg.dns[&IspId::Mtnl].resolvers, 448);
+        assert_eq!(cfg.dns[&IspId::Mtnl].poisoned, 383);
+        assert_eq!(cfg.dns[&IspId::Bsnl].resolvers, 182);
+        assert_eq!(cfg.dns[&IspId::Bsnl].poisoned, 17);
+        assert_eq!(cfg.collateral[&(IspId::Siti, IspId::Airtel)], 110);
+    }
+
+    #[test]
+    fn small_config_preserves_ratios() {
+        let cfg = IndiaConfig::small();
+        // 234/1200 of 120 ≈ 23.
+        assert_eq!(cfg.http[&IspId::Airtel].blocked_sites, 23);
+        assert!(cfg.http[&IspId::Vodafone].blocked_sites > cfg.http[&IspId::Idea].blocked_sites);
+        assert!(cfg.collateral[&(IspId::Bsnl, IspId::Airtel)] >= 1);
+    }
+
+    #[test]
+    fn consistency_means_track_figure5() {
+        let cfg = IndiaConfig::paper();
+        let mean = |q: (f64, f64)| (q.0 + q.1) / 2.0;
+        assert!((mean(cfg.http[&IspId::Idea].consistency_q) - 0.768).abs() < 0.03);
+        assert!((mean(cfg.http[&IspId::Airtel].consistency_q) - 0.123).abs() < 0.03);
+        assert!((mean(cfg.http[&IspId::Vodafone].consistency_q) - 0.116).abs() < 0.03);
+        assert!((mean(cfg.dns[&IspId::Mtnl].consistency_q) - 0.424).abs() < 0.03);
+        assert!((mean(cfg.dns[&IspId::Bsnl].consistency_q) - 0.075).abs() < 0.015);
+    }
+
+    #[test]
+    fn only_covert_profiles_lack_notices() {
+        let cfg = IndiaConfig::paper();
+        for (isp, p) in &cfg.http {
+            if p.kind == MbKind::InterceptiveCovert {
+                assert!(p.notice.is_none(), "{isp}");
+            } else {
+                assert!(p.notice.is_some(), "{isp}");
+            }
+        }
+    }
+}

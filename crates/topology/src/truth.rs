@@ -1,0 +1,130 @@
+//! Ground truth: the oracle against which measurements are scored.
+//!
+//! The paper validates every automated verdict by manual inspection; the
+//! simulator's equivalent is this record of what was *actually* deployed.
+//! Experiments never read it to make measurements — only to score them
+//! (precision/recall, coverage error, consistency error).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use lucent_web::SiteId;
+
+use crate::ids::IspId;
+
+/// The deployed censorship, exactly as built.
+#[derive(Debug, Default, Clone)]
+pub struct GroundTruth {
+    /// Per ISP: the master HTTP blocklist (union of device lists).
+    pub http_master: BTreeMap<IspId, BTreeSet<SiteId>>,
+    /// Per ISP: per-device (core index, inspects-outside?, blocklist).
+    pub http_devices: BTreeMap<IspId, Vec<(usize, bool, BTreeSet<SiteId>)>>,
+    /// Per ISP: master DNS blocklist.
+    pub dns_master: BTreeMap<IspId, BTreeSet<SiteId>>,
+    /// Per ISP: per-poisoned-resolver (address, blocklist).
+    pub dns_resolvers: BTreeMap<IspId, Vec<(Ipv4Addr, BTreeSet<SiteId>)>>,
+    /// Border (victim, censor) → blocklist enforced on that interconnect.
+    pub borders: BTreeMap<(IspId, IspId), BTreeSet<SiteId>>,
+}
+
+impl GroundTruth {
+    /// Does `isp` censor `site` over HTTP on at least one internal path?
+    pub fn http_blocked(&self, isp: IspId, site: SiteId) -> bool {
+        self.http_master.get(&isp).map(|s| s.contains(&site)).unwrap_or(false)
+    }
+
+    /// Does any poisoned resolver of `isp` manipulate `site`?
+    pub fn dns_blocked(&self, isp: IspId, site: SiteId) -> bool {
+        self.dns_master.get(&isp).map(|s| s.contains(&site)).unwrap_or(false)
+    }
+
+    /// Is `site` censored for clients of `isp` by *anyone* — the ISP's own
+    /// devices, its poisoned resolvers, or a transit border device?
+    pub fn blocked_for_client(&self, isp: IspId, site: SiteId) -> bool {
+        self.http_blocked(isp, site)
+            || self.dns_blocked(isp, site)
+            || self
+                .borders
+                .iter()
+                .any(|((victim, _), sites)| *victim == isp && sites.contains(&site))
+    }
+
+    /// Collateral set for a (victim, censor) pair.
+    pub fn border_blocklist(&self, victim: IspId, censor: IspId) -> Option<&BTreeSet<SiteId>> {
+        self.borders.get(&(victim, censor))
+    }
+
+    /// True ISP-level device consistency: average over blocked sites of
+    /// the fraction of devices blocking each (the quantity Figure 5
+    /// estimates from path probing).
+    pub fn true_http_consistency(&self, isp: IspId) -> Option<f64> {
+        let master = self.http_master.get(&isp)?;
+        let devices = self.http_devices.get(&isp)?;
+        if master.is_empty() || devices.is_empty() {
+            return None;
+        }
+        let mut acc = 0.0;
+        for site in master {
+            let blocking = devices.iter().filter(|(_, _, bl)| bl.contains(site)).count();
+            acc += blocking as f64 / devices.len() as f64;
+        }
+        Some(acc / master.len() as f64)
+    }
+
+    /// True resolver consistency (the Figure-2 quantity).
+    pub fn true_dns_consistency(&self, isp: IspId) -> Option<f64> {
+        let master = self.dns_master.get(&isp)?;
+        let resolvers = self.dns_resolvers.get(&isp)?;
+        if master.is_empty() || resolvers.is_empty() {
+            return None;
+        }
+        let mut acc = 0.0;
+        for site in master {
+            let blocking = resolvers.iter().filter(|(_, bl)| bl.contains(site)).count();
+            acc += blocking as f64 / resolvers.len() as f64;
+        }
+        Some(acc / master.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        let mut t = GroundTruth::default();
+        let s = |ids: &[u32]| ids.iter().map(|&i| SiteId(i)).collect::<BTreeSet<_>>();
+        t.http_master.insert(IspId::Airtel, s(&[1, 2, 3, 4]));
+        t.http_devices.insert(
+            IspId::Airtel,
+            vec![(0, true, s(&[1, 2])), (1, false, s(&[1]))],
+        );
+        t.dns_master.insert(IspId::Mtnl, s(&[5, 6]));
+        t.dns_resolvers.insert(
+            IspId::Mtnl,
+            vec![("10.0.0.1".parse().unwrap(), s(&[5])), ("10.0.0.2".parse().unwrap(), s(&[5, 6]))],
+        );
+        t.borders.insert((IspId::Nkn, IspId::Vodafone), s(&[7]));
+        t
+    }
+
+    #[test]
+    fn blocked_lookups() {
+        let t = truth();
+        assert!(t.http_blocked(IspId::Airtel, SiteId(1)));
+        assert!(!t.http_blocked(IspId::Airtel, SiteId(9)));
+        assert!(t.dns_blocked(IspId::Mtnl, SiteId(6)));
+        assert!(t.blocked_for_client(IspId::Nkn, SiteId(7)), "collateral counts");
+        assert!(!t.blocked_for_client(IspId::Nkn, SiteId(1)));
+    }
+
+    #[test]
+    fn consistency_math() {
+        let t = truth();
+        // Site 1: 2/2 devices; 2: 1/2; 3: 0/2; 4: 0/2 → mean 0.375.
+        assert!((t.true_http_consistency(IspId::Airtel).unwrap() - 0.375).abs() < 1e-9);
+        // Site 5: 2/2; site 6: 1/2 → 0.75.
+        assert!((t.true_dns_consistency(IspId::Mtnl).unwrap() - 0.75).abs() < 1e-9);
+        assert!(t.true_http_consistency(IspId::Jio).is_none());
+    }
+}

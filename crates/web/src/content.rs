@@ -1,0 +1,227 @@
+//! Deterministic page rendering, including the vantage-dependent
+//! phenomena (dynamic ads, parking pages, redirects) that confound naive
+//! censorship detection.
+
+use lucent_dns::RegionId;
+use lucent_packet::HttpResponse;
+
+use crate::site::{Site, SiteKind};
+
+/// Deterministic word generator: a small xorshift over a fixed lexicon,
+/// so page bodies are stable for (site, region, variant) and cheaply
+/// comparable.
+fn words(seed: u64, count: usize) -> String {
+    const LEXICON: [&str; 32] = [
+        "network", "measurement", "content", "stream", "archive", "forum", "media", "report",
+        "gallery", "index", "update", "daily", "local", "global", "public", "digital", "signal",
+        "mirror", "channel", "portal", "review", "story", "music", "video", "listing", "session",
+        "record", "journal", "notice", "bulletin", "feature", "edition",
+    ];
+    let mut x = seed | 1;
+    let mut out = String::with_capacity(count * 8);
+    for i in 0..count {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if i > 0 {
+            out.push(if i % 12 == 0 { '\n' } else { ' ' });
+        }
+        out.push_str(LEXICON[(x % 32) as usize]);
+    }
+    out
+}
+
+/// Core body length for a site (800–4000 bytes-ish, deterministic).
+fn core_word_count(site: &Site) -> usize {
+    120 + (site.seed % 400) as usize
+}
+
+/// Render the canonical response a replica of `site` in `region` serves
+/// at `variant` (a fetch-time discriminator for dynamic content: two
+/// fetches at different times get different ad blocks). `viewer` is a
+/// client-derived hint (hash of the peer address): registrar parking
+/// engines geo-target by visitor, which is one of the false-positive
+/// phenomena §6.2 of the paper documents.
+pub fn render(site: &Site, region: RegionId, variant: u32, viewer: u16) -> HttpResponse {
+    match site.kind {
+        SiteKind::Dead => {
+            // Dead sites have no server; callers should not reach this,
+            // but render a connection-refused-like stub defensively.
+            HttpResponse::new(503, "Service Unavailable", b"<html>gone</html>".to_vec())
+        }
+        SiteKind::RedirectOnly => {
+            let body = format!(
+                "<html><body>Moved: <a href=\"http://www.{d}/home\">here</a></body></html>",
+                d = site.domain
+            );
+            HttpResponse::new(302, "Found", body.into_bytes())
+                .with_header("Location", &format!("http://www.{}/home", site.domain))
+                .with_header("Server", "nginx")
+        }
+        SiteKind::Parked => {
+            // Parking pages are served by the registrar's geo-targeted ad
+            // engine: title, body and even the ad-network headers differ
+            // per visitor origin — without any censorship involved. The
+            // site seed mixes in so the variation decorrelates across
+            // domains (two observers don't disagree on *every* parked
+            // page or none).
+            let mix = (u64::from(viewer) ^ site.seed ^ (site.seed >> 17)) as u16;
+            let zone = mix % 5;
+            let ads = words(
+                site.seed ^ (u64::from(mix) << 32) ^ 0xad5,
+                120 + usize::from(mix % 7) * 60,
+            );
+            let body = format!(
+                "<html><head><title>{d} parked zone{zone}</title></head><body>\
+                 <h1>This domain may be for sale</h1><div class=\"geo-ads\">{ads}</div>\
+                 </body></html>",
+                d = site.domain
+            );
+            HttpResponse::new(200, "OK", body.into_bytes())
+                .with_header("Server", "Apache")
+                .with_header(&format!("X-Adnet-{}", mix % 3), "served")
+        }
+        SiteKind::Normal | SiteKind::TitleLess => {
+            let core = words(site.seed, core_word_count(site));
+            let mut body = String::new();
+            body.push_str("<html><head>");
+            if site.kind == SiteKind::Normal {
+                if site.dynamic {
+                    // Live-feed sites retitle per edition; editions are
+                    // cut per edge region (and slowly over time).
+                    body.push_str(&format!(
+                        "<title>{d} — {c} portal · edition {e}</title>",
+                        d = site.domain,
+                        c = site.category.slug(),
+                        e = (u32::from(region) * 7 + variant) % 13,
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "<title>{d} — {c} portal</title>",
+                        d = site.domain,
+                        c = site.category.slug()
+                    ));
+                }
+            }
+            body.push_str("</head><body><main>");
+            body.push_str(&core);
+            body.push_str("</main>");
+            if site.dynamic {
+                // Location- and time-dependent block: live feeds and ads.
+                let jitter = words(
+                    site.seed ^ (u64::from(region) << 24) ^ u64::from(variant),
+                    80 + (usize::from(region) * 31 + variant as usize * 17) % 160,
+                );
+                body.push_str(&format!("<aside class=\"live\">{jitter}</aside>"));
+            }
+            body.push_str("</body></html>");
+            let mut resp = HttpResponse::new(200, "OK", body.into_bytes())
+                .with_header("Server", "nginx")
+                .with_header("Content-Type", "text/html");
+            if site.regional_dns {
+                // CDN edges tag responses with their own cache headers —
+                // different replicas expose different header *names*.
+                resp = resp.with_header(&format!("X-Edge-{}", region % 4), "HIT");
+            }
+            resp
+        }
+    }
+}
+
+/// Render the `400 Bad Request` an RFC server answers to garbage framing
+/// — the second response the covert-IM evasion elicits.
+pub fn bad_request() -> HttpResponse {
+    HttpResponse::new(
+        400,
+        "Bad Request",
+        b"<html><body><h1>400 Bad Request</h1></body></html>".to_vec(),
+    )
+    .with_header("Server", "nginx")
+}
+
+/// Render a `404` for an unknown `Host` on a shared IP.
+pub fn not_found(host: &str) -> HttpResponse {
+    let body = format!("<html><body><h1>404</h1>No site \"{host}\" here.</body></html>");
+    HttpResponse::new(404, "Not Found", body.into_bytes()).with_header("Server", "nginx")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{Category, SiteId};
+
+    fn site(kind: SiteKind, dynamic: bool) -> Site {
+        Site {
+            id: SiteId(1),
+            domain: "test.example".into(),
+            category: Category::Politics,
+            kind,
+            dynamic,
+            replicas: vec![],
+            regional_dns: false,
+            seed: 0xfeed,
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let s = site(SiteKind::Normal, true);
+        assert_eq!(render(&s, 3, 9, 1).emit(), render(&s, 3, 9, 1).emit());
+    }
+
+    #[test]
+    fn static_sites_are_identical_across_regions() {
+        let s = site(SiteKind::Normal, false);
+        assert_eq!(render(&s, 0, 1, 1).body, render(&s, 9, 2, 2).body);
+    }
+
+    #[test]
+    fn dynamic_sites_differ_across_regions_but_share_core() {
+        let s = site(SiteKind::Normal, true);
+        let a = render(&s, 0, 1, 1);
+        let b = render(&s, 5, 2, 1);
+        assert_ne!(a.body, b.body);
+        let core = words(s.seed, core_word_count(&s));
+        let a_s = String::from_utf8(a.body).unwrap();
+        let b_s = String::from_utf8(b.body).unwrap();
+        assert!(a_s.contains(&core) && b_s.contains(&core));
+    }
+
+    #[test]
+    fn normal_pages_have_titles_titleless_do_not() {
+        assert!(render(&site(SiteKind::Normal, false), 0, 0, 1).title().is_some());
+        assert!(render(&site(SiteKind::TitleLess, false), 0, 0, 1).title().is_none());
+    }
+
+    #[test]
+    fn redirect_only_is_small_and_titleless() {
+        let r = render(&site(SiteKind::RedirectOnly, false), 0, 0, 1);
+        assert_eq!(r.status, 302);
+        assert!(r.header("location").unwrap().contains("test.example"));
+        assert!(r.body.len() < 200);
+        assert!(r.title().is_none());
+    }
+
+    #[test]
+    fn parked_pages_differ_dramatically_by_region() {
+        let s = site(SiteKind::Parked, false);
+        let a = render(&s, 0, 0, 3).body;
+        let b = render(&s, 6, 0, 9).body;
+        assert_ne!(a, b);
+        // Both clearly parking pages.
+        assert!(String::from_utf8(a).unwrap().contains("for sale"));
+    }
+
+    #[test]
+    fn error_pages_have_expected_statuses() {
+        assert_eq!(bad_request().status, 400);
+        assert_eq!(not_found("x").status, 404);
+        assert!(bad_request().title().is_none());
+    }
+
+    #[test]
+    fn word_generator_is_seed_sensitive() {
+        assert_ne!(words(1, 50), words(2, 50));
+        assert_eq!(words(3, 50), words(3, 50));
+    }
+}

@@ -1,0 +1,157 @@
+//! Middlebox-behaviour integration: the full inferred machine of §4.2.1,
+//! exercised through the built India rather than hand-wired rigs.
+
+use lucent_core::lab::{Lab, FETCH_TIMEOUT_MS};
+use lucent_core::probe::classify::{classify_by_remote_hosts, MeasuredKind};
+use lucent_middlebox::notice::{looks_like_notice, NoticeStyle};
+use lucent_packet::tcp::TcpFlags;
+use lucent_topology::{India, IndiaConfig, IspId};
+use lucent_web::SiteId;
+
+fn lab() -> Lab {
+    Lab::new(India::build(IndiaConfig::tiny()))
+}
+
+/// A (site, ip, domain) censored on the client's direct path.
+fn censored_fixture(lab: &mut Lab, isp: IspId) -> Option<(SiteId, std::net::Ipv4Addr, String)> {
+    let master: Vec<SiteId> = lab.india.truth.http_master[&isp].iter().copied().collect();
+    let client = lab.client_of(isp);
+    for site in master {
+        let s = lab.india.corpus.site(site);
+        if !s.is_alive() {
+            continue;
+        }
+        let (domain, ip) = (s.domain.clone(), s.replicas[0]);
+        for _ in 0..2 {
+            let f = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
+            if f.was_reset()
+                || f.hit_timeout()
+                || f.response.as_ref().map(looks_like_notice).unwrap_or(false)
+            {
+                return Some((site, ip, domain));
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn deployed_kinds_match_config() {
+    let india = India::build(IndiaConfig::tiny());
+    for (isp_id, profile) in &india.cfg.http {
+        for (_, _, kind) in &india.isps[isp_id].devices {
+            assert_eq!(kind, &profile.kind, "{isp_id}");
+        }
+    }
+}
+
+#[test]
+fn idea_notice_page_carries_idea_signature() {
+    let mut lab = lab();
+    let (_, ip, domain) = censored_fixture(&mut lab, IspId::Idea).expect("censored path");
+    let client = lab.client_of(IspId::Idea);
+    let f = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
+    let resp = f.response.expect("notice");
+    assert!(NoticeStyle::idea_like().matches(&resp), "wrong signature");
+    assert!(!NoticeStyle::airtel_like().matches(&resp));
+    // The paper's FN analysis: notices carry no title and mimic ordinary
+    // header names.
+    assert!(resp.title().is_none());
+    assert!(resp.header("server").is_some());
+}
+
+#[test]
+fn remote_host_classification_agrees_with_deployment() {
+    let mut lab = lab();
+    // Idea (~92% coverage): some VP path is covered with near certainty.
+    let blocked: Vec<String> = lab.india.truth.http_master[&IspId::Idea]
+        .iter()
+        .take(6)
+        .map(|&s| lab.india.corpus.site(s).domain.clone())
+        .collect();
+    let mut got = None;
+    for domain in &blocked {
+        if let Some((kind, _)) = classify_by_remote_hosts(&mut lab, IspId::Idea, domain) {
+            got = Some(kind);
+            break;
+        }
+    }
+    assert_eq!(got, Some(MeasuredKind::Interceptive));
+}
+
+#[test]
+fn wiretap_injections_carry_the_airtel_ip_id() {
+    let mut lab = lab();
+    let Some((_, ip, domain)) = censored_fixture(&mut lab, IspId::Airtel) else {
+        return; // tiny world: the Airtel client may dodge all devices
+    };
+    let client = lab.client_of(IspId::Airtel);
+    lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).enable_pcap();
+    let _ = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
+    let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
+    let stamped: Vec<_> = pcap.iter().filter(|(_, p)| p.ip.identification == 242).collect();
+    assert!(!stamped.is_empty(), "Airtel middlebox packets are stamped 242");
+    for (_, p) in &stamped {
+        let (h, _) = p.as_tcp().expect("TCP");
+        assert!(
+            h.flags.intersects(TcpFlags::FIN | TcpFlags::RST),
+            "only teardown packets are injected"
+        );
+    }
+}
+
+#[test]
+fn covert_vodafone_resets_without_a_page() {
+    let mut lab = lab();
+    let Some((_, ip, domain)) = censored_fixture(&mut lab, IspId::Vodafone) else {
+        return; // 11% coverage: often unobserved in the tiny world
+    };
+    let client = lab.client_of(IspId::Vodafone);
+    let f = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
+    assert!(f.was_reset(), "covert devices reset");
+    let got_notice = f.response.as_ref().map(looks_like_notice).unwrap_or(false);
+    assert!(!got_notice, "no notification page from a covert device");
+}
+
+#[test]
+fn non_port_80_flows_are_never_inspected() {
+    // §6.3: the deployed middleboxes inspect only TCP port 80. Install a
+    // listener on 8080 at a hosting node, then request a blocked domain
+    // through Idea's (92%-covered) network: content must flow.
+    let mut lab = lab();
+    let (_, ip, domain) = censored_fixture(&mut lab, IspId::Idea).expect("censored path");
+    let server_node = lab
+        .india
+        .hosting
+        .iter()
+        .find(|(hip, _)| *hip == ip)
+        .map(|(_, node)| *node)
+        .expect("server node exists");
+    lab.india
+        .net
+        .node_mut::<lucent_tcp::TcpHost>(server_node)
+        .listen(8080, || Box::new(lucent_tcp::FixedResponder::new(b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nalt!".to_vec())));
+    let client = lab.client_of(IspId::Idea);
+    let request = lucent_packet::http::RequestBuilder::browser(&domain, "/").build();
+    let f = lab.http_fetch(client, ip, 8080, request, FETCH_TIMEOUT_MS);
+    assert!(!f.was_reset());
+    let resp = f.response.expect("alt service answers despite the blocked Host");
+    assert_eq!(resp.status, 200);
+    assert!(!looks_like_notice(&resp));
+}
+
+#[test]
+fn every_kind_of_isp_builds_with_consistent_truth() {
+    let india = India::build(IndiaConfig::tiny());
+    for (isp_id, master) in &india.truth.http_master {
+        let devices = &india.truth.http_devices[isp_id];
+        // Union of devices equals master (partition guarantee).
+        let mut union = std::collections::BTreeSet::new();
+        for (_, _, bl) in devices {
+            union.extend(bl.iter().copied());
+        }
+        if !devices.is_empty() {
+            assert_eq!(&union, master, "{isp_id}");
+        }
+    }
+}
