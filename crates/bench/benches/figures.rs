@@ -1,89 +1,45 @@
 //! Experiment benches: one per figure, plus the race and evasion
 //! measurements, at tiny scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lucent_support::bench::Harness;
 
 use lucent_bench::Scale;
-use lucent_core::experiments::{dns_mechanism, evasion, fig2, race, tracer_demo};
 use lucent_core::anticensor::Technique;
+use lucent_core::experiments::{dns_mechanism, evasion, fig2, race, tracer_demo};
 use lucent_topology::IspId;
 
-fn bench_fig1_tracer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig1_tracer_tiny", |b| {
-        b.iter(|| {
-            let mut lab = Scale::Tiny.lab();
-            tracer_demo::run(&mut lab, IspId::Idea)
-        })
+fn main() {
+    let mut h = Harness::new();
+    h.target_secs = 2.0;
+    h.max_iters = 10;
+    h.bench("figures/fig1_tracer_tiny", || {
+        let mut lab = Scale::Tiny.lab();
+        tracer_demo::run(&mut lab, IspId::Idea)
     });
-    g.finish();
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig2_dns_tiny", |b| {
-        b.iter(|| {
-            let mut lab = Scale::Tiny.lab();
-            fig2::run(
-                &mut lab,
-                &fig2::Fig2Options { isps: vec![IspId::Mtnl], scan_stride: 4, max_sites: Some(20) },
-            )
-        })
+    h.bench("figures/fig2_dns_tiny", || {
+        let mut lab = Scale::Tiny.lab();
+        fig2::run(
+            &mut lab,
+            &fig2::Fig2Options { isps: vec![IspId::Mtnl], scan_stride: 4, max_sites: Some(20) },
+        )
     });
-    g.finish();
-}
-
-fn bench_race(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("race_tiny", |b| {
-        b.iter(|| {
-            let mut lab = Scale::Tiny.lab();
-            race::run(
-                &mut lab,
-                &race::RaceOptions { isps: vec![IspId::Idea], attempts: 4, sites_per_isp: 2 },
-            )
-        })
+    h.bench("figures/race_tiny", || {
+        let mut lab = Scale::Tiny.lab();
+        race::run(
+            &mut lab,
+            &race::RaceOptions { isps: vec![IspId::Idea], attempts: 4, sites_per_isp: 2 },
+        )
     });
-    g.finish();
-}
-
-fn bench_evasion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("evasion_tiny", |b| {
-        b.iter(|| {
-            let mut lab = Scale::Tiny.lab();
-            evasion::run(
-                &mut lab,
-                &evasion::EvasionOptions {
-                    isps: vec![IspId::Idea],
-                    sites_per_isp: 2,
-                    techniques: vec![Technique::ExtraSpaceBeforeValue, Technique::SegmentedRequest],
-                },
-            )
-        })
+    h.bench("figures/evasion_tiny", || {
+        let mut lab = Scale::Tiny.lab();
+        evasion::run(
+            &mut lab,
+            &evasion::EvasionOptions {
+                isps: vec![IspId::Idea],
+                sites_per_isp: 2,
+                techniques: vec![Technique::ExtraSpaceBeforeValue, Technique::SegmentedRequest],
+            },
+        )
     });
-    g.finish();
+    h.bench("figures/dns_mechanism_control", dns_mechanism::synthetic_injection_control);
 }
-
-fn bench_dns_mechanism(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("dns_mechanism_control", |b| {
-        b.iter(dns_mechanism::synthetic_injection_control)
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_fig1_tracer,
-    bench_fig2,
-    bench_race,
-    bench_evasion,
-    bench_dns_mechanism
-);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! stack, topology construction — plus the structured-vs-wire fidelity
 //! ablation from DESIGN.md §5.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lucent_support::bench::Harness;
 use std::net::Ipv4Addr;
 
 use lucent_packet::http::RequestBuilder;
@@ -10,126 +10,93 @@ use lucent_packet::tcp::{TcpFlags, TcpHeader};
 use lucent_packet::{DnsMessage, Packet};
 use lucent_topology::{India, IndiaConfig};
 
-fn bench_packet_roundtrip(c: &mut Criterion) {
+fn bench_packet_roundtrip(h: &mut Harness) {
     let src = Ipv4Addr::new(10, 0, 0, 1);
     let dst = Ipv4Addr::new(203, 0, 113, 80);
-    let mut h = TcpHeader::new(40000, 80, TcpFlags::ACK | TcpFlags::PSH);
-    h.seq = 0x1000;
+    let mut th = TcpHeader::new(40000, 80, TcpFlags::ACK | TcpFlags::PSH);
+    th.seq = 0x1000;
     let payload = RequestBuilder::browser("blocked.example.in", "/").build();
-    let pkt = Packet::tcp(src, dst, h, payload);
-    c.bench_function("packet/tcp_emit_parse", |b| {
-        b.iter(|| {
-            let wire = pkt.emit();
-            Packet::parse(&wire).expect("roundtrip")
-        })
+    let pkt = Packet::tcp(src, dst, th, payload);
+    h.bench("packet/tcp_emit_parse", || {
+        let wire = pkt.emit();
+        Packet::parse(&wire).expect("roundtrip")
     });
     let query = DnsMessage::query_a(7, "blocked.example.in");
-    c.bench_function("packet/dns_emit_parse", |b| {
-        b.iter(|| {
-            let mut wire = Vec::new();
-            query.emit(&mut wire).expect("emit");
-            DnsMessage::parse(&wire).expect("parse")
-        })
+    h.bench("packet/dns_emit_parse", || {
+        let mut wire = Vec::new();
+        query.emit(&mut wire).expect("emit");
+        DnsMessage::parse(&wire).expect("parse")
     });
 }
 
-fn bench_event_engine(c: &mut Criterion) {
-    // Ping-pong throughput between two hosts through two routers.
+/// A two-host, one-router network for fetch benches.
+fn fetch_world(fidelity: bool) -> (lucent_netsim::Network, lucent_netsim::NodeId, Ipv4Addr) {
     use lucent_netsim::routing::Cidr;
     use lucent_netsim::{IfaceId, Network, RouterNode, SimDuration};
     use lucent_tcp::{FixedResponder, TcpHost};
-    c.bench_function("netsim/http_fetch_through_routers", |b| {
-        b.iter_batched(
-            || {
-                let mut net = Network::new();
-                let client_ip = Ipv4Addr::new(10, 0, 0, 2);
-                let server_ip = Ipv4Addr::new(203, 0, 113, 2);
-                let client = net.add_node(Box::new(TcpHost::new(client_ip, "c", 1)));
-                let mut server_host = TcpHost::new(server_ip, "s", 2);
-                server_host.listen(80, || Box::new(FixedResponder::new(b"HTTP/1.1 200 OK\r\n\r\nok".to_vec())));
-                let server = net.add_node(Box::new(server_host));
-                let mut r = RouterNode::new(Ipv4Addr::new(10, 0, 0, 1), "r");
-                r.table.add(Cidr::new(client_ip, 24), IfaceId(0));
-                r.table.add(Cidr::new(server_ip, 24), IfaceId(1));
-                let r = net.add_node(Box::new(r));
-                net.connect(client, IfaceId::PRIMARY, r, IfaceId(0), SimDuration::from_millis(1));
-                net.connect(r, IfaceId(1), server, IfaceId::PRIMARY, SimDuration::from_millis(1));
-                (net, client, server_ip)
-            },
-            |(mut net, client, server_ip)| {
-                let sock = net.node_mut::<lucent_tcp::TcpHost>(client).connect(server_ip, 80);
-                net.wake(client);
-                net.run_for(lucent_netsim::SimDuration::from_millis(50));
-                net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
-                net.wake(client);
-                net.run_for(lucent_netsim::SimDuration::from_millis(200));
-                assert!(!net.node_mut::<lucent_tcp::TcpHost>(client).take_received(sock).is_empty());
-                net.events_processed()
-            },
-            BatchSize::SmallInput,
-        )
+    let mut net = Network::new();
+    net.set_wire_fidelity(fidelity);
+    let client_ip = Ipv4Addr::new(10, 0, 0, 2);
+    let server_ip = Ipv4Addr::new(203, 0, 113, 2);
+    let client = net.add_node(Box::new(TcpHost::new(client_ip, "c", 1)));
+    let mut server_host = TcpHost::new(server_ip, "s", 2);
+    server_host.listen(80, || Box::new(FixedResponder::new(b"HTTP/1.1 200 OK\r\n\r\nok".to_vec())));
+    let server = net.add_node(Box::new(server_host));
+    let mut r = RouterNode::new(Ipv4Addr::new(10, 0, 0, 1), "r");
+    r.table.add(Cidr::new(client_ip, 24), IfaceId(0));
+    r.table.add(Cidr::new(server_ip, 24), IfaceId(1));
+    let r = net.add_node(Box::new(r));
+    net.connect(client, IfaceId::PRIMARY, r, IfaceId(0), SimDuration::from_millis(1));
+    net.connect(r, IfaceId(1), server, IfaceId::PRIMARY, SimDuration::from_millis(1));
+    (net, client, server_ip)
+}
+
+fn run_fetch(
+    mut net: lucent_netsim::Network,
+    client: lucent_netsim::NodeId,
+    server_ip: Ipv4Addr,
+) -> u64 {
+    let sock = net.node_mut::<lucent_tcp::TcpHost>(client).connect(server_ip, 80);
+    net.wake(client);
+    net.run_for(lucent_netsim::SimDuration::from_millis(50));
+    net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+    net.wake(client);
+    net.run_for(lucent_netsim::SimDuration::from_millis(200));
+    assert!(!net.node_mut::<lucent_tcp::TcpHost>(client).take_received(sock).is_empty());
+    net.events_processed()
+}
+
+fn bench_event_engine(h: &mut Harness) {
+    // Ping-pong throughput between two hosts through a router. Setup is
+    // rebuilt per iteration (the network is consumed by the fetch).
+    h.bench("netsim/http_fetch_through_routers", || {
+        let (net, client, server_ip) = fetch_world(true);
+        run_fetch(net, client, server_ip)
     });
 }
 
-fn bench_wire_fidelity_ablation(c: &mut Criterion) {
+fn bench_wire_fidelity_ablation(h: &mut Harness) {
     // DESIGN.md §5: structured fast path vs serialize+parse at every link.
-    use lucent_netsim::routing::Cidr;
-    use lucent_netsim::{IfaceId, Network, RouterNode, SimDuration};
-    use lucent_tcp::{FixedResponder, TcpHost};
-    let mut g = c.benchmark_group("fidelity");
     for fidelity in [false, true] {
-        let name = if fidelity { "wire" } else { "structured" };
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let mut net = Network::new();
-                    net.set_wire_fidelity(fidelity);
-                    let client_ip = Ipv4Addr::new(10, 0, 0, 2);
-                    let server_ip = Ipv4Addr::new(203, 0, 113, 2);
-                    let client = net.add_node(Box::new(TcpHost::new(client_ip, "c", 1)));
-                    let mut server_host = TcpHost::new(server_ip, "s", 2);
-                    server_host.listen(80, || {
-                        Box::new(FixedResponder::new(b"HTTP/1.1 200 OK\r\n\r\nok".to_vec()))
-                    });
-                    let server = net.add_node(Box::new(server_host));
-                    let mut r = RouterNode::new(Ipv4Addr::new(10, 0, 0, 1), "r");
-                    r.table.add(Cidr::new(client_ip, 24), IfaceId(0));
-                    r.table.add(Cidr::new(server_ip, 24), IfaceId(1));
-                    let r = net.add_node(Box::new(r));
-                    net.connect(client, IfaceId::PRIMARY, r, IfaceId(0), SimDuration::from_millis(1));
-                    net.connect(r, IfaceId(1), server, IfaceId::PRIMARY, SimDuration::from_millis(1));
-                    (net, client, server_ip)
-                },
-                |(mut net, client, server_ip)| {
-                    let sock = net.node_mut::<lucent_tcp::TcpHost>(client).connect(server_ip, 80);
-                    net.wake(client);
-                    net.run_for(lucent_netsim::SimDuration::from_millis(50));
-                    net.node_mut::<lucent_tcp::TcpHost>(client)
-                        .send(sock, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
-                    net.wake(client);
-                    net.run_for(lucent_netsim::SimDuration::from_millis(200));
-                    net.events_processed()
-                },
-                BatchSize::SmallInput,
-            )
+        let name = if fidelity { "fidelity/wire" } else { "fidelity/structured" };
+        h.bench(name, || {
+            let (net, client, server_ip) = fetch_world(fidelity);
+            run_fetch(net, client, server_ip)
         });
     }
-    g.finish();
 }
 
-fn bench_topology_build(c: &mut Criterion) {
-    c.bench_function("topology/build_tiny", |b| b.iter(|| India::build(IndiaConfig::tiny())));
-    let mut g = c.benchmark_group("topology");
-    g.sample_size(10);
-    g.bench_function("build_small", |b| b.iter(|| India::build(IndiaConfig::small())));
-    g.finish();
+fn bench_topology_build(h: &mut Harness) {
+    h.bench("topology/build_tiny", || India::build(IndiaConfig::tiny()));
+    h.bench("topology/build_small", || India::build(IndiaConfig::small()));
 }
 
-criterion_group!(
-    benches,
-    bench_packet_roundtrip,
-    bench_event_engine,
-    bench_wire_fidelity_ablation,
-    bench_topology_build
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    h.target_secs = 2.0;
+    h.max_iters = 50;
+    bench_packet_roundtrip(&mut h);
+    bench_event_engine(&mut h);
+    bench_wire_fidelity_ablation(&mut h);
+    bench_topology_build(&mut h);
+}

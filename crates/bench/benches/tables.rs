@@ -1,62 +1,41 @@
 //! Experiment benches: one per table of the paper, at tiny scale (the
 //! point is regression tracking of experiment cost, not absolute time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lucent_support::bench::Harness;
 
 use lucent_bench::Scale;
 use lucent_core::experiments::{table1, table2, table3};
 use lucent_topology::IspId;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table1_tiny", |b| {
-        b.iter(|| {
-            let mut lab = Scale::Tiny.lab();
-            table1::run(
-                &mut lab,
-                &table1::Table1Options { isps: vec![IspId::Idea], max_sites: Some(10) },
-            )
-        })
+fn main() {
+    let mut h = Harness::new();
+    h.target_secs = 2.0;
+    h.max_iters = 10;
+    h.bench("tables/table1_tiny", || {
+        let mut lab = Scale::Tiny.lab();
+        table1::run(
+            &mut lab,
+            &table1::Table1Options { isps: vec![IspId::Idea], max_sites: Some(10) },
+        )
     });
-    g.finish();
-}
-
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table2_tiny", |b| {
-        b.iter(|| {
-            let mut lab = Scale::Tiny.lab();
-            table2::run(
-                &mut lab,
-                &table2::Table2Options {
-                    isps: vec![IspId::Idea],
-                    inside_targets: 8,
-                    hosts_per_path: 20,
-                    max_sites: Some(20),
-                    consistency_paths: 4,
-                },
-            )
-        })
+    h.bench("tables/table2_tiny", || {
+        let mut lab = Scale::Tiny.lab();
+        table2::run(
+            &mut lab,
+            &table2::Table2Options {
+                isps: vec![IspId::Idea],
+                inside_targets: 8,
+                hosts_per_path: 20,
+                max_sites: Some(20),
+                consistency_paths: 4,
+            },
+        )
     });
-    g.finish();
-}
-
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table3_tiny", |b| {
-        b.iter(|| {
-            let mut lab = Scale::Tiny.lab();
-            table3::run(
-                &mut lab,
-                &table3::Table3Options { victims: vec![IspId::Nkn], max_sites: Some(20) },
-            )
-        })
+    h.bench("tables/table3_tiny", || {
+        let mut lab = Scale::Tiny.lab();
+        table3::run(
+            &mut lab,
+            &table3::Table3Options { victims: vec![IspId::Nkn], max_sites: Some(20) },
+        )
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_table1, bench_table2, bench_table3);
-criterion_main!(benches);

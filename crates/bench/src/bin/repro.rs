@@ -58,17 +58,13 @@ fn parse_args() -> Args {
     Args { experiment, scale, json_dir }
 }
 
-fn emit_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+fn emit_json<T: lucent_support::ToJson>(dir: &Option<PathBuf>, name: &str, value: &T) {
     if let Some(dir) = dir {
         let _ = fs::create_dir_all(dir);
         let path = dir.join(format!("{name}.json"));
-        match serde_json::to_string_pretty(value) {
-            Ok(s) => {
-                if let Err(e) = fs::write(&path, s) {
-                    eprintln!("warn: cannot write {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warn: cannot serialize {name}: {e}"),
+        let s = lucent_support::json::to_string_pretty(value);
+        if let Err(e) = fs::write(&path, s) {
+            eprintln!("warn: cannot write {}: {e}", path.display());
         }
     }
 }
@@ -286,14 +282,14 @@ fn main() {
         caps.sites.map(|n| n.to_string()).unwrap_or_else(|| "all".into()),
         if args.json_dir.is_some() { ", writing JSON" } else { "" },
     );
-    let start = std::time::Instant::now();
+    let start = lucent_support::bench::Stopwatch::start();
     let mut lab = args.scale.lab();
     println!(
         "world built: {} sites, {} ISPs, {} events so far ({:.1}s)\n",
         lab.india.corpus.sites().len(),
         lab.india.isps.len(),
         lab.india.net.events_processed(),
-        start.elapsed().as_secs_f64()
+        start.elapsed_secs()
     );
     let json = &args.json_dir;
     match args.experiment.as_str() {
@@ -345,7 +341,7 @@ fn main() {
     }
     println!(
         "done in {:.1}s wall, {} simulator events, virtual time {}",
-        start.elapsed().as_secs_f64(),
+        start.elapsed_secs(),
         lab.india.net.events_processed(),
         lab.now()
     );

@@ -5,7 +5,6 @@
 //! server accepts, or filter the middlebox's injected packets at the
 //! client.
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_packet::http::RequestBuilder;
@@ -16,7 +15,7 @@ use lucent_web::SiteId;
 use crate::lab::{Lab, FETCH_TIMEOUT_MS};
 
 /// An evasion technique.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Technique {
     /// Change the case of the `Host` keyword (`HOst:`).
     HostKeywordCase,
@@ -118,7 +117,7 @@ impl Technique {
 }
 
 /// Outcome of one evasion attempt.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Attempt {
     /// Technique used.
     pub technique: Technique,
@@ -301,7 +300,7 @@ fn tcb_teardown(
         let mut rst = TcpHeader::new(local_port, 80, TcpFlags::RST);
         rst.seq = snd_nxt;
         rst.ack = rcv_nxt;
-        let mut pkt = lucent_packet::Packet::tcp(client_ip, ip, rst, bytes::Bytes::new());
+        let mut pkt = lucent_packet::Packet::tcp(client_ip, ip, rst, lucent_support::Bytes::new());
         pkt.ip.ttl = mb_ttl;
         lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).raw_send(pkt);
         lab.india.net.wake(client);
@@ -467,3 +466,6 @@ mod tests {
         assert!(a.success, "{a:?}");
     }
 }
+
+lucent_support::json_enum!(Technique { HostKeywordCase, ExtraSpaceBeforeValue, TabBeforeValue, TrailingSpace, PrependWww, DuplicateHostDecoy, SegmentedRequest, Http2Version, FirewallByIpId, FirewallBySource, PublicResolver, TcbTeardownRst });
+lucent_support::json_object!(Attempt { technique, success });

@@ -7,7 +7,7 @@
 //! complement. Crucially — and unlike OONI — only the *body content* is
 //! compared, never headers (§6.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The paper's decision threshold.
 pub const DIFF_THRESHOLD: f64 = 0.3;
@@ -22,8 +22,8 @@ pub fn similarity(a: &[u8], b: &[u8]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    fn count(buf: &[u8]) -> HashMap<&[u8], usize> {
-        let mut m: HashMap<&[u8], usize> = HashMap::new();
+    fn count(buf: &[u8]) -> BTreeMap<&[u8], usize> {
+        let mut m: BTreeMap<&[u8], usize> = BTreeMap::new();
         for line in buf.split(|&c| c == b'\n' || c == b'>') {
             if !line.is_empty() {
                 *m.entry(line).or_insert(0) += 1;

@@ -10,7 +10,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_packet::http::RequestBuilder;
 use lucent_packet::tcp::TcpFlags;
@@ -20,7 +19,7 @@ use crate::lab::Lab;
 use crate::report;
 
 /// Per-ISP asterisk statistics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AnonymityRow {
     /// ISP probed.
     pub isp: String,
@@ -35,7 +34,7 @@ pub struct AnonymityRow {
 }
 
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Anonymity {
     /// Per-ISP rows.
     pub rows: Vec<AnonymityRow>,
@@ -162,3 +161,6 @@ mod tests {
         assert!(row.with_asterisk * 2 >= row.paths, "{a}");
     }
 }
+
+lucent_support::json_object!(AnonymityRow { isp, paths, with_asterisk, censored, censored_and_asterisk });
+lucent_support::json_object!(Anonymity { rows });

@@ -6,7 +6,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_web::{Category, SiteId};
 
@@ -16,7 +15,7 @@ use crate::report;
 use super::table2::HttpScan;
 
 /// Category breakdown of one ISP's measured blocked set.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CategoryRow {
     /// ISP.
     pub isp: String,
@@ -27,7 +26,7 @@ pub struct CategoryRow {
 }
 
 /// The breakdown table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Categories {
     /// Per-ISP rows.
     pub rows: Vec<CategoryRow>,
@@ -106,3 +105,6 @@ mod tests {
         assert!(cats.to_string().contains("Idea"));
     }
 }
+
+lucent_support::json_object!(CategoryRow { isp, by_category, total });
+lucent_support::json_object!(Categories { rows });

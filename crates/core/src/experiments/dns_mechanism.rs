@@ -6,7 +6,6 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_dns::{catalog, DnsCatalog, DnsInjectorNode, ResolverApp};
 use lucent_netsim::routing::Cidr;
@@ -20,7 +19,7 @@ use crate::lab::Lab;
 use crate::probe::tracer::{dns_tracer, DnsMechanism};
 
 /// Mechanism verdicts per resolver examined.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DnsMechanismReport {
     /// Per (ISP, resolver) verdict.
     pub verdicts: Vec<(String, String, DnsMechanism)>,
@@ -177,3 +176,5 @@ mod tests {
         assert!(report.synthetic_injection_detected);
     }
 }
+
+lucent_support::json_object!(DnsMechanismReport { verdicts, synthetic_injection_detected });

@@ -4,7 +4,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_topology::IspId;
@@ -43,7 +42,7 @@ impl Default for EvasionOptions {
 }
 
 /// One (ISP, technique) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EvasionCell {
     /// Successful evasions.
     pub success: usize,
@@ -52,7 +51,7 @@ pub struct EvasionCell {
 }
 
 /// The evasion matrix.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Evasion {
     /// ISP → technique name → cell.
     pub matrix: BTreeMap<String, BTreeMap<String, EvasionCell>>,
@@ -213,3 +212,6 @@ mod tests {
         assert_eq!(idea["extra-space"].success, idea["extra-space"].attempts, "{e}");
     }
 }
+
+lucent_support::json_object!(EvasionCell { success, attempts });
+lucent_support::json_object!(Evasion { matrix, fully_evaded });

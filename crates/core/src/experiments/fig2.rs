@@ -5,7 +5,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_topology::IspId;
 use lucent_web::SiteId;
@@ -33,7 +32,7 @@ impl Default for Fig2Options {
 }
 
 /// One ISP's DNS survey summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DnsRow {
     /// ISP surveyed.
     pub isp: String,
@@ -51,7 +50,7 @@ pub struct DnsRow {
 }
 
 /// The full Figure 2 data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2 {
     /// Per-ISP rows.
     pub rows: Vec<DnsRow>,
@@ -138,3 +137,6 @@ mod tests {
         assert!(mtnl.poisoned <= truth_poisoned + 1);
     }
 }
+
+lucent_support::json_object!(DnsRow { isp, open, poisoned, coverage, consistency, series });
+lucent_support::json_object!(Fig2 { rows });

@@ -4,7 +4,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_topology::IspId;
 use lucent_web::SiteId;
@@ -16,7 +15,7 @@ use crate::report;
 use super::table2::HttpScan;
 
 /// One ISP's consistency measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IspConsistency {
     /// ISP measured.
     pub isp: String,
@@ -30,7 +29,7 @@ pub struct IspConsistency {
 }
 
 /// The full Figure 5 data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5 {
     /// Per-ISP series.
     pub rows: Vec<IspConsistency>,
@@ -117,3 +116,6 @@ mod tests {
         assert!(cons.series.windows(2).all(|w| w[0] >= w[1]));
     }
 }
+
+lucent_support::json_object!(IspConsistency { isp, consistency, series, paths });
+lucent_support::json_object!(Fig5 { rows });

@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_packet::ipv4::is_bogon;
 use lucent_topology::IspId;
@@ -16,7 +15,7 @@ use lucent_web::SiteId;
 use crate::lab::{Lab, FETCH_TIMEOUT_MS};
 
 /// One ISP's HTTPS audit.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HttpsRow {
     /// ISP audited.
     pub isp: String,
@@ -29,7 +28,7 @@ pub struct HttpsRow {
 }
 
 /// The full audit.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HttpsCheck {
     /// Per-ISP rows.
     pub rows: Vec<HttpsRow>,
@@ -124,3 +123,6 @@ mod tests {
         assert_eq!(mtnl.https_blocked, mtnl.dns_caused, "{check}");
     }
 }
+
+lucent_support::json_object!(HttpsRow { isp, sampled, https_blocked, dns_caused });
+lucent_support::json_object!(HttpsCheck { rows });

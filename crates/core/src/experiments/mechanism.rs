@@ -4,7 +4,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_packet::http::RequestBuilder;
@@ -15,7 +14,7 @@ use lucent_topology::IspId;
 use crate::lab::{Lab, FETCH_TIMEOUT_MS};
 
 /// The observable sequence of one censored connection.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MechanismReport {
     /// ISP whose middlebox was exercised.
     pub isp: String,
@@ -216,3 +215,5 @@ mod tests {
         assert!(report.client_got_notice || report.client_got_rst, "{report}");
     }
 }
+
+lucent_support::json_object!(MechanismReport { isp, remote, handshake_at_remote, get_reached_remote, client_got_notice, notice_had_fin, client_got_rst, forged_rst_at_remote, late_response_rst_by_client, transcript });

@@ -4,7 +4,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_topology::IspId;
@@ -36,7 +35,7 @@ impl Default for RaceOptions {
 }
 
 /// One ISP's race outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RaceRow {
     /// ISP measured.
     pub isp: String,
@@ -58,7 +57,7 @@ impl RaceRow {
 }
 
 /// The race table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Race {
     /// Per-ISP rows.
     pub rows: Vec<RaceRow>,
@@ -169,3 +168,6 @@ mod tests {
         }
     }
 }
+
+lucent_support::json_object!(RaceRow { isp, attempts, rendered });
+lucent_support::json_object!(Race { rows });

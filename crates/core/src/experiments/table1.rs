@@ -5,7 +5,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_topology::IspId;
 use lucent_web::SiteId;
@@ -36,7 +35,7 @@ impl Default for Table1Options {
 }
 
 /// One ISP row of Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IspAccuracy {
     /// ISP name.
     pub isp: String,
@@ -55,7 +54,7 @@ pub struct IspAccuracy {
 }
 
 /// The full Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// One row per ISP.
     pub rows: Vec<IspAccuracy>,
@@ -146,7 +145,7 @@ impl fmt::Display for Table1 {
 /// §3.1 in-text statistic: of the sites the 0.3 diff threshold flags,
 /// what fraction does manual inspection clear as non-censored? (The
 /// paper: 30–40% across ISPs; this is the step OONI skips.)
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThresholdAudit {
     /// ISP audited.
     pub isp: String,
@@ -216,3 +215,7 @@ mod tests {
         assert!(text.contains("MTNL") && text.contains("Idea"));
     }
 }
+
+lucent_support::json_object!(IspAccuracy { isp, total, dns, tcp, http, ooni_blocked, manual_blocked });
+lucent_support::json_object!(Table1 { rows, sites_tested });
+lucent_support::json_object!(ThresholdAudit { isp, flagged, cleared });

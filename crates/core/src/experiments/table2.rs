@@ -4,7 +4,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_topology::IspId;
@@ -44,7 +43,7 @@ impl Default for Table2Options {
 }
 
 /// Everything one ISP's HTTP scan produced (reused by Figure 5).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HttpScan {
     /// ISP scanned.
     pub isp: String,
@@ -217,7 +216,7 @@ pub fn scan_isp(lab: &mut Lab, isp: IspId, opts: &Table2Options) -> HttpScan {
 }
 
 /// The full Table 2.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// Per-ISP scans.
     pub scans: Vec<HttpScan>,
@@ -291,3 +290,6 @@ mod tests {
         assert!(t.to_string().contains("Idea"));
     }
 }
+
+lucent_support::json_object!(HttpScan { isp, blocked_sites, inside, outside, path_blocklists, kind, overt });
+lucent_support::json_object!(Table2 { scans });

@@ -7,7 +7,6 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_packet::HttpResponse;
@@ -37,7 +36,7 @@ impl Default for Table3Options {
 }
 
 /// One victim's measurements: censor → blocked-site count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VictimRow {
     /// The victim ISP.
     pub victim: String,
@@ -47,7 +46,7 @@ pub struct VictimRow {
 }
 
 /// The full Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// One row per victim.
     pub rows: Vec<VictimRow>,
@@ -178,3 +177,6 @@ mod tests {
         assert!(voda <= truth, "{row:?} (truth {truth})");
     }
 }
+
+lucent_support::json_object!(VictimRow { victim, by_censor });
+lucent_support::json_object!(Table3 { rows });

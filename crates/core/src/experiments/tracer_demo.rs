@@ -4,7 +4,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_topology::IspId;
@@ -13,7 +12,7 @@ use crate::lab::Lab;
 use crate::probe::tracer::{http_tracer, HttpTrace, Rung};
 
 /// The demonstration output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TracerDemo {
     /// ISP demonstrated.
     pub isp: String,
@@ -105,3 +104,5 @@ mod tests {
         assert!(text.contains("Idea"));
     }
 }
+
+lucent_support::json_object!(TracerDemo { isp, domain, dst, trace });

@@ -4,7 +4,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_topology::IspId;
@@ -16,7 +15,7 @@ use crate::probe::trigger::{
 };
 
 /// One ISP's trigger characterization.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TriggerRow {
     /// ISP measured.
     pub isp: String,
@@ -31,7 +30,7 @@ pub struct TriggerRow {
 }
 
 /// The full report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Triggers {
     /// Per-ISP rows.
     pub rows: Vec<TriggerRow>,
@@ -170,3 +169,6 @@ mod tests {
         assert!(t.to_string().contains("Idea"));
     }
 }
+
+lucent_support::json_object!(TriggerRow { isp, twin, host_field, ladder, timeout });
+lucent_support::json_object!(Triggers { rows });

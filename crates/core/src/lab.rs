@@ -461,7 +461,7 @@ impl Lab {
             let mut syn = TcpHeader::new(p, dst_port, TcpFlags::SYN);
             syn.seq = iss;
             syn.mss = Some(1400);
-            let mut pkt = Packet::tcp(client_ip, dst, syn, bytes::Bytes::new());
+            let mut pkt = Packet::tcp(client_ip, dst, syn, lucent_support::Bytes::new());
             if let Some(t) = syn_ttl {
                 pkt.ip.ttl = t;
             }
@@ -502,7 +502,7 @@ impl Lab {
             let mut ack = TcpHeader::new(local_port, dst_port, TcpFlags::ACK);
             ack.seq = conn.seq;
             ack.ack = conn.ack;
-            let pkt = Packet::tcp(client_ip, dst, ack, bytes::Bytes::new());
+            let pkt = Packet::tcp(client_ip, dst, ack, lucent_support::Bytes::new());
             self.host_mut(from).raw_send(pkt);
             self.india.net.wake(from);
             self.run_ms(1);
@@ -550,7 +550,7 @@ impl Lab {
                     let mut ack = TcpHeader::new(conn.local_port, conn.dst_port, TcpFlags::ACK);
                     ack.seq = conn.seq;
                     ack.ack = conn.ack;
-                    let out = Packet::tcp(conn.client_ip, conn.dst, ack, bytes::Bytes::new());
+                    let out = Packet::tcp(conn.client_ip, conn.dst, ack, lucent_support::Bytes::new());
                     self.host_mut(conn.client).raw_send(out);
                     self.india.net.wake(conn.client);
                 }
@@ -569,7 +569,7 @@ impl Lab {
     pub fn raw_close(&mut self, conn: &RawConn) {
         let mut rst = TcpHeader::new(conn.local_port, conn.dst_port, TcpFlags::RST);
         rst.seq = conn.seq;
-        let pkt = Packet::tcp(conn.client_ip, conn.dst, rst, bytes::Bytes::new());
+        let pkt = Packet::tcp(conn.client_ip, conn.dst, rst, lucent_support::Bytes::new());
         let host = self.host_mut(conn.client);
         host.raw_send(pkt);
         host.raw_release_port(conn.local_port);

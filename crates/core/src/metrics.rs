@@ -1,9 +1,8 @@
 //! Measurement arithmetic: precision/recall, coverage, consistency.
 
-use serde::Serialize;
 
 /// A precision/recall accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PrecisionRecall {
     /// True positives.
     pub tp: u64,
@@ -132,3 +131,5 @@ mod tests {
         assert!((c - 0.75).abs() < 1e-12);
     }
 }
+
+lucent_support::json_object!(PrecisionRecall { tp, fp, fn_, tn });

@@ -4,7 +4,6 @@
 
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_packet::http::RequestBuilder;
@@ -15,7 +14,7 @@ use lucent_web::SiteId;
 use crate::lab::{Lab, FETCH_TIMEOUT_MS};
 
 /// What the classifier concluded about an ISP's middleboxes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MeasuredKind {
     /// Wiretap: the request still reaches the destination.
     Wiretap,
@@ -24,7 +23,7 @@ pub enum MeasuredKind {
 }
 
 /// Result of the controlled-remote-host experiment against one remote.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RemoteHostReport {
     /// The remote used.
     pub remote: Ipv4Addr,
@@ -133,7 +132,7 @@ pub fn render_rate(lab: &mut Lab, isp: IspId, site: SiteId, attempts: usize) -> 
 /// crafted GETs with TTLs beyond the middlebox hop. A wiretap lets them
 /// through (ICMP Time-Exceeded still arrives from downstream routers); an
 /// interceptive device consumes them (censored responses, no ICMP).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IcmpConsumption {
     /// TTL rungs past the device that elicited ICMP expiries for the
     /// *blocked* domain.
@@ -272,3 +271,7 @@ mod tests {
         assert!(report.forged_rst_at_remote, "{report:?}");
     }
 }
+
+lucent_support::json_enum!(MeasuredKind { Wiretap, Interceptive });
+lucent_support::json_object!(RemoteHostReport { remote, censored, get_reached_remote, client_saw_notice, forged_rst_at_remote });
+lucent_support::json_object!(IcmpConsumption { blocked_icmp, blocked_censored, control_icmp });

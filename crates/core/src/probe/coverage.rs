@@ -9,7 +9,6 @@
 
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_netsim::NodeId;
@@ -22,7 +21,7 @@ use lucent_web::SiteId;
 use crate::lab::Lab;
 
 /// One probed router-level path.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PathProbe {
     /// The destination that selects this path.
     pub target: Ipv4Addr,
@@ -33,7 +32,7 @@ pub struct PathProbe {
 }
 
 /// A full coverage scan.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CoverageScan {
     /// ISP scanned.
     pub isp: String,
@@ -257,3 +256,6 @@ mod tests {
         assert!((0.0..=1.0).contains(&c), "{c}");
     }
 }
+
+lucent_support::json_object!(PathProbe { target, poisoned, tried });
+lucent_support::json_object!(CoverageScan { isp, inside, paths });

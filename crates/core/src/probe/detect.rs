@@ -3,7 +3,6 @@
 
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_packet::ipv4::is_bogon;
@@ -15,7 +14,7 @@ use crate::lab::{Lab, FETCH_TIMEOUT_MS};
 use crate::probe::CensorKind;
 
 /// Result of running the full §3 pipeline on one site.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Detection {
     /// Site tested.
     pub site: u32,
@@ -249,3 +248,5 @@ mod tests {
         assert!(confirmed >= 3, "{confirmed}/{tested} confirmed");
     }
 }
+
+lucent_support::json_object!(Detection { site, blocked, kind, flagged_by_threshold, confirmed });

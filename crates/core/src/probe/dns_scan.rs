@@ -5,7 +5,6 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_packet::ipv4::is_bogon;
 use lucent_topology::IspId;
@@ -14,7 +13,7 @@ use lucent_web::SiteId;
 use crate::lab::Lab;
 
 /// Per-resolver scan outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResolverScan {
     /// The resolver's address.
     pub resolver: Ipv4Addr,
@@ -23,7 +22,7 @@ pub struct ResolverScan {
 }
 
 /// The full DNS-filtering survey of one ISP.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DnsSurvey {
     /// ISP surveyed.
     pub isp: String,
@@ -180,3 +179,6 @@ mod tests {
         assert!(!series.is_empty());
     }
 }
+
+lucent_support::json_object!(ResolverScan { resolver, manipulated });
+lucent_support::json_object!(DnsSurvey { isp, open_resolvers, poisoned });

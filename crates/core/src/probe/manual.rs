@@ -7,7 +7,6 @@
 //! page, the ISP's DNS answer, a Tor-side fetch for comparison, and
 //! well-known block-page fingerprints.
 
-use serde::Serialize;
 
 use lucent_middlebox::notice::looks_like_notice;
 use lucent_packet::ipv4::is_bogon;
@@ -22,7 +21,7 @@ use crate::probe::CensorKind;
 pub const MANUAL_RETRIES: usize = 3;
 
 /// A manual verdict for one (ISP, site) pair.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ManualVerdict {
     /// Site inspected.
     pub site: u32,
@@ -206,3 +205,5 @@ mod tests {
         assert_eq!(v.kind, Some(CensorKind::Dns));
     }
 }
+
+lucent_support::json_object!(ManualVerdict { site, blocked, kind, notice_seen, dead_from_tor });

@@ -10,10 +10,9 @@ pub mod ooni;
 pub mod tracer;
 pub mod trigger;
 
-use serde::Serialize;
 
 /// The censorship mechanism categories the study distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CensorKind {
     /// DNS manipulation (poisoning or injection).
     Dns,
@@ -22,3 +21,5 @@ pub enum CensorKind {
     /// HTTP request filtering by middleboxes.
     Http,
 }
+
+lucent_support::json_enum!(CensorKind { Dns, TcpIp, Http });

@@ -14,7 +14,6 @@
 //! reproducing the logic (rather than the published accuracy numbers) is
 //! that Table 1's precision/recall then *emerge* from content phenomena.
 
-use serde::Serialize;
 
 use lucent_topology::IspId;
 use lucent_web::SiteId;
@@ -26,7 +25,7 @@ use crate::probe::CensorKind;
 pub const BODY_PROPORTION: f64 = 0.7;
 
 /// One web-connectivity measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OoniMeasurement {
     /// Site measured.
     pub site: u32,
@@ -127,9 +126,9 @@ pub fn web_connectivity_with(
     // Per the paper's reading of OONI (§3.1): "if the two IP addresses of
     // the same website are different they assume it to be censorship" —
     // inconsistent resolution is flagged as DNS blocking outright.
-    let verdict = if !dns_consistent {
-        Some(CensorKind::Dns)
-    } else if probe_dns.ips.is_empty() && !control_dns.ips.is_empty() {
+    let verdict = if !dns_consistent
+        || (probe_dns.ips.is_empty() && !control_dns.ips.is_empty())
+    {
         Some(CensorKind::Dns)
     } else if probe_failed && control_ok {
         if probe_fetch.as_ref().map(|f| f.connect_failed).unwrap_or(true) {
@@ -221,3 +220,5 @@ mod tests {
         assert!(m.dns_consistent);
     }
 }
+
+lucent_support::json_object!(OoniMeasurement { site, verdict, body_length_match, headers_match, title_match, dns_consistent });

@@ -4,7 +4,6 @@
 
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_netsim::NodeId;
 use lucent_packet::http::RequestBuilder;
@@ -13,7 +12,7 @@ use lucent_packet::tcp::TcpFlags;
 use crate::lab::Lab;
 
 /// What the client observed for one TTL rung.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Rung {
     /// ICMP Time Exceeded from this router (None = silent/anonymized).
     IcmpExpired(Option<Ipv4Addr>),
@@ -31,7 +30,7 @@ pub enum Rung {
 }
 
 /// Result of an HTTP trace toward one destination.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HttpTrace {
     /// Observation per TTL (index 0 = TTL 1).
     pub rungs: Vec<Rung>,
@@ -113,7 +112,7 @@ pub fn http_tracer(
 
 /// The DNS mechanism question (§3.2-III): poisoned resolver or on-path
 /// injector?
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DnsMechanism {
     /// Manipulated answers only from the final hop: the resolver itself.
     Poisoning,
@@ -259,5 +258,39 @@ mod tests {
             24,
         );
         assert_eq!(mech, DnsMechanism::Poisoning);
+    }
+}
+
+lucent_support::json_object!(HttpTrace { rungs, censored_at_ttl, path_len });
+
+impl lucent_support::ToJson for Rung {
+    fn to_json(&self) -> lucent_support::Json {
+        use lucent_support::Json;
+        // Externally tagged, matching serde's default enum representation.
+        match self {
+            Rung::IcmpExpired(router) => {
+                Json::Obj(vec![("IcmpExpired".to_string(), router.to_json())])
+            }
+            Rung::Censored { notice } => Json::Obj(vec![(
+                "Censored".to_string(),
+                Json::Obj(vec![("notice".to_string(), notice.to_json())]),
+            )]),
+            Rung::ServerResponse => Json::Str("ServerResponse".to_string()),
+            Rung::Silent => Json::Str("Silent".to_string()),
+        }
+    }
+}
+
+impl lucent_support::ToJson for DnsMechanism {
+    fn to_json(&self) -> lucent_support::Json {
+        use lucent_support::Json;
+        match self {
+            DnsMechanism::Poisoning => Json::Str("Poisoning".to_string()),
+            DnsMechanism::Injection { at_ttl } => Json::Obj(vec![(
+                "Injection".to_string(),
+                Json::Obj(vec![("at_ttl".to_string(), at_ttl.to_json())]),
+            )]),
+            DnsMechanism::NotCensored => Json::Str("NotCensored".to_string()),
+        }
     }
 }

@@ -4,7 +4,6 @@
 
 use std::net::Ipv4Addr;
 
-use serde::Serialize;
 
 use lucent_netsim::NodeId;
 use lucent_packet::http::RequestBuilder;
@@ -23,7 +22,7 @@ fn censored(packets: &[Packet]) -> bool {
 }
 
 /// §3.4-III: the request-vs-response discrimination experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TwinResult {
     /// Hops to the destination.
     pub path_len: u8,
@@ -63,7 +62,7 @@ pub fn ttl_twin(lab: &mut Lab, client: NodeId, dst: Ipv4Addr, blocked_domain: &s
 }
 
 /// §3.4-IV: confirm the trigger is the `Host` field and nothing else.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HostFieldResult {
     /// Blocked domain in `Host` (TTL-limited to the penultimate hop) —
     /// must be censored.
@@ -107,7 +106,7 @@ pub fn host_field_only(
 }
 
 /// §4.2.1 "Caveat": the statefulness ladder.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StatefulLadder {
     /// Full handshake + GET → censored (the baseline).
     pub full_handshake: bool,
@@ -169,7 +168,7 @@ pub fn stateful_ladder(
         let mut synack = TcpHeader::new(port, 80, TcpFlags::SYN | TcpFlags::ACK);
         synack.seq = 0x4000_0000;
         synack.ack = 0x1111_1111;
-        let mut pkt = Packet::tcp(client_ip, dst, synack, bytes::Bytes::new());
+        let mut pkt = Packet::tcp(client_ip, dst, synack, lucent_support::Bytes::new());
         pkt.ip.ttl = penultimate;
         host.raw_send(pkt);
         let mut conn = crate::lab::RawConn {
@@ -250,7 +249,7 @@ pub fn timeout_probe(
         let mut ka = TcpHeader::new(conn.local_port, 80, TcpFlags::ACK);
         ka.seq = conn.seq;
         ka.ack = conn.ack;
-        lab.raw_packet(client, Packet::tcp(conn.client_ip, dst, ka, bytes::Bytes::new()));
+        lab.raw_packet(client, Packet::tcp(conn.client_ip, dst, ka, lucent_support::Bytes::new()));
         lab.run_ms(idle_secs * 500);
         lab.raw_send(&mut conn, &req, Some(penultimate));
         let got = censored(&lab.raw_observe(&mut conn, 800));
@@ -341,3 +340,7 @@ mod tests {
         assert!(after_refresh, "keep-alive should have refreshed the state");
     }
 }
+
+lucent_support::json_object!(TwinResult { path_len, censored_short, censored_full });
+lucent_support::json_object!(HostFieldResult { host_blocked, domain_elsewhere, control });
+lucent_support::json_object!(StatefulLadder { full_handshake, syn_only, syn_ack_first, no_handshake });

@@ -1,0 +1,87 @@
+//! The lint gate CLI.
+//!
+//! ```text
+//! lucent-lint [--root <dir>] [--update-baseline] [--verbose]
+//! ```
+//!
+//! Exit status 0 when the tree is clean, 1 on violations, 2 on usage or
+//! I/O errors. Run from anywhere inside the workspace; the root is found
+//! by walking up to the `[workspace]` manifest.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--update-baseline" => update = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: lucent-lint [--root <dir>] [--update-baseline] [--verbose]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir().ok().and_then(|d| lucent_devtools::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no workspace root found; pass --root"),
+    };
+
+    let result = if update {
+        lucent_devtools::update_baseline(&root)
+    } else {
+        lucent_devtools::run_root(&root)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lucent-lint: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if verbose {
+        for w in &report.warnings {
+            println!("note: {w}");
+        }
+    }
+    if update && report.ok() {
+        println!("lucent-lint: baseline rewritten ({} panic sites)", report.panic_total);
+        return ExitCode::SUCCESS;
+    }
+    if report.ok() {
+        println!(
+            "lucent-lint: clean — {} files, {} panic sites within baseline, {} note(s)",
+            report.files_scanned,
+            report.panic_total,
+            report.warnings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("lucent-lint: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lucent-lint: {msg}");
+    eprintln!("usage: lucent-lint [--root <dir>] [--update-baseline] [--verbose]");
+    ExitCode::from(2)
+}

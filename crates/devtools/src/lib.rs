@@ -1,0 +1,282 @@
+//! `lucent-devtools`: in-tree static analysis for the lucent workspace.
+//!
+//! The `lucent-lint` binary (and the `run_root` library entry point the
+//! tier-1 gate calls) enforces five rule families:
+//!
+//! - **L1 hermeticity** — every dependency is a path dependency; the
+//!   workspace builds with the network unplugged.
+//! - **L2 layering** — crate dependencies respect the layer DAG
+//!   `packet → netsim → tcp → dns → {web, middlebox} → topology →
+//!   core → bench`, with `support` underneath everything.
+//! - **L3 determinism** — no wall clocks outside the bench stopwatch, no
+//!   entropy-seeded randomness, no hash-ordered collections, and RNG
+//!   construction only in allowlisted seed-plumbing files.
+//! - **L4 panic budget** — panic sites (`unwrap`/`expect`/`panic!`/
+//!   `unreachable!`) in non-test code are capped per file by the
+//!   shrink-only `lint-allow.toml` baseline.
+//! - **L5 unsafe hygiene** — every `unsafe` carries a `// SAFETY:`
+//!   justification (most crates simply `#![forbid(unsafe_code)]`).
+//!
+//! The lint is dependency-free by construction: it ships its own Rust
+//! scrubbing lexer and a TOML subset parser, so the gate itself cannot
+//! violate L1.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lex;
+pub mod manifest;
+pub mod report;
+pub mod source;
+pub mod toml;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use allow::Allow;
+use report::{Report, Rule, Violation};
+use source::{Lexed, SourceFile};
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOW_FILE: &str = "lint-allow.toml";
+
+/// Run the whole gate against a workspace root. I/O errors (an
+/// unreadable tree) surface as `Err`; rule findings land in the report.
+pub fn run_root(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    let allow = match fs::read_to_string(root.join(ALLOW_FILE)) {
+        Ok(text) => match Allow::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                report.violations.push(Violation::file(
+                    Rule::PanicBudget,
+                    ALLOW_FILE,
+                    format!("unparseable allowlist: {e}"),
+                ));
+                Allow::default()
+            }
+        },
+        Err(_) => {
+            report.warnings.push(format!("{ALLOW_FILE} missing — all ceilings default to zero"));
+            Allow::default()
+        }
+    };
+
+    // L1 + L2 over the root and member manifests.
+    let root_doc = parse_manifest(root, "Cargo.toml", &mut report);
+    let workspace_path_deps = match &root_doc {
+        Some(doc) => {
+            let (v, names) = manifest::check_workspace_deps(doc);
+            report.merge(v);
+            names
+        }
+        None => Vec::new(),
+    };
+    for rel in member_manifests(root)? {
+        if let Some(doc) = parse_manifest(root, &rel, &mut report) {
+            let m = manifest::extract(&doc, &rel);
+            report.merge(manifest::check_hermetic(&m, &workspace_path_deps));
+            report.merge(manifest::check_layering(&m));
+        }
+    }
+
+    // L3–L5 over library source trees; L5 additionally over test and
+    // bench code (unsafe needs a justification wherever it appears).
+    for rel in rust_sources(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        let file = SourceFile { path: &rel, text: &text };
+        let lexed = Lexed::new(&text);
+        report.files_scanned += 1;
+        if in_library_tree(&rel) {
+            report.merge(source::check_determinism(&file, &lexed, &allow));
+            let (v, count) = source::check_panic_budget(&file, &lexed, &allow);
+            report.merge(v);
+            report.panic_total += count;
+            if count < allow.panic_ceiling(&rel) {
+                report.warnings.push(format!(
+                    "{rel}: {count} panic site(s), baseline {} — shrink the entry",
+                    allow.panic_ceiling(&rel)
+                ));
+            }
+        }
+        report.merge(source::check_unsafe(&file, &lexed));
+    }
+
+    // Baseline hygiene: entries for files that no longer exist must go.
+    for path in allow.panic_sites.keys() {
+        if !root.join(path).is_file() {
+            report.warnings.push(format!("{ALLOW_FILE}: stale entry for missing file {path}"));
+        }
+    }
+
+    report.violations.sort();
+    Ok(report)
+}
+
+/// Rewrite `lint-allow.toml` with current panic counts. Ceilings only
+/// ever move down: an attempt to raise one is reported as a violation
+/// instead of written.
+pub fn update_baseline(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let old = fs::read_to_string(root.join(ALLOW_FILE))
+        .ok()
+        .and_then(|t| Allow::parse(&t).ok())
+        .unwrap_or_default();
+    let mut new = old.clone();
+    new.panic_sites.clear();
+    for rel in rust_sources(root)? {
+        if !in_library_tree(&rel) {
+            continue;
+        }
+        let text = fs::read_to_string(root.join(&rel))?;
+        let count = source::count_panic_sites(&Lexed::new(&text));
+        if count == 0 {
+            continue;
+        }
+        let prior = old.panic_sites.get(&rel).copied();
+        if prior.is_some_and(|p| count > p) {
+            report.violations.push(Violation::file(
+                Rule::PanicBudget,
+                &rel,
+                format!(
+                    "refusing to raise the baseline from {} to {count} — \
+                     remove panic sites or edit {ALLOW_FILE} explicitly in review",
+                    prior.unwrap_or(0)
+                ),
+            ));
+            new.panic_sites.insert(rel, prior.unwrap_or(0));
+        } else {
+            new.panic_sites.insert(rel, count);
+        }
+        report.panic_total += count;
+    }
+    if report.ok() {
+        fs::write(root.join(ALLOW_FILE), new.to_toml())?;
+    }
+    Ok(report)
+}
+
+/// Locate the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing `[workspace]` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn parse_manifest(root: &Path, rel: &str, report: &mut Report) -> Option<toml::Doc> {
+    let text = match fs::read_to_string(root.join(rel)) {
+        Ok(t) => t,
+        Err(e) => {
+            report.violations.push(Violation::file(
+                Rule::Hermeticity,
+                rel,
+                format!("unreadable manifest: {e}"),
+            ));
+            return None;
+        }
+    };
+    match toml::parse(&text) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
+            report.violations.push(Violation::file(
+                Rule::Hermeticity,
+                rel,
+                format!("manifest outside the supported TOML subset: {e}"),
+            ));
+            None
+        }
+    }
+}
+
+/// Member manifest paths relative to the root, in sorted order.
+fn member_manifests(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::file_name);
+        for e in entries {
+            let m = e.path().join("Cargo.toml");
+            if m.is_file() {
+                out.push(format!("crates/{}/Cargo.toml", e.file_name().to_string_lossy()));
+            }
+        }
+    }
+    for extra in ["tests", "examples"] {
+        if root.join(extra).join("Cargo.toml").is_file() {
+            out.push(format!("{extra}/Cargo.toml"));
+        }
+    }
+    Ok(out)
+}
+
+/// Every `.rs` file under `crates/`, `tests/` and `examples/`, sorted,
+/// repo-relative with forward slashes. `target/` is never entered.
+fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        if path.is_dir() {
+            if name != "target" && !name.to_string_lossy().starts_with('.') {
+                walk(&path, root, out)?;
+            }
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// L3/L4 apply to crate library/bin code only: `crates/<name>/src/…`.
+/// Integration tests, benches and examples are measurement harnesses,
+/// not result paths.
+fn in_library_tree(rel: &str) -> bool {
+    let mut parts = rel.split('/');
+    parts.next() == Some("crates") && {
+        let _crate_name = parts.next();
+        parts.next() == Some("src")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_tree_classification() {
+        assert!(in_library_tree("crates/packet/src/dns.rs"));
+        assert!(in_library_tree("crates/bench/src/bin/repro.rs"));
+        assert!(!in_library_tree("crates/packet/tests/garbage.rs"));
+        assert!(!in_library_tree("crates/bench/benches/tables.rs"));
+        assert!(!in_library_tree("tests/it_end_to_end.rs"));
+        assert!(!in_library_tree("examples/quickstart.rs"));
+    }
+}

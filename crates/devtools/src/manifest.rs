@@ -1,0 +1,303 @@
+//! Manifest rules: L1 hermeticity and L2 layering.
+//!
+//! L1 — the workspace must build with the network unplugged. Every
+//! dependency in every member manifest must resolve to a path inside the
+//! repository, either directly (`{ path = … }`) or through a
+//! `[workspace.dependencies]` entry that is itself a path.
+//!
+//! L2 — crates form a strict DAG:
+//!
+//! ```text
+//! support → packet → netsim → tcp → dns → {web, middlebox}
+//!         → topology → core → bench
+//! ```
+//!
+//! (`dns` sits above `tcp` because resolvers are transport apps hosted
+//! on a `TcpHost`; `middlebox` needs neither.)
+//!
+//! A crate may depend only on crates in strictly lower layers. The map
+//! below is the single source of truth; adding an edge means editing it
+//! here, in review.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Rule, Violation};
+use crate::toml::{Doc, Value};
+
+/// One dependency as declared in a manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dep {
+    pub name: String,
+    /// The section it came from (`dependencies`, `dev-dependencies`, …).
+    pub section: String,
+    /// Declared with `path = …`.
+    pub has_path: bool,
+    /// Declared with `workspace = true`.
+    pub from_workspace: bool,
+    /// Declared with a registry version requirement.
+    pub has_version: bool,
+}
+
+/// A parsed member manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Package name (`lucent-packet`, …).
+    pub package: String,
+    /// Manifest path relative to the workspace root.
+    pub rel_path: String,
+    pub deps: Vec<Dep>,
+}
+
+const DEP_SECTIONS: [&str; 3] = ["dependencies", "dev-dependencies", "build-dependencies"];
+
+/// Extract the package name and all dependency declarations from a
+/// parsed manifest, handling both inline (`foo = { … }`) and dotted
+/// (`[dependencies.foo]`) forms.
+pub fn extract(doc: &Doc, rel_path: &str) -> Manifest {
+    let package = doc
+        .get("package", "name")
+        .and_then(Value::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string();
+    let mut deps = Vec::new();
+    for section in DEP_SECTIONS {
+        for (name, value) in doc.section(section) {
+            deps.push(classify(name, value, section));
+        }
+        // Dotted sub-tables: [dependencies.foo]
+        let prefix = format!("{section}.");
+        for sec_name in doc.sections.keys() {
+            if let Some(dep_name) = sec_name.strip_prefix(&prefix) {
+                let entries = doc.section(sec_name);
+                let has = |k: &str| entries.iter().any(|(key, _)| key == k);
+                deps.push(Dep {
+                    name: dep_name.to_string(),
+                    section: section.to_string(),
+                    has_path: has("path"),
+                    from_workspace: entries.iter().any(|(k, v)| {
+                        k == "workspace" && matches!(v, Value::Bool(true))
+                    }),
+                    has_version: has("version"),
+                });
+            }
+        }
+    }
+    Manifest { package, rel_path: rel_path.to_string(), deps }
+}
+
+fn classify(name: &str, value: &Value, section: &str) -> Dep {
+    let (has_path, from_workspace, has_version) = match value {
+        // `foo = "1.0"` — bare registry requirement.
+        Value::Str(_) => (false, false, true),
+        Value::Table(t) => (
+            t.contains_key("path"),
+            matches!(t.get("workspace"), Some(Value::Bool(true))),
+            t.contains_key("version"),
+        ),
+        _ => (false, false, false),
+    };
+    Dep { name: name.to_string(), section: section.to_string(), has_path, from_workspace, has_version }
+}
+
+/// L1 on the root manifest: every `[workspace.dependencies]` entry must
+/// be a path dependency. Returns the set of names that are path-backed,
+/// for members to inherit.
+pub fn check_workspace_deps(root: &Doc) -> (Vec<Violation>, Vec<String>) {
+    let mut violations = Vec::new();
+    let mut path_backed = Vec::new();
+    for (name, value) in root.section("workspace.dependencies") {
+        let ok = matches!(value, Value::Table(t) if t.contains_key("path"));
+        if ok {
+            path_backed.push(name.clone());
+        } else {
+            violations.push(Violation::file(
+                Rule::Hermeticity,
+                "Cargo.toml",
+                format!("workspace dependency `{name}` is not a path dependency"),
+            ));
+        }
+    }
+    (violations, path_backed)
+}
+
+/// L1 on a member: every dependency must be path-backed, directly or via
+/// a path-backed workspace entry.
+pub fn check_hermetic(m: &Manifest, workspace_path_deps: &[String]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for dep in &m.deps {
+        let inherited_ok =
+            dep.from_workspace && workspace_path_deps.iter().any(|n| n == &dep.name);
+        if dep.has_path || inherited_ok {
+            continue;
+        }
+        let why = if dep.from_workspace {
+            "inherits a workspace entry that is not path-backed"
+        } else if dep.has_version {
+            "declares a registry version requirement"
+        } else {
+            "resolves outside the repository"
+        };
+        v.push(Violation::file(
+            Rule::Hermeticity,
+            &m.rel_path,
+            format!("[{}] `{}` {}", dep.section, dep.name, why),
+        ));
+    }
+    v
+}
+
+/// The layer DAG: package → packages it may depend on. Test and example
+/// packages sit above everything and may use any crate.
+pub fn layer_map() -> BTreeMap<&'static str, Vec<&'static str>> {
+    const SUPPORT: &str = "lucent-support";
+    const PACKET: &str = "lucent-packet";
+    const NETSIM: &str = "lucent-netsim";
+    const TCP: &str = "lucent-tcp";
+    const DNS: &str = "lucent-dns";
+    const WEB: &str = "lucent-web";
+    const MIDDLEBOX: &str = "lucent-middlebox";
+    const TOPOLOGY: &str = "lucent-topology";
+    const CORE: &str = "lucent-core";
+    let mut m = BTreeMap::new();
+    m.insert(SUPPORT, vec![]);
+    m.insert("lucent-devtools", vec![]);
+    m.insert(PACKET, vec![SUPPORT]);
+    m.insert(NETSIM, vec![SUPPORT, PACKET]);
+    m.insert(TCP, vec![SUPPORT, PACKET, NETSIM]);
+    m.insert(DNS, vec![SUPPORT, PACKET, NETSIM, TCP]);
+    m.insert(WEB, vec![SUPPORT, PACKET, NETSIM, TCP, DNS]);
+    m.insert(MIDDLEBOX, vec![SUPPORT, PACKET, NETSIM, TCP, DNS]);
+    m.insert(TOPOLOGY, vec![SUPPORT, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX]);
+    m.insert(CORE, vec![SUPPORT, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY]);
+    m.insert(
+        "lucent-bench",
+        vec![SUPPORT, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY, CORE],
+    );
+    m
+}
+
+/// L2: check a member's `[dependencies]` against the layer DAG. Dev
+/// dependencies are exempt (tests may reach up); unknown packages (the
+/// integration-test and examples packages) are exempt as top-of-stack.
+pub fn check_layering(m: &Manifest) -> Vec<Violation> {
+    let map = layer_map();
+    let Some(allowed) = map.get(m.package.as_str()) else {
+        return Vec::new();
+    };
+    let mut v = Vec::new();
+    for dep in &m.deps {
+        if dep.section != "dependencies" || !dep.name.starts_with("lucent-") {
+            continue;
+        }
+        if !allowed.contains(&dep.name.as_str()) {
+            v.push(Violation::file(
+                Rule::Layering,
+                &m.rel_path,
+                format!(
+                    "`{}` may not depend on `{}` (allowed: {})",
+                    m.package,
+                    dep.name,
+                    if allowed.is_empty() { "nothing".to_string() } else { allowed.join(", ") }
+                ),
+            ));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toml;
+
+    fn manifest(text: &str) -> Manifest {
+        extract(&toml::parse(text).expect("toml"), "crates/x/Cargo.toml")
+    }
+
+    #[test]
+    fn registry_version_dep_violates_l1() {
+        let m = manifest("[package]\nname = \"lucent-x\"\n[dependencies]\nserde = \"1.0\"\n");
+        let v = check_hermetic(&m, &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("registry version"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn inline_version_table_violates_l1() {
+        let m = manifest(
+            "[package]\nname = \"lucent-x\"\n[dependencies]\nrand = { version = \"0.8\", default-features = false }\n",
+        );
+        assert_eq!(check_hermetic(&m, &[]).len(), 1);
+    }
+
+    #[test]
+    fn path_and_workspace_path_deps_pass_l1() {
+        let m = manifest(
+            "[package]\nname = \"lucent-x\"\n[dependencies]\na = { path = \"../a\" }\nlucent-support = { workspace = true }\n",
+        );
+        let ws = vec!["lucent-support".to_string()];
+        assert!(check_hermetic(&m, &ws).is_empty());
+    }
+
+    #[test]
+    fn workspace_inheritance_without_path_backing_violates_l1() {
+        let m = manifest(
+            "[package]\nname = \"lucent-x\"\n[dependencies]\nserde = { workspace = true }\n",
+        );
+        let ws = vec!["lucent-support".to_string()];
+        let v = check_hermetic(&m, &ws);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("not path-backed"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn dotted_dependency_tables_are_seen() {
+        let m = manifest(
+            "[package]\nname = \"lucent-web\"\n[dependencies.lucent-dns]\nworkspace = true\n",
+        );
+        assert_eq!(m.deps.len(), 1);
+        assert!(m.deps[0].from_workspace);
+    }
+
+    #[test]
+    fn upward_layer_edge_violates_l2() {
+        let m = manifest(
+            "[package]\nname = \"lucent-packet\"\n[dependencies]\nlucent-core = { workspace = true }\n",
+        );
+        let v = check_layering(&m);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("may not depend"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn sibling_layer_edge_violates_l2() {
+        let m = manifest(
+            "[package]\nname = \"lucent-middlebox\"\n[dependencies]\nlucent-web = { workspace = true }\n",
+        );
+        assert_eq!(check_layering(&m).len(), 1);
+    }
+
+    #[test]
+    fn dev_dependencies_may_reach_up() {
+        let m = manifest(
+            "[package]\nname = \"lucent-packet\"\n[dev-dependencies]\nlucent-core = { workspace = true }\n",
+        );
+        assert!(check_layering(&m).is_empty());
+    }
+
+    #[test]
+    fn the_dag_is_acyclic_and_transitively_closed() {
+        let map = layer_map();
+        for (pkg, allowed) in &map {
+            for dep in allowed {
+                assert!(!map[dep].contains(pkg), "cycle {pkg} <-> {dep}");
+                for transitive in &map[dep] {
+                    assert!(
+                        allowed.contains(transitive),
+                        "{pkg} allows {dep} but not its dep {transitive}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Lint findings and the aggregate report the CLI prints.
+
+use std::fmt;
+
+/// The rule families, in gate order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1 — every dependency resolves inside the repository.
+    Hermeticity,
+    /// L2 — crate dependencies respect the layer DAG.
+    Layering,
+    /// L3 — no wall clocks, entropy, or iteration-order hazards.
+    Determinism,
+    /// L4 — panic sites stay within the shrink-only baseline.
+    PanicBudget,
+    /// L5 — every `unsafe` carries a `// SAFETY:` justification.
+    UnsafeHygiene,
+}
+
+impl Rule {
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Hermeticity => "L1-hermetic",
+            Rule::Layering => "L2-layering",
+            Rule::Determinism => "L3-determinism",
+            Rule::PanicBudget => "L4-panic-budget",
+            Rule::UnsafeHygiene => "L5-unsafe",
+        }
+    }
+}
+
+/// One finding. `line` is 1-based; 0 means the finding is file-level.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub msg: String,
+}
+
+impl Violation {
+    pub fn file(rule: Rule, path: impl Into<String>, msg: impl Into<String>) -> Violation {
+        Violation { rule, path: path.into(), line: 0, msg: msg.into() }
+    }
+
+    pub fn at(rule: Rule, path: impl Into<String>, line: usize, msg: impl Into<String>) -> Violation {
+        Violation { rule, path: path.into(), line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}: {}", self.rule.code(), self.path, self.msg)
+        } else {
+            write!(f, "{}: {}:{}: {}", self.rule.code(), self.path, self.line, self.msg)
+        }
+    }
+}
+
+/// The full gate outcome.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    /// Non-fatal notes (e.g. a baseline entry that can now shrink).
+    pub warnings: Vec<String>,
+    pub files_scanned: usize,
+    /// Total panic sites counted in non-test library code.
+    pub panic_total: usize,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn merge(&mut self, mut other: Vec<Violation>) {
+        self.violations.append(&mut other);
+    }
+}

@@ -1,0 +1,287 @@
+//! Source rules: L3 determinism, L4 panic budget, L5 unsafe hygiene.
+//!
+//! All three operate on one file at a time so they are trivially
+//! testable on string fixtures. L3 and L4 consider only *non-test* code:
+//! anything under a `#[cfg(test)]` item is exempt, as are files outside
+//! a crate's `src/` tree (integration tests, benches).
+
+use crate::allow::Allow;
+use crate::lex::{has_token, in_spans, scrub, test_spans};
+use crate::report::{Rule, Violation};
+
+/// A file presented to the source rules. `path` is repo-relative with
+/// forward slashes — allowlists match on it exactly.
+pub struct SourceFile<'a> {
+    pub path: &'a str,
+    pub text: &'a str,
+}
+
+/// Pre-lexed view shared by the rules.
+pub struct Lexed {
+    scrubbed: String,
+    spans: Vec<(usize, usize)>,
+}
+
+impl Lexed {
+    pub fn new(text: &str) -> Lexed {
+        let scrubbed = scrub(text);
+        let spans = test_spans(&scrubbed);
+        Lexed { scrubbed, spans }
+    }
+
+    /// Non-test scrubbed lines with 1-based numbers.
+    fn live_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.scrubbed
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .filter(|(n, _)| !in_spans(&self.spans, *n))
+    }
+}
+
+/// Wall-clock and entropy sources. `Instant`/`SystemTime` are banned
+/// wholesale: simulated time comes from the event loop, and the only
+/// sanctioned real clock is the bench stopwatch (allowlisted).
+const WALL_CLOCK: [&str; 4] = ["Instant", "SystemTime", "UNIX_EPOCH", "SystemTimeError"];
+
+/// Entropy-seeded randomness — banned everywhere, no allowlist. The
+/// workspace's only generator is seeded explicitly.
+const ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Iteration-order hazards: results must not depend on hash order.
+const HASH_ORDER: [&str; 2] = ["HashMap", "HashSet"];
+
+/// RNG constructors — allowed only in seed-plumbing files, so every
+/// random stream is traceable to a top-level seed.
+const RNG_CONSTRUCT: [&str; 2] = ["seed_from_u64", "from_seed"];
+
+/// L3: scan non-test code for determinism hazards.
+pub fn check_determinism(file: &SourceFile, lexed: &Lexed, allow: &Allow) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let clock_ok = allow.allows_wall_clock(file.path);
+    let rng_ok = allow.allows_rng_construction(file.path);
+    for (n, line) in lexed.live_lines() {
+        for tok in ENTROPY {
+            if has_token(line, tok) {
+                v.push(Violation::at(
+                    Rule::Determinism,
+                    file.path,
+                    n,
+                    format!("entropy source `{tok}` — all randomness must be seeded"),
+                ));
+            }
+        }
+        if !clock_ok {
+            for tok in WALL_CLOCK {
+                if has_token(line, tok) {
+                    v.push(Violation::at(
+                        Rule::Determinism,
+                        file.path,
+                        n,
+                        format!("wall clock `{tok}` — use simulated time or the bench stopwatch"),
+                    ));
+                }
+            }
+        }
+        for tok in HASH_ORDER {
+            if has_token(line, tok) {
+                v.push(Violation::at(
+                    Rule::Determinism,
+                    file.path,
+                    n,
+                    format!("`{tok}` iteration order is nondeterministic — use the BTree variant"),
+                ));
+            }
+        }
+        if !rng_ok {
+            for tok in RNG_CONSTRUCT {
+                if has_token(line, tok) {
+                    v.push(Violation::at(
+                        Rule::Determinism,
+                        file.path,
+                        n,
+                        format!(
+                            "RNG construction `{tok}` outside the seed-plumbing allowlist — \
+                             take a `&mut SimRng` instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Panic-site tokens for L4. `.expect(` keeps the dot so field or
+/// method names like `expected` never match.
+const PANIC_SITES: [&str; 4] = [".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+/// Count panic sites in non-test code.
+pub fn count_panic_sites(lexed: &Lexed) -> usize {
+    lexed
+        .live_lines()
+        .map(|(_, line)| {
+            PANIC_SITES
+                .iter()
+                .map(|tok| line.match_indices(tok).count())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// L4: the count must not exceed the file's baseline ceiling; files with
+/// no entry get a ceiling of zero. Returns `(violations, count)`.
+pub fn check_panic_budget(
+    file: &SourceFile,
+    lexed: &Lexed,
+    allow: &Allow,
+) -> (Vec<Violation>, usize) {
+    let count = count_panic_sites(lexed);
+    let ceiling = allow.panic_ceiling(file.path);
+    if count > ceiling {
+        let msg = if ceiling == 0 {
+            format!(
+                "{count} panic site(s) in non-test code and no baseline entry — \
+                 return an error instead, or justify a lint-allow.toml entry in review"
+            )
+        } else {
+            format!("{count} panic site(s) exceeds the shrink-only baseline of {ceiling}")
+        };
+        (vec![Violation::file(Rule::PanicBudget, file.path, msg)], count)
+    } else {
+        (Vec::new(), count)
+    }
+}
+
+/// L5: every `unsafe` token in non-test code needs a `// SAFETY:`
+/// comment on the same line or within the three raw lines above it.
+pub fn check_unsafe(file: &SourceFile, lexed: &Lexed) -> Vec<Violation> {
+    let raw_lines: Vec<&str> = file.text.lines().collect();
+    let mut v = Vec::new();
+    for (n, line) in lexed.live_lines() {
+        if !has_token(line, "unsafe") {
+            continue;
+        }
+        let justified = (n.saturating_sub(4)..n)
+            .filter_map(|i| raw_lines.get(i))
+            .any(|l| l.contains("// SAFETY:"))
+            || raw_lines.get(n - 1).is_some_and(|l| l.contains("// SAFETY:"));
+        if !justified {
+            v.push(Violation::at(
+                Rule::UnsafeHygiene,
+                file.path,
+                n,
+                "`unsafe` without a `// SAFETY:` justification".to_string(),
+            ));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_l3(path: &str, text: &str, allow: &Allow) -> Vec<Violation> {
+        let lexed = Lexed::new(text);
+        check_determinism(&SourceFile { path, text }, &lexed, allow)
+    }
+
+    #[test]
+    fn wall_clocks_are_flagged() {
+        let v = run_l3("crates/x/src/a.rs", "let t = std::time::Instant::now();\n", &Allow::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("wall clock"), "{}", v[0].msg);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn allowlisted_bench_file_may_read_the_clock() {
+        let mut allow = Allow::default();
+        allow.wall_clock.push("crates/support/src/bench.rs".into());
+        let v = run_l3("crates/support/src/bench.rs", "let t = Instant::now();\n", &allow);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn entropy_sources_are_flagged_even_in_allowlisted_files() {
+        let mut allow = Allow::default();
+        allow.wall_clock.push("crates/support/src/bench.rs".into());
+        let v = run_l3("crates/support/src/bench.rs", "let r = rand::thread_rng();\n", &allow);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("entropy"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn hash_collections_are_flagged_outside_tests_only() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let v = run_l3("crates/x/src/a.rs", src, &Allow::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn banned_names_in_strings_and_comments_do_not_trip() {
+        let src = "// HashMap would be wrong here\nlet s = \"Instant::now\";\n";
+        assert!(run_l3("crates/x/src/a.rs", src, &Allow::default()).is_empty());
+    }
+
+    #[test]
+    fn rng_construction_outside_allowlist_is_flagged() {
+        let src = "let rng = SimRng::seed_from_u64(7);\n";
+        let v = run_l3("crates/x/src/a.rs", src, &Allow::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("seed-plumbing"), "{}", v[0].msg);
+        let mut allow = Allow::default();
+        allow.rng_construction.push("crates/x/src/a.rs".into());
+        assert!(run_l3("crates/x/src/a.rs", src, &allow).is_empty());
+    }
+
+    #[test]
+    fn panic_sites_are_counted_in_live_code_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(\"boom\") }\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert_eq!(count_panic_sites(&Lexed::new(src)), 2);
+    }
+
+    #[test]
+    fn panic_budget_enforces_the_ceiling() {
+        let text = "fn f() { x.unwrap() }\n";
+        let file = SourceFile { path: "crates/x/src/a.rs", text };
+        let lexed = Lexed::new(text);
+        let (v, n) = check_panic_budget(&file, &lexed, &Allow::default());
+        assert_eq!((v.len(), n), (1, 1));
+        let mut allow = Allow::default();
+        allow.panic_sites.insert("crates/x/src/a.rs".into(), 1);
+        let (v, _) = check_panic_budget(&file, &lexed, &allow);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn expected_identifiers_do_not_count_as_expect() {
+        let src = "let expected = 3; assert_eq!(expected, got);\n";
+        assert_eq!(count_panic_sites(&Lexed::new(src)), 0);
+    }
+
+    #[test]
+    fn unjustified_unsafe_is_flagged() {
+        let text = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let lexed = Lexed::new(text);
+        let v = check_unsafe(&SourceFile { path: "crates/x/src/a.rs", text }, &lexed);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_l5() {
+        let text = "// SAFETY: guarded by the bounds check above.\nfn f() { unsafe { g() } }\n";
+        let lexed = Lexed::new(text);
+        let v = check_unsafe(&SourceFile { path: "crates/x/src/a.rs", text }, &lexed);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn forbid_unsafe_code_attribute_does_not_trip_l5() {
+        let text = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        let lexed = Lexed::new(text);
+        assert!(check_unsafe(&SourceFile { path: "crates/x/src/a.rs", text }, &lexed).is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! A deliberately small TOML subset parser — just enough for the
+//! workspace's own `Cargo.toml` manifests and `lint-allow.toml`.
+//!
+//! Supported: `[section]` and `[dotted.section]` headers, `key = value`
+//! with string / integer / boolean / array-of-string / inline-table
+//! values, comments, and bare or quoted keys. Anything else is a parse
+//! error — the gate would rather fail loudly than misread a manifest.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    /// Array of strings (the only array shape our files use).
+    Array(Vec<String>),
+    /// Inline table `{ key = value, … }` with scalar values.
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[String]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed document: section name → ordered key/value pairs. Keys
+/// assigned before any header land in the `""` section. A header like
+/// `[dependencies.lucent-dns]` keeps its dotted name verbatim.
+#[derive(Debug, Default)]
+pub struct Doc {
+    pub sections: BTreeMap<String, Vec<(String, Value)>>,
+    /// Section names in file order (sections can repeat in arrays of
+    /// tables; we append `#n` to disambiguate `[[table]]` repeats).
+    pub order: Vec<String>,
+}
+
+impl Doc {
+    pub fn section(&self, name: &str) -> &[(String, Value)] {
+        self.sections.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn get(&self, section: &str, key: &str) -> Option<&Value> {
+        self.section(section).iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Parse a document. Errors carry the 1-based line number.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    let mut current = String::new();
+    let mut seen_arrays: BTreeMap<String, usize> = BTreeMap::new();
+    doc.sections.entry(current.clone()).or_default();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let n = seen_arrays.entry(name.to_string()).or_insert(0);
+            current = format!("{name}#{n}");
+            *n += 1;
+            doc.order.push(current.clone());
+            doc.sections.entry(current.clone()).or_default();
+        } else if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            current = name.trim().to_string();
+            doc.order.push(current.clone());
+            doc.sections.entry(current.clone()).or_default();
+        } else if let Some(eq) = find_eq(line) {
+            let key = unquote(line[..eq].trim());
+            let value = parse_value(line[eq + 1..].trim())
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            doc.sections.entry(current.clone()).or_default().push((key, value));
+        } else {
+            return Err(format!("line {lineno}: not a section, key, or comment: {line:?}"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Position of the first `=` outside quotes.
+fn find_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.bytes().enumerate() {
+        match c {
+            b'"' => in_str = !in_str,
+            b'=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn unquote(s: &str) -> String {
+    s.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_string()
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let inner = body.strip_suffix('"').ok_or_else(|| format!("unterminated string: {s}"))?;
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let inner = body.strip_suffix(']').ok_or_else(|| {
+            format!("multi-line arrays are not supported by the subset parser: {s}")
+        })?;
+        let mut items = Vec::new();
+        for part in split_top(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(v) => items.push(v),
+                other => return Err(format!("non-string array element: {other:?}")),
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(body) = s.strip_prefix('{') {
+        let inner = body
+            .strip_suffix('}')
+            .ok_or_else(|| format!("unterminated inline table: {s}"))?;
+        let mut table = BTreeMap::new();
+        for part in split_top(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let eq = find_eq(part).ok_or_else(|| format!("bad inline entry: {part}"))?;
+            let key = unquote(part[..eq].trim());
+            table.insert(key, parse_value(part[eq + 1..].trim())?);
+        }
+        return Ok(Value::Table(table));
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(format!("unsupported value: {s}"))
+}
+
+/// Split on top-level commas (not inside quotes or nested braces).
+fn split_top(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let (mut depth, mut in_str, mut start) = (0i32, false, 0usize);
+    for (i, c) in s.bytes().enumerate() {
+        match c {
+            b'"' => in_str = !in_str,
+            b'{' | b'[' if !in_str => depth += 1,
+            b'}' | b']' if !in_str => depth -= 1,
+            b',' if !in_str && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_manifest_shape() {
+        let doc = parse(
+            r#"
+[package]
+name = "lucent-web" # trailing comment
+edition.workspace = true
+
+[dependencies]
+lucent-packet = { workspace = true }
+lucent-netsim = { path = "../netsim" }
+
+[dependencies.lucent-dns]
+workspace = true
+"#,
+        )
+        .expect("parse");
+        assert_eq!(doc.get("package", "name").and_then(Value::as_str), Some("lucent-web"));
+        let dep = doc.get("dependencies", "lucent-packet").and_then(Value::as_table).unwrap();
+        assert_eq!(dep.get("workspace"), Some(&Value::Bool(true)));
+        assert_eq!(doc.get("dependencies.lucent-dns", "workspace"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn parses_allowlist_shapes() {
+        let doc = parse(
+            r#"
+[panic_sites]
+"crates/packet/src/dns.rs" = 12
+
+[rng_construction]
+files = ["crates/netsim/src/time.rs", "crates/web/src/corpus.rs"]
+"#,
+        )
+        .expect("parse");
+        assert_eq!(
+            doc.get("panic_sites", "crates/packet/src/dns.rs").and_then(Value::as_int),
+            Some(12)
+        );
+        assert_eq!(
+            doc.get("rng_construction", "files").and_then(Value::as_array).map(<[String]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn array_of_tables_gets_distinct_sections() {
+        let doc = parse("[[test]]\nname = \"a\"\n[[test]]\nname = \"b\"\n").expect("parse");
+        assert_eq!(doc.get("test#0", "name").and_then(Value::as_str), Some("a"));
+        assert_eq!(doc.get("test#1", "name").and_then(Value::as_str), Some("b"));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_line_numbers() {
+        let err = parse("[a]\nnot a kv\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse("k = 1.5\n").is_err(), "floats are out of subset");
+    }
+}

@@ -7,7 +7,7 @@
 //! resolver in region `r` sees only the replica slice assigned to `r`.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -29,7 +29,7 @@ struct SiteEntry {
 /// The authoritative mapping from names to addresses.
 #[derive(Debug, Default)]
 pub struct DnsCatalog {
-    entries: HashMap<Name, SiteEntry>,
+    entries: BTreeMap<Name, SiteEntry>,
 }
 
 impl DnsCatalog {

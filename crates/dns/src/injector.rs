@@ -10,7 +10,7 @@
 //! later and loses).
 
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration};
@@ -24,7 +24,7 @@ pub const RESOLVER_SIDE: IfaceId = IfaceId(1);
 
 /// An inline DNS injector with a per-device blocklist.
 pub struct DnsInjectorNode {
-    blocklist: HashSet<Name>,
+    blocklist: BTreeSet<Name>,
     /// Address placed in forged A records.
     pub forged_ip: Ipv4Addr,
     /// Injection processing delay (the forged answer still beats the real

@@ -1,7 +1,7 @@
 //! Resolver applications: honest resolution and the poisoned variant the
 //! paper finds in MTNL and BSNL.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 use lucent_packet::dns::{DnsMessage, Name, Rcode};
@@ -42,7 +42,7 @@ impl PoisonMode {
 pub struct ResolverApp {
     catalog: SharedCatalog,
     region: RegionId,
-    blocklist: HashSet<Name>,
+    blocklist: BTreeSet<Name>,
     mode: PoisonMode,
     /// Count of queries answered (diagnostics).
     pub queries: u64,
@@ -56,7 +56,7 @@ impl ResolverApp {
         ResolverApp {
             catalog,
             region,
-            blocklist: HashSet::new(),
+            blocklist: BTreeSet::new(),
             mode: PoisonMode::NxDomain,
             queries: 0,
             poisoned_answers: 0,
@@ -86,7 +86,7 @@ impl ResolverApp {
     }
 
     /// The blocklist (ground truth for experiment scoring).
-    pub fn blocklist(&self) -> &HashSet<Name> {
+    pub fn blocklist(&self) -> &BTreeSet<Name> {
         &self.blocklist
     }
 

@@ -1,6 +1,6 @@
 //! Shared middlebox configuration.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use lucent_netsim::routing::Cidr;
 use lucent_netsim::SimDuration;
@@ -12,13 +12,13 @@ use crate::notice::NoticeStyle;
 #[derive(Debug, Clone)]
 pub struct MiddleboxConfig {
     /// Domains this device censors (lowercase).
-    pub blocklist: HashSet<String>,
+    pub blocklist: BTreeSet<String>,
     /// How the device extracts the requested domain.
     pub matcher: HostMatcher,
     /// Destination ports inspected. `None` is the "ideal middlebox" that
     /// inspects agnostic of port; the deployed ones watch only 80
     /// (Section 6.3).
-    pub ports: Option<HashSet<u16>>,
+    pub ports: Option<BTreeSet<u16>>,
     /// When set, only flows whose *client* address falls in one of these
     /// prefixes are inspected — the Jio behaviour that makes its
     /// middleboxes invisible to vantage points outside the ISP.

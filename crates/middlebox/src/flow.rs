@@ -5,7 +5,7 @@
 //! handshake**, hold per-flow state for 2–3 minutes, and refresh the
 //! timer on any flow traffic. This module is that machine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use lucent_netsim::{SimDuration, SimTime};
@@ -13,7 +13,7 @@ use lucent_packet::tcp::TcpFlags;
 use lucent_packet::Packet;
 
 /// Canonical flow key: the SYN sender is the client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Client (address, port).
     pub client: (Ipv4Addr, u16),
@@ -66,7 +66,7 @@ pub struct Inspectable {
 /// The flow table.
 #[derive(Debug)]
 pub struct FlowTable {
-    flows: HashMap<FlowKey, FlowState>,
+    flows: BTreeMap<FlowKey, FlowState>,
     /// Idle timeout (the paper observes 2–3 minutes).
     pub timeout: SimDuration,
     /// Number of flows that completed a handshake under observation.
@@ -76,7 +76,7 @@ pub struct FlowTable {
 impl FlowTable {
     /// A table with the given idle timeout.
     pub fn new(timeout: SimDuration) -> Self {
-        FlowTable { flows: HashMap::new(), timeout, established_total: 0 }
+        FlowTable { flows: BTreeMap::new(), timeout, established_total: 0 }
     }
 
     /// Number of currently tracked flows.
@@ -188,7 +188,7 @@ impl FlowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use lucent_support::Bytes;
     use lucent_packet::tcp::TcpHeader;
 
     const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);

@@ -14,9 +14,9 @@
 //!    including the client's FIN handshake and final RST.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use lucent_support::Bytes;
 
 use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration, SimTime};
 use lucent_packet::tcp::{TcpFlags, TcpHeader};
@@ -37,7 +37,7 @@ pub struct InterceptiveMiddlebox {
     pub cfg: MiddleboxConfig,
     flows: FlowTable,
     /// Black-holed flows → when they were reset (for expiry).
-    blackholed: HashMap<FlowKey, SimTime>,
+    blackholed: BTreeMap<FlowKey, SimTime>,
     label: String,
     sweep_armed: bool,
     /// Number of interceptions performed.
@@ -53,7 +53,7 @@ impl InterceptiveMiddlebox {
         InterceptiveMiddlebox {
             cfg,
             flows,
-            blackholed: HashMap::new(),
+            blackholed: BTreeMap::new(),
             label: label.into(),
             sweep_armed: false,
             interceptions: 0,

@@ -97,7 +97,7 @@ fn extract_strict(payload: &[u8]) -> Option<String> {
         }
         let value = &text[5..];
         // Exactly one leading space, then a clean value.
-        let Some(v) = value.strip_prefix(' ') else { return None };
+        let v = value.strip_prefix(' ')?;
         if v.starts_with(' ')
             || v.starts_with('\t')
             || v.ends_with(' ')
@@ -118,7 +118,7 @@ fn extract_last(payload: &[u8]) -> Option<String> {
         let Ok(text) = std::str::from_utf8(line) else { continue };
         let trimmed = text.trim_start_matches([' ', '\t']);
         if trimmed.len() >= 5 && trimmed[..5].eq_ignore_ascii_case("host:") {
-            if let Some(v) = finish(trimmed[5..].as_bytes()) {
+            if let Some(v) = finish(&trimmed.as_bytes()[5..]) {
                 found = Some(v);
             }
         }

@@ -7,9 +7,8 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lucent_support::Bytes;
+use lucent_netsim::SimRng;
 
 use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration, SimTime};
 use lucent_packet::tcp::{TcpFlags, TcpHeader};
@@ -27,7 +26,7 @@ pub struct WiretapMiddlebox {
     /// Device configuration.
     pub cfg: MiddleboxConfig,
     flows: FlowTable,
-    rng: StdRng,
+    rng: SimRng,
     label: String,
     sweep_armed: bool,
     /// Number of censorship injections performed.
@@ -41,7 +40,7 @@ impl WiretapMiddlebox {
     /// Build a WM.
     pub fn new(cfg: MiddleboxConfig, label: impl Into<String>) -> Self {
         let flows = FlowTable::new(cfg.flow_timeout);
-        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x77aa_77aa);
+        let rng = SimRng::seed_from_u64(cfg.seed ^ 0x77aa_77aa);
         WiretapMiddlebox {
             cfg,
             flows,

@@ -34,5 +34,5 @@ pub mod trace;
 pub use network::{DropReason, Network};
 pub use node::{IfaceId, Node, NodeCtx, NodeId, WAKE};
 pub use router::RouterNode;
-pub use time::{SimDuration, SimTime};
+pub use time::{SimDuration, SimRng, SimTime};
 pub use trace::{Dir, TraceEntry, TraceHandle};

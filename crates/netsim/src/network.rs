@@ -1,7 +1,7 @@
 //! The [`Network`]: nodes, links, the event queue and the virtual clock.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, BTreeMap};
 
 use lucent_packet::Packet;
 
@@ -11,7 +11,7 @@ use crate::trace::{Dir, TraceHandle};
 
 /// Why the engine itself discarded a packet (node-level drops are traced by
 /// the nodes; these are wiring-level).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DropReason {
     /// Sent out an interface with no link attached.
     UnconnectedIface,
@@ -61,7 +61,7 @@ pub(crate) struct Inner {
     seq: u64,
     links: Vec<Vec<Option<Endpoint>>>,
     pub(crate) trace: TraceHandle,
-    drops: HashMap<DropReason, u64>,
+    drops: BTreeMap<DropReason, u64>,
     events_processed: u64,
     wire_fidelity: bool,
 }
@@ -156,7 +156,7 @@ impl Network {
                 seq: 0,
                 links: Vec::new(),
                 trace: TraceHandle::new(),
-                drops: HashMap::new(),
+                drops: BTreeMap::new(),
                 events_processed: 0,
                 wire_fidelity: false,
             },

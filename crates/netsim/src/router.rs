@@ -2,7 +2,7 @@
 //! generation, optional anonymity, and wiretap mirror ports.
 
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use lucent_packet::{IcmpMessage, Packet, Transport};
 
@@ -38,7 +38,7 @@ pub struct RouterNode {
     pub mirrors: Vec<IfaceId>,
     /// When non-empty, only packets forwarded out of these interfaces are
     /// mirrored (a tap on specific links rather than the whole router).
-    pub mirror_only_egress: HashSet<IfaceId>,
+    pub mirror_only_egress: BTreeSet<IfaceId>,
     /// Per-packet forwarding latency added on top of link latency.
     pub forward_delay: SimDuration,
     label: String,
@@ -54,7 +54,7 @@ impl RouterNode {
             table: RouteTable::new(),
             anonymized: false,
             mirrors: Vec::new(),
-            mirror_only_egress: HashSet::new(),
+            mirror_only_egress: BTreeSet::new(),
             forward_delay: SimDuration::from_micros(50),
             label: label.into(),
             forwarded: 0,

@@ -3,6 +3,15 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
+/// The simulator's canonical seeded random number generator.
+///
+/// Every stream of randomness in the workspace is an explicitly seeded
+/// [`lucent_support::rng::Rng64`]; this alias marks the sanctioned
+/// construction point. Lint rule L3 (`lucent-devtools`) restricts RNG
+/// construction to an allowlist anchored on this module, so no code can
+/// quietly introduce wall-clock or entropy-derived randomness.
+pub type SimRng = lucent_support::rng::Rng64;
+
 /// An instant of virtual time, in microseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);

@@ -6,7 +6,7 @@
 //! packet a selected set of nodes sent, received or dropped.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -70,7 +70,7 @@ impl fmt::Display for TraceEntry {
 struct TraceState {
     enabled: bool,
     /// When `Some`, only these nodes are recorded; `None` records all.
-    filter: Option<HashSet<NodeId>>,
+    filter: Option<BTreeSet<NodeId>>,
     entries: Vec<TraceEntry>,
 }
 

@@ -58,6 +58,11 @@ impl HttpRequest {
             .map_err(|_| ParseError::BadHttp { reason: "request line not utf-8" })?;
         let mut parts = line.split(' ').filter(|p| !p.is_empty());
         let method = parts.next().ok_or(ParseError::BadHttp { reason: "missing method" })?;
+        // RFC 7230 §3.2.6: a method is a token — visible ASCII minus
+        // separators. Binary bytes here mean we are not looking at HTTP.
+        if !method.bytes().all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)) {
+            return Err(ParseError::BadHttp { reason: "method not a token" });
+        }
         let target = parts.next().ok_or(ParseError::BadHttp { reason: "missing target" })?;
         let version = parts.next().ok_or(ParseError::BadHttp { reason: "missing version" })?;
         if !version.starts_with("HTTP/") {

@@ -37,6 +37,7 @@ pub mod udp;
 pub mod wire;
 
 pub use dns::{DnsFlags, DnsMessage, DnsQuestion, DnsRecord, DnsType, Name, Rcode};
+pub use lucent_support::Bytes;
 pub use error::ParseError;
 pub use http::{HttpRequest, HttpResponse, RequestParseMode};
 pub use icmp::IcmpMessage;

@@ -158,11 +158,11 @@ impl TcpHeader {
 
     /// Parse a TCP segment; verifies the pseudo-header checksum against the
     /// provided IP endpoints and returns the header plus payload slice.
-    pub fn parse<'a>(
+    pub fn parse(
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        buf: &'a [u8],
-    ) -> Result<(TcpHeader, &'a [u8]), ParseError> {
+        buf: &[u8],
+    ) -> Result<(TcpHeader, &[u8]), ParseError> {
         if buf.len() < HEADER_LEN {
             return Err(ParseError::Truncated { what: "tcp", need: HEADER_LEN, have: buf.len() });
         }

@@ -44,11 +44,11 @@ impl UdpHeader {
     }
 
     /// Parse a UDP datagram, verifying length and checksum.
-    pub fn parse<'a>(
+    pub fn parse(
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        buf: &'a [u8],
-    ) -> Result<(UdpHeader, &'a [u8]), ParseError> {
+        buf: &[u8],
+    ) -> Result<(UdpHeader, &[u8]), ParseError> {
         if buf.len() < HEADER_LEN {
             return Err(ParseError::Truncated { what: "udp", need: HEADER_LEN, have: buf.len() });
         }

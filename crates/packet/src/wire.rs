@@ -1,7 +1,7 @@
 //! The structured packet type moved between simulator nodes, plus full
 //! wire serialization proving it hides nothing.
 
-use bytes::Bytes;
+use lucent_support::Bytes;
 use std::net::Ipv4Addr;
 
 use crate::error::ParseError;
@@ -160,6 +160,25 @@ impl Packet {
 }
 
 #[cfg(test)]
+impl Ipv4Header {
+    /// Test helper: parse a quoted (possibly payload-truncated) header.
+    fn parse_prefix_for_test(buf: &[u8]) -> (Ipv4Header, &[u8]) {
+        // ICMP quotes clip the payload, so total_len exceeds the buffer;
+        // bypass the length check by parsing fields directly.
+        let header = Ipv4Header {
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+            ttl: buf[8],
+            protocol: buf[9],
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            tos: buf[1],
+            dont_frag: u16::from_be_bytes([buf[6], buf[7]]) & 0x4000 != 0,
+        };
+        (header, &buf[20..])
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::tcp::TcpFlags;
@@ -226,24 +245,5 @@ mod tests {
         let wire = pkt.emit();
         let parsed = Packet::parse(&wire).unwrap();
         assert!(parsed.as_udp().is_some());
-    }
-}
-
-#[cfg(test)]
-impl Ipv4Header {
-    /// Test helper: parse a quoted (possibly payload-truncated) header.
-    fn parse_prefix_for_test(buf: &[u8]) -> (Ipv4Header, &[u8]) {
-        // ICMP quotes clip the payload, so total_len exceeds the buffer;
-        // bypass the length check by parsing fields directly.
-        let header = Ipv4Header {
-            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
-            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
-            ttl: buf[8],
-            protocol: buf[9],
-            identification: u16::from_be_bytes([buf[4], buf[5]]),
-            tos: buf[1],
-            dont_frag: u16::from_be_bytes([buf[6], buf[7]]) & 0x4000 != 0,
-        };
-        (header, &buf[20..])
     }
 }

@@ -3,118 +3,117 @@
 
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use lucent_support::prop;
+use lucent_support::rng::Rng64;
+use lucent_support::Bytes;
 
 use lucent_packet::{
     checksum, DnsMessage, HttpRequest, HttpResponse, IcmpMessage, Ipv4Header, Packet,
     RequestParseMode, TcpFlags, TcpHeader, UdpHeader,
 };
 
-fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
-    any::<u32>().prop_map(Ipv4Addr::from)
+fn arb_ip(rng: &mut Rng64) -> Ipv4Addr {
+    Ipv4Addr::from(rng.gen::<u32>())
 }
 
-fn arb_tcp_header() -> impl Strategy<Value = TcpHeader> {
-    (
-        any::<u16>(),
-        any::<u16>(),
-        any::<u32>(),
-        any::<u32>(),
-        0u8..0x40,
-        any::<u16>(),
-        proptest::option::of(any::<u16>()),
-    )
-        .prop_map(|(sp, dp, seq, ack, flags, window, mss)| TcpHeader {
-            src_port: sp,
-            dst_port: dp,
-            seq,
-            ack,
-            flags: TcpFlags(flags),
-            window,
-            mss,
-        })
+fn arb_tcp_header(rng: &mut Rng64) -> TcpHeader {
+    TcpHeader {
+        src_port: rng.gen(),
+        dst_port: rng.gen(),
+        seq: rng.gen(),
+        ack: rng.gen(),
+        flags: TcpFlags(rng.gen_range(0u8..0x40)),
+        window: rng.gen(),
+        mss: if rng.gen() { Some(rng.gen()) } else { None },
+    }
 }
 
-fn arb_ipv4_header() -> impl Strategy<Value = Ipv4Header> {
-    (arb_ip(), arb_ip(), any::<u8>(), any::<u16>(), any::<u8>(), any::<bool>()).prop_map(
-        |(src, dst, ttl, ident, tos, df)| Ipv4Header {
-            src,
-            dst,
-            ttl,
-            protocol: 6,
-            identification: ident,
-            tos,
-            dont_frag: df,
-        },
-    )
+fn arb_ipv4_header(rng: &mut Rng64) -> Ipv4Header {
+    Ipv4Header {
+        src: arb_ip(rng),
+        dst: arb_ip(rng),
+        ttl: rng.gen(),
+        protocol: 6,
+        identification: rng.gen(),
+        tos: rng.gen(),
+        dont_frag: rng.gen(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn checksum_split_invariance(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
-        let split = split.min(data.len());
+#[test]
+fn checksum_split_invariance() {
+    prop::check(256, |rng| {
+        let data = prop::vec_u8(rng, 0..512);
+        let split = rng.gen_range(0usize..512).min(data.len());
         let whole = checksum::of(&data);
         let mut c = checksum::Checksum::new();
         c.add(&data[..split]);
         c.add(&data[split..]);
-        prop_assert_eq!(c.finish(), whole);
-    }
+        assert_eq!(c.finish(), whole);
+    });
+}
 
-    #[test]
-    fn ipv4_roundtrip(h in arb_ipv4_header(), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn ipv4_roundtrip() {
+    prop::check(256, |rng| {
+        let h = arb_ipv4_header(rng);
+        let payload = prop::vec_u8(rng, 0..256);
         let mut wire = Vec::new();
         h.emit(&payload, &mut wire);
         let (parsed, body) = Ipv4Header::parse(&wire).unwrap();
-        prop_assert_eq!(parsed, h);
-        prop_assert_eq!(body, &payload[..]);
-    }
+        assert_eq!(parsed, h);
+        assert_eq!(body, &payload[..]);
+    });
+}
 
-    #[test]
-    fn ipv4_single_byte_corruption_detected_in_header(
-        h in arb_ipv4_header(),
-        byte in 0usize..20,
-        bit in 0u8..8,
-    ) {
+#[test]
+fn ipv4_single_byte_corruption_detected_in_header() {
+    prop::check(256, |rng| {
+        let h = arb_ipv4_header(rng);
+        let byte = rng.gen_range(0usize..20);
+        let bit = rng.gen_range(0u8..8);
         let mut wire = Vec::new();
         h.emit(&[], &mut wire);
         wire[byte] ^= 1 << bit;
         // Any single-bit flip in the header must be rejected (checksum,
         // version, or length checks).
-        prop_assert!(Ipv4Header::parse(&wire).is_err());
-    }
+        assert!(Ipv4Header::parse(&wire).is_err());
+    });
+}
 
-    #[test]
-    fn tcp_roundtrip(
-        src in arb_ip(), dst in arb_ip(),
-        h in arb_tcp_header(),
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+#[test]
+fn tcp_roundtrip() {
+    prop::check(256, |rng| {
+        let (src, dst) = (arb_ip(rng), arb_ip(rng));
+        let h = arb_tcp_header(rng);
+        let payload = prop::vec_u8(rng, 0..512);
         let mut wire = Vec::new();
         h.emit(src, dst, &payload, &mut wire);
         let (parsed, body) = TcpHeader::parse(src, dst, &wire).unwrap();
-        prop_assert_eq!(parsed, h);
-        prop_assert_eq!(body, &payload[..]);
-    }
+        assert_eq!(parsed, h);
+        assert_eq!(body, &payload[..]);
+    });
+}
 
-    #[test]
-    fn udp_roundtrip(
-        src in arb_ip(), dst in arb_ip(),
-        sp in any::<u16>(), dp in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let h = UdpHeader::new(sp, dp);
+#[test]
+fn udp_roundtrip() {
+    prop::check(256, |rng| {
+        let (src, dst) = (arb_ip(rng), arb_ip(rng));
+        let h = UdpHeader::new(rng.gen(), rng.gen());
+        let payload = prop::vec_u8(rng, 0..512);
         let mut wire = Vec::new();
         h.emit(src, dst, &payload, &mut wire);
         let (parsed, body) = UdpHeader::parse(src, dst, &wire).unwrap();
-        prop_assert_eq!(parsed, h);
-        prop_assert_eq!(body, &payload[..]);
-    }
+        assert_eq!(parsed, h);
+        assert_eq!(body, &payload[..]);
+    });
+}
 
-    #[test]
-    fn icmp_roundtrip(ident in any::<u16>(), seq in any::<u16>(), orig in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn icmp_roundtrip() {
+    prop::check(256, |rng| {
+        let (ident, seq) = (rng.gen(), rng.gen());
+        let orig = prop::vec_u8(rng, 0..64);
         for msg in [
             IcmpMessage::EchoRequest { ident, seq },
             IcmpMessage::EchoReply { ident, seq },
@@ -123,86 +122,103 @@ proptest! {
         ] {
             let mut wire = Vec::new();
             msg.emit(&mut wire);
-            prop_assert_eq!(IcmpMessage::parse(&wire).unwrap(), msg);
+            assert_eq!(IcmpMessage::parse(&wire).unwrap(), msg);
         }
-    }
+    });
+}
 
-    #[test]
-    fn full_packet_roundtrip(
-        src in arb_ip(), dst in arb_ip(),
-        h in arb_tcp_header(),
-        ttl in 1u8..=255,
-        ident in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+#[test]
+fn full_packet_roundtrip() {
+    prop::check(256, |rng| {
+        let (src, dst) = (arb_ip(rng), arb_ip(rng));
+        let h = arb_tcp_header(rng);
+        let ttl = rng.gen_range(1u8..=255);
+        let ident = rng.gen::<u16>();
+        let payload = prop::vec_u8(rng, 0..256);
         let pkt = Packet::tcp(src, dst, h, Bytes::from(payload)).with_ttl(ttl).with_ip_id(ident);
         let parsed = Packet::parse(&pkt.emit()).unwrap();
-        prop_assert_eq!(parsed, pkt);
-    }
+        assert_eq!(parsed, pkt);
+    });
+}
 
-    #[test]
-    fn ip_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn ip_parser_never_panics() {
+    prop::check(256, |rng| {
+        let bytes = prop::vec_u8(rng, 0..128);
         let _ = Ipv4Header::parse(&bytes);
         let _ = Packet::parse(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn dns_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn dns_parser_never_panics() {
+    prop::check(256, |rng| {
+        let bytes = prop::vec_u8(rng, 0..256);
         let _ = DnsMessage::parse(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn http_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn http_parsers_never_panic() {
+    prop::check(256, |rng| {
+        let bytes = prop::vec_u8(rng, 0..256);
         let _ = HttpRequest::parse(&bytes, RequestParseMode::Rfc);
         let _ = HttpRequest::parse(&bytes, RequestParseMode::Strict);
         let _ = HttpResponse::parse(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn dns_query_roundtrip(id in any::<u16>(), labels in proptest::collection::vec("[a-z0-9]{1,16}", 1..5)) {
+#[test]
+fn dns_query_roundtrip() {
+    prop::check(256, |rng| {
+        let id = rng.gen::<u16>();
+        let labels = prop::vec_of(rng, 1..5, |rng| prop::alnum_lower(rng, 1..=16));
         let name = labels.join(".");
         let q = DnsMessage::query_a(id, &name);
         let mut wire = Vec::new();
         q.emit(&mut wire).unwrap();
         let parsed = DnsMessage::parse(&wire).unwrap();
-        prop_assert_eq!(parsed, q);
-    }
+        assert_eq!(parsed, q);
+    });
+}
 
-    #[test]
-    fn dns_answer_roundtrip(
-        id in any::<u16>(),
-        ips in proptest::collection::vec(arb_ip(), 0..6),
-        ttl in any::<u32>(),
-    ) {
+#[test]
+fn dns_answer_roundtrip() {
+    prop::check(256, |rng| {
+        let id = rng.gen::<u16>();
+        let ips = prop::vec_of(rng, 0..6, arb_ip);
+        let ttl = rng.gen::<u32>();
         let q = DnsMessage::query_a(id, "host.example.com");
         let a = DnsMessage::answer_a(&q, &ips, ttl);
         let mut wire = Vec::new();
         a.emit(&mut wire).unwrap();
         let parsed = DnsMessage::parse(&wire).unwrap();
-        prop_assert_eq!(parsed.a_records(), ips);
-        prop_assert_eq!(parsed, a);
-    }
+        assert_eq!(parsed.a_records(), ips);
+        assert_eq!(parsed, a);
+    });
+}
 
-    #[test]
-    fn http_request_builder_roundtrip(
-        path in "/[a-z0-9/]{0,20}",
-        host in "[a-z0-9.]{1,30}",
-    ) {
+#[test]
+fn http_request_builder_roundtrip() {
+    prop::check(256, |rng| {
+        let path = format!("/{}", prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789/", 0..=20));
+        let host = prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789.", 1..=30);
         let bytes = lucent_packet::http::RequestBuilder::browser(&host, &path).build();
         let (req, used) = HttpRequest::parse(&bytes, RequestParseMode::Rfc).unwrap();
-        prop_assert_eq!(used, bytes.len());
-        prop_assert_eq!(req.host(), Some(host.as_str()));
-        prop_assert_eq!(req.target, path);
-    }
+        assert_eq!(used, bytes.len());
+        assert_eq!(req.host(), Some(host.as_str()));
+        assert_eq!(req.target, path);
+    });
+}
 
-    #[test]
-    fn http_response_roundtrip(
-        status in 100u16..600,
-        body in proptest::collection::vec(0x20u8..0x7f, 0..256),
-    ) {
+#[test]
+fn http_response_roundtrip() {
+    prop::check(256, |rng| {
+        let status = rng.gen_range(100u16..600);
+        let body = prop::vec_of(rng, 0..256, |rng| rng.gen_range(0x20u8..0x7f));
         let resp = HttpResponse::new(status, "Reason", body.clone());
         let parsed = HttpResponse::parse(&resp.emit()).unwrap();
-        prop_assert_eq!(parsed.status, status);
-        prop_assert_eq!(parsed.body, body);
-    }
+        assert_eq!(parsed.status, status);
+        assert_eq!(parsed.body, body);
+    });
 }

@@ -1,0 +1,246 @@
+//! A minimal cheaply-clonable byte buffer, replacing the `bytes` crate's
+//! `Bytes` for the patterns this workspace actually uses: build once,
+//! share by reference-counted clone, read as a slice.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// `Clone` is O(1) (an `Arc` bump) and [`Bytes::slice`] is a zero-copy
+/// view into the same allocation. Equality and hashing are by content,
+/// so types embedding `Bytes` (like `lucent_packet::Packet`) can keep
+/// their derived `PartialEq`/`Hash` semantics.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// The empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::copy_from_slice(&[])
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data), start: 0, end: data.len() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// View as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copy out to an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// Accepts the usual range forms (`a..b`, `a..`, `..b`, `..`).
+    /// Panics if the range is out of bounds, matching slice indexing.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of bounds for length {len}");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            // Match the readable style of `bytes::Bytes` debug output.
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                other => write!(f, "\\x{other:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash + ?Sized>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn construction_and_views() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert!(Bytes::new().is_empty());
+        let s = Bytes::from(&b"abc"[..]);
+        assert_eq!(s, *b"abc");
+    }
+
+    #[test]
+    fn clone_is_shared_and_equal() {
+        let a = Bytes::copy_from_slice(b"payload");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_slice(), b.as_slice()));
+    }
+
+    #[test]
+    fn hash_matches_slice_hash() {
+        let a = Bytes::copy_from_slice(b"xyz");
+        assert_eq!(hash_of(&a), hash_of(&b"xyz"[..]));
+    }
+
+    #[test]
+    fn slice_is_a_shared_view() {
+        let a = Bytes::copy_from_slice(b"hello world");
+        let tail = a.slice(6..);
+        assert_eq!(tail, *b"world");
+        let mid = a.slice(3..8);
+        assert_eq!(mid, *b"lo wo");
+        // Slicing a slice composes.
+        assert_eq!(mid.slice(1..=2), *b"o ");
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(11..).is_empty());
+        // Shares the parent's allocation (no copy).
+        assert!(std::ptr::eq(&a.as_slice()[6], &tail.as_slice()[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::copy_from_slice(b"abc").slice(1..5);
+    }
+}

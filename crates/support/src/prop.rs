@@ -1,0 +1,118 @@
+//! A micro property-testing harness, replacing `proptest` for the three
+//! `props.rs` suites.
+//!
+//! Each case gets a [`Rng64`] seeded deterministically from the case
+//! index, so failures are reproducible by construction: the panic
+//! message names the failing case seed, and re-running the test reaches
+//! the same case with the same inputs.
+
+use crate::rng::Rng64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Base seed mixed with the case index (golden-ratio constant).
+const CASE_SEED_BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Run `cases` property checks, each with its own deterministic RNG.
+///
+/// The closure draws whatever inputs it needs from the RNG and asserts
+/// its property with ordinary `assert!`s. On failure the harness
+/// re-raises with the case index and seed prepended.
+pub fn check(cases: u32, f: impl Fn(&mut Rng64)) {
+    for case in 0..cases {
+        let seed = CASE_SEED_BASE ^ u64::from(case).wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property failed at case {case}/{cases} (seed {seed:#018x}): {msg}");
+        }
+    }
+}
+
+/// A `Vec<u8>` with uniform contents and a uniform length in `range`.
+pub fn vec_u8(rng: &mut Rng64, range: std::ops::Range<usize>) -> Vec<u8> {
+    let len = if range.is_empty() { range.start } else { rng.gen_range(range) };
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+/// A `Vec` of `len_range.sample()` items drawn by `item`.
+pub fn vec_of<T>(
+    rng: &mut Rng64,
+    range: std::ops::Range<usize>,
+    mut item: impl FnMut(&mut Rng64) -> T,
+) -> Vec<T> {
+    let len = if range.is_empty() { range.start } else { rng.gen_range(range) };
+    (0..len).map(|_| item(rng)).collect()
+}
+
+/// A string of `len` chars drawn uniformly from `alphabet`.
+pub fn string_of(rng: &mut Rng64, alphabet: &str, len_range: std::ops::RangeInclusive<usize>) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty(), "empty alphabet");
+    let len = rng.gen_range(len_range);
+    (0..len).map(|_| chars[rng.index(chars.len())]).collect()
+}
+
+/// Lowercase-alphanumeric string, the common domain-label shape.
+pub fn alnum_lower(rng: &mut Rng64, len_range: std::ops::RangeInclusive<usize>) -> String {
+    string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789", len_range)
+}
+
+/// One uniformly chosen element of a non-empty slice.
+pub fn select<'a, T>(rng: &mut Rng64, items: &'a [T]) -> &'a T {
+    &items[rng.index(items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_runs_the_requested_cases() {
+        let mut count = 0;
+        let counter = std::cell::Cell::new(0u32);
+        check(17, |_| counter.set(counter.get() + 1));
+        count += counter.get();
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failures_carry_case_context() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check(8, |rng| {
+                let _v: u64 = rng.gen();
+                panic!("deliberate");
+            })
+        }));
+        let err = outcome.expect_err("must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("case 0/8"), "{msg}");
+        assert!(msg.contains("deliberate"), "{msg}");
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        check(64, |rng| {
+            let v = vec_u8(rng, 0..16);
+            assert!(v.len() < 16);
+            let s = alnum_lower(rng, 1..=8);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let pick = select(rng, &[1, 2, 3]);
+            assert!([1, 2, 3].contains(pick));
+        });
+    }
+
+    #[test]
+    fn same_case_same_inputs() {
+        let first = std::cell::RefCell::new(Vec::new());
+        check(4, |rng| first.borrow_mut().push(vec_u8(rng, 0..32)));
+        let second = std::cell::RefCell::new(Vec::new());
+        check(4, |rng| second.borrow_mut().push(vec_u8(rng, 0..32)));
+        assert_eq!(*first.borrow(), *second.borrow());
+    }
+}

@@ -3,12 +3,11 @@
 //! firewall.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lucent_support::Bytes;
+use lucent_netsim::SimRng;
 
 use lucent_netsim::{IfaceId, Node, NodeCtx, SimTime, WAKE};
 use lucent_packet::tcp::{TcpFlags, TcpHeader};
@@ -70,13 +69,13 @@ pub struct TcpHost {
     /// The host's address.
     pub ip: Ipv4Addr,
     label: String,
-    rng: StdRng,
+    rng: SimRng,
     sockets: Vec<Option<Tcb>>,
-    apps: HashMap<SocketId, Box<dyn SocketApp>>,
-    dispatched: HashMap<SocketId, usize>,
+    apps: BTreeMap<SocketId, Box<dyn SocketApp>>,
+    dispatched: BTreeMap<SocketId, usize>,
     /// (local port, remote ip, remote port) → socket.
-    tuples: HashMap<(u16, Ipv4Addr, u16), SocketId>,
-    listeners: HashMap<u16, Box<dyn Fn() -> Box<dyn SocketApp>>>,
+    tuples: BTreeMap<(u16, Ipv4Addr, u16), SocketId>,
+    listeners: BTreeMap<u16, Box<dyn Fn() -> Box<dyn SocketApp>>>,
     next_port: u16,
     /// Inbound packet filter (the `iptables` model).
     ///
@@ -87,12 +86,12 @@ pub struct TcpHost {
     pub firewall: Firewall,
     pcap_enabled: bool,
     pcap: Vec<(SimTime, Packet)>,
-    raw_ports: HashSet<u16>,
+    raw_ports: BTreeSet<u16>,
     raw_tcp_inbox: Vec<(SimTime, Packet)>,
     raw_outbox: Vec<Packet>,
-    udp_ports: HashSet<u16>,
+    udp_ports: BTreeSet<u16>,
     udp_inbox: Vec<UdpDatagram>,
-    udp_apps: HashMap<u16, Box<dyn UdpApp>>,
+    udp_apps: BTreeMap<u16, Box<dyn UdpApp>>,
     outbox: Vec<Packet>,
     icmp_inbox: Vec<(SimTime, Packet)>,
     /// TTL stamped on packets this host originates.
@@ -105,22 +104,22 @@ impl TcpHost {
         TcpHost {
             ip,
             label: label.into(),
-            rng: StdRng::seed_from_u64(seed ^ u64::from(u32::from(ip))),
+            rng: SimRng::seed_from_u64(seed ^ u64::from(u32::from(ip))),
             sockets: Vec::new(),
-            apps: HashMap::new(),
-            dispatched: HashMap::new(),
-            tuples: HashMap::new(),
-            listeners: HashMap::new(),
+            apps: BTreeMap::new(),
+            dispatched: BTreeMap::new(),
+            tuples: BTreeMap::new(),
+            listeners: BTreeMap::new(),
             next_port: 40_000,
             firewall: Firewall::new(),
             pcap_enabled: false,
             pcap: Vec::new(),
-            raw_ports: HashSet::new(),
+            raw_ports: BTreeSet::new(),
             raw_tcp_inbox: Vec::new(),
             raw_outbox: Vec::new(),
-            udp_ports: HashSet::new(),
+            udp_ports: BTreeSet::new(),
             udp_inbox: Vec::new(),
-            udp_apps: HashMap::new(),
+            udp_apps: BTreeMap::new(),
             outbox: Vec::new(),
             icmp_inbox: Vec::new(),
             default_ttl: 64,

@@ -6,7 +6,7 @@
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
+use lucent_support::Bytes;
 use lucent_packet::tcp::{seq, TcpFlags, TcpHeader};
 use lucent_netsim::SimTime;
 

@@ -1,8 +1,9 @@
 //! Property tests for the TCP state machine: safety under arbitrary
 //! segments, and delivery correctness under loss with retransmission.
 
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
+
+use lucent_support::prop;
 
 use lucent_netsim::SimTime;
 use lucent_packet::tcp::{TcpFlags, TcpHeader};
@@ -40,18 +41,19 @@ fn established() -> (Tcb, Tcb) {
     (a, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arbitrary segments never panic the state machine, and the receive
-    /// buffer never shrinks.
-    #[test]
-    fn arbitrary_segments_are_safe(
-        segs in proptest::collection::vec(
-            (0u8..0x40, any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)),
-            0..48,
-        )
-    ) {
+/// Arbitrary segments never panic the state machine, and the receive
+/// buffer never shrinks.
+#[test]
+fn arbitrary_segments_are_safe() {
+    prop::check(128, |rng| {
+        let segs = prop::vec_of(rng, 0..48, |rng| {
+            (
+                rng.gen_range(0u8..0x40),
+                rng.gen::<u32>(),
+                rng.gen::<u32>(),
+                prop::vec_u8(rng, 0..64),
+            )
+        });
         let (mut a, _b) = established();
         let mut last_len = 0usize;
         for (i, (flags, seq, ack, payload)) in segs.into_iter().enumerate() {
@@ -60,16 +62,17 @@ proptest! {
             h.ack = ack;
             a.on_segment(&h, &payload, t(10 + i as u64));
             let _ = a.poll(t(10 + i as u64));
-            prop_assert!(a.recv_buf.len() >= last_len || a.recv_buf.is_empty());
+            assert!(a.recv_buf.len() >= last_len || a.recv_buf.is_empty());
             last_len = a.recv_buf.len();
         }
-    }
+    });
+}
 
-    /// Lossless in-order exchange delivers exactly the sent bytes.
-    #[test]
-    fn lossless_delivery_is_exact(
-        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..512), 1..12)
-    ) {
+/// Lossless in-order exchange delivers exactly the sent bytes.
+#[test]
+fn lossless_delivery_is_exact() {
+    prop::check(128, |rng| {
+        let chunks = prop::vec_of(rng, 1..12, |rng| prop::vec_u8(rng, 1..512));
         let (mut a, mut b) = established();
         let mut expected = Vec::new();
         for chunk in &chunks {
@@ -89,23 +92,24 @@ proptest! {
                 a.on_segment(&h, &p, t(100 + step));
             }
         }
-        prop_assert_eq!(b.take_received(), expected);
-        prop_assert!(a.send_drained());
-    }
+        assert_eq!(b.take_received(), expected);
+        assert!(a.send_drained());
+    });
+}
 
-    /// Under random segment loss (bounded below the retry budget, as a
-    /// correctness property must be — unbounded loss legitimately aborts
-    /// the connection), retransmission timeouts still deliver every byte
-    /// in order.
-    #[test]
-    fn lossy_delivery_recovers_via_retransmission(
-        payload in proptest::collection::vec(any::<u8>(), 1..2_000),
-        loss_seed in any::<u64>(),
-    ) {
+/// Under random segment loss (bounded below the retry budget, as a
+/// correctness property must be — unbounded loss legitimately aborts
+/// the connection), retransmission timeouts still deliver every byte
+/// in order.
+#[test]
+fn lossy_delivery_recovers_via_retransmission() {
+    prop::check(128, |rng| {
+        let payload = prop::vec_u8(rng, 1..2_000);
+        let loss_seed = rng.gen::<u64>();
         let (mut a, mut b) = established();
         a.send(&payload);
         let mut x = loss_seed | 1;
-        let mut dropped: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+        let mut dropped: std::collections::BTreeMap<u32, u8> = std::collections::BTreeMap::new();
         let mut roll = move |seq: u32| {
             x ^= x << 13;
             x ^= x >> 7;
@@ -140,15 +144,16 @@ proptest! {
                 a.on_retransmit_timeout(t(now + 400));
             }
         }
-        prop_assert_eq!(b.take_received(), payload);
-    }
+        assert_eq!(b.take_received(), payload);
+    });
+}
 
-    /// Duplicated (replayed) data segments never corrupt the stream.
-    #[test]
-    fn duplicate_segments_do_not_corrupt(
-        payload in proptest::collection::vec(any::<u8>(), 1..600),
-        dup_every in 1usize..4,
-    ) {
+/// Duplicated (replayed) data segments never corrupt the stream.
+#[test]
+fn duplicate_segments_do_not_corrupt() {
+    prop::check(128, |rng| {
+        let payload = prop::vec_u8(rng, 1..600);
+        let dup_every = rng.gen_range(1usize..4);
         let (mut a, mut b) = established();
         a.send(&payload);
         let mut now = 100u64;
@@ -176,6 +181,6 @@ proptest! {
                 a.on_segment(&h, &p, t(now));
             }
         }
-        prop_assert_eq!(b.take_received(), payload);
-    }
+        assert_eq!(b.take_received(), payload);
+    });
 }

@@ -1,10 +1,9 @@
 //! Construction of the full India network.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lucent_netsim::SimRng;
 
 use lucent_dns::{catalog, DnsCatalog, PoisonMode, RegionId, ResolverApp, SharedCatalog};
 use lucent_middlebox::{
@@ -103,7 +102,7 @@ pub fn det_unit(parts: &[u64]) -> f64 {
 }
 
 /// Seeded sample of `n` distinct items.
-fn sample_sites(rng: &mut StdRng, pool: &[SiteId], n: usize) -> BTreeSet<SiteId> {
+fn sample_sites(rng: &mut SimRng, pool: &[SiteId], n: usize) -> BTreeSet<SiteId> {
     let mut items: Vec<SiteId> = pool.to_vec();
     let n = n.min(items.len());
     for i in 0..n {
@@ -116,12 +115,12 @@ fn sample_sites(rng: &mut StdRng, pool: &[SiteId], n: usize) -> BTreeSet<SiteId>
 
 /// Link helper that allocates interface numbers on both ends.
 struct Wire {
-    next: HashMap<NodeId, u8>,
+    next: BTreeMap<NodeId, u8>,
 }
 
 impl Wire {
     fn new() -> Self {
-        Wire { next: HashMap::new() }
+        Wire { next: BTreeMap::new() }
     }
 
     fn alloc(&mut self, node: NodeId) -> IfaceId {
@@ -154,7 +153,7 @@ const MS: fn(u64) -> SimDuration = SimDuration::from_millis;
 impl India {
     /// Build the world from `cfg`.
     pub fn build(cfg: IndiaConfig) -> India {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
         let mut net = Network::new();
         let mut wire = Wire::new();
         let mut truth = GroundTruth::default();
@@ -504,7 +503,7 @@ impl India {
     /// Sites eligible for a border blocklist: alive, single-replica,
     /// hosted in pools on the right side of the even/odd split.
     fn border_blocklist(
-        rng: &mut StdRng,
+        rng: &mut SimRng,
         corpus: &Corpus,
         pools: &[Cidr],
         count: usize,
@@ -536,7 +535,7 @@ impl India {
         cfg: &IndiaConfig,
         net: &mut Network,
         wire: &mut Wire,
-        rng: &mut StdRng,
+        rng: &mut SimRng,
         corpus: &Corpus,
         catalog: &SharedCatalog,
         directory: &lucent_web::SharedDirectory,
@@ -574,7 +573,7 @@ impl India {
         let mut devices: Vec<(usize, NodeId, MbKind)> = Vec::new();
         let mut device_plan: Vec<(usize, bool, BTreeSet<SiteId>)> = Vec::new();
         let mut master: BTreeSet<SiteId> = BTreeSet::new();
-        let mut covered: HashMap<usize, (bool, BTreeSet<SiteId>)> = HashMap::new();
+        let mut covered: BTreeMap<usize, (bool, BTreeSet<SiteId>)> = BTreeMap::new();
         if let Some(p) = http_profile {
             let n_inside = (p.coverage_inside * k as f64).round() as usize;
             let n_outside = (p.coverage_outside * k as f64).round() as usize;
@@ -678,7 +677,7 @@ impl India {
         // --- wire cores↔leaves (full mesh) --------------------------------
         // leaf_core_ifaces[leaf][core] = iface at the leaf toward that core.
         let mut leaf_core_ifaces: Vec<Vec<IfaceId>> = vec![Vec::new(); l];
-        for (_c, &core) in cores.iter().enumerate() {
+        for &core in cores.iter() {
             for (leaf, &leaf_node) in leaves.iter().enumerate() {
                 let (core_if, leaf_if) = wire.link(net, core, leaf_node, MS(1));
                 net.node_mut::<RouterNode>(core).table.add(leaf_prefixes[leaf], core_if);

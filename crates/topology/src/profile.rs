@@ -245,7 +245,7 @@ impl IndiaConfig {
             http,
             dns,
             collateral,
-            seed: 0x11d1_a0_2018,
+            seed: 0x0011_d1a0_2018,
         }
     }
 }

@@ -5,8 +5,7 @@
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lucent_netsim::SimRng;
 
 use lucent_dns::DnsCatalog;
 use lucent_netsim::routing::Cidr;
@@ -96,7 +95,7 @@ impl Corpus {
     /// Generate deterministically from `cfg`, hosting everything on
     /// addresses drawn from `alloc`.
     pub fn generate(cfg: &CorpusConfig, alloc: &mut IpAllocator) -> Corpus {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
         let mut sites = Vec::with_capacity(cfg.pbw_count + cfg.popular_count);
         let mut pbw = Vec::with_capacity(cfg.pbw_count);
         let mut popular = Vec::with_capacity(cfg.popular_count);
@@ -125,10 +124,15 @@ impl Corpus {
                 Vec::new()
             } else if regional {
                 (0..rng.gen_range(3..=6)).map(|_| alloc.next_ip()).collect()
-            } else if rng.gen_bool(cfg.shared_hosting) && last_ip.is_some() {
-                vec![last_ip.expect("guarded")]
             } else {
-                vec![alloc.next_ip()]
+                // The Bernoulli draw happens unconditionally so the RNG
+                // stream (and thus every later site) is independent of
+                // whether a previous IP exists.
+                let shared = rng.gen_bool(cfg.shared_hosting);
+                match last_ip {
+                    Some(ip) if shared => vec![ip],
+                    _ => vec![alloc.next_ip()],
+                }
             };
             last_ip = replicas.first().copied().or(last_ip);
             sites.push(Site {
@@ -164,6 +168,30 @@ impl Corpus {
                 seed: rng.gen(),
             });
             popular.push(id);
+        }
+
+        // Shared hosting is a structural property virtual-hosting
+        // experiments rely on, not just a statistical one: the Bernoulli
+        // draws above can miss it entirely at small corpus sizes, so
+        // force one pair if none materialized.
+        let any_shared = {
+            let mut firsts: Vec<Ipv4Addr> =
+                sites.iter().filter_map(|s| s.replicas.first().copied()).collect();
+            firsts.sort_unstable();
+            firsts.windows(2).any(|w| w[0] == w[1])
+        };
+        if !any_shared {
+            let singles: Vec<usize> = sites
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.kind == SiteKind::Normal && !s.regional_dns && s.replicas.len() == 1
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if let [first, .., last] = singles.as_slice() {
+                sites[*last].replicas = sites[*first].replicas.clone();
+            }
         }
 
         let directory = Rc::new(SiteDirectory::new(sites.clone()));

@@ -1,6 +1,6 @@
 //! Site records: what exists on the simulated web.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -113,8 +113,8 @@ impl Site {
 /// The directory servers consult: domain → site, plus reverse IP lookup.
 #[derive(Debug, Default)]
 pub struct SiteDirectory {
-    by_domain: HashMap<String, Site>,
-    by_ip: HashMap<Ipv4Addr, Vec<SiteId>>,
+    by_domain: BTreeMap<String, Site>,
+    by_ip: BTreeMap<Ipv4Addr, Vec<SiteId>>,
 }
 
 impl SiteDirectory {

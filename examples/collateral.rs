@@ -16,7 +16,7 @@ fn main() {
 
     // NKN deploys no censorship of its own…
     assert!(lab.india.isps[&IspId::Nkn].devices.is_empty());
-    assert!(lab.india.truth.http_master.get(&IspId::Nkn).is_none());
+    assert!(!lab.india.truth.http_master.contains_key(&IspId::Nkn));
     println!("NKN deploys no middleboxes and poisons no resolvers.\n");
 
     // …yet its clients see blocks, inherited from Vodafone and TATA.

@@ -19,6 +19,18 @@ fn censored_site(lab: &mut Lab, isp: IspId) -> Option<SiteId> {
         if !s.is_alive() || s.kind != lucent_web::SiteKind::Normal {
             continue;
         }
+        // The matrix checks *this* deployment's matcher semantics, so the
+        // site must not also sit on another censor's blocklist — a second
+        // middlebox on the path would mix its semantics into the result.
+        let shared = lab
+            .india
+            .truth
+            .http_master
+            .iter()
+            .any(|(&other, bl)| other != isp && bl.contains(&site));
+        if shared {
+            continue;
+        }
         let (domain, ip) = (s.domain.clone(), s.replicas[0]);
         for _ in 0..2 {
             let f = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);

@@ -82,14 +82,14 @@ fn dead_sites_remain_on_blocklists() {
     // the tiny one does not.)
     let lab = Lab::new(India::build(IndiaConfig::small()));
     let mut found_dead_blocked = false;
-    for (_, master) in &lab.india.truth.dns_master {
+    for master in lab.india.truth.dns_master.values() {
         for &site in master.iter() {
             if !lab.india.corpus.site(site).is_alive() {
                 found_dead_blocked = true;
             }
         }
     }
-    for (_, master) in &lab.india.truth.http_master {
+    for master in lab.india.truth.http_master.values() {
         for &site in master.iter() {
             if !lab.india.corpus.site(site).is_alive() {
                 found_dead_blocked = true;

@@ -86,10 +86,16 @@ fn wiretap_injections_carry_the_airtel_ip_id() {
         return; // tiny world: the Airtel client may dodge all devices
     };
     let client = lab.client_of(IspId::Airtel);
-    lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).enable_pcap();
-    let _ = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
-    let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
-    let stamped: Vec<_> = pcap.iter().filter(|(_, p)| p.ip.identification == 242).collect();
+    // The wiretap races the real response and its slow tail (30% of
+    // flows) can lose outright, so one fetch may see no injection at
+    // all; collect stamped packets across a handful of flows.
+    let mut stamped = Vec::new();
+    for _ in 0..5 {
+        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).enable_pcap();
+        let _ = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
+        let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
+        stamped.extend(pcap.into_iter().filter(|(_, p)| p.ip.identification == 242));
+    }
     assert!(!stamped.is_empty(), "Airtel middlebox packets are stamped 242");
     for (_, p) in &stamped {
         let (h, _) = p.as_tcp().expect("TCP");

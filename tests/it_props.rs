@@ -1,7 +1,7 @@
 //! Cross-crate property tests: determinism of the whole world, matcher /
 //! server parse agreements, and wire fidelity of live traffic.
 
-use proptest::prelude::*;
+use lucent_support::prop;
 
 use lucent_core::lab::{Lab, FETCH_TIMEOUT_MS};
 use lucent_middlebox::HostMatcher;
@@ -29,41 +29,49 @@ fn world_build_and_first_fetch_are_deterministic() {
     assert_eq!(t1, t2, "packet traces diverge");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever a middlebox matcher extracts from a *canonical* browser
-    /// request, the RFC server parse agrees with — the arms race only
-    /// exists for non-canonical requests.
-    #[test]
-    fn matchers_and_server_agree_on_canonical_requests(
-        host in "[a-z][a-z0-9.-]{0,30}[a-z0-9]",
-        path in "/[a-z0-9/]{0,16}",
-    ) {
+/// Whatever a middlebox matcher extracts from a *canonical* browser
+/// request, the RFC server parse agrees with — the arms race only
+/// exists for non-canonical requests.
+#[test]
+fn matchers_and_server_agree_on_canonical_requests() {
+    prop::check(64, |rng| {
+        let host = format!(
+            "{}{}{}",
+            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..=1),
+            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789.-", 0..=30),
+            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789", 1..=1),
+        );
+        let path = format!("/{}", prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789/", 0..=16));
         let bytes = RequestBuilder::browser(&host, &path).build();
         let (req, _) = HttpRequest::parse(&bytes, RequestParseMode::Rfc).unwrap();
         let server_view = req.host().map(|h| h.to_ascii_lowercase());
         for matcher in [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost] {
-            prop_assert_eq!(matcher.extract(&bytes), server_view.clone(), "{:?}", matcher);
+            assert_eq!(matcher.extract(&bytes), server_view.clone(), "{matcher:?}");
         }
-    }
+    });
+}
 
-    /// Fudged whitespace variants are always served identically by the
-    /// RFC parser regardless of what the matchers think.
-    #[test]
-    fn rfc_server_parse_is_whitespace_invariant(
-        host in "[a-z][a-z0-9.]{0,24}[a-z0-9]",
-        lead in proptest::sample::select(vec![" ", "  ", "\t", " \t"]),
-        trail in proptest::sample::select(vec!["", " ", "\t", "  "]),
-    ) {
+/// Fudged whitespace variants are always served identically by the
+/// RFC parser regardless of what the matchers think.
+#[test]
+fn rfc_server_parse_is_whitespace_invariant() {
+    prop::check(64, |rng| {
+        let host = format!(
+            "{}{}{}",
+            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..=1),
+            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789.", 0..=24),
+            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789", 1..=1),
+        );
+        let lead = *prop::select(rng, &[" ", "  ", "\t", " \t"]);
+        let trail = *prop::select(rng, &["", " ", "\t", "  "]);
         let canonical = RequestBuilder::get("/").header("Host", &host).build();
         let fudged = RequestBuilder::get("/")
             .raw_line(&format!("Host:{lead}{host}{trail}"))
             .build();
         let (a, _) = HttpRequest::parse(&canonical, RequestParseMode::Rfc).unwrap();
         let (b, _) = HttpRequest::parse(&fudged, RequestParseMode::Rfc).unwrap();
-        prop_assert_eq!(a.host(), b.host());
-    }
+        assert_eq!(a.host(), b.host());
+    });
 }
 
 #[test]

@@ -1,0 +1,20 @@
+//! Tier-1 gate: `cargo test` fails if the workspace violates the
+//! lucent-lint rules (hermeticity, layering, determinism, panic budget,
+//! unsafe hygiene). Equivalent to running the binary:
+//! `cargo run -p lucent-devtools --bin lucent-lint`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_the_lint_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("workspace root");
+    let report = lucent_devtools::run_root(root).expect("lint scan");
+    for v in &report.violations {
+        eprintln!("{v}");
+    }
+    assert!(report.ok(), "{} lint violation(s) — see stderr", report.violations.len());
+    // Sanity: the scan actually covered the tree, and the panic-site
+    // ratchet stays below the seed's 142-site baseline.
+    assert!(report.files_scanned > 60, "only {} files scanned", report.files_scanned);
+    assert!(report.panic_total < 142, "panic ratchet regressed: {}", report.panic_total);
+}
