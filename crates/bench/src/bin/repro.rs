@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR]
+//!       [--trace SPEC] [--metrics-out PATH]
 //!
 //! EXPERIMENT: table1 | table2 | table3 | fig1 | fig2 | fig3 | fig4 |
 //!             fig5 | race | triggers | evasion | dns-mechanism | https |
@@ -10,6 +11,14 @@
 //!
 //! Text tables go to stdout; with `--json DIR` each experiment also
 //! writes a machine-readable result file.
+//!
+//! `--trace SPEC` installs a `target=level` event filter (e.g.
+//! `wiretap=debug,tcp=info` or just `trace` for everything) and turns on
+//! span collection; after the run a JSON-lines event log
+//! (`trace-events.jsonl`) and a Chrome trace-event file
+//! (`chrome-trace.json`, loadable in `chrome://tracing` or Perfetto) are
+//! written next to the JSON results (or the current directory).
+//! `--metrics-out PATH` writes the deterministic metrics snapshot.
 
 use std::fs;
 use std::path::PathBuf;
@@ -29,12 +38,16 @@ struct Args {
     experiment: String,
     scale: Scale,
     json_dir: Option<PathBuf>,
+    trace: Option<String>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut experiment = "all".to_string();
     let mut scale = Scale::Small;
     let mut json_dir = None;
+    let mut trace = None;
+    let mut metrics_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -48,14 +61,29 @@ fn parse_args() -> Args {
             "--json" => {
                 json_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| ".".into())));
             }
+            "--trace" => {
+                trace = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs a spec, e.g. wiretap=debug,tcp=info");
+                    std::process::exit(2);
+                }));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a file path");
+                    std::process::exit(2);
+                })));
+            }
             "--help" | "-h" => {
-                println!("repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR]");
+                println!(
+                    "repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR] \
+                     [--trace SPEC] [--metrics-out PATH]"
+                );
                 std::process::exit(0);
             }
             other => experiment = other.to_string(),
         }
     }
-    Args { experiment, scale, json_dir }
+    Args { experiment, scale, json_dir, trace, metrics_out }
 }
 
 fn emit_json<T: lucent_support::ToJson>(dir: &Option<PathBuf>, name: &str, value: &T) {
@@ -284,6 +312,15 @@ fn main() {
     );
     let start = lucent_support::bench::Stopwatch::start();
     let mut lab = args.scale.lab();
+    let obs = lab.india.net.telemetry();
+    if let Some(spec) = &args.trace {
+        if let Err(e) = obs.set_filter_spec(spec) {
+            eprintln!("bad --trace spec {spec:?}: {e}");
+            std::process::exit(2);
+        }
+        obs.enable_spans(true);
+        obs.set_thread_name(0, "sim");
+    }
     println!(
         "world built: {} sites, {} ISPs, {} events so far ({:.1}s)\n",
         lab.india.corpus.sites().len(),
@@ -339,10 +376,39 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if args.trace.is_some() {
+        let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+        let _ = std::fs::create_dir_all(&dir);
+        write_or_die(&dir.join("trace-events.jsonl"), &obs.event_log());
+        write_or_die(&dir.join("chrome-trace.json"), &obs.chrome_trace());
+        println!(
+            "trace: {} event(s) recorded ({} dropped at the ring cap) -> {}",
+            obs.event_count(),
+            obs.events_dropped(),
+            dir.display()
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        write_or_die(path, &obs.metrics_snapshot_pretty());
+        println!("metrics snapshot -> {}", path.display());
+    }
+    let wall = start.elapsed_secs();
+    let events = lab.india.net.events_processed();
+    let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
     println!(
-        "done in {:.1}s wall, {} simulator events, virtual time {}",
-        start.elapsed_secs(),
-        lab.india.net.events_processed(),
+        "done in {wall:.1}s wall, {events} simulator events ({rate:.0} events/s), virtual time {}",
         lab.now()
     );
+}
+
+/// Write an exporter artifact, failing loudly: a half-written trace is
+/// worse than an aborted run.
+fn write_or_die(path: &std::path::Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
 }

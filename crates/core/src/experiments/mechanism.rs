@@ -23,8 +23,12 @@ pub struct MechanismReport {
     /// The handshake completed (SYN/SYN-ACK/ACK seen at the remote).
     pub handshake_at_remote: bool,
     /// The GET payload reached the remote (wiretap signature; false for
-    /// interceptive devices).
+    /// interceptive devices). Derived from the remote's
+    /// `tcp.payload_bytes_rx` counter, not the capture.
     pub get_reached_remote: bool,
+    /// Payload bytes the remote's stack accepted during the fetch (the
+    /// `tcp.payload_bytes_rx` metric delta backing `get_reached_remote`).
+    pub payload_bytes_at_remote: u64,
     /// The client received a forged notification page.
     pub client_got_notice: bool,
     /// The notification carried FIN (the disconnection part).
@@ -56,7 +60,10 @@ pub fn observe(lab: &mut Lab, isp: IspId, domains: &[String]) -> Option<Mechanis
 fn observe_one(lab: &mut Lab, isp: IspId, blocked_domain: &str) -> Option<MechanismReport> {
     let client = lab.client_of(isp);
     let vps = lab.india.external_vps.clone();
+    let obs = lab.india.net.telemetry();
     for (remote_ip, remote_node) in vps {
+        let remote_label = lab.india.net.label_of(remote_node).to_string();
+        let payload_before = obs.counter("tcp.payload_bytes_rx", &remote_label);
         {
             let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
             host.enable_pcap();
@@ -90,9 +97,11 @@ fn observe_one(lab: &mut Lab, isp: IspId, blocked_domain: &str) -> Option<Mechan
         let handshake_at_remote = remote_pcap.iter().any(|(_, p)| {
             p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::SYN)).unwrap_or(false)
         });
-        let get_reached_remote = remote_pcap
-            .iter()
-            .any(|(_, p)| p.as_tcp().map(|(_, b)| !b.is_empty()).unwrap_or(false));
+        // Metric-based, not capture-based: what the remote's TCP stack
+        // *accepted* is the paper's "the server never receives the GET".
+        let payload_bytes_at_remote =
+            obs.counter("tcp.payload_bytes_rx", &remote_label).saturating_sub(payload_before);
+        let get_reached_remote = payload_bytes_at_remote > 0;
         let forged_rst_at_remote = remote_pcap.iter().any(|(_, p)| {
             p.as_tcp()
                 .map(|(h, _)| h.flags.contains(TcpFlags::RST) && h.seq != snd_nxt)
@@ -135,6 +144,7 @@ fn observe_one(lab: &mut Lab, isp: IspId, blocked_domain: &str) -> Option<Mechan
             remote: remote_ip.to_string(),
             handshake_at_remote,
             get_reached_remote,
+            payload_bytes_at_remote,
             client_got_notice,
             notice_had_fin,
             client_got_rst,
@@ -150,7 +160,11 @@ impl fmt::Display for MechanismReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Mechanism observation: {} via remote {}", self.isp, self.remote)?;
         writeln!(f, "  handshake at remote:        {}", self.handshake_at_remote)?;
-        writeln!(f, "  GET reached remote:         {}", self.get_reached_remote)?;
+        writeln!(
+            f,
+            "  GET reached remote:         {} ({} payload bytes accepted)",
+            self.get_reached_remote, self.payload_bytes_at_remote
+        )?;
         writeln!(f, "  client got notice (+FIN):   {} ({})", self.client_got_notice, self.notice_had_fin)?;
         writeln!(f, "  client got RST:             {}", self.client_got_rst)?;
         writeln!(f, "  forged RST at remote:       {}", self.forged_rst_at_remote)?;
@@ -200,9 +214,20 @@ mod tests {
         let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
         let report = figure3(&mut lab).expect("a covered Idea path to some VP");
         assert!(report.handshake_at_remote);
+        // "The server never receives the GET" is asserted on the remote's
+        // tcp.payload_bytes_rx counter, not on a capture heuristic.
         assert!(!report.get_reached_remote, "IM consumes the GET: {report}");
+        assert_eq!(report.payload_bytes_at_remote, 0, "{report}");
         assert!(report.client_got_notice, "{report}");
         assert!(report.forged_rst_at_remote, "{report}");
+        // The interception also shows up in the metrics snapshot.
+        let obs = lab.india.net.telemetry();
+        assert!(obs.counter_total("im.interceptions") > 0);
+        let snap = obs.metrics_snapshot();
+        assert!(
+            snap.get("counters").and_then(|c| c.get("im.interceptions")).is_some(),
+            "snapshot must carry the interception counter"
+        );
     }
 
     #[test]
@@ -212,8 +237,13 @@ mod tests {
             return; // tiny world: Airtel may not cover any VP path
         };
         assert!(report.get_reached_remote, "wiretap lets the GET through: {report}");
+        assert!(report.payload_bytes_at_remote > 0, "{report}");
         assert!(report.client_got_notice || report.client_got_rst, "{report}");
+        assert!(
+            lab.india.net.telemetry().counter_total("wm.injections") > 0,
+            "the wiretap's injection must be visible in metrics"
+        );
     }
 }
 
-lucent_support::json_object!(MechanismReport { isp, remote, handshake_at_remote, get_reached_remote, client_got_notice, notice_had_fin, client_got_rst, forged_rst_at_remote, late_response_rst_by_client, transcript });
+lucent_support::json_object!(MechanismReport { isp, remote, handshake_at_remote, get_reached_remote, payload_bytes_at_remote, client_got_notice, notice_had_fin, client_got_rst, forged_rst_at_remote, late_response_rst_by_client, transcript });

@@ -43,6 +43,12 @@ pub struct RaceRow {
     pub attempts: usize,
     /// Attempts on which the real content rendered.
     pub rendered: usize,
+    /// Wiretap injections fired while this ISP was measured (the
+    /// `wm.injections` counter delta; zero for interceptive-only ISPs).
+    pub injections: u64,
+    /// Injections that took the slow path and so probably lost the race
+    /// (`wm.race.slow` delta).
+    pub slow_injections: u64,
 }
 
 impl RaceRow {
@@ -106,8 +112,13 @@ fn censored_sites(lab: &mut Lab, isp: IspId, want: usize) -> Vec<SiteId> {
 
 /// Run the race measurement.
 pub fn run(lab: &mut Lab, opts: &RaceOptions) -> Race {
+    let obs = lab.india.net.telemetry();
     let mut rows = Vec::new();
     for &isp in &opts.isps {
+        // ISPs are measured sequentially, so per-ISP counter deltas are
+        // attributable even though the counters are network-global.
+        let inj_before = obs.counter_total("wm.injections");
+        let slow_before = obs.counter_total("wm.race.slow");
         let sites = censored_sites(lab, isp, opts.sites_per_isp);
         let mut attempts = 0;
         let mut rendered = 0;
@@ -116,7 +127,13 @@ pub fn run(lab: &mut Lab, opts: &RaceOptions) -> Race {
             rendered += r;
             attempts += a;
         }
-        rows.push(RaceRow { isp: isp.name().to_string(), attempts, rendered });
+        rows.push(RaceRow {
+            isp: isp.name().to_string(),
+            attempts,
+            rendered,
+            injections: obs.counter_total("wm.injections").saturating_sub(inj_before),
+            slow_injections: obs.counter_total("wm.race.slow").saturating_sub(slow_before),
+        });
     }
     Race { rows }
 }
@@ -159,6 +176,14 @@ mod tests {
         let idea = &race.rows[1];
         assert!(idea.attempts > 0, "{race}");
         assert_eq!(idea.rendered, 0, "interceptive devices never lose: {race}");
+        // Metric-backed mechanism check: Idea is interceptive, so no
+        // wiretap injection fires during its window; Airtel's losses are
+        // explained by injections actually racing.
+        assert_eq!(idea.injections, 0, "no wiretap fires for Idea: {race}");
+        if airtel.attempts > 0 {
+            assert!(airtel.injections > 0, "Airtel's wiretap must have fired: {race}");
+            assert!(airtel.slow_injections <= airtel.injections, "{race}");
+        }
         if airtel.attempts >= 20 {
             let rate = airtel.rate();
             assert!(
@@ -169,5 +194,5 @@ mod tests {
     }
 }
 
-lucent_support::json_object!(RaceRow { isp, attempts, rendered });
+lucent_support::json_object!(RaceRow { isp, attempts, rendered, injections, slow_injections });
 lucent_support::json_object!(Race { rows });

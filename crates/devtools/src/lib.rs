@@ -1,7 +1,7 @@
 //! `lucent-devtools`: in-tree static analysis for the lucent workspace.
 //!
 //! The `lucent-lint` binary (and the `run_root` library entry point the
-//! tier-1 gate calls) enforces five rule families:
+//! tier-1 gate calls) enforces six rule families:
 //!
 //! - **L1 hermeticity** — every dependency is a path dependency; the
 //!   workspace builds with the network unplugged.
@@ -16,6 +16,9 @@
 //!   shrink-only `lint-allow.toml` baseline.
 //! - **L5 unsafe hygiene** — every `unsafe` carries a `// SAFETY:`
 //!   justification (most crates simply `#![forbid(unsafe_code)]`).
+//! - **L6 print hygiene** — no `println!`/`eprintln!` in non-test library
+//!   code outside the sanctioned sinks (the bench stopwatch, the `repro`
+//!   CLI and the lint CLI); diagnostics go through `lucent-obs`.
 //!
 //! The lint is dependency-free by construction: it ships its own Rust
 //! scrubbing lexer and a TOML subset parser, so the gate itself cannot
@@ -91,6 +94,7 @@ pub fn run_root(root: &Path) -> io::Result<Report> {
         report.files_scanned += 1;
         if in_library_tree(&rel) {
             report.merge(source::check_determinism(&file, &lexed, &allow));
+            report.merge(source::check_print_hygiene(&file, &lexed));
             let (v, count) = source::check_panic_budget(&file, &lexed, &allow);
             report.merge(v);
             report.panic_total += count;

@@ -8,12 +8,13 @@
 //! L2 — crates form a strict DAG:
 //!
 //! ```text
-//! support → packet → netsim → tcp → dns → {web, middlebox}
+//! support → {obs, packet} → netsim → tcp → dns → {web, middlebox}
 //!         → topology → core → bench
 //! ```
 //!
 //! (`dns` sits above `tcp` because resolvers are transport apps hosted
-//! on a `TcpHost`; `middlebox` needs neither.)
+//! on a `TcpHost`; `middlebox` needs neither. `obs` sits directly above
+//! `support` so every layer from `netsim` up can emit telemetry.)
 //!
 //! A crate may depend only on crates in strictly lower layers. The map
 //! below is the single source of truth; adding an edge means editing it
@@ -150,6 +151,7 @@ pub fn check_hermetic(m: &Manifest, workspace_path_deps: &[String]) -> Vec<Viola
 /// packages sit above everything and may use any crate.
 pub fn layer_map() -> BTreeMap<&'static str, Vec<&'static str>> {
     const SUPPORT: &str = "lucent-support";
+    const OBS: &str = "lucent-obs";
     const PACKET: &str = "lucent-packet";
     const NETSIM: &str = "lucent-netsim";
     const TCP: &str = "lucent-tcp";
@@ -161,17 +163,18 @@ pub fn layer_map() -> BTreeMap<&'static str, Vec<&'static str>> {
     let mut m = BTreeMap::new();
     m.insert(SUPPORT, vec![]);
     m.insert("lucent-devtools", vec![]);
+    m.insert(OBS, vec![SUPPORT]);
     m.insert(PACKET, vec![SUPPORT]);
-    m.insert(NETSIM, vec![SUPPORT, PACKET]);
-    m.insert(TCP, vec![SUPPORT, PACKET, NETSIM]);
-    m.insert(DNS, vec![SUPPORT, PACKET, NETSIM, TCP]);
-    m.insert(WEB, vec![SUPPORT, PACKET, NETSIM, TCP, DNS]);
-    m.insert(MIDDLEBOX, vec![SUPPORT, PACKET, NETSIM, TCP, DNS]);
-    m.insert(TOPOLOGY, vec![SUPPORT, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX]);
-    m.insert(CORE, vec![SUPPORT, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY]);
+    m.insert(NETSIM, vec![SUPPORT, OBS, PACKET]);
+    m.insert(TCP, vec![SUPPORT, OBS, PACKET, NETSIM]);
+    m.insert(DNS, vec![SUPPORT, OBS, PACKET, NETSIM, TCP]);
+    m.insert(WEB, vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS]);
+    m.insert(MIDDLEBOX, vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS]);
+    m.insert(TOPOLOGY, vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX]);
+    m.insert(CORE, vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY]);
     m.insert(
         "lucent-bench",
-        vec![SUPPORT, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY, CORE],
+        vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY, CORE],
     );
     m
 }

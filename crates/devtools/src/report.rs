@@ -15,6 +15,8 @@ pub enum Rule {
     PanicBudget,
     /// L5 — every `unsafe` carries a `// SAFETY:` justification.
     UnsafeHygiene,
+    /// L6 — no console prints outside sanctioned sinks.
+    PrintHygiene,
 }
 
 impl Rule {
@@ -25,6 +27,7 @@ impl Rule {
             Rule::Determinism => "L3-determinism",
             Rule::PanicBudget => "L4-panic-budget",
             Rule::UnsafeHygiene => "L5-unsafe",
+            Rule::PrintHygiene => "L6-print",
         }
     }
 }

@@ -153,6 +153,42 @@ pub fn check_panic_budget(
     }
 }
 
+/// Console-print macros for L6. Library code must route diagnostics
+/// through `lucent-obs`; stdout/stderr belong to the sanctioned sinks.
+const PRINT_MACROS: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
+
+/// Files allowed to print: the bench stopwatch's progress reporting, the
+/// `repro` CLI (the workspace's one user-facing binary), and the lint
+/// CLI itself.
+const PRINT_SINKS: [&str; 3] = [
+    "crates/support/src/bench.rs",
+    "crates/bench/src/bin/repro.rs",
+    "crates/devtools/src/bin/lucent-lint.rs",
+];
+
+/// L6: no console prints in non-test library code outside the sanctioned
+/// sinks.
+pub fn check_print_hygiene(file: &SourceFile, lexed: &Lexed) -> Vec<Violation> {
+    if PRINT_SINKS.contains(&file.path) {
+        return Vec::new();
+    }
+    let mut v = Vec::new();
+    for (n, line) in lexed.live_lines() {
+        for tok in PRINT_MACROS {
+            if has_token(line, tok) {
+                v.push(Violation::at(
+                    Rule::PrintHygiene,
+                    file.path,
+                    n,
+                    format!("console print `{tok}` outside a sanctioned sink — emit a \
+                             lucent-obs event or return the string to the caller"),
+                ));
+            }
+        }
+    }
+    v
+}
+
 /// L5: every `unsafe` token in non-test code needs a `// SAFETY:`
 /// comment on the same line or within the three raw lines above it.
 pub fn check_unsafe(file: &SourceFile, lexed: &Lexed) -> Vec<Violation> {
@@ -260,6 +296,43 @@ mod tests {
     fn expected_identifiers_do_not_count_as_expect() {
         let src = "let expected = 3; assert_eq!(expected, got);\n";
         assert_eq!(count_panic_sites(&Lexed::new(src)), 0);
+    }
+
+    #[test]
+    fn prints_in_library_code_are_flagged() {
+        let text = "fn f() { println!(\"dbg\"); eprintln!(\"warn\"); }\n";
+        let lexed = Lexed::new(text);
+        let v = check_print_hygiene(&SourceFile { path: "crates/x/src/a.rs", text }, &lexed);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].msg.contains("sanctioned sink"), "{}", v[0].msg);
+        assert_eq!(v[0].rule.code(), "L6-print");
+    }
+
+    #[test]
+    fn sanctioned_sinks_may_print() {
+        let text = "fn report() { println!(\"{}\", 1); }\n";
+        let lexed = Lexed::new(text);
+        for path in super::PRINT_SINKS {
+            assert!(check_print_hygiene(&SourceFile { path, text }, &lexed).is_empty());
+        }
+    }
+
+    #[test]
+    fn prints_in_test_code_and_strings_do_not_trip_l6() {
+        let text = "// println! is banned here\nlet s = \"println!\";\n#[cfg(test)]\nmod tests {\n    fn t() { println!(\"ok in tests\"); }\n}\n";
+        let lexed = Lexed::new(text);
+        assert!(check_print_hygiene(&SourceFile { path: "crates/x/src/a.rs", text }, &lexed).is_empty());
+    }
+
+    #[test]
+    fn eprintln_does_not_shadow_println_token() {
+        // `eprintln!` must not double-count as `println!` (identifier
+        // boundary check in the lexer).
+        let text = "fn f() { eprintln!(\"x\"); }\n";
+        let lexed = Lexed::new(text);
+        let v = check_print_hygiene(&SourceFile { path: "crates/x/src/a.rs", text }, &lexed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("eprintln!"), "{}", v[0].msg);
     }
 
     #[test]

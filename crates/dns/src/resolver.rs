@@ -4,7 +4,9 @@
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
+use lucent_obs::Level;
 use lucent_packet::dns::{DnsMessage, Name, Rcode};
+use lucent_support::ToJson;
 use lucent_tcp::{UdpApp, UdpIo};
 
 use crate::catalog::{RegionId, SharedCatalog};
@@ -117,7 +119,27 @@ impl UdpApp for ResolverApp {
             return;
         }
         self.queries += 1;
+        io.obs.counter_inc("dns.queries", "resolver");
+        let poisoned_before = self.poisoned_answers;
         let response = self.answer(&query);
+        if self.poisoned_answers > poisoned_before {
+            io.obs.counter_inc("dns.poisoned_answers", "resolver");
+        }
+        if io.obs.enabled("dns", Level::Debug) {
+            let name = query.questions.first().map(|q| q.name.to_string()).unwrap_or_default();
+            let verdict = if self.poisoned_answers > poisoned_before {
+                "poisoned"
+            } else if response.flags.rcode == Rcode::NxDomain {
+                "nxdomain"
+            } else {
+                "answered"
+            };
+            let fields = vec![
+                ("name".to_string(), name.to_json()),
+                ("verdict".to_string(), verdict.to_json()),
+            ];
+            io.obs.event(io.now.micros(), Level::Debug, "dns", "verdict", fields);
+        }
         let mut bytes = Vec::new();
         if response.emit(&mut bytes).is_ok() {
             io.out.push((src, src_port, bytes));
@@ -142,7 +164,7 @@ mod tests {
         let q = DnsMessage::query_a(42, name);
         let mut bytes = Vec::new();
         q.emit(&mut bytes).unwrap();
-        let mut io = UdpIo { out: Vec::new(), now: SimTime::ZERO };
+        let mut io = UdpIo { out: Vec::new(), now: SimTime::ZERO, obs: lucent_obs::Telemetry::new() };
         app.on_datagram(&mut io, Ipv4Addr::new(10, 0, 0, 9), 5000, &bytes);
         io.out.pop().map(|(_, _, b)| DnsMessage::parse(&b).unwrap())
     }
@@ -212,7 +234,7 @@ mod tests {
     #[test]
     fn garbage_and_responses_are_ignored() {
         let mut app = ResolverApp::honest(catalog(), 0);
-        let mut io = UdpIo { out: Vec::new(), now: SimTime::ZERO };
+        let mut io = UdpIo { out: Vec::new(), now: SimTime::ZERO, obs: lucent_obs::Telemetry::new() };
         app.on_datagram(&mut io, Ipv4Addr::new(1, 1, 1, 1), 1, b"\xff\xfe");
         assert!(io.out.is_empty());
         // A response message must not be echoed back (loop prevention).

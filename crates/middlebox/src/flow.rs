@@ -127,7 +127,7 @@ impl FlowTable {
             self.flows.remove(&key);
             return None;
         }
-        let state = self.flows.get_mut(&key).expect("checked above");
+        let state = self.flows.get_mut(&key)?;
         state.last_seen = now; // any traffic refreshes the timer
 
         match (state.stage, dir) {

@@ -16,7 +16,8 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
-use lucent_support::Bytes;
+use lucent_obs::Level;
+use lucent_support::{Bytes, ToJson};
 
 use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration, SimTime};
 use lucent_packet::tcp::{TcpFlags, TcpHeader};
@@ -88,6 +89,16 @@ impl InterceptiveMiddlebox {
         self.trigger_log.push((ctx.now(), insp.key.client.0, domain.to_string()));
         let (client_ip, client_port) = insp.key.client;
         let (server_ip, server_port) = insp.key.server;
+        ctx.obs().counter_inc("im.interceptions", ctx.label());
+        if ctx.obs().enabled("interceptive", Level::Debug) {
+            let fields = vec![
+                ("device".to_string(), ctx.label().to_json()),
+                ("domain".to_string(), domain.to_json()),
+                ("client".to_string(), client_ip.to_json()),
+                ("covert".to_string(), self.cfg.notice.is_none().to_json()),
+            ];
+            ctx.obs().event(ctx.now().micros(), Level::Debug, "interceptive", "trigger", fields);
+        }
 
         // (2) Answer the client ourselves, forged as the server.
         if let Some(style) = &self.cfg.notice {
@@ -169,7 +180,11 @@ impl Node for InterceptiveMiddlebox {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
         if token == SWEEP {
             self.sweep_armed = false;
-            self.flows.sweep(ctx.now());
+            let evicted = self.flows.sweep(ctx.now());
+            if evicted > 0 {
+                ctx.obs().counter_add("mb.flow.evictions", ctx.label(), evicted as u64);
+            }
+            ctx.obs().gauge_set("mb.flow.size", ctx.label(), self.flows.len() as i64);
             let timeout = self.flows.timeout;
             let now = ctx.now();
             self.blackholed.retain(|_, at| now.since(*at) < timeout);

@@ -7,7 +7,8 @@
 
 use std::any::Any;
 
-use lucent_support::Bytes;
+use lucent_obs::Level;
+use lucent_support::{Bytes, ToJson};
 use lucent_netsim::SimRng;
 
 use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration, SimTime};
@@ -77,12 +78,24 @@ impl WiretapMiddlebox {
         // Wiretaps work off copies and search all flows; occasionally the
         // device falls behind and the injection arrives after the real
         // response (the slow tail configured in `slow_injection`).
-        let range = match self.cfg.slow_injection {
-            Some((p, slow_range)) if self.rng.gen_bool(p) => slow_range,
-            _ => self.cfg.injection_delay_us,
+        let (range, slow) = match self.cfg.slow_injection {
+            Some((p, slow_range)) if self.rng.gen_bool(p) => (slow_range, true),
+            _ => (self.cfg.injection_delay_us, false),
         };
         let delay_us = self.rng.gen_range(range.0..=range.1);
         let delay = SimDuration::from_micros(delay_us);
+        ctx.obs().counter_inc("wm.injections", ctx.label());
+        ctx.obs().counter_inc(if slow { "wm.race.slow" } else { "wm.race.fast" }, ctx.label());
+        if ctx.obs().enabled("wiretap", Level::Debug) {
+            let fields = vec![
+                ("device".to_string(), ctx.label().to_json()),
+                ("domain".to_string(), domain.to_json()),
+                ("client".to_string(), client_ip.to_json()),
+                ("delay_us".to_string(), delay_us.to_json()),
+                ("slow".to_string(), slow.to_json()),
+            ];
+            ctx.obs().event(ctx.now().micros(), Level::Debug, "wiretap", "inject", fields);
+        }
 
         let notice_len = if let Some(style) = &self.cfg.notice {
             let body = style.render().emit();
@@ -145,7 +158,11 @@ impl Node for WiretapMiddlebox {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
         if token == SWEEP {
             self.sweep_armed = false;
-            self.flows.sweep(ctx.now());
+            let evicted = self.flows.sweep(ctx.now());
+            if evicted > 0 {
+                ctx.obs().counter_add("mb.flow.evictions", ctx.label(), evicted as u64);
+            }
+            ctx.obs().gauge_set("mb.flow.size", ctx.label(), self.flows.len() as i64);
             self.maybe_arm_sweep(ctx);
         }
     }

@@ -36,3 +36,7 @@ pub use node::{IfaceId, Node, NodeCtx, NodeId, WAKE};
 pub use router::RouterNode;
 pub use time::{SimDuration, SimRng, SimTime};
 pub use trace::{Dir, TraceEntry, TraceHandle};
+
+// The telemetry handle travels with the network; re-exported so node
+// crates need not name `lucent-obs` for the common case.
+pub use lucent_obs::Telemetry;

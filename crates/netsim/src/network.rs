@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, BTreeMap};
 
+use lucent_obs::Telemetry;
 use lucent_packet::Packet;
 
 use crate::node::{IfaceId, Node, NodeCtx, NodeId, WAKE};
@@ -15,6 +16,9 @@ use crate::trace::{Dir, TraceHandle};
 pub enum DropReason {
     /// Sent out an interface with no link attached.
     UnconnectedIface,
+    /// Wire-fidelity mode could not re-parse the packet's own octets —
+    /// the structured and on-the-wire views disagree.
+    WireFidelity,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +35,9 @@ enum EventKind {
 
 struct QueuedEvent {
     at: SimTime,
+    /// When the event was enqueued — the Chrome-trace span start, so
+    /// in-flight latency renders as slice width.
+    queued_at: SimTime,
     seq: u64,
     kind: EventKind,
 }
@@ -61,6 +68,7 @@ pub(crate) struct Inner {
     seq: u64,
     links: Vec<Vec<Option<Endpoint>>>,
     pub(crate) trace: TraceHandle,
+    pub(crate) telemetry: Telemetry,
     drops: BTreeMap<DropReason, u64>,
     events_processed: u64,
     wire_fidelity: bool,
@@ -70,7 +78,7 @@ impl Inner {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        self.queue.push(Reverse(QueuedEvent { at, queued_at: self.now, seq, kind }));
     }
 
     pub(crate) fn transmit(
@@ -91,7 +99,15 @@ impl Inner {
                     debug_assert_eq!(p, pkt);
                     p
                 }
-                Err(e) => panic!("wire-fidelity roundtrip failed: {e}"),
+                Err(_) => {
+                    // A packet whose own octets do not round-trip cannot
+                    // exist on a real wire: count it and drop it instead
+                    // of taking the whole simulation down.
+                    *self.drops.entry(DropReason::WireFidelity).or_insert(0) += 1;
+                    self.telemetry.counter_inc("netsim.dropped", "wire-fidelity");
+                    self.trace.record(self.now, from, label, Dir::Drop("wire-fidelity"), &pkt);
+                    return;
+                }
             }
         } else {
             pkt
@@ -104,11 +120,14 @@ impl Inner {
             .flatten();
         match ep {
             Some(ep) => {
-                let at = self.now + ep.latency + extra_delay;
+                let delay = ep.latency + extra_delay;
+                self.telemetry.histogram_record("netsim.link.latency_us", delay.micros());
+                let at = self.now + delay;
                 self.push(at, EventKind::Deliver { node: ep.peer, iface: ep.peer_iface, pkt });
             }
             None => {
                 *self.drops.entry(DropReason::UnconnectedIface).or_insert(0) += 1;
+                self.telemetry.counter_inc("netsim.dropped", "unconnected-iface");
             }
         }
     }
@@ -149,13 +168,17 @@ impl Default for Network {
 impl Network {
     /// An empty network at time zero.
     pub fn new() -> Self {
+        let telemetry = Telemetry::new();
+        let trace = TraceHandle::new();
+        trace.attach_bus(telemetry.clone());
         Network {
             inner: Inner {
                 now: SimTime::ZERO,
                 queue: BinaryHeap::new(),
                 seq: 0,
                 links: Vec::new(),
-                trace: TraceHandle::new(),
+                trace,
+                telemetry,
                 drops: BTreeMap::new(),
                 events_processed: 0,
                 wire_fidelity: false,
@@ -168,6 +191,7 @@ impl Network {
     /// Add a node; returns its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        self.inner.telemetry.set_thread_name(u64::from(id.0), node.label());
         self.labels.push(node.label().to_string());
         self.nodes.push(Some(node));
         self.inner.links.push(Vec::new());
@@ -208,6 +232,16 @@ impl Network {
     /// The shared packet trace.
     pub fn trace(&self) -> TraceHandle {
         self.inner.trace.clone()
+    }
+
+    /// The shared telemetry handle (events, metrics, spans).
+    pub fn telemetry(&self) -> Telemetry {
+        self.inner.telemetry.clone()
+    }
+
+    /// The label a node was added with.
+    pub fn label_of(&self, id: NodeId) -> &str {
+        self.labels.get(id.0 as usize).map(String::as_str).unwrap_or("")
     }
 
     /// Enable wire-fidelity mode: every transmitted packet is serialized
@@ -288,6 +322,20 @@ impl Network {
         debug_assert!(ev.at >= self.inner.now, "time went backwards");
         self.inner.now = ev.at;
         self.inner.events_processed += 1;
+        if self.inner.telemetry.spans_enabled() {
+            // One slice per event-loop dispatch, spanning the virtual
+            // time the event spent in flight, on the destination node's
+            // track — the Chrome-trace view of the event loop.
+            let (name, tid) = match &ev.kind {
+                EventKind::Deliver { node, .. } => ("deliver", u64::from(node.0)),
+                EventKind::Timer { node, token } if *token == WAKE => {
+                    ("wake", u64::from(node.0))
+                }
+                EventKind::Timer { node, .. } => ("timer", u64::from(node.0)),
+            };
+            let ts = ev.queued_at.micros();
+            self.inner.telemetry.span(name, "netsim", ts, ev.at.micros() - ts, tid);
+        }
         match ev.kind {
             EventKind::Deliver { node, iface, pkt } => {
                 let Some(mut boxed) = self.nodes.get_mut(node.0 as usize).and_then(Option::take)

@@ -5,6 +5,7 @@
 use std::any::Any;
 use std::net::Ipv4Addr;
 
+use lucent_obs::Telemetry;
 use lucent_packet::Packet;
 
 use crate::network::Inner;
@@ -95,9 +96,22 @@ impl NodeCtx<'_> {
 
     /// Record an Rx trace entry for a packet this node consumed. Tx entries
     /// are recorded automatically by [`NodeCtx::send`]; nodes that *drop* a
-    /// packet can call this to leave evidence for debugging.
+    /// packet can call this to leave evidence for debugging. Every drop
+    /// also ticks the `netsim.dropped` counter, labelled by reason.
     pub fn trace_drop(&mut self, pkt: &Packet, why: &'static str) {
+        self.inner.telemetry.counter_inc("netsim.dropped", why);
         self.inner.trace.record(self.inner.now, self.node, self.label, Dir::Drop(why), pkt);
+    }
+
+    /// The node's label (as registered with the network).
+    pub fn label(&self) -> &str {
+        self.label
+    }
+
+    /// The shared telemetry handle, for emitting events and metrics from
+    /// inside a node callback.
+    pub fn obs(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 }
 

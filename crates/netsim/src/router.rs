@@ -77,7 +77,14 @@ impl RouterNode {
         if self.anonymized {
             return;
         }
+        let kind = match &msg {
+            IcmpMessage::TimeExceeded { .. } => "time-exceeded",
+            IcmpMessage::DestUnreachable { .. } => "dest-unreachable",
+            IcmpMessage::EchoReply { .. } => "echo-reply",
+            IcmpMessage::EchoRequest { .. } => "echo-request",
+        };
         if let Some(iface) = self.table.lookup(to) {
+            ctx.obs().counter_inc("netsim.icmp_tx", kind);
             let pkt = Packet::icmp(self.ip, to, msg);
             ctx.send(iface, pkt);
         }
@@ -104,6 +111,7 @@ impl Node for RouterNode {
         // Transit: TTL check.
         if pkt.ip.ttl <= 1 {
             ctx.trace_drop(&pkt, "ttl-expired");
+            ctx.obs().counter_inc("netsim.router.ttl_expired", ctx.label());
             let msg = IcmpMessage::TimeExceeded { original: pkt.icmp_quote() };
             self.icmp_back(ctx, pkt.src(), msg);
             return;
@@ -122,6 +130,7 @@ impl Node for RouterNode {
             return;
         }
         self.forwarded += 1;
+        ctx.obs().counter_inc("netsim.router.forwarded", ctx.label());
         for &m in &self.mirrors {
             if self.mirror_only_egress.is_empty() || self.mirror_only_egress.contains(&out) {
                 ctx.send(m, pkt.clone());

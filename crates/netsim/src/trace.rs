@@ -4,16 +4,26 @@
 //! network traffic for the said message exchanges through pcap ...");
 //! [`TraceHandle`] is the equivalent: a shared, filterable record of every
 //! packet a selected set of nodes sent, received or dropped.
+//!
+//! The capture buffer is a bounded ring (oldest entries evict first), and
+//! every recorded packet is also offered to the `lucent-obs` event bus
+//! under target `pkttrace` at [`Level::Trace`] — one trace pipeline, two
+//! consumers: the structured event log and the legacy in-memory capture.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
+use lucent_obs::{Json, Level, Telemetry};
 use lucent_packet::Packet;
 
 use crate::node::NodeId;
 use crate::time::SimTime;
+
+/// Default capture-ring capacity. Paper-scale runs stream millions of
+/// packets; the ring keeps memory flat while retaining the recent past.
+pub const DEFAULT_TRACE_CAP: usize = 262_144;
 
 /// Direction of a traced packet relative to the recording node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +51,20 @@ pub struct TraceEntry {
     pub packet: Packet,
 }
 
+/// One-line transport summary used by both the transcript and the event
+/// bus.
+fn proto_summary(p: &Packet) -> String {
+    match &p.transport {
+        lucent_packet::Transport::Tcp(h, body) => {
+            format!("TCP {}→{} [{}] seq={} ack={} len={}", h.src_port, h.dst_port, h.flags, h.seq, h.ack, body.len())
+        }
+        lucent_packet::Transport::Udp(h, body) => {
+            format!("UDP {}→{} len={}", h.src_port, h.dst_port, body.len())
+        }
+        lucent_packet::Transport::Icmp(m) => format!("ICMP {:?}", m.type_code()),
+    }
+}
+
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let dir = match self.dir {
@@ -49,19 +73,17 @@ impl fmt::Display for TraceEntry {
             Dir::Drop(r) => format!("drop({r})"),
         };
         let p = &self.packet;
-        let proto = match &p.transport {
-            lucent_packet::Transport::Tcp(h, body) => {
-                format!("TCP {}→{} [{}] seq={} ack={} len={}", h.src_port, h.dst_port, h.flags, h.seq, h.ack, body.len())
-            }
-            lucent_packet::Transport::Udp(h, body) => {
-                format!("UDP {}→{} len={}", h.src_port, h.dst_port, body.len())
-            }
-            lucent_packet::Transport::Icmp(m) => format!("ICMP {:?}", m.type_code()),
-        };
         write!(
             f,
             "{} {}#{} {} {} ttl={} {} → {}",
-            self.time, self.label, self.node.0, dir, proto, p.ip.ttl, p.src(), p.dst()
+            self.time,
+            self.label,
+            self.node.0,
+            dir,
+            proto_summary(p),
+            p.ip.ttl,
+            p.src(),
+            p.dst()
         )
     }
 }
@@ -71,7 +93,11 @@ struct TraceState {
     enabled: bool,
     /// When `Some`, only these nodes are recorded; `None` records all.
     filter: Option<BTreeSet<NodeId>>,
-    entries: Vec<TraceEntry>,
+    entries: VecDeque<TraceEntry>,
+    cap: usize,
+    evicted: u64,
+    /// The obs event bus; every recorded packet is offered to it.
+    bus: Option<Telemetry>,
 }
 
 /// Shared handle to the capture buffer. Cheap to clone; single-threaded
@@ -82,9 +108,11 @@ pub struct TraceHandle {
 }
 
 impl TraceHandle {
-    /// New, disabled trace.
+    /// New, disabled trace with the default ring capacity.
     pub fn new() -> Self {
-        Self::default()
+        let t = TraceHandle::default();
+        t.state.borrow_mut().cap = DEFAULT_TRACE_CAP;
+        t
     }
 
     /// Start recording every node.
@@ -106,14 +134,29 @@ impl TraceHandle {
         self.state.borrow_mut().enabled = false;
     }
 
+    /// Bound the capture ring to `cap` entries, evicting oldest first.
+    pub fn set_cap(&self, cap: usize) {
+        let mut s = self.state.borrow_mut();
+        s.cap = cap;
+        while s.entries.len() > cap {
+            s.entries.pop_front();
+            s.evicted += 1;
+        }
+    }
+
+    /// How many entries have been evicted from the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.state.borrow().evicted
+    }
+
     /// Discard all captured entries.
     pub fn clear(&self) {
         self.state.borrow_mut().entries.clear();
     }
 
-    /// Copy out the capture.
+    /// Copy out the capture, oldest first.
     pub fn entries(&self) -> Vec<TraceEntry> {
-        self.state.borrow().entries.clone()
+        self.state.borrow().entries.iter().cloned().collect()
     }
 
     /// Number of captured entries.
@@ -126,8 +169,36 @@ impl TraceHandle {
         self.len() == 0
     }
 
+    /// Route recorded packets into the given telemetry handle's event
+    /// stream (target `pkttrace`, level `trace`).
+    pub(crate) fn attach_bus(&self, bus: Telemetry) {
+        self.state.borrow_mut().bus = Some(bus);
+    }
+
     pub(crate) fn record(&self, time: SimTime, node: NodeId, label: &str, dir: Dir, pkt: &Packet) {
         let mut s = self.state.borrow_mut();
+        // The event bus sees every packet the obs filter asks for,
+        // independent of the legacy capture's enable/filter state.
+        if let Some(bus) = &s.bus {
+            if bus.enabled("pkttrace", Level::Trace) {
+                let (name, mut fields) = match dir {
+                    Dir::Tx => ("tx", Vec::new()),
+                    Dir::Rx => ("rx", Vec::new()),
+                    Dir::Drop(why) => {
+                        ("drop", vec![("reason".to_string(), Json::Str(why.to_string()))])
+                    }
+                };
+                fields.extend([
+                    ("node".to_string(), Json::UInt(u64::from(node.0))),
+                    ("label".to_string(), Json::Str(label.to_string())),
+                    ("proto".to_string(), Json::Str(proto_summary(pkt))),
+                    ("ttl".to_string(), Json::UInt(u64::from(pkt.ip.ttl))),
+                    ("src".to_string(), Json::Str(pkt.src().to_string())),
+                    ("dst".to_string(), Json::Str(pkt.dst().to_string())),
+                ]);
+                bus.event(time.micros(), Level::Trace, "pkttrace", name, fields);
+            }
+        }
         if !s.enabled {
             return;
         }
@@ -136,7 +207,15 @@ impl TraceHandle {
                 return;
             }
         }
-        s.entries.push(TraceEntry {
+        if s.cap == 0 {
+            s.evicted += 1;
+            return;
+        }
+        if s.entries.len() >= s.cap {
+            s.entries.pop_front();
+            s.evicted += 1;
+        }
+        s.entries.push_back(TraceEntry {
             time,
             node,
             label: label.to_string(),
@@ -208,5 +287,44 @@ mod tests {
         t.enable_all();
         t2.record(SimTime::ZERO, NodeId(0), "n", Dir::Tx, &pkt());
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ring_cap_evicts_oldest() {
+        let t = TraceHandle::new();
+        t.enable_all();
+        t.set_cap(2);
+        for i in 0..5 {
+            t.record(SimTime(i), NodeId(0), "n", Dir::Tx, &pkt());
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 3);
+        let kept: Vec<u64> = t.entries().iter().map(|e| e.time.0).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn recorded_packets_reach_the_event_bus() {
+        let bus = Telemetry::new();
+        bus.set_filter_spec("pkttrace=trace").expect("spec");
+        let t = TraceHandle::new();
+        t.attach_bus(bus.clone());
+        // The bus sees packets even while the legacy capture is disabled.
+        t.record(SimTime(9), NodeId(3), "client", Dir::Drop("firewall"), &pkt());
+        assert!(t.is_empty());
+        assert_eq!(bus.event_count(), 1);
+        let log = bus.event_log();
+        assert!(log.contains("\"target\":\"pkttrace\""), "{log}");
+        assert!(log.contains("\"reason\":\"firewall\""), "{log}");
+        assert!(log.contains("\"label\":\"client\""), "{log}");
+    }
+
+    #[test]
+    fn bus_respects_the_obs_filter() {
+        let bus = Telemetry::new();
+        let t = TraceHandle::new();
+        t.attach_bus(bus.clone());
+        t.record(SimTime::ZERO, NodeId(0), "n", Dir::Tx, &pkt());
+        assert_eq!(bus.event_count(), 0, "filter off: nothing routed");
     }
 }

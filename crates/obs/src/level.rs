@@ -1,0 +1,220 @@
+//! Verbosity levels and the `target=level` filter-spec grammar.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event verbosity, ordered from silent to chattiest.
+///
+/// A filter admits an event when the event's level is *at most* the
+/// effective level for its target; `Off` therefore admits nothing
+/// (every real event is at least `Error`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing passes.
+    Off,
+    /// Unrecoverable or protocol-violating conditions.
+    Error,
+    /// Suspicious but survivable conditions.
+    Warn,
+    /// Coarse landmarks (connections, verdicts).
+    Info,
+    /// Per-packet / per-decision detail.
+    Debug,
+    /// Everything, including the packet trace bus.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name, as used in filter specs and the event log.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Level {
+    type Err = FilterError;
+
+    fn from_str(s: &str) -> Result<Self, FilterError> {
+        match s {
+            "off" => Ok(Level::Off),
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            _ => Err(FilterError { what: "unknown level", token: s.to_string() }),
+        }
+    }
+}
+
+/// A malformed filter spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    /// What was wrong.
+    pub what: &'static str,
+    /// The offending token.
+    pub token: String,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad filter spec: {} {:?}", self.what, self.token)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A parsed `target=level` filter, in the spirit of `RUST_LOG`.
+///
+/// Grammar (comma-separated directives, later directives win):
+///
+/// ```text
+/// spec      := directive ("," directive)*
+/// directive := level | target "=" level
+/// level     := "off" | "error" | "warn" | "info" | "debug" | "trace"
+/// ```
+///
+/// A bare `level` sets the default for every target; `target=level`
+/// overrides it for that exact target. The default default is `Off`,
+/// so an empty or absent spec disables event collection entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterSpec {
+    default: Level,
+    /// Exact-match per-target overrides, sorted by target.
+    targets: Vec<(String, Level)>,
+}
+
+impl Default for FilterSpec {
+    fn default() -> Self {
+        FilterSpec::off()
+    }
+}
+
+impl FilterSpec {
+    /// A filter that admits nothing.
+    pub fn off() -> Self {
+        FilterSpec { default: Level::Off, targets: Vec::new() }
+    }
+
+    /// A filter that admits everything up to `level` for all targets.
+    pub fn all(level: Level) -> Self {
+        FilterSpec { default: level, targets: Vec::new() }
+    }
+
+    /// Parse a spec string such as `"wiretap=debug,netsim=info"` or
+    /// `"info"`.
+    pub fn parse(spec: &str) -> Result<Self, FilterError> {
+        let mut out = FilterSpec::off();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            match directive.split_once('=') {
+                None => out.default = directive.parse()?,
+                Some((target, level)) => {
+                    let target = target.trim();
+                    if target.is_empty() {
+                        return Err(FilterError {
+                            what: "empty target",
+                            token: directive.to_string(),
+                        });
+                    }
+                    let level: Level = level.trim().parse()?;
+                    match out.targets.binary_search_by(|(t, _)| t.as_str().cmp(target)) {
+                        Ok(i) => out.targets[i].1 = level,
+                        Err(i) => out.targets.insert(i, (target.to_string(), level)),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The effective level for a target.
+    pub fn level_for(&self, target: &str) -> Level {
+        self.targets
+            .binary_search_by(|(t, _)| t.as_str().cmp(target))
+            .map(|i| self.targets[i].1)
+            .unwrap_or(self.default)
+    }
+
+    /// Whether an event at `level` for `target` passes the filter.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        level != Level::Off && level <= self.level_for(target)
+    }
+
+    /// True when no event can pass (fast path for emitters).
+    pub fn is_off(&self) -> bool {
+        self.default == Level::Off && self.targets.iter().all(|(_, l)| *l == Level::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn bare_level_sets_the_default() {
+        let f = FilterSpec::parse("info").unwrap();
+        assert!(f.enabled("anything", Level::Info));
+        assert!(!f.enabled("anything", Level::Debug));
+    }
+
+    #[test]
+    fn target_directives_override_the_default() {
+        let f = FilterSpec::parse("wiretap=debug,netsim=info").unwrap();
+        assert!(f.enabled("wiretap", Level::Debug));
+        assert!(!f.enabled("wiretap", Level::Trace));
+        assert!(f.enabled("netsim", Level::Info));
+        assert!(!f.enabled("netsim", Level::Debug));
+        assert!(!f.enabled("tcp", Level::Error), "default stays off");
+    }
+
+    #[test]
+    fn later_directives_win_and_whitespace_is_tolerated() {
+        let f = FilterSpec::parse(" tcp = info , tcp = trace , warn ").unwrap();
+        assert!(f.enabled("tcp", Level::Trace));
+        assert!(f.enabled("dns", Level::Warn));
+        assert!(!f.enabled("dns", Level::Info));
+    }
+
+    #[test]
+    fn off_admits_nothing() {
+        let f = FilterSpec::parse("off,tcp=off").unwrap();
+        assert!(f.is_off());
+        assert!(!f.enabled("tcp", Level::Error));
+        assert!(FilterSpec::off().is_off());
+        assert!(!FilterSpec::parse("tcp=error").unwrap().is_off());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FilterSpec::parse("verbose").is_err());
+        assert!(FilterSpec::parse("tcp=loud").is_err());
+        assert!(FilterSpec::parse("=debug").is_err());
+        assert!(FilterSpec::parse("").is_ok(), "empty spec is just off");
+    }
+}

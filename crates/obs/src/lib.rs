@@ -1,0 +1,294 @@
+//! # lucent-obs
+//!
+//! Deterministic telemetry for the simulator: structured events, a
+//! metrics registry, and exporters — all keyed to **virtual time**.
+//! Nothing in this crate reads a wall clock (lint rule L3 applies in
+//! full), so telemetry output is byte-identical across same-seed runs
+//! and collecting it can never perturb an experiment.
+//!
+//! The front door is [`Telemetry`]: a cheaply-clonable handle over
+//! shared state, mirroring `netsim`'s `TraceHandle` idiom. One handle
+//! lives inside the simulator core; instrumented subsystems reach it
+//! through their node context and emit:
+//!
+//! * **events** — `(virtual time, level, target, name, fields)` tuples
+//!   admitted by a `target=level` [`FilterSpec`] and held in a bounded
+//!   ring ([`event::Ring`]);
+//! * **metrics** — counters, gauges and virtual-time histograms in the
+//!   always-on [`metrics::Metrics`] registry;
+//! * **spans** — completed virtual-time intervals destined for the
+//!   Chrome trace-event export (off by default; enabled for `--trace`
+//!   runs).
+//!
+//! Exports ([`export`]) are pure string builders; the `repro` binary
+//! owns all file and console I/O.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod export;
+pub mod level;
+pub mod metrics;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+pub use event::{Event, Ring, Span, DEFAULT_RING_CAP};
+pub use level::{FilterError, FilterSpec, Level};
+pub use metrics::Metrics;
+
+// Re-exported so instrumented crates can build event fields without
+// naming `lucent-support` themselves.
+pub use lucent_support::Json;
+
+#[derive(Debug, Default)]
+struct State {
+    filter: FilterSpec,
+    events: Ring<Event>,
+    spans: Ring<Span>,
+    spans_on: bool,
+    metrics: Metrics,
+    thread_names: BTreeMap<u64, String>,
+}
+
+/// The telemetry handle. Cloning is cheap and every clone shares the
+/// same state, so the simulator core and each instrumented subsystem
+/// can hold one without plumbing.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    state: Rc<RefCell<State>>,
+}
+
+impl Telemetry {
+    /// A fresh handle: filter off, spans off, empty registry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    // --- tracing --------------------------------------------------------
+
+    /// Install a parsed event filter.
+    pub fn set_filter(&self, filter: FilterSpec) {
+        self.state.borrow_mut().filter = filter;
+    }
+
+    /// Parse and install a `target=level` spec string.
+    pub fn set_filter_spec(&self, spec: &str) -> Result<(), FilterError> {
+        let filter = FilterSpec::parse(spec)?;
+        self.set_filter(filter);
+        Ok(())
+    }
+
+    /// Whether an event at `level` for `target` would be admitted.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        self.state.borrow().filter.enabled(target, level)
+    }
+
+    /// Emit an event; a no-op unless the filter admits it.
+    pub fn event(
+        &self,
+        at_us: u64,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(String, Json)>,
+    ) {
+        let mut st = self.state.borrow_mut();
+        if !st.filter.enabled(target, level) {
+            return;
+        }
+        st.events.push(Event { at_us, level, target, name, fields });
+    }
+
+    /// Cap the event ring (oldest entries evict first).
+    pub fn set_event_cap(&self, cap: usize) {
+        self.state.borrow_mut().events.set_cap(cap);
+    }
+
+    /// Number of events currently held.
+    pub fn event_count(&self) -> usize {
+        self.state.borrow().events.len()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.state.borrow().events.dropped()
+    }
+
+    // --- spans ----------------------------------------------------------
+
+    /// Turn span collection on or off (off by default).
+    pub fn enable_spans(&self, on: bool) {
+        self.state.borrow_mut().spans_on = on;
+    }
+
+    /// Whether spans are currently collected.
+    pub fn spans_enabled(&self) -> bool {
+        self.state.borrow().spans_on
+    }
+
+    /// Record a completed virtual-time interval; a no-op when spans are
+    /// off.
+    pub fn span(&self, name: &'static str, cat: &'static str, ts_us: u64, dur_us: u64, tid: u64) {
+        let mut st = self.state.borrow_mut();
+        if !st.spans_on {
+            return;
+        }
+        st.spans.push(Span { name, cat, ts_us, dur_us, tid });
+    }
+
+    /// Cap the span ring.
+    pub fn set_span_cap(&self, cap: usize) {
+        self.state.borrow_mut().spans.set_cap(cap);
+    }
+
+    /// Name the track a `tid` renders on in the Chrome trace export.
+    pub fn set_thread_name(&self, tid: u64, name: &str) {
+        self.state.borrow_mut().thread_names.insert(tid, name.to_string());
+    }
+
+    // --- metrics --------------------------------------------------------
+
+    /// Add `delta` to the counter `name{label}`.
+    pub fn counter_add(&self, name: &str, label: &str, delta: u64) {
+        self.state.borrow_mut().metrics.counter_add(name, label, delta);
+    }
+
+    /// Increment the counter `name{label}` by one.
+    pub fn counter_inc(&self, name: &str, label: &str) {
+        self.counter_add(name, label, 1);
+    }
+
+    /// Set the gauge `name{label}`.
+    pub fn gauge_set(&self, name: &str, label: &str, value: i64) {
+        self.state.borrow_mut().metrics.gauge_set(name, label, value);
+    }
+
+    /// Record a virtual-time value (µs) into histogram `name`.
+    pub fn histogram_record(&self, name: &str, value_us: u64) {
+        self.state.borrow_mut().metrics.histogram_record(name, value_us);
+    }
+
+    /// Current value of a counter, zero if never touched.
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.state.borrow().metrics.counter(name, label)
+    }
+
+    /// Sum of a counter family across all labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.state.borrow().metrics.counter_total(name)
+    }
+
+    /// All labels and values of a counter family, in label order.
+    pub fn counter_family(&self, name: &str) -> Vec<(String, u64)> {
+        self.state.borrow().metrics.counter_family(name)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<i64> {
+        self.state.borrow().metrics.gauge(name, label)
+    }
+
+    // --- exporters ------------------------------------------------------
+
+    /// The event ring as a JSON-lines log (oldest first).
+    pub fn event_log(&self) -> String {
+        export::event_log(self.state.borrow().events.iter())
+    }
+
+    /// The span ring as a Chrome trace-event file.
+    pub fn chrome_trace(&self) -> String {
+        let st = self.state.borrow();
+        export::chrome_trace(st.spans.iter(), &st.thread_names)
+    }
+
+    /// The metrics registry as one deterministic JSON tree.
+    pub fn metrics_snapshot(&self) -> Json {
+        self.state.borrow().metrics.snapshot()
+    }
+
+    /// The metrics registry, pretty-printed (the `--metrics-out` file
+    /// format; ends with a newline).
+    pub fn metrics_snapshot_pretty(&self) -> String {
+        let mut s = self.metrics_snapshot().to_string_pretty();
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::new();
+        let u = t.clone();
+        u.counter_inc("c", "l");
+        assert_eq!(t.counter("c", "l"), 1);
+    }
+
+    #[test]
+    fn events_respect_the_filter() {
+        let t = Telemetry::new();
+        t.event(1, Level::Info, "tcp", "x", vec![]);
+        assert_eq!(t.event_count(), 0, "default filter is off");
+        t.set_filter_spec("tcp=debug").unwrap();
+        t.event(2, Level::Debug, "tcp", "x", vec![]);
+        t.event(3, Level::Debug, "dns", "y", vec![]);
+        t.event(4, Level::Trace, "tcp", "z", vec![]);
+        assert_eq!(t.event_count(), 1);
+        assert!(t.enabled("tcp", Level::Debug));
+        assert!(!t.enabled("dns", Level::Debug));
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let t = Telemetry::new();
+        t.set_filter_spec("trace").unwrap();
+        t.set_event_cap(2);
+        for i in 0..5 {
+            t.event(i, Level::Info, "a", "e", vec![]);
+        }
+        assert_eq!(t.event_count(), 2);
+        assert_eq!(t.events_dropped(), 3);
+        let log = t.event_log();
+        assert!(log.contains("\"at_us\":3") && log.contains("\"at_us\":4"));
+        assert!(!log.contains("\"at_us\":0"));
+    }
+
+    #[test]
+    fn spans_are_gated_and_exported() {
+        let t = Telemetry::new();
+        t.span("deliver", "netsim", 0, 1, 1);
+        t.enable_spans(true);
+        t.set_thread_name(1, "client");
+        t.span("deliver", "netsim", 5, 2, 1);
+        let trace = t.chrome_trace();
+        let parsed = Json::parse(&trace).unwrap();
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2, "one metadata + one slice: {trace}");
+    }
+
+    #[test]
+    fn snapshot_exports_all_instrument_kinds() {
+        let t = Telemetry::new();
+        t.counter_add("tcp.rst_rx", "client", 2);
+        t.gauge_set("mb.flow.size", "wm", 9);
+        t.histogram_record("netsim.link.latency_us", 1_500);
+        let snap = t.metrics_snapshot();
+        assert_eq!(
+            snap.get("counters").and_then(|c| c.get("tcp.rst_rx")).and_then(|f| f.get("client")),
+            Some(&Json::UInt(2))
+        );
+        assert_eq!(
+            snap.get("gauges").and_then(|g| g.get("mb.flow.size")).and_then(|f| f.get("wm")),
+            Some(&Json::Int(9))
+        );
+        let h = snap.get("histograms").and_then(|h| h.get("netsim.link.latency_us")).unwrap();
+        assert_eq!(h.get("count"), Some(&Json::UInt(1)));
+        assert!(t.metrics_snapshot_pretty().ends_with('\n'));
+    }
+}

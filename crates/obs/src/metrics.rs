@@ -1,0 +1,259 @@
+//! The metrics registry: counters, gauges, and virtual-time histograms.
+//!
+//! Everything is `BTreeMap`-backed so a snapshot serializes in a single
+//! deterministic order regardless of the order instruments were touched.
+//! Instruments are named `subsystem.noun` (for example
+//! `netsim.router.forwarded`) and carry one free-form label — typically
+//! a node label or a drop reason — so one name holds a whole family.
+
+use std::collections::BTreeMap;
+
+use lucent_support::Json;
+
+/// Default histogram bucket upper bounds, in microseconds of virtual
+/// time: 10 µs … 10 s in decades, plus an implicit overflow bucket.
+pub const DEFAULT_BUCKETS_US: [u64; 7] =
+    [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// A fixed-bucket histogram over microsecond values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Inclusive upper bounds of each bucket, ascending.
+    bounds: Vec<u64>,
+    /// One count per bound, plus a trailing overflow bucket.
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, value_us: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value_us <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get_mut(slot) {
+            *c += 1;
+        }
+        self.sum = self.sum.saturating_add(value_us);
+        self.count += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values, saturating.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .bounds
+            .iter()
+            .map(|b| Json::UInt(*b))
+            .chain(std::iter::once(Json::Str("inf".to_string())))
+            .zip(self.counts.iter())
+            .map(|(le, n)| Json::Obj(vec![("le".into(), le), ("n".into(), Json::UInt(*n))]))
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::UInt(self.count)),
+            ("sum_us".into(), Json::UInt(self.sum)),
+            ("buckets".into(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// The registry. Owned by [`crate::Telemetry`]; not usually constructed
+/// directly.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, BTreeMap<String, u64>>,
+    gauges: BTreeMap<String, BTreeMap<String, i64>>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Add `delta` to the counter `name{label}`.
+    pub fn counter_add(&mut self, name: &str, label: &str, delta: u64) {
+        let family = match self.counters.get_mut(name) {
+            Some(f) => f,
+            None => self.counters.entry(name.to_string()).or_default(),
+        };
+        match family.get_mut(label) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                family.insert(label.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set the gauge `name{label}` to `value`.
+    pub fn gauge_set(&mut self, name: &str, label: &str, value: i64) {
+        let family = match self.gauges.get_mut(name) {
+            Some(f) => f,
+            None => self.gauges.entry(name.to_string()).or_default(),
+        };
+        family.insert(label.to_string(), value);
+    }
+
+    /// Record `value_us` into the histogram `name` (created with the
+    /// default decade buckets on first use).
+    pub fn histogram_record(&mut self, name: &str, value_us: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value_us),
+            None => {
+                let mut h = Histogram::new(&DEFAULT_BUCKETS_US);
+                h.record(value_us);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of a counter, zero if never touched.
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters
+            .get(name)
+            .and_then(|f| f.get(label))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter family across all labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .get(name)
+            .map(|f| f.values().fold(0u64, |a, v| a.saturating_add(*v)))
+            .unwrap_or(0)
+    }
+
+    /// All labels and values of a counter family, in label order.
+    pub fn counter_family(&self, name: &str) -> Vec<(String, u64)> {
+        self.counters
+            .get(name)
+            .map(|f| f.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<i64> {
+        self.gauges.get(name).and_then(|f| f.get(label)).copied()
+    }
+
+    /// A histogram by name, if ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The full registry as one deterministic JSON tree.
+    pub fn snapshot(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(name, family)| {
+                    (
+                        name.clone(),
+                        Json::Obj(
+                            family.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(name, family)| {
+                    (
+                        name.clone(),
+                        Json::Obj(
+                            family.iter().map(|(k, v)| (k.clone(), Json::Int(*v))).collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let mut m = Metrics::default();
+        m.counter_add("pkts", "r1", 2);
+        m.counter_add("pkts", "r1", 3);
+        m.counter_add("pkts", "r2", 1);
+        assert_eq!(m.counter("pkts", "r1"), 5);
+        assert_eq!(m.counter("pkts", "r2"), 1);
+        assert_eq!(m.counter("pkts", "r3"), 0);
+        assert_eq!(m.counter_total("pkts"), 6);
+        assert_eq!(m.counter_family("pkts"), vec![("r1".into(), 5), ("r2".into(), 1)]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::default();
+        m.gauge_set("flows", "wm", 7);
+        m.gauge_set("flows", "wm", 3);
+        assert_eq!(m.gauge("flows", "wm"), Some(3));
+        assert_eq!(m.gauge("flows", "other"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_values_by_decade() {
+        let mut m = Metrics::default();
+        for v in [5, 50, 5_000, 50_000_000] {
+            m.histogram_record("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 50_005_055);
+        assert_eq!(h.counts, vec![1u64, 1, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_regardless_of_touch_order() {
+        let mut a = Metrics::default();
+        a.counter_add("z", "x", 1);
+        a.counter_add("a", "y", 2);
+        let mut b = Metrics::default();
+        b.counter_add("a", "y", 2);
+        b.counter_add("z", "x", 1);
+        assert_eq!(a.snapshot().to_string(), b.snapshot().to_string());
+        assert!(a.snapshot().to_string().find("\"a\"") < a.snapshot().to_string().find("\"z\""));
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut m = Metrics::default();
+        m.counter_add("c", "l", u64::MAX);
+        m.counter_add("c", "l", 10);
+        assert_eq!(m.counter("c", "l"), u64::MAX);
+    }
+}

@@ -6,7 +6,8 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
-use lucent_support::Bytes;
+use lucent_obs::{Level, Telemetry};
+use lucent_support::{Bytes, ToJson};
 use lucent_netsim::SimRng;
 
 use lucent_netsim::{IfaceId, Node, NodeCtx, SimTime, WAKE};
@@ -40,6 +41,8 @@ pub struct UdpIo {
     pub out: Vec<(Ipv4Addr, u16, Vec<u8>)>,
     /// Virtual time of the datagram being handled.
     pub now: SimTime,
+    /// Telemetry handle for the app to count verdicts and emit events.
+    pub obs: Telemetry,
 }
 
 /// An in-node UDP service (DNS resolvers implement this).
@@ -322,6 +325,9 @@ impl TcpHost {
         let remote_ip = tcb.remote.0;
         let (segs, ask) = tcb.poll(ctx.now());
         for (h, payload) in segs {
+            if h.flags.contains(TcpFlags::RST) {
+                ctx.obs().counter_inc("tcp.rst_tx", ctx.label());
+            }
             let mut pkt = Packet::tcp(ip, remote_ip, h, payload);
             pkt.ip.ttl = ttl;
             // Ordinary hosts stamp a varying IP-Identifier. Deriving it
@@ -384,11 +390,35 @@ impl TcpHost {
             self.raw_tcp_inbox.push((ctx.now(), pkt.clone()));
             return;
         }
+        if h.flags.contains(TcpFlags::RST) {
+            ctx.obs().counter_inc("tcp.rst_rx", ctx.label());
+        }
         let key = (h.dst_port, pkt.src(), h.src_port);
         if let Some(&id) = self.tuples.get(&key) {
             let now = ctx.now();
             if let Some(tcb) = self.tcb_mut(id) {
+                let was = tcb.state;
+                let buffered = tcb.recv_buf.len();
                 tcb.on_segment(h, payload, now);
+                // In-order payload the stack *accepted* — distinct from
+                // bytes merely seen on the wire. Figure 3's "the server
+                // never receives the GET" claim is asserted on this.
+                let accepted = tcb.recv_buf.len().saturating_sub(buffered);
+                if accepted > 0 {
+                    ctx.obs().counter_add("tcp.payload_bytes_rx", ctx.label(), accepted as u64);
+                }
+                if was != TcpState::Established && tcb.state == TcpState::Established {
+                    ctx.obs().counter_inc("tcp.established", ctx.label());
+                }
+                if was != tcb.state && ctx.obs().enabled("tcp", Level::Debug) {
+                    let fields = vec![
+                        ("host".to_string(), ctx.label().to_json()),
+                        ("from".to_string(), format!("{was:?}").to_json()),
+                        ("to".to_string(), format!("{:?}", tcb.state).to_json()),
+                        ("port".to_string(), u64::from(h.dst_port).to_json()),
+                    ];
+                    ctx.obs().event(now.micros(), Level::Debug, "tcp", "state", fields);
+                }
             }
             self.dispatch_app_events(ctx, id);
             self.poll_socket(ctx, id);
@@ -429,6 +459,7 @@ impl TcpHost {
                 r
             };
             rst.window = 0;
+            ctx.obs().counter_inc("tcp.rst_tx", ctx.label());
             let mut out = Packet::tcp(self.ip, pkt.src(), rst, Bytes::new());
             out.ip.ttl = self.default_ttl;
             ctx.send(IfaceId::PRIMARY, out);
@@ -438,7 +469,7 @@ impl TcpHost {
     fn handle_udp(&mut self, ctx: &mut NodeCtx<'_>, pkt: &Packet) {
         let Some((h, payload)) = pkt.as_udp() else { return };
         if let Some(mut app) = self.udp_apps.remove(&h.dst_port) {
-            let mut io = UdpIo { out: Vec::new(), now: ctx.now() };
+            let mut io = UdpIo { out: Vec::new(), now: ctx.now(), obs: ctx.obs().clone() };
             app.on_datagram(&mut io, pkt.src(), h.src_port, payload);
             for (dst, dst_port, bytes) in io.out {
                 let mut reply =
@@ -524,7 +555,10 @@ impl Node for TcpHost {
             return; // stale timer
         }
         match kind {
-            TIMER_KIND_RTX => tcb.on_retransmit_timeout(now),
+            TIMER_KIND_RTX => {
+                tcb.on_retransmit_timeout(now);
+                ctx.obs().counter_inc("tcp.retransmissions", ctx.label());
+            }
             TIMER_KIND_TIMEWAIT => tcb.on_time_wait_timeout(now),
             _ => return,
         }

@@ -350,22 +350,21 @@ impl Tcb {
             return;
         }
         self.snd_una = ack;
-        while let Some(front) = self.rtx.front() {
+        while let Some(front) = self.rtx.front_mut() {
             if seq::le(front.end_seq(), ack) {
                 self.rtx.pop_front();
-            } else {
-                // Partial ACK: trim the acknowledged prefix off the front
-                // segment (data only; SYN/FIN are atomic).
-                let front = self.rtx.front_mut().expect("front exists");
-                if !front.syn && !front.fin && seq::lt(front.seq, ack) {
-                    let skip = ack.wrapping_sub(front.seq) as usize;
-                    if skip < front.data.len() {
-                        front.data = front.data.slice(skip..);
-                        front.seq = ack;
-                    }
-                }
-                break;
+                continue;
             }
+            // Partial ACK: trim the acknowledged prefix off the front
+            // segment (data only; SYN/FIN are atomic).
+            if !front.syn && !front.fin && seq::lt(front.seq, ack) {
+                let skip = ack.wrapping_sub(front.seq) as usize;
+                if skip < front.data.len() {
+                    front.data = front.data.slice(skip..);
+                    front.seq = ack;
+                }
+            }
+            break;
         }
         self.rtx_count = 0;
         self.timer_gen += 1;
