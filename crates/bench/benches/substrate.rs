@@ -56,13 +56,13 @@ fn run_fetch(
     client: lucent_netsim::NodeId,
     server_ip: Ipv4Addr,
 ) -> u64 {
-    let sock = net.node_mut::<lucent_tcp::TcpHost>(client).connect(server_ip, 80);
+    let sock = net.node_mut::<lucent_tcp::TcpHost>(client).unwrap().connect(server_ip, 80);
     net.wake(client);
     net.run_for(lucent_netsim::SimDuration::from_millis(50));
-    net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+    net.node_mut::<lucent_tcp::TcpHost>(client).unwrap().send(sock, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
     net.wake(client);
     net.run_for(lucent_netsim::SimDuration::from_millis(200));
-    assert!(!net.node_mut::<lucent_tcp::TcpHost>(client).take_received(sock).is_empty());
+    assert!(!net.node_mut::<lucent_tcp::TcpHost>(client).unwrap().take_received(sock).is_empty());
     net.events_processed()
 }
 

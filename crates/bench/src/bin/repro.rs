@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR]
-//!       [--trace SPEC] [--metrics-out PATH]
+//!       [--trace SPEC] [--metrics-out PATH] [--threads N]
 //!
 //! EXPERIMENT: table1 | table2 | table3 | fig1 | fig2 | fig3 | fig4 |
 //!             fig5 | race | triggers | evasion | dns-mechanism | https |
@@ -19,14 +19,21 @@
 //! (`chrome-trace.json`, loadable in `chrome://tracing` or Perfetto) are
 //! written next to the JSON results (or the current directory).
 //! `--metrics-out PATH` writes the deterministic metrics snapshot.
+//!
+//! `--threads N` shards the per-ISP experiments (table1, fig2, race,
+//! triggers, evasion, anonymity) across N OS threads; every artifact is
+//! byte-identical to `--threads 1` (default: available parallelism).
+//! Wall-time per run lands in `BENCH_repro.json` next to the JSON
+//! results.
 
 use std::fs;
 use std::path::PathBuf;
 
-use lucent_bench::{Caps, Scale};
+use lucent_bench::drive::Driver;
+use lucent_bench::{shard, Caps, Scale};
 use lucent_core::experiments::{
-    anonymity, categories, dns_mechanism, evasion, fig2, fig5, https_note, mechanism, race,
-    table1, table2, table3, tracer_demo, triggers,
+    categories, dns_mechanism, evasion, fig2, fig5, https_note, mechanism, race, table1, table2,
+    table3, tracer_demo,
 };
 use lucent_core::lab::Lab;
 use lucent_core::metrics::PrecisionRecall;
@@ -34,12 +41,16 @@ use lucent_core::probe::manual::inspect;
 use lucent_core::probe::ooni::web_connectivity_with;
 use lucent_topology::{India, IspId};
 
+const USAGE: &str = "repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR] \
+                     [--trace SPEC] [--metrics-out PATH] [--threads N]";
+
 struct Args {
     experiment: String,
     scale: Scale,
     json_dir: Option<PathBuf>,
     trace: Option<String>,
     metrics_out: Option<PathBuf>,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +59,7 @@ fn parse_args() -> Args {
     let mut json_dir = None;
     let mut trace = None;
     let mut metrics_out = None;
+    let mut threads = shard::default_threads();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -73,17 +85,31 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 })));
             }
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                threads = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--threads needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!(
-                    "repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR] \
-                     [--trace SPEC] [--metrics-out PATH]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
+            }
+            // An unknown --flag must not fall through to the EXPERIMENT
+            // arm: it would be reported as an unknown experiment (or
+            // silently shadow a valid one given earlier).
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag:?}\nusage: {USAGE}");
+                std::process::exit(2);
             }
             other => experiment = other.to_string(),
         }
     }
-    Args { experiment, scale, json_dir, trace, metrics_out }
+    Args { experiment, scale, json_dir, trace, metrics_out, threads }
 }
 
 fn emit_json<T: lucent_support::ToJson>(dir: &Option<PathBuf>, name: &str, value: &T) {
@@ -97,8 +123,8 @@ fn emit_json<T: lucent_support::ToJson>(dir: &Option<PathBuf>, name: &str, value
     }
 }
 
-fn run_table1(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) {
-    let t = table1::run(lab, &table1::Table1Options { max_sites: caps.sites, ..Default::default() });
+fn run_table1(drv: &Driver, obs: &lucent_obs::Telemetry, caps: Caps, json: &Option<PathBuf>) {
+    let t = drv.table1(obs, &table1::Table1Options { max_sites: caps.sites, ..Default::default() });
     println!("{t}\n");
     emit_json(json, "table1", &t);
 }
@@ -156,8 +182,8 @@ fn run_fig1(lab: &mut Lab, json: &Option<PathBuf>) {
     }
 }
 
-fn run_fig2(lab: &mut Lab, caps: Caps, json: &Option<PathBuf>) {
-    let f = fig2::run(lab, &fig2::Fig2Options { max_sites: caps.sites, ..Default::default() });
+fn run_fig2(drv: &Driver, obs: &lucent_obs::Telemetry, caps: Caps, json: &Option<PathBuf>) {
+    let f = drv.fig2(obs, &fig2::Fig2Options { max_sites: caps.sites, ..Default::default() });
     println!("{f}\n");
     emit_json(json, "fig2", &f);
 }
@@ -182,26 +208,26 @@ fn run_fig4(lab: &mut Lab, json: &Option<PathBuf>) {
     }
 }
 
-fn run_race(lab: &mut Lab, json: &Option<PathBuf>) {
-    let r = race::run(lab, &race::RaceOptions::default());
+fn run_race(drv: &Driver, obs: &lucent_obs::Telemetry, json: &Option<PathBuf>) {
+    let r = drv.race(obs, &race::RaceOptions::default());
     println!("{r}\n");
     emit_json(json, "race", &r);
 }
 
-fn run_triggers(lab: &mut Lab, json: &Option<PathBuf>) {
-    let t = triggers::run(lab, &[IspId::Airtel, IspId::Idea, IspId::Vodafone, IspId::Jio]);
+fn run_triggers(drv: &Driver, obs: &lucent_obs::Telemetry, json: &Option<PathBuf>) {
+    let t = drv.triggers(obs, &[IspId::Airtel, IspId::Idea, IspId::Vodafone, IspId::Jio]);
     println!("{t}\n");
     emit_json(json, "triggers", &t);
 }
 
-fn run_evasion(lab: &mut Lab, json: &Option<PathBuf>) {
-    let e = evasion::run(lab, &evasion::EvasionOptions::default());
+fn run_evasion(drv: &Driver, obs: &lucent_obs::Telemetry, json: &Option<PathBuf>) {
+    let e = drv.evasion(obs, &evasion::EvasionOptions::default());
     println!("{e}\n");
     emit_json(json, "evasion", &e);
 }
 
-fn run_anonymity(lab: &mut Lab, json: &Option<PathBuf>) {
-    let a = anonymity::run(lab, &[IspId::Airtel, IspId::Idea, IspId::Vodafone, IspId::Jio], 30);
+fn run_anonymity(drv: &Driver, obs: &lucent_obs::Telemetry, json: &Option<PathBuf>) {
+    let a = drv.anonymity(obs, &[IspId::Airtel, IspId::Idea, IspId::Vodafone, IspId::Jio], 30);
     println!("{a}\n");
     emit_json(json, "anonymity", &a);
 }
@@ -305,10 +331,11 @@ fn main() {
     let args = parse_args();
     let caps = args.scale.caps();
     println!(
-        "lucent repro — scale {:?} ({} PBWs{})\n",
+        "lucent repro — scale {:?} ({} PBWs{}), {} thread(s)\n",
         args.scale,
         caps.sites.map(|n| n.to_string()).unwrap_or_else(|| "all".into()),
         if args.json_dir.is_some() { ", writing JSON" } else { "" },
+        args.threads,
     );
     let start = lucent_support::bench::Stopwatch::start();
     let mut lab = args.scale.lab();
@@ -329,47 +356,48 @@ fn main() {
         start.elapsed_secs()
     );
     let json = &args.json_dir;
+    let drv = Driver::new(args.scale, args.threads, args.trace.clone());
     match args.experiment.as_str() {
-        "table1" => run_table1(&mut lab, caps, json),
+        "table1" => run_table1(&drv, &obs, caps, json),
         "table2" => {
             run_table2(&mut lab, caps, json);
         }
         "table3" => run_table3(&mut lab, caps, json),
         "fig1" => run_fig1(&mut lab, json),
-        "fig2" => run_fig2(&mut lab, caps, json),
+        "fig2" => run_fig2(&drv, &obs, caps, json),
         "fig3" => run_fig3(&mut lab, json),
         "fig4" => run_fig4(&mut lab, json),
         "fig5" => {
             let scans = run_table2(&mut lab, caps, json);
             run_fig5(&mut lab, &scans, caps, json);
         }
-        "race" => run_race(&mut lab, json),
-        "triggers" => run_triggers(&mut lab, json),
-        "evasion" => run_evasion(&mut lab, json),
+        "race" => run_race(&drv, &obs, json),
+        "triggers" => run_triggers(&drv, &obs, json),
+        "evasion" => run_evasion(&drv, &obs, json),
         "dns-mechanism" => run_dns_mechanism(&mut lab, json),
         "https" => run_https(&mut lab, json),
-        "anonymity" => run_anonymity(&mut lab, json),
+        "anonymity" => run_anonymity(&drv, &obs, json),
         "world" => println!("{}", lab.india.summary()),
         "threshold-audit" => run_threshold_audit(&mut lab, caps, json),
         "ablate-race" => run_ablate_race(args.scale, json),
         "ablate-ooni" => run_ablate_ooni(&mut lab, caps, json),
         "all" => {
             run_fig1(&mut lab, json);
-            run_table1(&mut lab, caps, json);
+            run_table1(&drv, &obs, caps, json);
             run_threshold_audit(&mut lab, caps, json);
             let scans = run_table2(&mut lab, caps, json);
             run_fig5(&mut lab, &scans, caps, json);
             run_categories(&lab, &scans, json);
             run_table3(&mut lab, caps, json);
-            run_fig2(&mut lab, caps, json);
+            run_fig2(&drv, &obs, caps, json);
             run_fig3(&mut lab, json);
             run_fig4(&mut lab, json);
-            run_race(&mut lab, json);
-            run_triggers(&mut lab, json);
-            run_evasion(&mut lab, json);
+            run_race(&drv, &obs, json);
+            run_triggers(&drv, &obs, json);
+            run_evasion(&drv, &obs, json);
             run_dns_mechanism(&mut lab, json);
             run_https(&mut lab, json);
-            run_anonymity(&mut lab, json);
+            run_anonymity(&drv, &obs, json);
         }
         other => {
             eprintln!("unknown experiment {other:?}; see --help");
@@ -396,12 +424,44 @@ fn main() {
         println!("metrics snapshot -> {}", path.display());
     }
     let wall = start.elapsed_secs();
-    let events = lab.india.net.events_processed();
+    let events = lab.india.net.events_processed() + drv.shard_events();
     let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
     println!(
         "done in {wall:.1}s wall, {events} simulator events ({rate:.0} events/s), virtual time {}",
         lab.now()
     );
+    record_bench(&args, wall);
+}
+
+/// Upsert this run's wall time into `BENCH_repro.json`, keyed by
+/// experiment, scale and thread count so speedup across `--threads`
+/// values can be read off one file. The file sits next to the JSON
+/// results (or in the current directory) and is a measurement artifact
+/// — it is deliberately NOT part of the determinism-diffed outputs.
+fn record_bench(args: &Args, wall: f64) {
+    use lucent_support::{Json, ToJson};
+    let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_repro.json");
+    let mut entries = match fs::read_to_string(&path).ok().and_then(|s| Json::parse(&s).ok()) {
+        Some(Json::Obj(entries)) => entries,
+        _ => Vec::new(),
+    };
+    let key = format!(
+        "{}@{}@threads={}",
+        args.experiment,
+        format!("{:?}", args.scale).to_lowercase(),
+        args.threads
+    );
+    let value = Json::Obj(vec![("wall_secs".to_string(), wall.to_json())]);
+    match entries.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = value,
+        None => entries.push((key, value)),
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    if let Err(e) = fs::write(&path, Json::Obj(entries).to_string_pretty()) {
+        eprintln!("warn: cannot write {}: {e}", path.display());
+    }
 }
 
 /// Write an exporter artifact, failing loudly: a half-written trace is

@@ -10,6 +10,9 @@
 use lucent_core::lab::Lab;
 use lucent_topology::{India, IndiaConfig};
 
+pub mod drive;
+pub mod shard;
+
 /// Scale presets for the simulated world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -161,10 +161,12 @@ pub fn attempt(lab: &mut Lab, isp: IspId, site: SiteId, technique: Technique) ->
             } else {
                 FilterRule::drop_fin_rst_from(ip)
             };
-            let dropped_before = {
-                let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
-                host.firewall.add(rule);
-                host.firewall.dropped
+            let dropped_before = match lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+                Some(host) => {
+                    host.firewall.add(rule);
+                    host.firewall.dropped
+                }
+                None => return Attempt { technique, success: false },
             };
             let req = RequestBuilder::browser(&domain, "/").build();
             let mut ok = run_attempts(lab, client, ip, req, false);
@@ -178,14 +180,16 @@ pub fn attempt(lab: &mut Lab, isp: IspId, site: SiteId, technique: Technique) ->
                     .india
                     .net
                     .node_ref::<lucent_tcp::TcpHost>(client)
-                    .firewall
-                    .dropped
+                    .map(|h| h.firewall.dropped)
+                    .unwrap_or(dropped_before)
                     - dropped_before;
                 if dropped == 0 {
                     ok = false;
                 }
             }
-            lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).firewall.clear();
+            if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+                host.firewall.clear();
+            }
             ok
         }
         Technique::PublicResolver => {
@@ -215,9 +219,10 @@ fn run_attempts(
     inspect_wire: bool,
 ) -> bool {
     if inspect_wire {
-        let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
-        host.enable_pcap();
-        let _ = host.take_pcap();
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            host.enable_pcap();
+            let _ = host.take_pcap();
+        }
     }
     let mut evaded = true;
     for _ in 0..2 {
@@ -234,7 +239,12 @@ fn run_attempts(
         // Wait out any slow injection tail before judging.
         lab.run_ms(600);
         if inspect_wire {
-            let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
+            let pcap = lab
+                .india
+                .net
+                .node_mut::<lucent_tcp::TcpHost>(client)
+                .map(|h| h.take_pcap())
+                .unwrap_or_default();
             let injected = pcap.iter().any(|(_, p)| {
                 if p.src() != ip {
                     return false;
@@ -256,9 +266,10 @@ fn run_attempts(
                 .india
                 .net
                 .node_ref::<lucent_tcp::TcpHost>(client)
-                .events(f.sock)
-                .iter()
-                .any(|e| e.event == lucent_tcp::SocketEvent::Reset);
+                .map(|h| {
+                    h.events(f.sock).iter().any(|e| e.event == lucent_tcp::SocketEvent::Reset)
+                })
+                .unwrap_or(false);
             if reset {
                 evaded = false;
                 break;
@@ -266,7 +277,9 @@ fn run_attempts(
         }
     }
     if inspect_wire {
-        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).disable_pcap();
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            host.disable_pcap();
+        }
     }
     evaded
 }
@@ -284,17 +297,31 @@ fn tcb_teardown(
     else {
         return false; // nothing to desync (or nothing censoring this path)
     };
-    let client_ip = lab.india.net.node_ref::<lucent_tcp::TcpHost>(client).ip;
+    let Some(client_ip) = lab.india.net.node_ref::<lucent_tcp::TcpHost>(client).map(|h| h.ip)
+    else {
+        return false;
+    };
     for _ in 0..3 {
-        let sock = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).connect(ip, 80);
+        let Some(sock) =
+            lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).map(|h| h.connect(ip, 80))
+        else {
+            return false;
+        };
         lab.india.net.wake(client);
         lab.run_ms(400);
-        let host = lab.india.net.node_ref::<lucent_tcp::TcpHost>(client);
+        let Some(host) = lab.india.net.node_ref::<lucent_tcp::TcpHost>(client) else {
+            return false;
+        };
         if host.state(sock) != lucent_tcp::TcpState::Established {
             return false;
         }
-        let (snd_nxt, rcv_nxt) = host.seq_cursors(sock).expect("established");
-        let local_port = host.local_addr(sock).expect("established").1;
+        // Both lookups are on the connection we just watched establish;
+        // a miss means it raced closed — no teardown to attempt.
+        let (Some((snd_nxt, rcv_nxt)), Some((_, local_port))) =
+            (host.seq_cursors(sock), host.local_addr(sock))
+        else {
+            return false;
+        };
         // The desync RST: in-window for the middlebox, dead before the
         // server.
         let mut rst = TcpHeader::new(local_port, 80, TcpFlags::RST);
@@ -302,22 +329,30 @@ fn tcb_teardown(
         rst.ack = rcv_nxt;
         let mut pkt = lucent_packet::Packet::tcp(client_ip, ip, rst, lucent_support::Bytes::new());
         pkt.ip.ttl = mb_ttl;
-        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).raw_send(pkt);
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            host.raw_send(pkt);
+        }
         lab.india.net.wake(client);
         lab.run_ms(60);
         // Now the ordinary browser request on the (still live) connection.
         let req = RequestBuilder::browser(domain, "/").build();
-        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, &req);
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            host.send(sock, &req);
+        }
         lab.india.net.wake(client);
         lab.run_ms(3_000);
-        let bytes = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_received(sock);
+        let bytes = lab
+            .india
+            .net
+            .node_mut::<lucent_tcp::TcpHost>(client)
+            .map(|h| h.take_received(sock))
+            .unwrap_or_default();
         let reset = lab
             .india
             .net
             .node_ref::<lucent_tcp::TcpHost>(client)
-            .events(sock)
-            .iter()
-            .any(|e| e.event == lucent_tcp::SocketEvent::Reset);
+            .map(|h| h.events(sock).iter().any(|e| e.event == lucent_tcp::SocketEvent::Reset))
+            .unwrap_or(false);
         let ok = !reset
             && lucent_packet::HttpResponse::parse(&bytes)
                 .map(|r| !looks_like_notice(&r) && (r.status == 200 || r.status == 302))
@@ -337,28 +372,45 @@ fn fetch_segmented(
     split: usize,
 ) -> bool {
     for _ in 0..3 {
-        let sock = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).connect(ip, 80);
+        let Some(sock) =
+            lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).map(|h| h.connect(ip, 80))
+        else {
+            return false;
+        };
         lab.india.net.wake(client);
         lab.run_ms(300);
-        if lab.india.net.node_ref::<lucent_tcp::TcpHost>(client).state(sock)
+        if lab
+            .india
+            .net
+            .node_ref::<lucent_tcp::TcpHost>(client)
+            .map(|h| h.state(sock))
+            .unwrap_or(lucent_tcp::TcpState::Closed)
             != lucent_tcp::TcpState::Established
         {
             return false;
         }
-        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, &req[..split]);
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            host.send(sock, &req[..split]);
+        }
         lab.india.net.wake(client);
         lab.run_ms(60);
-        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).send(sock, &req[split..]);
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            host.send(sock, &req[split..]);
+        }
         lab.india.net.wake(client);
         lab.run_ms(2_000);
-        let bytes = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_received(sock);
+        let bytes = lab
+            .india
+            .net
+            .node_mut::<lucent_tcp::TcpHost>(client)
+            .map(|h| h.take_received(sock))
+            .unwrap_or_default();
         let reset = lab
             .india
             .net
             .node_ref::<lucent_tcp::TcpHost>(client)
-            .events(sock)
-            .iter()
-            .any(|e| e.event == lucent_tcp::SocketEvent::Reset);
+            .map(|h| h.events(sock).iter().any(|e| e.event == lucent_tcp::SocketEvent::Reset))
+            .unwrap_or(false);
         let ok = !reset
             && lucent_packet::HttpResponse::parse(&bytes)
                 .map(|r| !looks_like_notice(&r) && r.status == 200)

@@ -40,77 +40,78 @@ pub struct Anonymity {
     pub rows: Vec<AnonymityRow>,
 }
 
-/// Probe up to `max_paths` popular-site paths in each ISP.
-pub fn run(lab: &mut Lab, isps: &[IspId], max_paths: usize) -> Anonymity {
-    let mut rows = Vec::new();
-    for &isp in isps {
-        let client = lab.client_of(isp);
-        let hosts: Vec<String> = lab
-            .india
-            .truth
-            .http_master
-            .get(&isp)
-            .map(|m| m.iter().take(60).map(|&s| lab.india.corpus.site(s).domain.clone()).collect())
-            .unwrap_or_default();
-        let targets: Vec<std::net::Ipv4Addr> = lab
-            .india
-            .corpus
-            .popular
-            .iter()
-            .take(max_paths)
-            .map(|&s| lab.india.corpus.site(s).replicas[0])
-            .collect();
-        let mut row = AnonymityRow {
-            isp: isp.name().to_string(),
-            paths: 0,
-            with_asterisk: 0,
-            censored: 0,
-            censored_and_asterisk: 0,
-        };
-        for target in targets {
-            let trace = lab.traceroute(client, target, 24);
-            if !trace.reached {
-                continue;
+/// Probe up to `max_paths` popular-site paths in one ISP.
+pub fn run_isp(lab: &mut Lab, isp: IspId, max_paths: usize) -> AnonymityRow {
+    let client = lab.client_of(isp);
+    let hosts: Vec<String> = lab
+        .india
+        .truth
+        .http_master
+        .get(&isp)
+        .map(|m| m.iter().take(60).map(|&s| lab.india.corpus.site(s).domain.clone()).collect())
+        .unwrap_or_default();
+    let targets: Vec<std::net::Ipv4Addr> = lab
+        .india
+        .corpus
+        .popular
+        .iter()
+        .take(max_paths)
+        .map(|&s| lab.india.corpus.site(s).replicas[0])
+        .collect();
+    let mut row = AnonymityRow {
+        isp: isp.name().to_string(),
+        paths: 0,
+        with_asterisk: 0,
+        censored: 0,
+        censored_and_asterisk: 0,
+    };
+    for target in targets {
+        let trace = lab.traceroute(client, target, 24);
+        if !trace.reached {
+            continue;
+        }
+        row.paths += 1;
+        let n = trace.hops.len();
+        let asterisk = trace.hops[..n.saturating_sub(1)].iter().any(|h| h.is_none());
+        if asterisk {
+            row.with_asterisk += 1;
+        }
+        // Canary: replay blocked Hosts on this path until a trigger.
+        let mut conn = lab.raw_connect(client, target, 80, None);
+        let mut censored = false;
+        if conn.established {
+            for host in &hosts {
+                let req = RequestBuilder::browser(host, "/").build();
+                lab.raw_send(&mut conn, &req, None);
+                let packets = lab.raw_observe(&mut conn, 120);
+                if packets.iter().any(|p| {
+                    p.as_tcp()
+                        .map(|(h, b)| h.flags.contains(TcpFlags::RST) || !b.is_empty() && {
+                            lucent_packet::HttpResponse::parse(b)
+                                .map(|r| lucent_middlebox::notice::looks_like_notice(&r))
+                                .unwrap_or(false)
+                        })
+                        .unwrap_or(false)
+                }) {
+                    censored = true;
+                    break;
+                }
             }
-            row.paths += 1;
-            let n = trace.hops.len();
-            let asterisk = trace.hops[..n.saturating_sub(1)].iter().any(|h| h.is_none());
+            lab.raw_close(&conn);
+        }
+        if censored {
+            row.censored += 1;
             if asterisk {
-                row.with_asterisk += 1;
-            }
-            // Canary: replay blocked Hosts on this path until a trigger.
-            let mut conn = lab.raw_connect(client, target, 80, None);
-            let mut censored = false;
-            if conn.established {
-                for host in &hosts {
-                    let req = RequestBuilder::browser(host, "/").build();
-                    lab.raw_send(&mut conn, &req, None);
-                    let packets = lab.raw_observe(&mut conn, 120);
-                    if packets.iter().any(|p| {
-                        p.as_tcp()
-                            .map(|(h, b)| h.flags.contains(TcpFlags::RST) || !b.is_empty() && {
-                                lucent_packet::HttpResponse::parse(b)
-                                    .map(|r| lucent_middlebox::notice::looks_like_notice(&r))
-                                    .unwrap_or(false)
-                            })
-                            .unwrap_or(false)
-                    }) {
-                        censored = true;
-                        break;
-                    }
-                }
-                lab.raw_close(&conn);
-            }
-            if censored {
-                row.censored += 1;
-                if asterisk {
-                    row.censored_and_asterisk += 1;
-                }
+                row.censored_and_asterisk += 1;
             }
         }
-        rows.push(row);
     }
-    Anonymity { rows }
+    row
+}
+
+/// Probe up to `max_paths` popular-site paths in each ISP.
+pub fn run(lab: &mut Lab, isps: &[IspId], max_paths: usize) -> Anonymity {
+    Anonymity { rows: isps.iter().map(|&isp| run_isp(lab, isp, max_paths)).collect() }
 }
 
 impl fmt::Display for Anonymity {

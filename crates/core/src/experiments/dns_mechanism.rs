@@ -96,15 +96,11 @@ pub fn synthetic_injection_control() -> DnsMechanism {
     net.connect(r1, IfaceId(1), injector, IfaceId(0), ms);
     net.connect(injector, IfaceId(1), r2, IfaceId(0), ms);
     net.connect(r2, IfaceId(1), resolver, IfaceId::PRIMARY, ms);
-    {
-        let r = net.node_mut::<RouterNode>(r1);
-        r.table.add(Cidr::new(CLIENT, 24), IfaceId(0));
-        r.table.add(Cidr::new(RESOLVER, 24), IfaceId(1));
-    }
-    {
-        let r = net.node_mut::<RouterNode>(r2);
-        r.table.add(Cidr::new(CLIENT, 24), IfaceId(0));
-        r.table.add(Cidr::new(RESOLVER, 24), IfaceId(1));
+    for router in [r1, r2] {
+        if let Some(r) = net.node_mut::<RouterNode>(router) {
+            r.table.add(Cidr::new(CLIENT, 24), IfaceId(0));
+            r.table.add(Cidr::new(RESOLVER, 24), IfaceId(1));
+        }
     }
 
     // Hand-rolled TTL ladder (this mini-world has no Lab).
@@ -114,8 +110,7 @@ pub fn synthetic_injection_control() -> DnsMechanism {
         let query = DnsMessage::query_a(port, "blocked.example");
         let mut bytes = Vec::new();
         query.emit(&mut bytes).expect("emit");
-        {
-            let host = net.node_mut::<TcpHost>(client);
+        if let Some(host) = net.node_mut::<TcpHost>(client) {
             host.udp_bind(port);
             let mut pkt = lucent_packet::Packet::udp(
                 CLIENT,
@@ -128,7 +123,8 @@ pub fn synthetic_injection_control() -> DnsMechanism {
         }
         net.wake(client);
         net.run_for(SimDuration::from_millis(200));
-        let inbox = net.node_mut::<TcpHost>(client).take_udp_inbox();
+        let inbox =
+            net.node_mut::<TcpHost>(client).map(|h| h.take_udp_inbox()).unwrap_or_default();
         for d in inbox {
             if d.dst_port != port {
                 continue;

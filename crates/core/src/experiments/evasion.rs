@@ -123,27 +123,38 @@ fn sample_sites(lab: &mut Lab, isp: IspId, want: usize) -> Vec<SiteId> {
     out
 }
 
+/// Evaluate one ISP: its technique → cell map, plus the
+/// fully-evaded flag.
+pub fn run_isp(
+    lab: &mut Lab,
+    isp: IspId,
+    opts: &EvasionOptions,
+) -> (BTreeMap<String, EvasionCell>, bool) {
+    let sites = sample_sites(lab, isp, opts.sites_per_isp);
+    let mut per_technique: BTreeMap<String, EvasionCell> = BTreeMap::new();
+    for &tech in &opts.techniques {
+        let mut cell = EvasionCell { success: 0, attempts: 0 };
+        for &site in &sites {
+            cell.attempts += 1;
+            if attempt(lab, isp, site, tech).success {
+                cell.success += 1;
+            }
+        }
+        per_technique.insert(tech.name().to_string(), cell);
+    }
+    let full = !sites.is_empty()
+        && per_technique
+            .values()
+            .any(|c| c.attempts > 0 && c.success == c.attempts);
+    (per_technique, full)
+}
+
 /// Run the evaluation.
 pub fn run(lab: &mut Lab, opts: &EvasionOptions) -> Evasion {
     let mut matrix = BTreeMap::new();
     let mut fully = BTreeMap::new();
     for &isp in &opts.isps {
-        let sites = sample_sites(lab, isp, opts.sites_per_isp);
-        let mut per_technique: BTreeMap<String, EvasionCell> = BTreeMap::new();
-        for &tech in &opts.techniques {
-            let mut cell = EvasionCell { success: 0, attempts: 0 };
-            for &site in &sites {
-                cell.attempts += 1;
-                if attempt(lab, isp, site, tech).success {
-                    cell.success += 1;
-                }
-            }
-            per_technique.insert(tech.name().to_string(), cell);
-        }
-        let full = !sites.is_empty()
-            && per_technique
-                .values()
-                .any(|c| c.attempts > 0 && c.success == c.attempts);
+        let (per_technique, full) = run_isp(lab, isp, opts);
         matrix.insert(isp.name().to_string(), per_technique);
         fully.insert(isp.name().to_string(), full);
     }

@@ -4,13 +4,14 @@
 //! consistency averages (≈42.4% vs ≈7.5%).
 
 use std::fmt;
+use std::net::Ipv4Addr;
 
 
 use lucent_topology::IspId;
 use lucent_web::SiteId;
 
 use crate::lab::Lab;
-use crate::probe::dns_scan::{find_open_resolvers, survey};
+use crate::probe::dns_scan::{find_open_resolvers, reference_answers, survey, DnsSurvey, ResolverScan};
 use crate::report;
 
 /// Options for the Figure 2 run.
@@ -56,26 +57,54 @@ pub struct Fig2 {
     pub rows: Vec<DnsRow>,
 }
 
-/// Run the experiment.
-pub fn run(lab: &mut Lab, opts: &Fig2Options) -> Fig2 {
-    let pbw: Vec<SiteId> = match opts.max_sites {
+/// The PBW sample a Figure 2 run queries, as a function of the cap
+/// alone — every shard derives the same list from its own corpus.
+pub fn pbw_sample(lab: &Lab, max_sites: Option<usize>) -> Vec<SiteId> {
+    match max_sites {
         Some(n) => lab.india.corpus.pbw.iter().copied().take(n).collect(),
         None => lab.india.corpus.pbw.clone(),
-    };
+    }
+}
+
+/// Phase A output for one ISP: its open resolvers plus the uncensored
+/// reference answers (one slot per PBW, `None` where the reference
+/// itself timed out).
+pub type IspPrep = (Vec<Ipv4Addr>, Vec<Option<Vec<Ipv4Addr>>>);
+
+/// Phase A of one ISP's survey: open-resolver discovery plus the
+/// uncensored reference answers. The returned lists are plain data, so
+/// phase B can run on different labs (resolver chunks on shards).
+pub fn prepare_isp(lab: &mut Lab, isp: IspId, opts: &Fig2Options) -> IspPrep {
+    let pbw = pbw_sample(lab, opts.max_sites);
+    let resolvers = find_open_resolvers(lab, isp, opts.scan_stride);
+    let reference = reference_answers(lab, &pbw);
+    (resolvers, reference)
+}
+
+/// Assemble one ISP's row from its open-resolver list and the
+/// concatenated (submission-order) chunk scans.
+pub fn assemble_row(isp: IspId, open: Vec<Ipv4Addr>, poisoned: Vec<ResolverScan>) -> DnsRow {
+    let s = DnsSurvey { isp: isp.name().to_string(), open_resolvers: open, poisoned };
+    let (consistency, mut series) = s.consistency_series();
+    series.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    DnsRow {
+        isp: s.isp.clone(),
+        open: s.open_resolvers.len(),
+        poisoned: s.poisoned.len(),
+        coverage: s.coverage(),
+        consistency,
+        series,
+    }
+}
+
+/// Run the experiment.
+pub fn run(lab: &mut Lab, opts: &Fig2Options) -> Fig2 {
+    let pbw = pbw_sample(lab, opts.max_sites);
     let mut rows = Vec::new();
     for &isp in &opts.isps {
         let resolvers = find_open_resolvers(lab, isp, opts.scan_stride);
         let s = survey(lab, isp, &resolvers, &pbw);
-        let (consistency, mut series) = s.consistency_series();
-        series.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        rows.push(DnsRow {
-            isp: isp.name().to_string(),
-            open: s.open_resolvers.len(),
-            poisoned: s.poisoned.len(),
-            coverage: s.coverage(),
-            consistency,
-            series,
-        });
+        rows.push(assemble_row(isp, s.open_resolvers, s.poisoned));
     }
     Fig2 { rows }
 }

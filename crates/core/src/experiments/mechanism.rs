@@ -64,11 +64,11 @@ fn observe_one(lab: &mut Lab, isp: IspId, blocked_domain: &str) -> Option<Mechan
     for (remote_ip, remote_node) in vps {
         let remote_label = lab.india.net.label_of(remote_node).to_string();
         let payload_before = obs.counter("tcp.payload_bytes_rx", &remote_label);
-        {
-            let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
             host.enable_pcap();
             let _ = host.take_pcap();
-            let remote = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node);
+        }
+        if let Some(remote) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node) {
             remote.enable_pcap();
             let _ = remote.take_pcap();
         }
@@ -79,11 +79,21 @@ fn observe_one(lab: &mut Lab, isp: IspId, blocked_domain: &str) -> Option<Mechan
             .india
             .net
             .node_ref::<lucent_tcp::TcpHost>(client)
-            .seq_cursors(fetch.sock)
+            .and_then(|h| h.seq_cursors(fetch.sock))
             .unwrap_or((0, 0));
 
-        let client_pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
-        let remote_pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node).take_pcap();
+        let client_pcap = lab
+            .india
+            .net
+            .node_mut::<lucent_tcp::TcpHost>(client)
+            .map(|h| h.take_pcap())
+            .unwrap_or_default();
+        let remote_pcap = lab
+            .india
+            .net
+            .node_mut::<lucent_tcp::TcpHost>(remote_node)
+            .map(|h| h.take_pcap())
+            .unwrap_or_default();
 
         let client_got_notice = fetch.response.as_ref().map(looks_like_notice).unwrap_or(false);
         let client_got_rst = fetch.was_reset()

@@ -110,32 +110,34 @@ fn censored_sites(lab: &mut Lab, isp: IspId, want: usize) -> Vec<SiteId> {
     out
 }
 
+/// Measure one ISP. Counter deltas are read from the lab's own
+/// registry, so on a private shard lab they are attributable without
+/// any sequencing argument; on a shared lab this is exactly the old
+/// sequential-attribution semantics.
+pub fn run_isp(lab: &mut Lab, isp: IspId, opts: &RaceOptions) -> RaceRow {
+    let obs = lab.india.net.telemetry();
+    let inj_before = obs.counter_total("wm.injections");
+    let slow_before = obs.counter_total("wm.race.slow");
+    let sites = censored_sites(lab, isp, opts.sites_per_isp);
+    let mut attempts = 0;
+    let mut rendered = 0;
+    for site in sites {
+        let (r, a) = render_rate(lab, isp, site, opts.attempts);
+        rendered += r;
+        attempts += a;
+    }
+    RaceRow {
+        isp: isp.name().to_string(),
+        attempts,
+        rendered,
+        injections: obs.counter_total("wm.injections").saturating_sub(inj_before),
+        slow_injections: obs.counter_total("wm.race.slow").saturating_sub(slow_before),
+    }
+}
+
 /// Run the race measurement.
 pub fn run(lab: &mut Lab, opts: &RaceOptions) -> Race {
-    let obs = lab.india.net.telemetry();
-    let mut rows = Vec::new();
-    for &isp in &opts.isps {
-        // ISPs are measured sequentially, so per-ISP counter deltas are
-        // attributable even though the counters are network-global.
-        let inj_before = obs.counter_total("wm.injections");
-        let slow_before = obs.counter_total("wm.race.slow");
-        let sites = censored_sites(lab, isp, opts.sites_per_isp);
-        let mut attempts = 0;
-        let mut rendered = 0;
-        for site in sites {
-            let (r, a) = render_rate(lab, isp, site, opts.attempts);
-            rendered += r;
-            attempts += a;
-        }
-        rows.push(RaceRow {
-            isp: isp.name().to_string(),
-            attempts,
-            rendered,
-            injections: obs.counter_total("wm.injections").saturating_sub(inj_before),
-            slow_injections: obs.counter_total("wm.race.slow").saturating_sub(slow_before),
-        });
-    }
-    Race { rows }
+    Race { rows: opts.isps.iter().map(|&isp| run_isp(lab, isp, opts)).collect() }
 }
 
 impl fmt::Display for Race {

@@ -62,53 +62,62 @@ pub struct Table1 {
     pub sites_tested: usize,
 }
 
-/// Run the experiment.
-pub fn run(lab: &mut Lab, opts: &Table1Options) -> Table1 {
-    let sites: Vec<SiteId> = match opts.max_sites {
+/// The PBW sample a Table 1 run audits, as a function of the cap alone:
+/// every shard computes the same list from its own (identically seeded)
+/// corpus.
+pub fn site_sample(lab: &Lab, max_sites: Option<usize>) -> Vec<SiteId> {
+    match max_sites {
         Some(n) => lab.india.corpus.pbw.iter().copied().take(n).collect(),
         None => lab.india.corpus.pbw.clone(),
-    };
-    let mut rows = Vec::new();
-    for &isp in &opts.isps {
-        let mut total = PrecisionRecall::default();
-        let mut dns = PrecisionRecall::default();
-        let mut tcp = PrecisionRecall::default();
-        let mut http = PrecisionRecall::default();
-        let mut ooni_blocked = 0;
-        let mut manual_blocked = 0;
-        for &site in &sites {
-            let manual = inspect(lab, isp, site);
-            let ooni = web_connectivity(lab, isp, site);
-            if ooni.verdict.is_some() {
-                ooni_blocked += 1;
-            }
-            if manual.blocked {
-                manual_blocked += 1;
-            }
-            total.record(ooni.verdict.is_some(), manual.blocked);
-            dns.record(
-                ooni.verdict == Some(CensorKind::Dns),
-                manual.blocked && manual.kind == Some(CensorKind::Dns),
-            );
-            tcp.record(
-                ooni.verdict == Some(CensorKind::TcpIp),
-                manual.blocked && manual.kind == Some(CensorKind::TcpIp),
-            );
-            http.record(
-                ooni.verdict == Some(CensorKind::Http),
-                manual.blocked && manual.kind == Some(CensorKind::Http),
-            );
-        }
-        rows.push(IspAccuracy {
-            isp: isp.name().to_string(),
-            total,
-            dns,
-            tcp,
-            http,
-            ooni_blocked,
-            manual_blocked,
-        });
     }
+}
+
+/// Audit one ISP over `sites`.
+pub fn run_isp(lab: &mut Lab, isp: IspId, sites: &[SiteId]) -> IspAccuracy {
+    let mut total = PrecisionRecall::default();
+    let mut dns = PrecisionRecall::default();
+    let mut tcp = PrecisionRecall::default();
+    let mut http = PrecisionRecall::default();
+    let mut ooni_blocked = 0;
+    let mut manual_blocked = 0;
+    for &site in sites {
+        let manual = inspect(lab, isp, site);
+        let ooni = web_connectivity(lab, isp, site);
+        if ooni.verdict.is_some() {
+            ooni_blocked += 1;
+        }
+        if manual.blocked {
+            manual_blocked += 1;
+        }
+        total.record(ooni.verdict.is_some(), manual.blocked);
+        dns.record(
+            ooni.verdict == Some(CensorKind::Dns),
+            manual.blocked && manual.kind == Some(CensorKind::Dns),
+        );
+        tcp.record(
+            ooni.verdict == Some(CensorKind::TcpIp),
+            manual.blocked && manual.kind == Some(CensorKind::TcpIp),
+        );
+        http.record(
+            ooni.verdict == Some(CensorKind::Http),
+            manual.blocked && manual.kind == Some(CensorKind::Http),
+        );
+    }
+    IspAccuracy {
+        isp: isp.name().to_string(),
+        total,
+        dns,
+        tcp,
+        http,
+        ooni_blocked,
+        manual_blocked,
+    }
+}
+
+/// Run the experiment.
+pub fn run(lab: &mut Lab, opts: &Table1Options) -> Table1 {
+    let sites = site_sample(lab, opts.max_sites);
+    let rows = opts.isps.iter().map(|&isp| run_isp(lab, isp, &sites)).collect();
     Table1 { rows, sites_tested: sites.len() }
 }
 

@@ -78,30 +78,30 @@ fn fixture(lab: &mut Lab, isp: IspId) -> Option<(String, std::net::Ipv4Addr, Str
     None
 }
 
+/// Characterize one ISP.
+pub fn run_isp(lab: &mut Lab, isp: IspId) -> TriggerRow {
+    let Some((domain, ip, allowed)) = fixture(lab, isp) else {
+        return TriggerRow {
+            isp: isp.name().to_string(),
+            twin: None,
+            host_field: None,
+            ladder: None,
+            timeout: None,
+        };
+    };
+    let client = lab.client_of(isp);
+    TriggerRow {
+        isp: isp.name().to_string(),
+        twin: ttl_twin(lab, client, ip, &domain),
+        host_field: host_field_only(lab, client, ip, &domain, &allowed),
+        ladder: stateful_ladder(lab, client, ip, &domain),
+        timeout: timeout_probe(lab, client, ip, &domain, 200),
+    }
+}
+
 /// Run the characterization for the given ISPs.
 pub fn run(lab: &mut Lab, isps: &[IspId]) -> Triggers {
-    let mut rows = Vec::new();
-    for &isp in isps {
-        let Some((domain, ip, allowed)) = fixture(lab, isp) else {
-            rows.push(TriggerRow {
-                isp: isp.name().to_string(),
-                twin: None,
-                host_field: None,
-                ladder: None,
-                timeout: None,
-            });
-            continue;
-        };
-        let client = lab.client_of(isp);
-        rows.push(TriggerRow {
-            isp: isp.name().to_string(),
-            twin: ttl_twin(lab, client, ip, &domain),
-            host_field: host_field_only(lab, client, ip, &domain, &allowed),
-            ladder: stateful_ladder(lab, client, ip, &domain),
-            timeout: timeout_probe(lab, client, ip, &domain, 200),
-        });
-    }
-    Triggers { rows }
+    Triggers { rows: isps.iter().map(|&isp| run_isp(lab, isp)).collect() }
 }
 
 impl fmt::Display for Triggers {

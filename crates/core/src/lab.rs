@@ -160,12 +160,20 @@ impl Lab {
         self.india.net.now()
     }
 
-    fn host_mut(&mut self, node: NodeId) -> &mut TcpHost {
+    /// The TCP host behind `node`, if it is one. Lab callers always pass
+    /// ids taken from the built [`India`] handles, so a miss means the
+    /// probe is aimed at a router — the callers degrade to the same
+    /// observable outcome as a dead host (nothing sent, nothing heard).
+    fn host_mut(&mut self, node: NodeId) -> Option<&mut TcpHost> {
         self.india.net.node_mut::<TcpHost>(node)
     }
 
     fn host_ip(&mut self, node: NodeId) -> Ipv4Addr {
-        self.india.net.node_ref::<TcpHost>(node).ip
+        self.india
+            .net
+            .node_ref::<TcpHost>(node)
+            .map(|h| h.ip)
+            .unwrap_or(Ipv4Addr::UNSPECIFIED)
     }
 
     /// Run in small slices until `pred` is true or `timeout_ms` elapses.
@@ -197,15 +205,33 @@ impl Lab {
         request: Vec<u8>,
         timeout_ms: u64,
     ) -> Fetch {
-        let sock = self.host_mut(from).connect(dst, port);
+        let Some(sock) = self.host_mut(from).map(|h| h.connect(dst, port)) else {
+            return Fetch {
+                sock: SocketId(u32::MAX),
+                bytes: Vec::new(),
+                response: None,
+                events: Vec::new(),
+                connect_failed: true,
+            };
+        };
         self.india.net.wake(from);
-        let established = self.run_until_ms(CONNECT_TIMEOUT_MS, |lab| {
-            let st = lab.india.net.node_ref::<TcpHost>(from).state(sock);
-            st != TcpState::SynSent
-        });
-        let state = self.india.net.node_ref::<TcpHost>(from).state(sock);
+        let state_of = |lab: &Lab| {
+            lab.india
+                .net
+                .node_ref::<TcpHost>(from)
+                .map(|h| h.state(sock))
+                .unwrap_or(TcpState::Closed)
+        };
+        let established =
+            self.run_until_ms(CONNECT_TIMEOUT_MS, |lab| state_of(lab) != TcpState::SynSent);
+        let state = state_of(self);
         if !established || state != TcpState::Established {
-            let events = self.india.net.node_ref::<TcpHost>(from).events(sock).to_vec();
+            let events = self
+                .india
+                .net
+                .node_ref::<TcpHost>(from)
+                .map(|h| h.events(sock).to_vec())
+                .unwrap_or_default();
             return Fetch {
                 sock,
                 bytes: Vec::new(),
@@ -214,10 +240,14 @@ impl Lab {
                 connect_failed: true,
             };
         }
-        self.host_mut(from).send(sock, &request);
+        if let Some(h) = self.host_mut(from) {
+            h.send(sock, &request);
+        }
         self.india.net.wake(from);
         self.run_until_ms(timeout_ms, |lab| {
-            let host = lab.india.net.node_ref::<TcpHost>(from);
+            let Some(host) = lab.india.net.node_ref::<TcpHost>(from) else {
+                return true;
+            };
             let st = host.state(sock);
             if matches!(st, TcpState::Closed | TcpState::TimeWait | TcpState::LastAck) {
                 return true;
@@ -226,15 +256,13 @@ impl Lab {
         });
         // Give in-flight tail packets (e.g. the post-FIN RST) a moment.
         self.run_ms(30);
-        let bytes = self.host_mut(from).take_received(sock);
+        let bytes = self.host_mut(from).map(|h| h.take_received(sock)).unwrap_or_default();
         let events: Vec<SocketEvent> = self
             .india
             .net
             .node_ref::<TcpHost>(from)
-            .events(sock)
-            .iter()
-            .map(|e| e.event.clone())
-            .collect();
+            .map(|h| h.events(sock).iter().map(|e| e.event.clone()).collect())
+            .unwrap_or_default();
         let response = HttpResponse::parse(&bytes).ok();
         Fetch { sock, bytes, response, events, connect_failed: false }
     }
@@ -271,8 +299,7 @@ impl Lab {
             return ResolveOutcome { responses: Vec::new(), ips: Vec::new(), timed_out: true };
         }
         let from_ip = self.host_ip(from);
-        {
-            let host = self.host_mut(from);
+        if let Some(host) = self.host_mut(from) {
             host.udp_bind(port);
             let mut pkt = Packet::udp(from_ip, resolver, UdpHeader::new(port, 53), bytes);
             if let Some(t) = ttl {
@@ -283,7 +310,7 @@ impl Lab {
         self.india.net.wake(from);
         let mut responses: Vec<DnsMessage> = Vec::new();
         self.run_until_ms(DNS_WINDOW_MS, |lab| {
-            let inbox = lab.host_mut(from).take_udp_inbox();
+            let inbox = lab.host_mut(from).map(|h| h.take_udp_inbox()).unwrap_or_default();
             for d in inbox {
                 if d.dst_port == port {
                     if let Ok(msg) = DnsMessage::parse(&d.payload) {
@@ -298,7 +325,7 @@ impl Lab {
         if !responses.is_empty() {
             // Grace window: catch a trailing second answer (injection).
             self.run_ms(80);
-            for d in self.host_mut(from).take_udp_inbox() {
+            for d in self.host_mut(from).map(|h| h.take_udp_inbox()).unwrap_or_default() {
                 if d.dst_port == port {
                     if let Ok(msg) = DnsMessage::parse(&d.payload) {
                         if msg.id == id {
@@ -316,8 +343,11 @@ impl Lab {
     /// Send many DNS queries at once and collect answers for `window_ms`.
     ///
     /// Returns, per query, the A records of the first response (None =
-    /// no response). Used by the open-resolver scans, where waiting a
-    /// full window per probe would be wasteful.
+    /// no response). The result always holds exactly one slot per query
+    /// — dropped or unanswered probes pad with `None` rather than
+    /// shrinking the list, so callers may index- or zip-align it with
+    /// `queries` safely. Used by the open-resolver scans, where waiting
+    /// a full window per probe would be wasteful.
     pub fn bulk_resolve(
         &mut self,
         from: NodeId,
@@ -329,8 +359,7 @@ impl Lab {
         for chunk_start in (0..queries.len()).step_by(8_000) {
             let chunk = &queries[chunk_start..queries.len().min(chunk_start + 8_000)];
             let base_port = 40_000u16;
-            {
-                let host = self.host_mut(from);
+            if let Some(host) = self.host_mut(from) {
                 for (i, (resolver, domain)) in chunk.iter().enumerate() {
                     let port = base_port + i as u16;
                     host.udp_bind(port);
@@ -348,7 +377,7 @@ impl Lab {
             while self.now() < deadline && pending > 0 {
                 let next = self.now() + SimDuration::from_millis(20);
                 self.india.net.run_until(next.min(deadline));
-                for d in self.host_mut(from).take_udp_inbox() {
+                for d in self.host_mut(from).map(|h| h.take_udp_inbox()).unwrap_or_default() {
                     let idx = usize::from(d.dst_port.wrapping_sub(base_port));
                     if idx >= chunk.len() {
                         continue;
@@ -361,6 +390,7 @@ impl Lab {
                 }
             }
         }
+        debug_assert_eq!(results.len(), queries.len());
         results
     }
 
@@ -375,8 +405,7 @@ impl Lab {
         let mut reached = false;
         for ttl in 1..=max_ttl {
             let sport = 33_000 + u16::from(ttl);
-            {
-                let host = self.host_mut(from);
+            if let Some(host) = self.host_mut(from) {
                 let mut probe =
                     Packet::udp(from_ip, dst, UdpHeader::new(sport, 33_434), vec![0u8; 8]);
                 probe.ip.ttl = ttl;
@@ -385,7 +414,8 @@ impl Lab {
             self.india.net.wake(from);
             let mut hop: Option<Option<Ipv4Addr>> = None;
             self.run_until_ms(HOP_WINDOW_MS, |lab| {
-                for (_, pkt) in lab.host_mut(from).take_icmp_inbox() {
+                for (_, pkt) in lab.host_mut(from).map(|h| h.take_icmp_inbox()).unwrap_or_default()
+                {
                     let Some(msg) = pkt.as_icmp() else { continue };
                     let (quoted_sport, quoted_dst) = match msg {
                         lucent_packet::IcmpMessage::TimeExceeded { original }
@@ -454,19 +484,24 @@ impl Lab {
     ) -> RawConn {
         let client_ip = self.host_ip(from);
         let iss = self.next_raw_seq();
-        let local_port = {
-            let host = self.host_mut(from);
-            let p = host.alloc_port();
-            host.raw_claim_port(p);
-            let mut syn = TcpHeader::new(p, dst_port, TcpFlags::SYN);
-            syn.seq = iss;
-            syn.mss = Some(1400);
-            let mut pkt = Packet::tcp(client_ip, dst, syn, lucent_support::Bytes::new());
-            if let Some(t) = syn_ttl {
-                pkt.ip.ttl = t;
+        let local_port = match self.host_mut(from) {
+            Some(host) => {
+                let p = host.alloc_port();
+                host.raw_claim_port(p);
+                let mut syn = TcpHeader::new(p, dst_port, TcpFlags::SYN);
+                syn.seq = iss;
+                syn.mss = Some(1400);
+                let mut pkt = Packet::tcp(client_ip, dst, syn, lucent_support::Bytes::new());
+                if let Some(t) = syn_ttl {
+                    pkt.ip.ttl = t;
+                }
+                host.raw_send(pkt);
+                p
             }
-            host.raw_send(pkt);
-            p
+            // No host behind `from`: the SYN is never sent and the
+            // handshake below times out, which is exactly what a caller
+            // probing a dead address observes.
+            None => 0,
         };
         self.india.net.wake(from);
         let mut conn = RawConn {
@@ -481,7 +516,7 @@ impl Lab {
         };
         let mut synack: Option<TcpHeader> = None;
         self.run_until_ms(CONNECT_TIMEOUT_MS, |lab| {
-            for (_, pkt) in lab.host_mut(from).raw_take_inbox() {
+            for (_, pkt) in lab.host_mut(from).map(|h| h.raw_take_inbox()).unwrap_or_default() {
                 let Some((h, _)) = pkt.as_tcp() else { continue };
                 if h.dst_port == local_port
                     && h.src_port == dst_port
@@ -503,7 +538,9 @@ impl Lab {
             ack.seq = conn.seq;
             ack.ack = conn.ack;
             let pkt = Packet::tcp(client_ip, dst, ack, lucent_support::Bytes::new());
-            self.host_mut(from).raw_send(pkt);
+            if let Some(h) = self.host_mut(from) {
+                h.raw_send(pkt);
+            }
             self.india.net.wake(from);
             self.run_ms(1);
         }
@@ -521,13 +558,17 @@ impl Lab {
         if let Some(t) = ttl {
             pkt.ip.ttl = t;
         }
-        self.host_mut(conn.client).raw_send(pkt);
+        if let Some(host) = self.host_mut(conn.client) {
+            host.raw_send(pkt);
+        }
         self.india.net.wake(conn.client);
     }
 
     /// Send an arbitrary crafted packet from a node.
     pub fn raw_packet(&mut self, from: NodeId, pkt: Packet) {
-        self.host_mut(from).raw_send(pkt);
+        if let Some(host) = self.host_mut(from) {
+            host.raw_send(pkt);
+        }
         self.india.net.wake(from);
     }
 
@@ -537,7 +578,8 @@ impl Lab {
         let mut got = Vec::new();
         let deadline = self.now() + SimDuration::from_millis(window_ms);
         loop {
-            let inbox = self.host_mut(conn.client).raw_take_inbox();
+            let inbox =
+                self.host_mut(conn.client).map(|h| h.raw_take_inbox()).unwrap_or_default();
             for (_, pkt) in inbox {
                 let Some((h, payload)) = pkt.as_tcp() else { continue };
                 if h.dst_port != conn.local_port {
@@ -551,7 +593,9 @@ impl Lab {
                     ack.seq = conn.seq;
                     ack.ack = conn.ack;
                     let out = Packet::tcp(conn.client_ip, conn.dst, ack, lucent_support::Bytes::new());
-                    self.host_mut(conn.client).raw_send(out);
+                    if let Some(host) = self.host_mut(conn.client) {
+                        host.raw_send(out);
+                    }
                     self.india.net.wake(conn.client);
                 }
                 got.push(pkt);
@@ -570,9 +614,10 @@ impl Lab {
         let mut rst = TcpHeader::new(conn.local_port, conn.dst_port, TcpFlags::RST);
         rst.seq = conn.seq;
         let pkt = Packet::tcp(conn.client_ip, conn.dst, rst, lucent_support::Bytes::new());
-        let host = self.host_mut(conn.client);
-        host.raw_send(pkt);
-        host.raw_release_port(conn.local_port);
+        if let Some(host) = self.host_mut(conn.client) {
+            host.raw_send(pkt);
+            host.raw_release_port(conn.local_port);
+        }
         self.india.net.wake(conn.client);
         self.run_ms(2);
     }

@@ -52,9 +52,10 @@ pub fn remote_host_experiment(
     {
         // Enable and clear: stale packets from earlier attempts against
         // the same remote must not contaminate this observation.
-        let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node);
-        host.enable_pcap();
-        let _ = host.take_pcap();
+        if let Some(host) = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node) {
+            host.enable_pcap();
+            let _ = host.take_pcap();
+        }
     }
     // Full-stack fetch so the client behaves like a browser.
     let request = RequestBuilder::browser(blocked_domain, "/").build();
@@ -65,9 +66,14 @@ pub fn remote_host_experiment(
         .india
         .net
         .node_ref::<lucent_tcp::TcpHost>(client)
-        .seq_cursors(fetch.sock)
+        .and_then(|h| h.seq_cursors(fetch.sock))
         .unwrap_or((0, 0));
-    let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(remote_node).take_pcap();
+    let pcap = lab
+        .india
+        .net
+        .node_mut::<lucent_tcp::TcpHost>(remote_node)
+        .map(|h| h.take_pcap())
+        .unwrap_or_default();
     let get_reached_remote = pcap
         .iter()
         .any(|(_, p)| p.as_tcp().map(|(_, b)| !b.is_empty()).unwrap_or(false));
@@ -177,7 +183,11 @@ pub fn icmp_consumption(
             if !conn.established {
                 continue;
             }
-            let _ = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_icmp_inbox();
+            let _ = lab
+                .india
+                .net
+                .node_mut::<lucent_tcp::TcpHost>(client)
+                .map(|h| h.take_icmp_inbox());
             let req = RequestBuilder::browser(domain, "/").build();
             lab.raw_send(&mut conn, &req, Some(ttl));
             let packets = lab.raw_observe(&mut conn, 700);
@@ -190,7 +200,8 @@ pub fn icmp_consumption(
                 .india
                 .net
                 .node_mut::<lucent_tcp::TcpHost>(client)
-                .take_icmp_inbox()
+                .map(|h| h.take_icmp_inbox())
+                .unwrap_or_default()
                 .iter()
                 .any(|(_, p)| matches!(p.as_icmp(), Some(lucent_packet::IcmpMessage::TimeExceeded { .. })));
             if domain_is_blocked {

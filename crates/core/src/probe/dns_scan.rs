@@ -85,21 +85,67 @@ pub fn find_open_resolvers(lab: &mut Lab, isp: IspId, stride: u32) -> Vec<Ipv4Ad
         .collect()
 }
 
-/// Identify which of `resolvers` manipulate answers, by querying every
-/// PBW and judging each answer with the §3.2 heuristics.
-pub fn survey(lab: &mut Lab, isp: IspId, resolvers: &[Ipv4Addr], pbw: &[SiteId]) -> DnsSurvey {
-    let client = lab.client_of(isp);
-    let prefix = lab.india.isps[&isp].prefix;
-    // Reference answers from the public resolver (via Tor — an uncensored
-    // path), one bulk pass.
+/// Reference answers for every PBW from the public resolver (via Tor —
+/// an uncensored path), one bulk pass. Shard-safe: any lab built from
+/// the same config produces the same reference, so the survey phase can
+/// receive it precomputed instead of re-resolving per batch.
+pub fn reference_answers(lab: &mut Lab, pbw: &[SiteId]) -> Vec<Option<Vec<Ipv4Addr>>> {
     let tor = lab.india.tor;
     let public = lab.india.public_dns_ip;
     let ref_queries: Vec<(Ipv4Addr, String)> = pbw
         .iter()
         .map(|&s| (public, lab.india.corpus.site(s).domain.clone()))
         .collect();
-    let reference = lab.bulk_resolve(tor, &ref_queries, 2_500);
+    lab.bulk_resolve(tor, &ref_queries, 2_500)
+}
 
+/// Judge one resolver's answer sheet against the reference with the
+/// §3.2 heuristics. Length-checked: every PBW is judged, and a missing
+/// slot in either list counts as "no answer" instead of silently
+/// cutting the scan short at the shortest list (a `zip` here once
+/// dropped the tail sites whenever `bulk_resolve` came up short).
+fn judge_answers(
+    pbw: &[SiteId],
+    answers: &[Option<Vec<Ipv4Addr>>],
+    reference: &[Option<Vec<Ipv4Addr>>],
+    prefix: lucent_netsim::routing::Cidr,
+) -> Vec<u32> {
+    let mut manipulated = Vec::new();
+    for (i, &site) in pbw.iter().enumerate() {
+        let answer = answers.get(i).and_then(|a| a.as_ref());
+        let reference = reference.get(i).and_then(|r| r.as_ref());
+        let Some(answer) = answer else { continue };
+        if answer.is_empty() {
+            // NXDOMAIN while the reference resolves ⇒ manipulation.
+            if reference.map(|r| !r.is_empty()).unwrap_or(false) {
+                manipulated.push(site.0);
+            }
+            continue;
+        }
+        let overlap = reference.map(|r| answer.iter().any(|ip| r.contains(ip))).unwrap_or(false);
+        if overlap {
+            continue;
+        }
+        if answer.iter().any(|&ip| is_bogon(ip) || prefix.contains(ip)) {
+            manipulated.push(site.0);
+        }
+    }
+    manipulated
+}
+
+/// Scan a batch of `resolvers` against a precomputed `reference`. This
+/// is the shardable unit: fixed-size resolver chunks of one ISP can run
+/// on separate labs and their `ResolverScan`s concatenate in submission
+/// order to exactly the serial result.
+pub fn survey_batch(
+    lab: &mut Lab,
+    isp: IspId,
+    resolvers: &[Ipv4Addr],
+    pbw: &[SiteId],
+    reference: &[Option<Vec<Ipv4Addr>>],
+) -> Vec<ResolverScan> {
+    let client = lab.client_of(isp);
+    let prefix = lab.india.isps[&isp].prefix;
     let mut poisoned = Vec::new();
     for &resolver in resolvers {
         let queries: Vec<(Ipv4Addr, String)> = pbw
@@ -107,31 +153,19 @@ pub fn survey(lab: &mut Lab, isp: IspId, resolvers: &[Ipv4Addr], pbw: &[SiteId])
             .map(|&s| (resolver, lab.india.corpus.site(s).domain.clone()))
             .collect();
         let answers = lab.bulk_resolve(client, &queries, 2_500);
-        let mut manipulated = Vec::new();
-        for ((&site, answer), reference) in pbw.iter().zip(&answers).zip(&reference) {
-            let Some(answer) = answer else { continue };
-            if answer.is_empty() {
-                // NXDOMAIN while the reference resolves ⇒ manipulation.
-                if reference.as_ref().map(|r| !r.is_empty()).unwrap_or(false) {
-                    manipulated.push(site.0);
-                }
-                continue;
-            }
-            let overlap = reference
-                .as_ref()
-                .map(|r| answer.iter().any(|ip| r.contains(ip)))
-                .unwrap_or(false);
-            if overlap {
-                continue;
-            }
-            if answer.iter().any(|&ip| is_bogon(ip) || prefix.contains(ip)) {
-                manipulated.push(site.0);
-            }
-        }
+        let manipulated = judge_answers(pbw, &answers, reference, prefix);
         if !manipulated.is_empty() {
             poisoned.push(ResolverScan { resolver, manipulated });
         }
     }
+    poisoned
+}
+
+/// Identify which of `resolvers` manipulate answers, by querying every
+/// PBW and judging each answer with the §3.2 heuristics.
+pub fn survey(lab: &mut Lab, isp: IspId, resolvers: &[Ipv4Addr], pbw: &[SiteId]) -> DnsSurvey {
+    let reference = reference_answers(lab, pbw);
+    let poisoned = survey_batch(lab, isp, resolvers, pbw, &reference);
     DnsSurvey {
         isp: isp.name().to_string(),
         open_resolvers: resolvers.to_vec(),
@@ -155,6 +189,46 @@ mod tests {
         }
         // Nothing that isn't a resolver shows up.
         assert_eq!(found.len(), deployed.len(), "{found:?}");
+    }
+
+    #[test]
+    fn dropped_answers_do_not_truncate_the_scan() {
+        // Three sites; the reference pass lost its last answer (one
+        // element short), and the last site's answer is a bogon. The old
+        // triple-zip stopped at the shortest list and never judged site
+        // 2; the length-checked judge must still flag it.
+        let pbw = [SiteId(0), SiteId(1), SiteId(2)];
+        let real = Ipv4Addr::new(203, 0, 113, 10);
+        let bogon = Ipv4Addr::new(127, 0, 0, 7);
+        let answers = vec![Some(vec![real]), None, Some(vec![bogon])];
+        let reference = vec![Some(vec![real]), Some(vec![real])]; // dropped tail
+        let prefix = lucent_netsim::routing::Cidr::new(Ipv4Addr::new(10, 60, 0, 0), 16);
+        let manipulated = judge_answers(&pbw, &answers, &reference, prefix);
+        assert_eq!(manipulated, vec![2], "tail site must still be judged");
+        // And a short *answer* list must not panic or misattribute.
+        let manipulated = judge_answers(&pbw, &answers[..1], &reference, prefix);
+        assert!(manipulated.is_empty());
+    }
+
+    #[test]
+    fn bulk_resolve_returns_one_slot_per_query() {
+        let mut lab = Lab::new(India::build(IndiaConfig::tiny()));
+        let client = lab.client_of(IspId::Mtnl);
+        // Mix resolvable queries with dead addresses that never answer:
+        // the result must stay aligned (one slot per query, None for the
+        // dropped ones), not shrink to the answered subset.
+        let resolver = lab.india.isps[&IspId::Mtnl].default_resolver;
+        let dead = Ipv4Addr::new(203, 0, 113, 250);
+        let domain = lab.india.corpus.site(lab.india.corpus.popular[0]).domain.clone();
+        let queries = vec![
+            (dead, domain.clone()),
+            (resolver, domain.clone()),
+            (dead, domain),
+        ];
+        let answers = lab.bulk_resolve(client, &queries, 2_500);
+        assert_eq!(answers.len(), queries.len());
+        assert!(answers[0].is_none() && answers[2].is_none(), "{answers:?}");
+        assert!(answers[1].is_some(), "{answers:?}");
     }
 
     #[test]

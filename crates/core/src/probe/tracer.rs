@@ -65,7 +65,11 @@ pub fn http_tracer(
             continue;
         }
         // Drain stale ICMP.
-        let _ = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_icmp_inbox();
+        let _ = lab
+            .india
+            .net
+            .node_mut::<lucent_tcp::TcpHost>(client)
+            .map(|h| h.take_icmp_inbox());
         let request = RequestBuilder::browser(host_header, "/").build();
         lab.raw_send(&mut conn, &request, Some(ttl));
         let packets = lab.raw_observe(&mut conn, 700);
@@ -91,7 +95,13 @@ pub fn http_tracer(
         }
         if rung == Rung::Silent {
             // Check ICMP expiries.
-            for (_, pkt) in lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_icmp_inbox() {
+            for (_, pkt) in lab
+                .india
+                .net
+                .node_mut::<lucent_tcp::TcpHost>(client)
+                .map(|h| h.take_icmp_inbox())
+                .unwrap_or_default()
+            {
                 if let Some(lucent_packet::IcmpMessage::TimeExceeded { .. }) = pkt.as_icmp() {
                     rung = Rung::IcmpExpired(Some(pkt.src()));
                     break;

@@ -135,7 +135,12 @@ pub fn stateful_ladder(
     let n = lab.hops_to(client, dst, 30)?;
     let penultimate = n - 1;
     let req = RequestBuilder::browser(blocked_domain, "/").build();
-    let client_ip = lab.india.net.node_ref::<lucent_tcp::TcpHost>(client).ip;
+    let client_ip = lab
+        .india
+        .net
+        .node_ref::<lucent_tcp::TcpHost>(client)
+        .map(|h| h.ip)
+        .unwrap_or(std::net::Ipv4Addr::UNSPECIFIED);
 
     // Baseline: full handshake, TTL-limited GET (so only the middlebox
     // can answer).
@@ -162,15 +167,22 @@ pub fn stateful_ladder(
 
     // A bare SYN+ACK opener (no SYN ever), then the GET.
     let syn_ack_first = {
-        let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
-        let port = host.alloc_port();
-        host.raw_claim_port(port);
-        let mut synack = TcpHeader::new(port, 80, TcpFlags::SYN | TcpFlags::ACK);
-        synack.seq = 0x4000_0000;
-        synack.ack = 0x1111_1111;
-        let mut pkt = Packet::tcp(client_ip, dst, synack, lucent_support::Bytes::new());
-        pkt.ip.ttl = penultimate;
-        host.raw_send(pkt);
+        let port = match lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            Some(host) => {
+                let port = host.alloc_port();
+                host.raw_claim_port(port);
+                let mut synack = TcpHeader::new(port, 80, TcpFlags::SYN | TcpFlags::ACK);
+                synack.seq = 0x4000_0000;
+                synack.ack = 0x1111_1111;
+                let mut pkt = Packet::tcp(client_ip, dst, synack, lucent_support::Bytes::new());
+                pkt.ip.ttl = penultimate;
+                host.raw_send(pkt);
+                port
+            }
+            // No host: nothing goes on the wire and the observation
+            // window below stays silent.
+            None => 0,
+        };
         let mut conn = crate::lab::RawConn {
             client,
             client_ip,
@@ -191,9 +203,14 @@ pub fn stateful_ladder(
 
     // No handshake at all.
     let no_handshake = {
-        let host = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client);
-        let port = host.alloc_port();
-        host.raw_claim_port(port);
+        let port = match lab.india.net.node_mut::<lucent_tcp::TcpHost>(client) {
+            Some(host) => {
+                let port = host.alloc_port();
+                host.raw_claim_port(port);
+                port
+            }
+            None => 0,
+        };
         let mut conn = crate::lab::RawConn {
             client,
             client_ip,

@@ -55,6 +55,16 @@ const HASH_ORDER: [&str; 2] = ["HashMap", "HashSet"];
 /// random stream is traceable to a top-level seed.
 const RNG_CONSTRUCT: [&str; 2] = ["seed_from_u64", "from_seed"];
 
+/// Thread primitives — scheduling order is nondeterministic, so thread
+/// use is confined to the one scheduler whose merge discipline makes a
+/// determinism argument ([`THREAD_HOME`]). No allowlist: new thread use
+/// goes through the shard pool or not at all.
+const THREADING: [&str; 3] = ["std::thread", "thread::spawn", "thread::scope"];
+
+/// The only sanctioned home of `std::thread`: the bench shard scheduler,
+/// which merges results in submission order.
+const THREAD_HOME: &str = "crates/bench/src/shard.rs";
+
 /// L3: scan non-test code for determinism hazards.
 pub fn check_determinism(file: &SourceFile, lexed: &Lexed, allow: &Allow) -> Vec<Violation> {
     let mut v = Vec::new();
@@ -91,6 +101,22 @@ pub fn check_determinism(file: &SourceFile, lexed: &Lexed, allow: &Allow) -> Vec
                     n,
                     format!("`{tok}` iteration order is nondeterministic — use the BTree variant"),
                 ));
+            }
+        }
+        if file.path != THREAD_HOME {
+            for tok in THREADING {
+                if has_token(line, tok) {
+                    v.push(Violation::at(
+                        Rule::Determinism,
+                        file.path,
+                        n,
+                        format!(
+                            "thread primitive `{tok}` outside the shard scheduler \
+                             ({THREAD_HOME}) — submit a shard job instead"
+                        ),
+                    ));
+                    break; // `std::thread::spawn` matches two tokens; report once
+                }
             }
         }
         if !rng_ok {
@@ -260,6 +286,22 @@ mod tests {
     fn banned_names_in_strings_and_comments_do_not_trip() {
         let src = "// HashMap would be wrong here\nlet s = \"Instant::now\";\n";
         assert!(run_l3("crates/x/src/a.rs", src, &Allow::default()).is_empty());
+    }
+
+    #[test]
+    fn thread_primitives_are_confined_to_the_shard_scheduler() {
+        let src = "std::thread::spawn(|| {});\n";
+        let v = run_l3("crates/x/src/a.rs", src, &Allow::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("shard scheduler"), "{}", v[0].msg);
+        // The scheduler itself is exempt — no allowlist entry needed.
+        assert!(run_l3(super::THREAD_HOME, src, &Allow::default()).is_empty());
+        // `use std::thread;` + bare `thread::scope` is still caught.
+        let aliased = "use std::thread;\nfn f() { thread::scope(|_| {}); }\n";
+        assert_eq!(run_l3("crates/x/src/b.rs", aliased, &Allow::default()).len(), 2);
+        // Mentions in comments and strings stay clean.
+        let doc = "// std::thread is banned here\nlet s = \"thread::spawn\";\n";
+        assert!(run_l3("crates/x/src/c.rs", doc, &Allow::default()).is_empty());
     }
 
     #[test]

@@ -149,13 +149,13 @@ mod tests {
         let mut bytes = Vec::new();
         q.emit(&mut bytes).unwrap();
         {
-            let c = net.node_mut::<TcpHost>(client);
+            let c = net.node_mut::<TcpHost>(client).unwrap();
             c.udp_bind(5353);
             c.udp_send(5353, RESOLVER, 53, &bytes);
         }
         net.wake(client);
         net.run_for(SimDuration::from_millis(50));
-        net.node_mut::<TcpHost>(client)
+        net.node_mut::<TcpHost>(client).unwrap()
             .take_udp_inbox()
             .into_iter()
             .map(|d| DnsMessage::parse(&d.payload).unwrap())

@@ -275,13 +275,13 @@ mod tests {
     }
 
     fn fetch(rig: &mut Rig, request: Vec<u8>) -> (lucent_tcp::SocketId, Vec<u8>) {
-        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).unwrap().connect(SERVER, 80);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(100));
-        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &request);
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().send(sock, &request);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(2_000));
-        let bytes = rig.net.node_mut::<TcpHost>(rig.client).take_received(sock);
+        let bytes = rig.net.node_mut::<TcpHost>(rig.client).unwrap().take_received(sock);
         (sock, bytes)
     }
 
@@ -292,9 +292,9 @@ mod tests {
         let (_, bytes) = fetch(&mut rig, req);
         let resp = HttpResponse::parse(&bytes).unwrap();
         assert!(looks_like_notice(&resp));
-        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 1);
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).unwrap().interceptions, 1);
         // Server pcap: handshake and the middlebox RST only — no payload.
-        let pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        let pcap = rig.net.node_mut::<TcpHost>(rig.server).unwrap().take_pcap();
         assert!(pcap.iter().all(|(_, p)| p.as_tcp().map(|(_, b)| b.is_empty()).unwrap_or(true)),
             "no payload byte ever reaches the server");
         assert!(
@@ -312,7 +312,7 @@ mod tests {
         assert!(bytes.is_empty(), "no notification from a covert device");
         let events: Vec<_> = rig
             .net
-            .node_ref::<TcpHost>(rig.client)
+            .node_ref::<TcpHost>(rig.client).unwrap()
             .events(sock)
             .iter()
             .map(|e| e.event.clone())
@@ -327,7 +327,7 @@ mod tests {
         let (_, bytes) = fetch(&mut rig, req);
         let resp = HttpResponse::parse(&bytes).unwrap();
         assert_eq!(resp.title().as_deref(), Some("Real"));
-        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).unwrap().interceptions, 0);
     }
 
     #[test]
@@ -339,17 +339,17 @@ mod tests {
         // then aborts. Give it time, then check the server never saw any
         // of it (only handshake + the MB RST).
         rig.net.run_for(SimDuration::from_secs(60));
-        let state = rig.net.node_ref::<TcpHost>(rig.client).state(sock);
+        let state = rig.net.node_ref::<TcpHost>(rig.client).unwrap().state(sock);
         assert_eq!(state, TcpState::Closed, "FIN handshake black-holed, client gave up");
         let events: Vec<_> = rig
             .net
-            .node_ref::<TcpHost>(rig.client)
+            .node_ref::<TcpHost>(rig.client).unwrap()
             .events(sock)
             .iter()
             .map(|e| e.event.clone())
             .collect();
         assert!(events.contains(&SocketEvent::TimedOut), "{events:?}");
-        let pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        let pcap = rig.net.node_mut::<TcpHost>(rig.server).unwrap().take_pcap();
         let fins = pcap
             .iter()
             .filter(|(_, p)| p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::FIN)).unwrap_or(false))
@@ -363,8 +363,8 @@ mod tests {
         let req = RequestBuilder::browser("blocked.example", "/").build();
         let req_len = req.len() as u32;
         let (sock, _) = fetch(&mut rig, req);
-        let (snd_nxt, _) = rig.net.node_ref::<TcpHost>(rig.client).seq_cursors(sock).unwrap();
-        let pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        let (snd_nxt, _) = rig.net.node_ref::<TcpHost>(rig.client).unwrap().seq_cursors(sock).unwrap();
+        let pcap = rig.net.node_mut::<TcpHost>(rig.server).unwrap().take_pcap();
         let rst = pcap
             .iter()
             .find_map(|(_, p)| {
@@ -384,7 +384,7 @@ mod tests {
         // world end at the middlebox for *all* traffic.
         let mut rig = build(overt_cfg("blocked.example"));
         {
-            let c = rig.net.node_mut::<TcpHost>(rig.client);
+            let c = rig.net.node_mut::<TcpHost>(rig.client).unwrap();
             c.udp_bind(33000);
             let mut probe = Packet::udp(
                 CLIENT,
@@ -397,7 +397,7 @@ mod tests {
         }
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(100));
-        let icmp = rig.net.node_mut::<TcpHost>(rig.client).take_icmp_inbox();
+        let icmp = rig.net.node_mut::<TcpHost>(rig.client).unwrap().take_icmp_inbox();
         assert_eq!(icmp.len(), 1, "port unreachable from the destination");
         assert_eq!(icmp[0].1.src(), SERVER);
     }
@@ -405,22 +405,22 @@ mod tests {
     #[test]
     fn fragmented_get_slips_past_but_server_reassembles() {
         let mut rig = build(overt_cfg("blocked.example"));
-        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).unwrap().connect(SERVER, 80);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(100));
         let req = RequestBuilder::browser("blocked.example", "/").build();
         let mid = req.windows(5).position(|w| w == b"Host:").unwrap() + 2; // split inside "Host"
         let (a, b) = req.split_at(mid);
-        rig.net.node_mut::<TcpHost>(rig.client).send(sock, a);
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().send(sock, a);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(50));
-        rig.net.node_mut::<TcpHost>(rig.client).send(sock, b);
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().send(sock, b);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(2_000));
-        let bytes = rig.net.node_mut::<TcpHost>(rig.client).take_received(sock);
+        let bytes = rig.net.node_mut::<TcpHost>(rig.client).unwrap().take_received(sock);
         let resp = HttpResponse::parse(&bytes).unwrap();
         assert_eq!(resp.title().as_deref(), Some("Real"), "fragmentation evades the IM");
-        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).unwrap().interceptions, 0);
     }
 
     #[test]
@@ -432,7 +432,7 @@ mod tests {
         req.extend_from_slice(b"Host: allowed.example\r\n\r\n");
         let (_, bytes) = fetch(&mut rig, req);
         assert!(!bytes.is_empty(), "request reached the server");
-        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).unwrap().interceptions, 0);
     }
 
     #[test]
@@ -443,6 +443,6 @@ mod tests {
             .build();
         let (_, bytes) = fetch(&mut rig, req);
         assert!(!bytes.is_empty());
-        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).interceptions, 0);
+        assert_eq!(rig.net.node_ref::<InterceptiveMiddlebox>(rig.im).unwrap().interceptions, 0);
     }
 }

@@ -244,14 +244,14 @@ mod tests {
 
     /// Browser-like fetch; returns (received bytes, final events).
     fn fetch(rig: &mut Rig, host: &str, port: u16) -> Vec<u8> {
-        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, port);
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).unwrap().connect(SERVER, port);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(100));
         let req = RequestBuilder::browser(host, "/").build();
-        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &req);
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().send(sock, &req);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(2000));
-        rig.net.node_mut::<TcpHost>(rig.client).take_received(sock)
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().take_received(sock)
     }
 
     #[test]
@@ -260,7 +260,7 @@ mod tests {
         let got = fetch(&mut rig, "blocked.example", 80);
         let resp = HttpResponse::parse(&got).expect("got a response");
         assert!(looks_like_notice(&resp), "expected notice, got: {resp:?}");
-        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 1);
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections, 1);
     }
 
     #[test]
@@ -274,7 +274,7 @@ mod tests {
         let resp = HttpResponse::parse(&got).unwrap();
         assert_eq!(resp.title().as_deref(), Some("Real"), "server outruns the wiretap");
         // The middlebox still fired — it just lost.
-        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 1);
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections, 1);
     }
 
     #[test]
@@ -283,15 +283,15 @@ mod tests {
         let got = fetch(&mut rig, "allowed.example", 80);
         let resp = HttpResponse::parse(&got).unwrap();
         assert_eq!(resp.title().as_deref(), Some("Real"));
-        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections, 0);
     }
 
     #[test]
     fn injected_packets_carry_fixed_ip_id() {
         let mut rig = build(cfg_blocking("blocked.example"), 30);
-        rig.net.node_mut::<TcpHost>(rig.client).enable_pcap();
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().enable_pcap();
         let _ = fetch(&mut rig, "blocked.example", 80);
-        let pcap = rig.net.node_mut::<TcpHost>(rig.client).take_pcap();
+        let pcap = rig.net.node_mut::<TcpHost>(rig.client).unwrap().take_pcap();
         let injected: Vec<_> = pcap
             .iter()
             .filter(|(_, p)| p.ip.identification == 242)
@@ -310,7 +310,7 @@ mod tests {
         let resp = HttpResponse::parse(&got).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"alt");
-        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections, 0);
     }
 
     #[test]
@@ -321,7 +321,7 @@ mod tests {
         let got = fetch(&mut rig, "blocked.example", 80);
         let resp = HttpResponse::parse(&got).unwrap();
         assert_eq!(resp.title().as_deref(), Some("Real"));
-        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections, 0);
     }
 
     #[test]
@@ -332,13 +332,13 @@ mod tests {
         h.seq = 1;
         h.ack = 1;
         {
-            let c = rig.net.node_mut::<TcpHost>(rig.client);
+            let c = rig.net.node_mut::<TcpHost>(rig.client).unwrap();
             c.raw_claim_port(5000);
             c.raw_send(Packet::tcp(CLIENT, SERVER, h, Bytes::from(req)));
         }
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(100));
-        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections, 0);
+        assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections, 0);
     }
 
     #[test]
@@ -346,22 +346,22 @@ mod tests {
         let mut cfg = cfg_blocking("blocked.example");
         cfg.flow_timeout = SimDuration::from_secs(150);
         let mut rig = build(cfg, 5);
-        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).unwrap().connect(SERVER, 80);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(100));
-        assert_eq!(rig.net.node_ref::<TcpHost>(rig.client).state(sock), TcpState::Established);
+        assert_eq!(rig.net.node_ref::<TcpHost>(rig.client).unwrap().state(sock), TcpState::Established);
         // Let the middlebox state rot past the timeout, then send the GET.
         rig.net.run_for(SimDuration::from_secs(200));
         let req = RequestBuilder::browser("blocked.example", "/").build();
-        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &req);
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().send(sock, &req);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(2000));
         assert_eq!(
-            rig.net.node_ref::<WiretapMiddlebox>(rig.wm).injections,
+            rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections,
             0,
             "purged state means no trigger"
         );
-        let got = rig.net.node_mut::<TcpHost>(rig.client).take_received(sock);
+        let got = rig.net.node_mut::<TcpHost>(rig.client).unwrap().take_received(sock);
         let resp = HttpResponse::parse(&got).unwrap();
         assert_eq!(resp.title().as_deref(), Some("Real"));
     }
@@ -371,9 +371,9 @@ mod tests {
         // Figure 4's postscript: the client, already closed by the forged
         // FIN+RST, answers the server's late real response with RST.
         let mut rig = build(cfg_blocking("blocked.example"), 30);
-        rig.net.node_mut::<TcpHost>(rig.server).enable_pcap();
+        rig.net.node_mut::<TcpHost>(rig.server).unwrap().enable_pcap();
         let _ = fetch(&mut rig, "blocked.example", 80);
-        let server_pcap = rig.net.node_mut::<TcpHost>(rig.server).take_pcap();
+        let server_pcap = rig.net.node_mut::<TcpHost>(rig.server).unwrap().take_pcap();
         assert!(
             server_pcap
                 .iter()
@@ -385,16 +385,16 @@ mod tests {
     #[test]
     fn client_connection_events_show_fin_then_reset() {
         let mut rig = build(cfg_blocking("blocked.example"), 30);
-        let sock = rig.net.node_mut::<TcpHost>(rig.client).connect(SERVER, 80);
+        let sock = rig.net.node_mut::<TcpHost>(rig.client).unwrap().connect(SERVER, 80);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(100));
         let req = RequestBuilder::browser("blocked.example", "/").build();
-        rig.net.node_mut::<TcpHost>(rig.client).send(sock, &req);
+        rig.net.node_mut::<TcpHost>(rig.client).unwrap().send(sock, &req);
         rig.net.wake(rig.client);
         rig.net.run_for(SimDuration::from_millis(2000));
         let events: Vec<_> = rig
             .net
-            .node_ref::<TcpHost>(rig.client)
+            .node_ref::<TcpHost>(rig.client).unwrap()
             .events(sock)
             .iter()
             .map(|e| e.event.clone())

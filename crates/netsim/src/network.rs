@@ -149,7 +149,7 @@ impl Inner {
 /// let mut net = Network::new();
 /// let r = net.add_node(Box::new(RouterNode::new(Ipv4Addr::new(10, 0, 0, 1), "r1")));
 /// assert_eq!(net.node_count(), 1);
-/// net.node_mut::<RouterNode>(r).table.add(Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8), IfaceId(0));
+/// net.node_mut::<RouterNode>(r).unwrap().table.add(Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8), IfaceId(0));
 /// net.run_for(SimDuration::from_millis(5));
 /// assert_eq!(net.now().millis(), 5);
 /// ```
@@ -276,24 +276,25 @@ impl Network {
         self.inner.drops.get(&reason).copied().unwrap_or(0)
     }
 
-    /// Borrow a node, downcast to its concrete type.
-    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
-        self.nodes[id.0 as usize]
-            .as_ref()
-            .expect("node is mid-dispatch")
+    /// Borrow a node, downcast to its concrete type. `None` when the id
+    /// is unknown, the node's box is temporarily out of the table
+    /// (mid-dispatch), or the node is not a `T`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        self.nodes
+            .get(id.0 as usize)?
+            .as_ref()?
             .as_any()
             .downcast_ref::<T>()
-            .expect("node type mismatch")
     }
 
-    /// Borrow a node mutably, downcast to its concrete type.
-    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        self.nodes[id.0 as usize]
-            .as_mut()
-            .expect("node is mid-dispatch")
+    /// Borrow a node mutably, downcast to its concrete type. `None`
+    /// under the same conditions as [`Network::node_ref`].
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(id.0 as usize)?
+            .as_mut()?
             .as_any_mut()
             .downcast_mut::<T>()
-            .expect("node type mismatch")
     }
 
     /// Enqueue a [`crate::WAKE`] timer for `node` at the current instant —
@@ -485,8 +486,8 @@ mod tests {
         let (mut net, a, b) = two_node_net(5, 2);
         net.wake(a);
         net.run_until_idle(100);
-        assert_eq!(net.node_ref::<Echo>(b).seen, 1);
-        let got = &net.node_ref::<Probe>(a).got;
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().seen, 1);
+        let got = &net.node_ref::<Probe>(a).unwrap().got;
         assert_eq!(got.len(), 1);
         // 5ms there + 2ms think + 5ms back.
         assert_eq!(got[0], SimTime::ZERO + SimDuration::from_millis(12));
@@ -509,10 +510,10 @@ mod tests {
         let deadline = SimTime::ZERO + SimDuration::from_millis(10);
         net.run_until(deadline);
         assert_eq!(net.now(), deadline);
-        assert!(net.node_ref::<Probe>(a).got.is_empty());
+        assert!(net.node_ref::<Probe>(a).unwrap().got.is_empty());
         // Finishing the run delivers the echo at 100ms.
         net.run_until_idle(100);
-        assert_eq!(net.node_ref::<Probe>(a).got.len(), 1);
+        assert_eq!(net.node_ref::<Probe>(a).unwrap().got.len(), 1);
         assert_eq!(net.now(), SimTime::ZERO + SimDuration::from_millis(100));
     }
 
@@ -523,7 +524,7 @@ mod tests {
         net.wake(a);
         net.wake(a);
         net.run_until_idle(100);
-        assert_eq!(net.node_ref::<Probe>(a).got.len(), 2);
+        assert_eq!(net.node_ref::<Probe>(a).unwrap().got.len(), 2);
         assert_eq!(net.events_processed(), 2 + 2 + 2); // 2 wakes, 2 delivers at echo, 2 replies
     }
 
@@ -545,7 +546,7 @@ mod tests {
         );
         net.inject(b, IfaceId::PRIMARY, p);
         net.run_until_idle(10);
-        assert_eq!(net.node_ref::<Echo>(b).seen, 1);
+        assert_eq!(net.node_ref::<Echo>(b).unwrap().seen, 1);
     }
 
     #[test]
@@ -568,8 +569,8 @@ mod tests {
             net.wake(a);
             net.run_until_idle(100);
             (
-                net.node_ref::<Echo>(b).seen,
-                net.node_ref::<Probe>(a).got.clone(),
+                net.node_ref::<Echo>(b).unwrap().seen,
+                net.node_ref::<Probe>(a).unwrap().got.clone(),
                 net.events_processed(),
             )
         };

@@ -237,7 +237,7 @@ mod tests {
     }
 
     fn send_from_client(net: &mut Network, client: crate::node::NodeId, pkt: Packet) {
-        net.node_mut::<Sink>(client).outbox = Some(pkt);
+        net.node_mut::<Sink>(client).unwrap().outbox = Some(pkt);
         net.wake(client);
         net.run_until_idle(1000);
     }
@@ -246,7 +246,7 @@ mod tests {
     fn forwards_end_to_end_and_decrements_ttl() {
         let (mut net, client, server, _) = chain(false);
         send_from_client(&mut net, client, udp_probe(64));
-        let inbox = &net.node_ref::<Sink>(server).inbox;
+        let inbox = &net.node_ref::<Sink>(server).unwrap().inbox;
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox[0].ip.ttl, 62);
     }
@@ -255,14 +255,14 @@ mod tests {
     fn ttl_expiry_elicits_time_exceeded_from_correct_hop() {
         let (mut net, client, _, _) = chain(false);
         send_from_client(&mut net, client, udp_probe(1));
-        let inbox = &net.node_ref::<Sink>(client).inbox;
+        let inbox = &net.node_ref::<Sink>(client).unwrap().inbox;
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox[0].src(), R1);
         assert!(matches!(inbox[0].as_icmp(), Some(IcmpMessage::TimeExceeded { .. })));
 
         let (mut net, client, _, _) = chain(false);
         send_from_client(&mut net, client, udp_probe(2));
-        let inbox = &net.node_ref::<Sink>(client).inbox;
+        let inbox = &net.node_ref::<Sink>(client).unwrap().inbox;
         assert_eq!(inbox[0].src(), R2);
     }
 
@@ -270,7 +270,7 @@ mod tests {
     fn time_exceeded_quotes_original_packet() {
         let (mut net, client, _, _) = chain(false);
         send_from_client(&mut net, client, udp_probe(1));
-        let inbox = &net.node_ref::<Sink>(client).inbox;
+        let inbox = &net.node_ref::<Sink>(client).unwrap().inbox;
         let Some(IcmpMessage::TimeExceeded { original }) = inbox[0].as_icmp() else {
             panic!("expected time exceeded");
         };
@@ -289,9 +289,9 @@ mod tests {
         let (mut net, client, _, _) = chain(false);
         // Anonymize r1 after construction.
         let r1_id = crate::node::NodeId(2);
-        net.node_mut::<RouterNode>(r1_id).anonymized = true;
+        net.node_mut::<RouterNode>(r1_id).unwrap().anonymized = true;
         send_from_client(&mut net, client, udp_probe(1));
-        assert!(net.node_ref::<Sink>(client).inbox.is_empty());
+        assert!(net.node_ref::<Sink>(client).unwrap().inbox.is_empty());
     }
 
     #[test]
@@ -299,13 +299,13 @@ mod tests {
         let (mut net, client, _, _) = chain(false);
         let ping = Packet::icmp(CLIENT, R2, IcmpMessage::EchoRequest { ident: 1, seq: 1 });
         send_from_client(&mut net, client, ping);
-        let inbox = &net.node_ref::<Sink>(client).inbox;
+        let inbox = &net.node_ref::<Sink>(client).unwrap().inbox;
         assert!(matches!(inbox[0].as_icmp(), Some(IcmpMessage::EchoReply { ident: 1, seq: 1 })));
 
         let (mut net, client, _, _) = chain(false);
         let udp = Packet::udp(CLIENT, R1, UdpHeader::new(1, 33434), &b"x"[..]);
         send_from_client(&mut net, client, udp);
-        let inbox = &net.node_ref::<Sink>(client).inbox;
+        let inbox = &net.node_ref::<Sink>(client).unwrap().inbox;
         assert!(matches!(
             inbox[0].as_icmp(),
             Some(IcmpMessage::DestUnreachable { code: 3, .. })
@@ -322,8 +322,8 @@ mod tests {
             &b""[..],
         );
         send_from_client(&mut net, client, tcp);
-        assert_eq!(net.node_ref::<Sink>(server).inbox.len(), 1);
-        let tap_inbox = &net.node_ref::<Sink>(tap.unwrap()).inbox;
+        assert_eq!(net.node_ref::<Sink>(server).unwrap().inbox.len(), 1);
+        let tap_inbox = &net.node_ref::<Sink>(tap.unwrap()).unwrap().inbox;
         assert_eq!(tap_inbox.len(), 1);
         // Tap sees the post-decrement TTL (output-link semantics).
         assert_eq!(tap_inbox[0].ip.ttl, 62);
@@ -334,7 +334,7 @@ mod tests {
         let (mut net, client, _, _) = chain(false);
         let stray = Packet::udp(CLIENT, Ipv4Addr::new(8, 8, 8, 8), UdpHeader::new(1, 2), &b""[..]);
         send_from_client(&mut net, client, stray);
-        let inbox = &net.node_ref::<Sink>(client).inbox;
+        let inbox = &net.node_ref::<Sink>(client).unwrap().inbox;
         assert!(matches!(
             inbox[0].as_icmp(),
             Some(IcmpMessage::DestUnreachable { code: 0, .. })
@@ -346,16 +346,16 @@ mod tests {
         let (mut net, client, server, tap) = chain(true);
         let r2_id = crate::node::NodeId(3);
         // Only mirror packets egressing toward the server (iface 1).
-        net.node_mut::<RouterNode>(r2_id).mirror_only_egress.insert(IfaceId(1));
+        net.node_mut::<RouterNode>(r2_id).unwrap().mirror_only_egress.insert(IfaceId(1));
         // Client→server is mirrored...
         send_from_client(&mut net, client, udp_probe(64));
-        assert_eq!(net.node_ref::<Sink>(tap.unwrap()).inbox.len(), 1);
+        assert_eq!(net.node_ref::<Sink>(tap.unwrap()).unwrap().inbox.len(), 1);
         // ...server→client is not.
         let back = Packet::udp(SERVER, CLIENT, UdpHeader::new(9, 9), &b""[..]);
-        net.node_mut::<Sink>(server).outbox = Some(back);
+        net.node_mut::<Sink>(server).unwrap().outbox = Some(back);
         net.wake(server);
         net.run_until_idle(1000);
-        assert_eq!(net.node_ref::<Sink>(tap.unwrap()).inbox.len(), 1);
-        assert_eq!(net.node_ref::<Sink>(client).inbox.len(), 1);
+        assert_eq!(net.node_ref::<Sink>(tap.unwrap()).unwrap().inbox.len(), 1);
+        assert_eq!(net.node_ref::<Sink>(client).unwrap().inbox.len(), 1);
     }
 }

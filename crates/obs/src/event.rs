@@ -114,6 +114,19 @@ impl<T> Ring<T> {
         self.dropped
     }
 
+    /// Credit drops that happened elsewhere (a shard ring whose
+    /// contents were absorbed into this one), so the merged drop count
+    /// stays honest.
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped = self.dropped.saturating_add(n);
+    }
+
+    /// Take every entry, oldest first, leaving the ring empty (cap and
+    /// drop counter unchanged).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.entries.drain(..).collect()
+    }
+
     /// Drop all entries (the drop counter is unaffected).
     pub fn clear(&mut self) {
         self.entries.clear();

@@ -61,6 +61,26 @@ pub struct Telemetry {
     state: Rc<RefCell<State>>,
 }
 
+/// Everything a [`Telemetry`] collected, detached from its `Rc` state so
+/// it can cross a thread boundary (`Telemetry` itself cannot: it is
+/// deliberately single-threaded). A worker shard drains its private
+/// telemetry into a dump and ships it back; the hub absorbs dumps **in
+/// submission order** so the merged registry, event log and span list
+/// are identical no matter how many threads produced them.
+#[derive(Debug, Default)]
+pub struct TelemetryDump {
+    /// The full metrics registry.
+    pub metrics: Metrics,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events the shard's ring evicted before the drain.
+    pub events_dropped: u64,
+    /// Retained spans, oldest first.
+    pub spans: Vec<Span>,
+    /// Spans the shard's ring evicted before the drain.
+    pub spans_dropped: u64,
+}
+
 impl Telemetry {
     /// A fresh handle: filter off, spans off, empty registry.
     pub fn new() -> Self {
@@ -191,6 +211,43 @@ impl Telemetry {
         self.state.borrow().metrics.gauge(name, label)
     }
 
+    // --- shard merge ----------------------------------------------------
+
+    /// Detach everything collected so far as a [`TelemetryDump`],
+    /// leaving this handle's registry and rings empty. The dump owns
+    /// plain data (no `Rc`), so it may be sent across threads.
+    pub fn drain_dump(&self) -> TelemetryDump {
+        let mut st = self.state.borrow_mut();
+        let events_dropped = st.events.dropped();
+        let spans_dropped = st.spans.dropped();
+        TelemetryDump {
+            metrics: std::mem::take(&mut st.metrics),
+            events: st.events.drain(),
+            events_dropped,
+            spans: st.spans.drain(),
+            spans_dropped,
+        }
+    }
+
+    /// Fold a dump into this handle: counters saturating-add, gauges
+    /// last-writer-wins, histograms merge bucket-for-bucket, and events
+    /// and spans append in the dump's order (this ring's cap still
+    /// applies; shard-side drops carry over into the drop counters).
+    /// Absorbing dumps in submission order is what makes a sharded run
+    /// byte-identical to the single-threaded one.
+    pub fn absorb(&self, dump: TelemetryDump) {
+        let mut st = self.state.borrow_mut();
+        st.metrics.merge_from(&dump.metrics);
+        st.events.add_dropped(dump.events_dropped);
+        for e in dump.events {
+            st.events.push(e);
+        }
+        st.spans.add_dropped(dump.spans_dropped);
+        for s in dump.spans {
+            st.spans.push(s);
+        }
+    }
+
     // --- exporters ------------------------------------------------------
 
     /// The event ring as a JSON-lines log (oldest first).
@@ -270,6 +327,70 @@ mod tests {
         let parsed = Json::parse(&trace).unwrap();
         let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
         assert_eq!(events.len(), 2, "one metadata + one slice: {trace}");
+    }
+
+    #[test]
+    fn dumps_cross_threads_and_absorb_in_order() {
+        fn assert_send<T: Send>(_: &T) {}
+        // Two "shards", drained on the main thread but shippable.
+        let shard = |base: u64| {
+            let t = Telemetry::new();
+            t.set_filter_spec("trace").unwrap();
+            t.counter_add("pkts", "shared", base);
+            for i in 0..3 {
+                t.event(base * 100 + i, Level::Info, "shard", "tick", vec![]);
+            }
+            t.drain_dump()
+        };
+        let (a, b) = (shard(1), shard(2));
+        assert_send(&a);
+
+        let hub = Telemetry::new();
+        hub.set_filter_spec("trace").unwrap();
+        hub.absorb(a);
+        hub.absorb(b);
+        assert_eq!(hub.counter("pkts", "shared"), 3);
+        // Events keep submission order: all of shard 1, then shard 2.
+        let ats: Vec<u64> = hub.event_log().lines().map(|l| {
+            Json::parse(l).unwrap().get("at_us").and_then(Json::as_i64).unwrap() as u64
+        }).collect();
+        assert_eq!(ats, vec![100, 101, 102, 200, 201, 202]);
+    }
+
+    #[test]
+    fn merged_metrics_snapshot_is_merge_order_independent() {
+        let shard = |n: u64| {
+            let t = Telemetry::new();
+            t.counter_add("c", "l", n);
+            t.histogram_record("h", n);
+            t.drain_dump()
+        };
+        let fwd = Telemetry::new();
+        fwd.absorb(shard(1));
+        fwd.absorb(shard(2));
+        let rev = Telemetry::new();
+        rev.absorb(shard(2));
+        rev.absorb(shard(1));
+        assert_eq!(fwd.metrics_snapshot_pretty(), rev.metrics_snapshot_pretty());
+    }
+
+    #[test]
+    fn drain_leaves_the_handle_empty_and_absorb_respects_the_cap() {
+        let t = Telemetry::new();
+        t.set_filter_spec("trace").unwrap();
+        t.counter_inc("c", "l");
+        t.event(1, Level::Info, "a", "e", vec![]);
+        let dump = t.drain_dump();
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.counter("c", "l"), 0);
+        assert_eq!(dump.events.len(), 1);
+
+        let hub = Telemetry::new();
+        hub.set_event_cap(0);
+        hub.absorb(dump);
+        assert_eq!(hub.event_count(), 0);
+        assert_eq!(hub.events_dropped(), 1, "refused events count as drops");
+        assert_eq!(hub.counter("c", "l"), 1, "metrics merge regardless of ring caps");
     }
 
     #[test]

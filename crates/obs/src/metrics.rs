@@ -59,6 +59,24 @@ impl Histogram {
         self.sum
     }
 
+    /// Fold another histogram into this one. Matching bucket bounds
+    /// merge count-for-count; on a bounds mismatch (never produced by
+    /// this registry, which only builds default-bucket histograms) the
+    /// other side's totals still accumulate and its per-bucket counts
+    /// land in the overflow bucket rather than being lost.
+    fn merge_from(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c = c.saturating_add(*o);
+            }
+        } else if let Some(last) = self.counts.last_mut() {
+            let total: u64 = other.counts.iter().fold(0, |a, c| a.saturating_add(*c));
+            *last = last.saturating_add(total);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count = self.count.saturating_add(other.count);
+    }
+
     fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
             .bounds
@@ -157,6 +175,34 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Union another registry into this one, deterministically:
+    /// counters saturating-add label-for-label, gauges overwrite (the
+    /// incoming registry wins, so absorbing dumps in submission order
+    /// gives last-writer-wins in that order), histograms merge
+    /// bucket-for-bucket. Because every map is a `BTreeMap`, the merged
+    /// snapshot depends only on the *multiset* of counter updates, not
+    /// on the order registries are merged in.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for (name, family) in &other.counters {
+            for (label, v) in family {
+                self.counter_add(name, label, *v);
+            }
+        }
+        for (name, family) in &other.gauges {
+            for (label, v) in family {
+                self.gauge_set(name, label, *v);
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge_from(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
     /// The full registry as one deterministic JSON tree.
     pub fn snapshot(&self) -> Json {
         let counters = Json::Obj(
@@ -247,6 +293,55 @@ mod tests {
         b.counter_add("z", "x", 1);
         assert_eq!(a.snapshot().to_string(), b.snapshot().to_string());
         assert!(a.snapshot().to_string().find("\"a\"") < a.snapshot().to_string().find("\"z\""));
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_counters_and_histograms() {
+        let shard = |seed: u64| {
+            let mut m = Metrics::default();
+            m.counter_add("pkts", "r1", seed);
+            m.counter_add("pkts", &format!("only-{seed}"), 1);
+            m.histogram_record("lat", seed * 100);
+            m
+        };
+        let (a, b, c) = (shard(1), shard(2), shard(3));
+        let mut fwd = Metrics::default();
+        for m in [&a, &b, &c] {
+            fwd.merge_from(m);
+        }
+        let mut rev = Metrics::default();
+        for m in [&c, &b, &a] {
+            rev.merge_from(m);
+        }
+        assert_eq!(fwd.snapshot().to_string(), rev.snapshot().to_string());
+        assert_eq!(fwd.counter("pkts", "r1"), 6);
+        assert_eq!(fwd.counter("pkts", "only-2"), 1);
+        assert_eq!(fwd.histogram("lat").unwrap().count(), 3);
+        assert_eq!(fwd.histogram("lat").unwrap().sum(), 600);
+    }
+
+    #[test]
+    fn merge_saturates_and_overwrites_gauges_in_merge_order() {
+        let mut a = Metrics::default();
+        a.counter_add("c", "l", u64::MAX - 1);
+        a.gauge_set("g", "l", 1);
+        let mut b = Metrics::default();
+        b.counter_add("c", "l", 10);
+        b.gauge_set("g", "l", 2);
+        a.merge_from(&b);
+        assert_eq!(a.counter("c", "l"), u64::MAX);
+        assert_eq!(a.gauge("g", "l"), Some(2), "later merge wins the gauge");
+    }
+
+    #[test]
+    fn merging_into_an_empty_registry_copies_histograms() {
+        let mut src = Metrics::default();
+        for v in [5, 50_000_000] {
+            src.histogram_record("lat", v);
+        }
+        let mut dst = Metrics::default();
+        dst.merge_from(&src);
+        assert_eq!(dst.snapshot().to_string(), src.snapshot().to_string());
     }
 
     #[test]

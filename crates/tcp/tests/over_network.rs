@@ -47,33 +47,33 @@ fn run(net: &mut Network, ms: u64) {
 fn connect_exchange_close() {
     let mut t = build();
     t.net
-        .node_mut::<TcpHost>(t.server)
+        .node_mut::<TcpHost>(t.server).unwrap()
         .listen(80, || Box::new(FixedResponder::new(b"HTTP/1.1 200 OK\r\n\r\nhello".to_vec())));
-    let sock = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 80);
+    let sock = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 80);
     t.net.wake(t.client);
     run(&mut t.net, 100);
-    assert_eq!(t.net.node_ref::<TcpHost>(t.client).state(sock), TcpState::Established);
+    assert_eq!(t.net.node_ref::<TcpHost>(t.client).unwrap().state(sock), TcpState::Established);
 
-    t.net.node_mut::<TcpHost>(t.client).send(sock, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+    t.net.node_mut::<TcpHost>(t.client).unwrap().send(sock, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
     t.net.wake(t.client);
     run(&mut t.net, 200);
-    let got = t.net.node_mut::<TcpHost>(t.client).take_received(sock);
+    let got = t.net.node_mut::<TcpHost>(t.client).unwrap().take_received(sock);
     assert_eq!(got, b"HTTP/1.1 200 OK\r\n\r\nhello");
     // Server closed after responding; client auto-closed in return.
-    let events = t.net.node_ref::<TcpHost>(t.client).events(sock);
+    let events = t.net.node_ref::<TcpHost>(t.client).unwrap().events(sock);
     assert!(events.iter().any(|e| e.event == SocketEvent::PeerFin));
     // After TIME-WAIT expiry everything reaches Closed.
     run(&mut t.net, 20_000);
-    assert_eq!(t.net.node_ref::<TcpHost>(t.client).state(sock), TcpState::Closed);
+    assert_eq!(t.net.node_ref::<TcpHost>(t.client).unwrap().state(sock), TcpState::Closed);
 }
 
 #[test]
 fn syn_to_closed_port_draws_rst() {
     let mut t = build();
-    let sock = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 8080);
+    let sock = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 8080);
     t.net.wake(t.client);
     run(&mut t.net, 100);
-    let client = t.net.node_ref::<TcpHost>(t.client);
+    let client = t.net.node_ref::<TcpHost>(t.client).unwrap();
     assert_eq!(client.state(sock), TcpState::Closed);
     assert!(client.events(sock).iter().any(|e| e.event == SocketEvent::Reset));
 }
@@ -83,10 +83,10 @@ fn syn_to_unreachable_host_times_out() {
     let mut t = build();
     // 203.0.113.77 is routed (same /24) but no host answers: packets die
     // on the unconnected leaf. SYN retries then exhaust.
-    let sock = t.net.node_mut::<TcpHost>(t.client).connect(Ipv4Addr::new(203, 0, 113, 77), 80);
+    let sock = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(Ipv4Addr::new(203, 0, 113, 77), 80);
     t.net.wake(t.client);
     run(&mut t.net, 30_000);
-    let client = t.net.node_ref::<TcpHost>(t.client);
+    let client = t.net.node_ref::<TcpHost>(t.client).unwrap();
     assert_eq!(client.state(sock), TcpState::Closed);
     assert!(client.events(sock).iter().any(|e| e.event == SocketEvent::TimedOut));
 }
@@ -96,14 +96,14 @@ fn late_segment_after_close_draws_rst() {
     // Forge a data segment for a connection the client has never had;
     // the client must answer RST — the Figure 4 behaviour.
     let mut t = build();
-    t.net.node_mut::<TcpHost>(t.server).enable_pcap();
+    t.net.node_mut::<TcpHost>(t.server).unwrap().enable_pcap();
     let mut h = TcpHeader::new(4999, 80, TcpFlags::ACK | TcpFlags::PSH);
     h.seq = 12345;
     h.ack = 999;
     let stray = Packet::tcp(SERVER_IP, CLIENT_IP, TcpHeader { src_port: 80, dst_port: 4999, ..h }, &b"late"[..]);
     t.net.inject(t.client, IfaceId::PRIMARY, stray);
     run(&mut t.net, 100);
-    let pcap = t.net.node_mut::<TcpHost>(t.server).take_pcap();
+    let pcap = t.net.node_mut::<TcpHost>(t.server).unwrap().take_pcap();
     assert_eq!(pcap.len(), 1);
     let (hdr, _) = pcap[0].1.as_tcp().unwrap();
     assert!(hdr.flags.contains(TcpFlags::RST));
@@ -113,12 +113,12 @@ fn late_segment_after_close_draws_rst() {
 #[test]
 fn raw_port_bypasses_stack_and_collects_packets() {
     let mut t = build();
-    t.net.node_mut::<TcpHost>(t.server).listen(80, || {
+    t.net.node_mut::<TcpHost>(t.server).unwrap().listen(80, || {
         Box::new(FixedResponder::new(b"resp".to_vec()))
     });
     // Claim port 5555 raw on the client and hand-run a SYN.
     {
-        let c = t.net.node_mut::<TcpHost>(t.client);
+        let c = t.net.node_mut::<TcpHost>(t.client).unwrap();
         c.raw_claim_port(5555);
         let mut syn = TcpHeader::new(5555, 80, TcpFlags::SYN);
         syn.seq = 100;
@@ -126,7 +126,7 @@ fn raw_port_bypasses_stack_and_collects_packets() {
     }
     t.net.wake(t.client);
     run(&mut t.net, 100);
-    let inbox = t.net.node_mut::<TcpHost>(t.client).raw_take_inbox();
+    let inbox = t.net.node_mut::<TcpHost>(t.client).unwrap().raw_take_inbox();
     assert_eq!(inbox.len(), 1, "exactly the SYN-ACK, no stack interference");
     let (h, _) = inbox[0].1.as_tcp().unwrap();
     assert!(h.flags.contains(TcpFlags::SYN) && h.flags.contains(TcpFlags::ACK));
@@ -137,19 +137,19 @@ fn raw_port_bypasses_stack_and_collects_packets() {
 fn firewall_drops_forged_fin_but_passes_data() {
     let mut t = build();
     t.net
-        .node_mut::<TcpHost>(t.server)
+        .node_mut::<TcpHost>(t.server).unwrap()
         .listen(80, || Box::new(FixedResponder::new(b"CONTENT".to_vec())));
-    let sock = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 80);
+    let sock = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 80);
     t.net.wake(t.client);
     run(&mut t.net, 100);
 
     // Install the evasion rule, then inject a forged FIN "from the server".
     {
-        let c = t.net.node_mut::<TcpHost>(t.client);
+        let c = t.net.node_mut::<TcpHost>(t.client).unwrap();
         c.firewall.add(FilterRule::drop_fin_rst_with_ip_id(242));
     }
-    let (snd_nxt, rcv_nxt) = t.net.node_ref::<TcpHost>(t.client).seq_cursors(sock).unwrap();
-    let local_port = t.net.node_ref::<TcpHost>(t.client).local_addr(sock).unwrap().1;
+    let (snd_nxt, rcv_nxt) = t.net.node_ref::<TcpHost>(t.client).unwrap().seq_cursors(sock).unwrap();
+    let local_port = t.net.node_ref::<TcpHost>(t.client).unwrap().local_addr(sock).unwrap().1;
     let mut forged = TcpHeader::new(80, local_port, TcpFlags::FIN | TcpFlags::PSH | TcpFlags::ACK);
     forged.seq = rcv_nxt;
     forged.ack = snd_nxt;
@@ -158,34 +158,34 @@ fn firewall_drops_forged_fin_but_passes_data() {
     t.net.inject(t.client, IfaceId::PRIMARY, forged_pkt);
     run(&mut t.net, 50);
     // Connection survives; the forged notification never reached the TCB.
-    assert_eq!(t.net.node_ref::<TcpHost>(t.client).state(sock), TcpState::Established);
-    assert!(t.net.node_ref::<TcpHost>(t.client).received(sock).is_empty());
+    assert_eq!(t.net.node_ref::<TcpHost>(t.client).unwrap().state(sock), TcpState::Established);
+    assert!(t.net.node_ref::<TcpHost>(t.client).unwrap().received(sock).is_empty());
 
     // Real request/response still works through the firewall.
-    t.net.node_mut::<TcpHost>(t.client).send(sock, b"GET /");
+    t.net.node_mut::<TcpHost>(t.client).unwrap().send(sock, b"GET /");
     t.net.wake(t.client);
     run(&mut t.net, 200);
-    assert_eq!(t.net.node_mut::<TcpHost>(t.client).take_received(sock), b"CONTENT");
+    assert_eq!(t.net.node_mut::<TcpHost>(t.client).unwrap().take_received(sock), b"CONTENT");
 }
 
 #[test]
 fn udp_roundtrip_and_icmp_unreachable() {
     let mut t = build();
-    t.net.node_mut::<TcpHost>(t.server).udp_bind(53);
-    t.net.node_mut::<TcpHost>(t.client).udp_bind(5353);
-    t.net.node_mut::<TcpHost>(t.client).udp_send(5353, SERVER_IP, 53, b"query");
+    t.net.node_mut::<TcpHost>(t.server).unwrap().udp_bind(53);
+    t.net.node_mut::<TcpHost>(t.client).unwrap().udp_bind(5353);
+    t.net.node_mut::<TcpHost>(t.client).unwrap().udp_send(5353, SERVER_IP, 53, b"query");
     t.net.wake(t.client);
     run(&mut t.net, 100);
-    let inbox = t.net.node_mut::<TcpHost>(t.server).take_udp_inbox();
+    let inbox = t.net.node_mut::<TcpHost>(t.server).unwrap().take_udp_inbox();
     assert_eq!(inbox.len(), 1);
     assert_eq!(&inbox[0].payload[..], b"query");
     assert_eq!(inbox[0].src, CLIENT_IP);
 
     // Datagram to a closed port draws ICMP port-unreachable.
-    t.net.node_mut::<TcpHost>(t.client).udp_send(5353, SERVER_IP, 999, b"stray");
+    t.net.node_mut::<TcpHost>(t.client).unwrap().udp_send(5353, SERVER_IP, 999, b"stray");
     t.net.wake(t.client);
     run(&mut t.net, 100);
-    let icmp = t.net.node_mut::<TcpHost>(t.client).take_icmp_inbox();
+    let icmp = t.net.node_mut::<TcpHost>(t.client).unwrap().take_icmp_inbox();
     assert_eq!(icmp.len(), 1);
     match icmp[0].1.as_icmp() {
         Some(lucent_packet::IcmpMessage::DestUnreachable { code: 3, .. }) => {}
@@ -197,7 +197,7 @@ fn udp_roundtrip_and_icmp_unreachable() {
 fn pcap_sees_packets_firewall_drops() {
     let mut t = build();
     {
-        let c = t.net.node_mut::<TcpHost>(t.client);
+        let c = t.net.node_mut::<TcpHost>(t.client).unwrap();
         c.enable_pcap();
         c.firewall.add(FilterRule::drop_fin_rst_from(SERVER_IP));
     }
@@ -206,7 +206,7 @@ fn pcap_sees_packets_firewall_drops() {
     let pkt = Packet::tcp(SERVER_IP, CLIENT_IP, fin, &b""[..]);
     t.net.inject(t.client, IfaceId::PRIMARY, pkt);
     run(&mut t.net, 10);
-    let c = t.net.node_mut::<TcpHost>(t.client);
+    let c = t.net.node_mut::<TcpHost>(t.client).unwrap();
     assert_eq!(c.take_pcap().len(), 1, "tcpdump-style capture precedes the filter");
     assert_eq!(c.firewall.dropped, 1);
 }
@@ -214,22 +214,22 @@ fn pcap_sees_packets_firewall_drops() {
 #[test]
 fn two_concurrent_connections_do_not_interfere() {
     let mut t = build();
-    t.net.node_mut::<TcpHost>(t.server).listen(80, || {
+    t.net.node_mut::<TcpHost>(t.server).unwrap().listen(80, || {
         Box::new(FixedResponder::new(b"A".to_vec()))
     });
-    t.net.node_mut::<TcpHost>(t.server).listen(81, || {
+    t.net.node_mut::<TcpHost>(t.server).unwrap().listen(81, || {
         Box::new(FixedResponder::new(b"B".to_vec()))
     });
-    let s1 = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 80);
-    let s2 = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 81);
+    let s1 = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 80);
+    let s2 = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 81);
     t.net.wake(t.client);
     run(&mut t.net, 100);
-    t.net.node_mut::<TcpHost>(t.client).send(s1, b"one");
-    t.net.node_mut::<TcpHost>(t.client).send(s2, b"two");
+    t.net.node_mut::<TcpHost>(t.client).unwrap().send(s1, b"one");
+    t.net.node_mut::<TcpHost>(t.client).unwrap().send(s2, b"two");
     t.net.wake(t.client);
     run(&mut t.net, 300);
-    assert_eq!(t.net.node_mut::<TcpHost>(t.client).take_received(s1), b"A");
-    assert_eq!(t.net.node_mut::<TcpHost>(t.client).take_received(s2), b"B");
+    assert_eq!(t.net.node_mut::<TcpHost>(t.client).unwrap().take_received(s1), b"A");
+    assert_eq!(t.net.node_mut::<TcpHost>(t.client).unwrap().take_received(s2), b"B");
 }
 
 #[test]
@@ -237,13 +237,13 @@ fn deterministic_replay_same_seed() {
     let trace_a = {
         let mut t = build();
         t.net.trace().enable_all();
-        t.net.node_mut::<TcpHost>(t.server).listen(80, || {
+        t.net.node_mut::<TcpHost>(t.server).unwrap().listen(80, || {
             Box::new(FixedResponder::new(b"x".to_vec()))
         });
-        let s = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 80);
+        let s = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 80);
         t.net.wake(t.client);
         run(&mut t.net, 50);
-        t.net.node_mut::<TcpHost>(t.client).send(s, b"req");
+        t.net.node_mut::<TcpHost>(t.client).unwrap().send(s, b"req");
         t.net.wake(t.client);
         run(&mut t.net, 200);
         t.net.trace().transcript()
@@ -251,13 +251,13 @@ fn deterministic_replay_same_seed() {
     let trace_b = {
         let mut t = build();
         t.net.trace().enable_all();
-        t.net.node_mut::<TcpHost>(t.server).listen(80, || {
+        t.net.node_mut::<TcpHost>(t.server).unwrap().listen(80, || {
             Box::new(FixedResponder::new(b"x".to_vec()))
         });
-        let s = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 80);
+        let s = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 80);
         t.net.wake(t.client);
         run(&mut t.net, 50);
-        t.net.node_mut::<TcpHost>(t.client).send(s, b"req");
+        t.net.node_mut::<TcpHost>(t.client).unwrap().send(s, b"req");
         t.net.wake(t.client);
         run(&mut t.net, 200);
         t.net.trace().transcript()
@@ -272,13 +272,13 @@ fn wire_fidelity_all_segments_serialize() {
     // emit→parse roundtripping (structured mode hides nothing).
     let mut t = build();
     t.net.trace().enable_all();
-    t.net.node_mut::<TcpHost>(t.server).listen(80, || {
+    t.net.node_mut::<TcpHost>(t.server).unwrap().listen(80, || {
         Box::new(FixedResponder::new(b"HTTP/1.1 200 OK\r\n\r\nbody".to_vec()))
     });
-    let s = t.net.node_mut::<TcpHost>(t.client).connect(SERVER_IP, 80);
+    let s = t.net.node_mut::<TcpHost>(t.client).unwrap().connect(SERVER_IP, 80);
     t.net.wake(t.client);
     run(&mut t.net, 50);
-    t.net.node_mut::<TcpHost>(t.client).send(s, b"GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+    t.net.node_mut::<TcpHost>(t.client).unwrap().send(s, b"GET / HTTP/1.1\r\nHost: h\r\n\r\n");
     t.net.wake(t.client);
     run(&mut t.net, 300);
     let entries = t.net.trace().entries();

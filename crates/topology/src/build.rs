@@ -126,9 +126,11 @@ impl Wire {
     fn alloc(&mut self, node: NodeId) -> IfaceId {
         let slot = self.next.entry(node).or_insert(0);
         let iface = IfaceId(*slot);
-        *slot = slot
-            .checked_add(1)
-            .unwrap_or_else(|| panic!("node {node:?} exceeds 255 interfaces"));
+        // Saturate at 255: no build plan comes within an order of
+        // magnitude of that many interfaces, and if one ever did, the
+        // repeated iface id trips `connect`'s already-connected check
+        // instead of panicking here mid-build.
+        *slot = slot.saturating_add(1);
         iface
     }
 
@@ -145,6 +147,17 @@ impl Wire {
         let ir = self.alloc(router);
         net.connect(host, IfaceId::PRIMARY, router, ir, lat);
         ir
+    }
+}
+
+/// Apply an edit to a router created earlier in this same build. Every
+/// caller passes an id it just received from `add_node`, so a miss can
+/// only mean the build plan itself is inconsistent — the edit is
+/// skipped rather than applied to the wrong node, and the resulting
+/// routing hole surfaces in the topology tests.
+fn edit_router(net: &mut Network, id: NodeId, f: impl FnOnce(&mut RouterNode)) {
+    if let Some(r) = net.node_mut::<RouterNode>(id) {
+        f(r);
     }
 }
 
@@ -191,8 +204,10 @@ impl India {
             let inet = if p % 2 == 0 { inet_a } else { inet_b };
             let lat = MS(15 + (p as u64 * 7) % 30);
             let (inet_if, pool_up) = wire.link(&mut net, inet, router, lat);
-            net.node_mut::<RouterNode>(inet).table.add(*pool, inet_if);
-            net.node_mut::<RouterNode>(router).table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), pool_up);
+            edit_router(&mut net, inet, |r| r.table.add(*pool, inet_if));
+            edit_router(&mut net, router, |r| {
+                r.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), pool_up)
+            });
             let region: RegionId = 100 + p as RegionId;
             for &ip in hosting_ips.iter().filter(|ip| pool.contains(**ip)) {
                 let mut host = TcpHost::new(ip, format!("web-{ip}"), cfg.seed);
@@ -201,7 +216,7 @@ impl India {
                 host.listen(443, lucent_web::TlsLikeApp::factory());
                 let id = net.add_node(Box::new(host));
                 let rif = wire.attach(&mut net, id, router, SimDuration::from_micros(500));
-                net.node_mut::<RouterNode>(router).table.add(Cidr::host(ip), rif);
+                edit_router(&mut net, router, |r| r.table.add(Cidr::host(ip), rif));
                 hosting.push((ip, id));
             }
         }
@@ -229,12 +244,10 @@ impl India {
             let router_ip = Ipv4Addr::new(ip.octets()[0], ip.octets()[1], ip.octets()[2], 1);
             let router = net.add_node(Box::new(RouterNode::new(router_ip, format!("{label}-r"))));
             let (inet_if, up) = wire.link(net, inet_a, router, MS(lat_ms));
-            net.node_mut::<RouterNode>(inet_a)
-                .table
-                .add(Cidr::new(ip, 24), inet_if);
-            net.node_mut::<RouterNode>(router)
-                .table
-                .add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), up);
+            edit_router(net, inet_a, |r| r.table.add(Cidr::new(ip, 24), inet_if));
+            edit_router(net, router, |r| {
+                r.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), up)
+            });
             let mut host = TcpHost::new(ip, label, cfg.seed ^ u64::from(u32::from(ip)));
             if serve {
                 let server_cfg = ServerConfig { region, directory: directory.clone() };
@@ -242,7 +255,7 @@ impl India {
             }
             let id = net.add_node(Box::new(host));
             let rif = wire.attach(net, id, router, SimDuration::from_micros(500));
-            net.node_mut::<RouterNode>(router).table.add(Cidr::host(ip), rif);
+            edit_router(net, router, |r| r.table.add(Cidr::host(ip), rif));
             id
         };
         for (ip, region, lat) in vp_specs {
@@ -258,8 +271,9 @@ impl India {
         // resolution both rely on one.
         let public_dns_ip = Ipv4Addr::new(8, 8, 8, 10);
         let public_dns = attach_external(&mut net, &mut wire, public_dns_ip, "public-dns", 122, 30, false);
-        net.node_mut::<TcpHost>(public_dns)
-            .set_udp_app(53, Box::new(ResolverApp::honest(catalog.clone(), 122)));
+        if let Some(host) = net.node_mut::<TcpHost>(public_dns) {
+            host.set_udp_app(53, Box::new(ResolverApp::honest(catalog.clone(), 122)));
+        }
 
         // ----- ISPs --------------------------------------------------------
         let mut isps = BTreeMap::new();
@@ -283,28 +297,31 @@ impl India {
             let gw = gateway_of[&isp_id];
             let (ia, ga) = wire.link(&mut net, inet_a, gw, MS(8));
             let (ib, gb) = wire.link(&mut net, inet_b, gw, MS(8));
-            net.node_mut::<RouterNode>(inet_a).table.add(isp_id.prefix(), ia);
-            net.node_mut::<RouterNode>(inet_b).table.add(isp_id.prefix(), ib);
+            edit_router(&mut net, inet_a, |r| r.table.add(isp_id.prefix(), ia));
+            edit_router(&mut net, inet_b, |r| r.table.add(isp_id.prefix(), ib));
             exchange_iface.insert((isp_id, false), ia);
             exchange_iface.insert((isp_id, true), ib);
-            let gw_router = net.node_mut::<RouterNode>(gw);
-            for pool in &even_pools {
-                gw_router.table.add(*pool, ga);
-            }
-            for pool in &odd_pools {
-                gw_router.table.add(*pool, gb);
-            }
-            gw_router.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), ga);
+            edit_router(&mut net, gw, |gw_router| {
+                for pool in &even_pools {
+                    gw_router.table.add(*pool, ga);
+                }
+                for pool in &odd_pools {
+                    gw_router.table.add(*pool, gb);
+                }
+                gw_router.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), ga);
+            });
         }
         // Inter-exchange fallthrough: exchange A learns explicit routes to
         // the odd (B-side) pools; everything B does not know falls back to
         // A.
         for (p, pool) in hosting_pools.iter().enumerate() {
             if p % 2 == 1 {
-                net.node_mut::<RouterNode>(inet_a).table.add(*pool, a_to_b);
+                edit_router(&mut net, inet_a, |r| r.table.add(*pool, a_to_b));
             }
         }
-        net.node_mut::<RouterNode>(inet_b).table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), b_to_a);
+        edit_router(&mut net, inet_b, |r| {
+            r.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), b_to_a)
+        });
 
         // ----- victims: transit interconnects + border devices ------------
         for isp_id in IspId::ALL.iter().copied() {
@@ -340,7 +357,7 @@ impl India {
                         )));
                         let (v_if, _) = wire.link(&mut net, gw, im, MS(4));
                         let (_, c_if) = wire.link(&mut net, im, censor_gw, MS(1));
-                        net.node_mut::<RouterNode>(censor_gw).table.add(isp_id.prefix(), c_if);
+                        edit_router(&mut net, censor_gw, |r| r.table.add(isp_id.prefix(), c_if));
                         v_if
                     }
                     _ => {
@@ -358,14 +375,13 @@ impl India {
                         )));
                         let tap = wire.alloc(border);
                         net.connect(border, tap, wm, IfaceId::PRIMARY, SimDuration::from_micros(80));
-                        {
-                            let b = net.node_mut::<RouterNode>(border);
+                        edit_router(&mut net, border, |b| {
                             b.mirrors.push(tap);
                             b.anonymized = true;
                             b.table.add(isp_id.prefix(), b_down);
                             b.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), b_up);
-                        }
-                        net.node_mut::<RouterNode>(censor_gw).table.add(isp_id.prefix(), c_if);
+                        });
+                        edit_router(&mut net, censor_gw, |r| r.table.add(isp_id.prefix(), c_if));
                         v_if
                     }
                 };
@@ -373,23 +389,24 @@ impl India {
                 // Exchanges route the victim prefix through this censor.
                 let (exchange, key) = if via_even { (inet_a, (censor, false)) } else { (inet_b, (censor, true)) };
                 let ex_if = exchange_iface[&key];
-                net.node_mut::<RouterNode>(exchange).table.add(isp_id.prefix(), ex_if);
+                edit_router(&mut net, exchange, |r| r.table.add(isp_id.prefix(), ex_if));
                 if single_homed {
                     let ex_if_b = exchange_iface[&(censor, true)];
-                    net.node_mut::<RouterNode>(inet_b).table.add(isp_id.prefix(), ex_if_b);
+                    edit_router(&mut net, inet_b, |r| r.table.add(isp_id.prefix(), ex_if_b));
                 }
             }
             // Victim gateway routing: even pools via side 0, odd via side 1.
-            let gw_router = net.node_mut::<RouterNode>(gw);
-            let side_a = up_ifaces[0];
-            let side_b = *up_ifaces.get(1).unwrap_or(&up_ifaces[0]);
-            for pool in &even_pools {
-                gw_router.table.add(*pool, side_a);
-            }
-            for pool in &odd_pools {
-                gw_router.table.add(*pool, side_b);
-            }
-            gw_router.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), side_a);
+            let Some(&side_a) = up_ifaces.first() else { continue };
+            let side_b = *up_ifaces.get(1).unwrap_or(&side_a);
+            edit_router(&mut net, gw, |gw_router| {
+                for pool in &even_pools {
+                    gw_router.table.add(*pool, side_a);
+                }
+                for pool in &odd_pools {
+                    gw_router.table.add(*pool, side_b);
+                }
+                gw_router.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), side_a);
+            });
         }
 
         India {
@@ -616,35 +633,38 @@ impl India {
         }
 
         // --- wire gateway↔cores (inserting IMs where covered) ------------
+        // `covered` is only ever populated under `Some(profile)`, so the
+        // match pairs each covered core with the profile kind without a
+        // fallible re-lookup; a covered core with no profile (impossible
+        // by construction) degrades to a plain uncensored link.
         for (c, &core) in cores.iter().enumerate() {
             let device_here = covered.get(&c).cloned();
-            let is_im = matches!(
-                http_profile.map(|p| p.kind),
-                Some(MbKind::InterceptiveOvert) | Some(MbKind::InterceptiveCovert)
-            ) && device_here.is_some();
-            if is_im {
-                let (sees_outside, blocklist) = device_here.clone().expect("covered");
-                let client_filter = if sees_outside { None } else { Some(vec![prefix]) };
-                let mb_cfg = Self::device_config(
-                    cfg,
-                    isp_id,
-                    http_profile,
-                    blocklist.iter().map(|s| corpus.site(*s).domain.clone()),
-                    client_filter,
-                    c as u64,
-                );
-                let im = net.add_node(Box::new(InterceptiveMiddlebox::new(
-                    mb_cfg,
-                    format!("{}-im{}", isp_id.name(), c),
-                )));
-                let (_gw_if, _) = wire.link(net, gateway, im, MS(1));
-                let (_, _core_if) = wire.link(net, im, core, SimDuration::from_micros(500));
-                net.node_mut::<RouterNode>(core).anonymized = true;
-                devices.push((c, im, http_profile.expect("profile").kind));
-                device_plan.push((c, sees_outside, blocklist));
-            } else {
-                wire.link(net, gateway, core, MS(1));
-                if let Some((sees_outside, blocklist)) = device_here {
+            match (device_here, http_profile.map(|p| p.kind)) {
+                (
+                    Some((sees_outside, blocklist)),
+                    Some(kind @ (MbKind::InterceptiveOvert | MbKind::InterceptiveCovert)),
+                ) => {
+                    let client_filter = if sees_outside { None } else { Some(vec![prefix]) };
+                    let mb_cfg = Self::device_config(
+                        cfg,
+                        isp_id,
+                        http_profile,
+                        blocklist.iter().map(|s| corpus.site(*s).domain.clone()),
+                        client_filter,
+                        c as u64,
+                    );
+                    let im = net.add_node(Box::new(InterceptiveMiddlebox::new(
+                        mb_cfg,
+                        format!("{}-im{}", isp_id.name(), c),
+                    )));
+                    let (_gw_if, _) = wire.link(net, gateway, im, MS(1));
+                    let (_, _core_if) = wire.link(net, im, core, SimDuration::from_micros(500));
+                    edit_router(net, core, |r| r.anonymized = true);
+                    devices.push((c, im, kind));
+                    device_plan.push((c, sees_outside, blocklist));
+                }
+                (Some((sees_outside, blocklist)), Some(kind)) => {
+                    wire.link(net, gateway, core, MS(1));
                     // Wiretap on a mirror port of this core.
                     let client_filter = if sees_outside { None } else { Some(vec![prefix]) };
                     let mb_cfg = Self::device_config(
@@ -661,11 +681,15 @@ impl India {
                     )));
                     let tap = wire.alloc(core);
                     net.connect(core, tap, wm, IfaceId::PRIMARY, SimDuration::from_micros(80));
-                    let core_router = net.node_mut::<RouterNode>(core);
-                    core_router.mirrors.push(tap);
-                    core_router.anonymized = true;
-                    devices.push((c, wm, http_profile.expect("profile").kind));
+                    edit_router(net, core, |core_router| {
+                        core_router.mirrors.push(tap);
+                        core_router.anonymized = true;
+                    });
+                    devices.push((c, wm, kind));
                     device_plan.push((c, sees_outside, blocklist));
+                }
+                _ => {
+                    wire.link(net, gateway, core, MS(1));
                 }
             }
         }
@@ -680,31 +704,31 @@ impl India {
         for &core in cores.iter() {
             for (leaf, &leaf_node) in leaves.iter().enumerate() {
                 let (core_if, leaf_if) = wire.link(net, core, leaf_node, MS(1));
-                net.node_mut::<RouterNode>(core).table.add(leaf_prefixes[leaf], core_if);
+                edit_router(net, core, |r| r.table.add(leaf_prefixes[leaf], core_if));
                 leaf_core_ifaces[leaf].push(leaf_if);
             }
             // Core default: back up to the gateway (iface 0 — the first
             // link allocated on every core).
-            net.node_mut::<RouterNode>(core)
-                .table
-                .add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), IfaceId(0));
+            edit_router(net, core, |r| {
+                r.table.add(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), IfaceId(0))
+            });
         }
         for (leaf, ifaces) in leaf_core_ifaces.iter().enumerate() {
-            net.node_mut::<RouterNode>(leaves[leaf])
-                .table
-                .add_multi(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), ifaces.clone());
+            edit_router(net, leaves[leaf], |r| {
+                r.table.add_multi(Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0), ifaces.clone())
+            });
         }
         // Gateway spreads inbound across cores (ifaces 0..k-1 in creation
         // order — gateway's first k links all go to cores or IMs).
         let gw_core_ifaces: Vec<IfaceId> = (0..k as u8).map(IfaceId).collect();
-        net.node_mut::<RouterNode>(gateway).table.add_multi(prefix, gw_core_ifaces);
+        edit_router(net, gateway, |r| r.table.add_multi(prefix, gw_core_ifaces));
 
         // --- hosts ---------------------------------------------------------
         let attach_host = |net: &mut Network, wire: &mut Wire, host: TcpHost, leaf: usize| -> NodeId {
             let hip = host.ip;
             let id = net.add_node(Box::new(host));
             let rif = wire.attach(net, id, leaves[leaf], SimDuration::from_micros(500));
-            net.node_mut::<RouterNode>(leaves[leaf]).table.add(Cidr::host(hip), rif);
+            edit_router(net, leaves[leaf], |r| r.table.add(Cidr::host(hip), rif));
             id
         };
 

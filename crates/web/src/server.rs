@@ -174,14 +174,14 @@ mod tests {
     /// the server sent back.
     fn fetch(request: &[u8]) -> Vec<u8> {
         let (mut net, client, _) = build();
-        let sock = net.node_mut::<TcpHost>(client).connect(SERVER_IP, 80);
+        let sock = net.node_mut::<TcpHost>(client).unwrap().connect(SERVER_IP, 80);
         net.wake(client);
         net.run_for(SimDuration::from_millis(50));
-        assert_eq!(net.node_ref::<TcpHost>(client).state(sock), TcpState::Established);
-        net.node_mut::<TcpHost>(client).send(sock, request);
+        assert_eq!(net.node_ref::<TcpHost>(client).unwrap().state(sock), TcpState::Established);
+        net.node_mut::<TcpHost>(client).unwrap().send(sock, request);
         net.wake(client);
         net.run_for(SimDuration::from_millis(500));
-        net.node_mut::<TcpHost>(client).take_received(sock)
+        net.node_mut::<TcpHost>(client).unwrap().take_received(sock)
     }
 
     #[test]
@@ -246,18 +246,18 @@ mod tests {
     #[test]
     fn segmented_request_is_reassembled() {
         let (mut net, client, _) = build();
-        let sock = net.node_mut::<TcpHost>(client).connect(SERVER_IP, 80);
+        let sock = net.node_mut::<TcpHost>(client).unwrap().connect(SERVER_IP, 80);
         net.wake(client);
         net.run_for(SimDuration::from_millis(50));
         let req = RequestBuilder::browser("hosted.example", "/").build();
         let (a, b) = req.split_at(10);
-        net.node_mut::<TcpHost>(client).send(sock, a);
+        net.node_mut::<TcpHost>(client).unwrap().send(sock, a);
         net.wake(client);
         net.run_for(SimDuration::from_millis(30));
-        net.node_mut::<TcpHost>(client).send(sock, b);
+        net.node_mut::<TcpHost>(client).unwrap().send(sock, b);
         net.wake(client);
         net.run_for(SimDuration::from_millis(500));
-        let resp = HttpResponse::parse(&net.node_mut::<TcpHost>(client).take_received(sock)).unwrap();
+        let resp = HttpResponse::parse(&net.node_mut::<TcpHost>(client).unwrap().take_received(sock)).unwrap();
         assert_eq!(resp.status, 200);
     }
 

@@ -108,14 +108,14 @@ mod tests {
     #[test]
     fn handshake_shape_roundtrips() {
         let (mut net, client, _) = rig();
-        let sock = net.node_mut::<TcpHost>(client).connect(SERVER, 443);
+        let sock = net.node_mut::<TcpHost>(client).unwrap().connect(SERVER, 443);
         net.wake(client);
         net.run_for(SimDuration::from_millis(50));
-        assert_eq!(net.node_ref::<TcpHost>(client).state(sock), TcpState::Established);
-        net.node_mut::<TcpHost>(client).send(sock, &client_hello("secret.example"));
+        assert_eq!(net.node_ref::<TcpHost>(client).unwrap().state(sock), TcpState::Established);
+        net.node_mut::<TcpHost>(client).unwrap().send(sock, &client_hello("secret.example"));
         net.wake(client);
         net.run_for(SimDuration::from_millis(200));
-        let got = net.node_mut::<TcpHost>(client).take_received(sock);
+        let got = net.node_mut::<TcpHost>(client).unwrap().take_received(sock);
         assert!(is_server_hello(&got), "{got:?}");
         assert!(got.contains(&RECORD_APPDATA));
     }
@@ -123,13 +123,13 @@ mod tests {
     #[test]
     fn non_tls_bytes_are_rejected() {
         let (mut net, client, _) = rig();
-        let sock = net.node_mut::<TcpHost>(client).connect(SERVER, 443);
+        let sock = net.node_mut::<TcpHost>(client).unwrap().connect(SERVER, 443);
         net.wake(client);
         net.run_for(SimDuration::from_millis(50));
-        net.node_mut::<TcpHost>(client).send(sock, b"GET / HTTP/1.1\r\n\r\n");
+        net.node_mut::<TcpHost>(client).unwrap().send(sock, b"GET / HTTP/1.1\r\n\r\n");
         net.wake(client);
         net.run_for(SimDuration::from_millis(200));
-        let host = net.node_ref::<TcpHost>(client);
+        let host = net.node_ref::<TcpHost>(client).unwrap();
         assert!(host
             .events(sock)
             .iter()

@@ -118,7 +118,7 @@ fn firewall_rules_do_not_break_normal_traffic() {
     let client = lab.client_of(IspId::Airtel);
     lab.india
         .net
-        .node_mut::<lucent_tcp::TcpHost>(client)
+        .node_mut::<lucent_tcp::TcpHost>(client).unwrap()
         .firewall
         .add(lucent_tcp::FilterRule::drop_fin_rst_with_ip_id(242));
     let clean = lab

@@ -58,7 +58,7 @@ fn ideas_list_is_censored_exactly_where_devices_sit() {
     let core_ifaces: Vec<_> = lab
         .india
         .net
-        .node_mut::<lucent_netsim::RouterNode>(leaf)
+        .node_mut::<lucent_netsim::RouterNode>(leaf).unwrap()
         .table
         .iter()
         .find(|(p, _)| p.len == 0)
@@ -78,7 +78,7 @@ fn ideas_list_is_censored_exactly_where_devices_sit() {
         let chosen = lab
             .india
             .net
-            .node_mut::<lucent_netsim::RouterNode>(leaf)
+            .node_mut::<lucent_netsim::RouterNode>(leaf).unwrap()
             .table
             .lookup_flow(client_ip, ip)
             .expect("client has a route out");

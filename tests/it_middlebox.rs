@@ -91,9 +91,9 @@ fn wiretap_injections_carry_the_airtel_ip_id() {
     // all; collect stamped packets across a handful of flows.
     let mut stamped = Vec::new();
     for _ in 0..5 {
-        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).enable_pcap();
+        lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).unwrap().enable_pcap();
         let _ = lab.http_get(client, ip, &domain, FETCH_TIMEOUT_MS);
-        let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).take_pcap();
+        let pcap = lab.india.net.node_mut::<lucent_tcp::TcpHost>(client).unwrap().take_pcap();
         stamped.extend(pcap.into_iter().filter(|(_, p)| p.ip.identification == 242));
     }
     assert!(!stamped.is_empty(), "Airtel middlebox packets are stamped 242");
@@ -135,7 +135,7 @@ fn non_port_80_flows_are_never_inspected() {
         .expect("server node exists");
     lab.india
         .net
-        .node_mut::<lucent_tcp::TcpHost>(server_node)
+        .node_mut::<lucent_tcp::TcpHost>(server_node).unwrap()
         .listen(8080, || Box::new(lucent_tcp::FixedResponder::new(b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nalt!".to_vec())));
     let client = lab.client_of(IspId::Idea);
     let request = lucent_packet::http::RequestBuilder::browser(&domain, "/").build();
