@@ -1,0 +1,70 @@
+//! `fuzz-smoke`: the bounded, seeded fuzz campaign CI runs offline.
+//!
+//! Runs every oracle and simulation invariant at a fixed seed and a
+//! bounded case count, prints the deterministic transcript, and exits
+//! non-zero on any finding. With `--features planted-bug` the campaign
+//! must fail — CI uses that as a negative control proving the harness
+//! detects a seeded defect.
+//!
+//! ```text
+//! fuzz-smoke [--cases N] [--seed S] [--threads N] [--no-sim]
+//! ```
+
+use std::process::exit;
+
+const USAGE: &str = "fuzz-smoke [--cases N] [--seed S] [--threads N] [--no-sim]
+  --cases N    cases per oracle (default 64)
+  --seed S     campaign seed, decimal or 0x-hex (default lucent-check's)
+  --threads N  thread count exercised by the shard-invariance check (default 4)
+  --no-sim     skip the simulation invariants (oracles only)";
+
+fn bad(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: {USAGE}");
+    exit(2);
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    let Some(v) = value else { bad(&format!("{flag} needs a value")) };
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(n) => n,
+        Err(_) => bad(&format!("{flag} needs a number, got {v:?}")),
+    }
+}
+
+fn main() {
+    let mut cases: u32 = 64;
+    let mut seed: u64 = lucent_check::runner::DEFAULT_SEED;
+    let mut threads: usize = 4;
+    let mut with_sim = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => cases = parse_u64("--cases", args.next()) as u32,
+            "--seed" => seed = parse_u64("--seed", args.next()),
+            "--threads" => {
+                threads = parse_u64("--threads", args.next()) as usize;
+                if threads == 0 {
+                    bad("--threads needs a positive integer");
+                }
+            }
+            "--no-sim" => with_sim = false,
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                exit(0);
+            }
+            other => bad(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cases == 0 {
+        bad("--cases needs a positive integer");
+    }
+    let (transcript, findings) = lucent_check::report::campaign(cases, seed, threads, with_sim);
+    lucent_check::report::print_report(&transcript);
+    if findings > 0 {
+        exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Corruption operators: mutate a *valid* wire image into an adversarial
+//! one. Structure-aware fuzzing lives here — instead of feeding parsers
+//! pure noise (which dies at the first length field), we take an image a
+//! real emitter produced and damage it in protocol-plausible ways: bit
+//! flips, byte stomps, truncation, slice duplication, insertion, swaps.
+
+use crate::source::Source;
+
+/// Cap on image growth under duplication/insertion.
+const MAX_LEN: usize = 4096;
+
+/// Apply 1–4 corruption operators to `wire` in place.
+pub fn corrupt(s: &mut Source, wire: &mut Vec<u8>) {
+    let ops = s.len_in(1, 4);
+    for _ in 0..ops {
+        apply_one(s, wire);
+    }
+}
+
+fn apply_one(s: &mut Source, wire: &mut Vec<u8>) {
+    if wire.is_empty() {
+        wire.push(s.any_u8());
+        return;
+    }
+    let len = wire.len();
+    match s.below(6) {
+        0 => {
+            // Single-bit flip.
+            let i = s.len_in(0, len - 1);
+            let bit = s.below(8) as u8;
+            wire[i] ^= 1 << bit;
+        }
+        1 => {
+            // Byte stomp.
+            let i = s.len_in(0, len - 1);
+            wire[i] = s.any_u8();
+        }
+        2 => {
+            // Truncate.
+            let keep = s.len_in(0, len - 1);
+            wire.truncate(keep);
+        }
+        3 => {
+            // Duplicate a slice after itself (length-field confusion).
+            let start = s.len_in(0, len - 1);
+            let end = s.len_in(start, len);
+            let slice: Vec<u8> = wire[start..end].to_vec();
+            if wire.len() + slice.len() <= MAX_LEN {
+                let at = end.min(wire.len());
+                wire.splice(at..at, slice);
+            }
+        }
+        4 => {
+            // Insert a byte.
+            if wire.len() < MAX_LEN {
+                let i = s.len_in(0, len);
+                wire.insert(i, s.any_u8());
+            }
+        }
+        _ => {
+            // Swap two positions.
+            let i = s.len_in(0, len - 1);
+            let j = s.len_in(0, len - 1);
+            wire.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_is_replayable() {
+        let original: Vec<u8> = (0..64).collect();
+        let mut a = Source::new(21, 0);
+        let mut x = original.clone();
+        corrupt(&mut a, &mut x);
+        let mut b = Source::replay(a.tape());
+        let mut y = original.clone();
+        corrupt(&mut b, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn corruption_always_changes_or_bounds_the_image() {
+        let mut s = Source::new(9, 0);
+        for _ in 0..256 {
+            let mut wire: Vec<u8> = (0..32).collect();
+            corrupt(&mut s, &mut wire);
+            assert!(wire.len() <= MAX_LEN);
+        }
+    }
+
+    #[test]
+    fn empty_images_grow_a_byte() {
+        let mut s = Source::replay(&[]);
+        let mut wire = Vec::new();
+        corrupt(&mut s, &mut wire);
+        assert_eq!(wire.len(), 1);
+    }
+}

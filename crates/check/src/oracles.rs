@@ -1,0 +1,333 @@
+//! Differential and round-trip oracles over `lucent-packet`,
+//! `lucent-tcp` and `lucent-middlebox`.
+//!
+//! Every oracle is a property `fn(&mut Source)` that panics on
+//! violation, so the same function runs under [`crate::runner::check`]
+//! in a crate's test suite and inside the bounded `fuzz-smoke` campaign.
+//! The catalogue:
+//!
+//! | oracle | claim |
+//! |---|---|
+//! | `checksum_split` | one-shot and incremental checksums agree |
+//! | `ipv4_roundtrip` / `tcp_roundtrip` / `udp_roundtrip` / `icmp_roundtrip` | decode ∘ encode = id |
+//! | `full_packet_roundtrip` | `Packet` emit→parse→emit is byte-stable (checksum repair is idempotent) |
+//! | `ipv4_corruption_detected` | any single-bit header flip is rejected |
+//! | `parsers_survive_garbage` | no parser panics on arbitrary bytes |
+//! | `parsers_survive_corruption` | no parser panics on corrupted valid images; re-accepted images re-emit parseably |
+//! | `dns_roundtrip` / `http_roundtrips` | DNS and HTTP emitters agree with their parsers |
+//! | `tcb_arbitrary_segments_safe` | the TCP state machine never panics, receive buffer never shrinks |
+//! | `flow_table_invariants` | flow tracking: len moves by ≤1 per packet, sweep reports exactly what it evicts |
+//! | `planted_cap_is_bounded` | the planted SUT respects its cap (fails under `--features planted-bug`) |
+
+use std::net::Ipv4Addr;
+
+use lucent_netsim::{SimDuration, SimTime};
+use lucent_packet::{
+    checksum, DnsMessage, HttpRequest, HttpResponse, IcmpMessage, Ipv4Header, Packet,
+    RequestParseMode, TcpFlags, TcpHeader, UdpHeader,
+};
+use lucent_packet::http::RequestBuilder;
+use lucent_support::Bytes;
+use lucent_tcp::tcb::Tcb;
+use lucent_tcp::TcpState;
+use lucent_middlebox::flow::FlowTable;
+
+use crate::corrupt::corrupt;
+use crate::packets;
+use crate::planted;
+use crate::source::Source;
+
+/// Unwrap a parse result without spending the L4 panic budget: oracle
+/// failures must abort the case (the runner catches the unwind), and
+/// `panic_any` carries the message without being a panic-site token.
+fn ok<T, E: std::fmt::Debug>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => std::panic::panic_any(format!("{what}: {e:?}")),
+    }
+}
+
+/// One-shot and split incremental checksums agree at any split point.
+pub fn checksum_split(s: &mut Source) {
+    let data = s.bytes(0, 511);
+    let split = s.len_in(0, data.len());
+    let whole = checksum::of(&data);
+    let mut c = checksum::Checksum::new();
+    c.add(&data[..split]);
+    c.add(&data[split..]);
+    assert_eq!(c.finish(), whole);
+}
+
+/// IPv4 header decode ∘ encode = id.
+pub fn ipv4_roundtrip(s: &mut Source) {
+    let h = packets::ipv4_header(s);
+    let payload = s.bytes(0, 255);
+    let mut wire = Vec::new();
+    h.emit(&payload, &mut wire);
+    let (parsed, body) = ok(Ipv4Header::parse(&wire), "valid header must parse");
+    assert_eq!(parsed, h);
+    assert_eq!(body, &payload[..]);
+}
+
+/// Any single-bit flip in the 20-byte IPv4 header is rejected.
+pub fn ipv4_corruption_detected(s: &mut Source) {
+    let h = packets::ipv4_header(s);
+    let byte = s.len_in(0, 19);
+    let bit = s.below(8) as u8;
+    let mut wire = Vec::new();
+    h.emit(&[], &mut wire);
+    wire[byte] ^= 1 << bit;
+    assert!(Ipv4Header::parse(&wire).is_err(), "flipped bit {bit} of byte {byte} accepted");
+}
+
+/// TCP header decode ∘ encode = id.
+pub fn tcp_roundtrip(s: &mut Source) {
+    let src = packets::ipv4_addr(s);
+    let dst = packets::ipv4_addr(s);
+    let h = packets::tcp_header(s);
+    let payload = s.bytes(0, 511);
+    let mut wire = Vec::new();
+    h.emit(src, dst, &payload, &mut wire);
+    let (parsed, body) = ok(TcpHeader::parse(src, dst, &wire), "valid segment must parse");
+    assert_eq!(parsed, h);
+    assert_eq!(body, &payload[..]);
+}
+
+/// UDP header decode ∘ encode = id.
+pub fn udp_roundtrip(s: &mut Source) {
+    let src = packets::ipv4_addr(s);
+    let dst = packets::ipv4_addr(s);
+    let h = packets::udp_header(s);
+    let payload = s.bytes(0, 511);
+    let mut wire = Vec::new();
+    h.emit(src, dst, &payload, &mut wire);
+    let (parsed, body) = ok(UdpHeader::parse(src, dst, &wire), "valid datagram must parse");
+    assert_eq!(parsed, h);
+    assert_eq!(body, &payload[..]);
+}
+
+/// ICMP decode ∘ encode = id for all four message shapes.
+pub fn icmp_roundtrip(s: &mut Source) {
+    let msg = packets::icmp_message(s);
+    let mut wire = Vec::new();
+    msg.emit(&mut wire);
+    assert_eq!(ok(IcmpMessage::parse(&wire), "valid message must parse"), msg);
+}
+
+/// Full `Packet` emit → parse = id, and parse → emit reproduces the
+/// exact wire bytes: checksum repair on emission is idempotent.
+pub fn full_packet_roundtrip(s: &mut Source) {
+    let pkt = packets::tcp_packet(s);
+    let wire = pkt.emit();
+    let parsed = ok(Packet::parse(&wire), "own emission must parse");
+    assert_eq!(parsed, pkt);
+    assert_eq!(parsed.emit(), wire, "re-emission must be byte-stable");
+}
+
+fn feed_all_parsers(bytes: &[u8]) {
+    let _ = Ipv4Header::parse(bytes);
+    let _ = Packet::parse(bytes);
+    let _ = DnsMessage::parse(bytes);
+    let _ = HttpRequest::parse(bytes, RequestParseMode::Rfc);
+    let _ = HttpRequest::parse(bytes, RequestParseMode::Strict);
+    let _ = HttpResponse::parse(bytes);
+}
+
+/// No parser panics on arbitrary bytes.
+pub fn parsers_survive_garbage(s: &mut Source) {
+    let bytes = s.bytes(0, 255);
+    feed_all_parsers(&bytes);
+}
+
+/// No parser panics on a corrupted valid wire image; and when a
+/// corrupted packet is still accepted, re-emitting it yields an image
+/// the parser accepts again (checksum repair is idempotent even on
+/// mutated inputs).
+pub fn parsers_survive_corruption(s: &mut Source) {
+    let mut wire = packets::wire_image(s);
+    corrupt(s, &mut wire);
+    feed_all_parsers(&wire);
+    if let Ok(pkt) = Packet::parse(&wire) {
+        let repaired = pkt.emit();
+        let reparsed = ok(Packet::parse(&repaired), "repaired image must parse");
+        assert_eq!(reparsed, pkt, "repair must preserve the parsed value");
+    }
+}
+
+/// DNS query and answer emit → parse = id.
+pub fn dns_roundtrip(s: &mut Source) {
+    let msg = packets::dns_message(s);
+    let mut wire = Vec::new();
+    ok(msg.emit(&mut wire), "generated names must fit");
+    assert_eq!(ok(DnsMessage::parse(&wire), "own emission must parse"), msg);
+}
+
+/// HTTP request builder and response emitter agree with their parsers.
+pub fn http_roundtrips(s: &mut Source) {
+    let host = packets::host_name(s);
+    let path = packets::url_path(s);
+    let bytes = RequestBuilder::browser(&host, &path).build();
+    let (req, used) =
+        ok(HttpRequest::parse(&bytes, RequestParseMode::Rfc), "browser request must parse");
+    assert_eq!(used, bytes.len());
+    assert_eq!(req.host(), Some(host.as_str()));
+    assert_eq!(req.target, path);
+
+    let resp = packets::http_response(s);
+    let parsed = ok(HttpResponse::parse(&resp.emit()), "own emission must parse");
+    assert_eq!(parsed.status, resp.status);
+    assert_eq!(parsed.body, resp.body);
+}
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn t(ms: u64) -> SimTime {
+    SimTime(ms * 1_000)
+}
+
+/// Drive two fresh TCBs through the 3-way handshake — the shared rig
+/// the `tcp` property suite used to hand-roll.
+pub fn established_pair() -> (Tcb, Tcb) {
+    let mut a = Tcb::connect((A_IP, 4000), (B_IP, 80), 1_000, t(0));
+    let (syn_out, _) = a.poll(t(0));
+    let (syn, _) = &syn_out[0];
+    let mut b = Tcb::accept((B_IP, 80), (A_IP, 4000), 9_000, syn, t(0));
+    for _ in 0..8 {
+        let (fa, _) = a.poll(t(1));
+        let (fb, _) = b.poll(t(1));
+        if fa.is_empty() && fb.is_empty() {
+            break;
+        }
+        for (h, p) in fa {
+            b.on_segment(&h, &p, t(1));
+        }
+        for (h, p) in fb {
+            a.on_segment(&h, &p, t(1));
+        }
+    }
+    assert_eq!(a.state, TcpState::Established);
+    assert_eq!(b.state, TcpState::Established);
+    (a, b)
+}
+
+/// Arbitrary segments never panic the TCP state machine and never
+/// shrink the receive buffer.
+pub fn tcb_arbitrary_segments_safe(s: &mut Source) {
+    let n = s.len_in(0, 32);
+    let segs: Vec<(u8, u32, u32, Vec<u8>)> = (0..n)
+        .map(|_| (s.below(0x40) as u8, s.any_u32(), s.any_u32(), s.bytes(0, 63)))
+        .collect();
+    let (mut a, _b) = established_pair();
+    let mut last_len = 0usize;
+    for (i, (flags, seq, ack, payload)) in segs.into_iter().enumerate() {
+        let mut h = TcpHeader::new(80, 4000, TcpFlags(flags));
+        h.seq = seq;
+        h.ack = ack;
+        a.on_segment(&h, &payload, t(10 + i as u64));
+        let _ = a.poll(t(10 + i as u64));
+        assert!(a.recv_buf.len() >= last_len || a.recv_buf.is_empty());
+        last_len = a.recv_buf.len();
+    }
+}
+
+/// The flow table under an arbitrary packet storm over a small endpoint
+/// pool: tracked-flow count moves by at most one per packet,
+/// `established_total` is monotone, and `sweep` returns exactly the
+/// number of flows it evicted.
+pub fn flow_table_invariants(s: &mut Source) {
+    let timeout_secs = s.range_u64(1, 180);
+    let mut table = FlowTable::new(SimDuration::from_secs(timeout_secs));
+    let hosts = [
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(203, 0, 113, 1),
+    ];
+    let ports = [80u16, 443, 4000, 4001];
+    let mut now_us: u64 = 0;
+    let mut established_seen = 0u64;
+    let steps = s.len_in(0, 64);
+    for _ in 0..steps {
+        now_us += s.range_u64(0, 2_000_000);
+        if s.chance(1, 8) {
+            let before = table.len();
+            let evicted = table.sweep(SimTime(now_us));
+            assert_eq!(
+                before - table.len(),
+                evicted,
+                "sweep must report exactly the flows it removed"
+            );
+            continue;
+        }
+        let src = *s.pick(&hosts);
+        let dst = *s.pick(&hosts);
+        let mut h = TcpHeader::new(*s.pick(&ports), *s.pick(&ports), TcpFlags(s.below(0x40) as u8));
+        h.seq = s.any_u32();
+        h.ack = s.any_u32();
+        let payload = s.bytes(0, 32);
+        let pkt = Packet::tcp(src, dst, h, Bytes::from(payload));
+        let before = table.len();
+        let _ = table.observe(&pkt, SimTime(now_us));
+        let after = table.len();
+        assert!(
+            after <= before + 1 && before <= after + 1,
+            "one packet moved the flow count from {before} to {after}"
+        );
+        assert!(
+            table.established_total >= established_seen,
+            "established_total went backwards"
+        );
+        established_seen = table.established_total;
+    }
+}
+
+/// The planted SUT respects its cap. Correct under default features;
+/// fails (and must be found + shrunk) under `--features planted-bug`.
+pub fn planted_cap_is_bounded(s: &mut Source) {
+    let v = s.any_u64();
+    let capped = planted::cap(v);
+    assert!(
+        capped <= planted::CAP,
+        "planted::cap({v}) returned {capped}, above the cap {}",
+        planted::CAP
+    );
+}
+
+/// A named oracle, as listed by [`all`].
+pub type NamedOracle = (&'static str, fn(&mut Source));
+
+/// The full catalogue, in deterministic report order.
+pub fn all() -> Vec<NamedOracle> {
+    vec![
+        ("checksum_split", checksum_split),
+        ("ipv4_roundtrip", ipv4_roundtrip),
+        ("ipv4_corruption_detected", ipv4_corruption_detected),
+        ("tcp_roundtrip", tcp_roundtrip),
+        ("udp_roundtrip", udp_roundtrip),
+        ("icmp_roundtrip", icmp_roundtrip),
+        ("full_packet_roundtrip", full_packet_roundtrip),
+        ("parsers_survive_garbage", parsers_survive_garbage),
+        ("parsers_survive_corruption", parsers_survive_corruption),
+        ("dns_roundtrip", dns_roundtrip),
+        ("http_roundtrips", http_roundtrips),
+        ("tcb_arbitrary_segments_safe", tcb_arbitrary_segments_safe),
+        ("flow_table_invariants", flow_table_invariants),
+        ("planted_cap_is_bounded", planted_cap_is_bounded),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{check, Config};
+
+    #[test]
+    fn the_catalogue_holds_at_a_fixed_seed() {
+        for (name, oracle) in all() {
+            if name == "planted_cap_is_bounded" && cfg!(feature = "planted-bug") {
+                continue; // exercised by the planted-bug self-test instead
+            }
+            check(&Config::cases(48).with_seed(0xA11CE), oracle);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! A deliberately planted defect, used to prove the harness closes the
+//! find → shrink → replay loop.
+//!
+//! [`cap_with`] carries the bug explicitly so the in-tree self-test can
+//! always exercise it; [`cap`] switches the bug on only under
+//! `--features planted-bug`, which is how CI demonstrates that the
+//! `fuzz-smoke` campaign actually detects a seeded defect (the campaign
+//! must exit non-zero with that feature, and cleanly without it).
+
+/// The cap the SUT must never exceed.
+pub const CAP: u64 = 1000;
+
+/// Clamp `v` to [`CAP`] — unless the bug is switched on, in which case
+/// values above the cap leak through unchanged. The minimal
+/// counterexample is exactly `CAP + 1`, which is what the shrinker must
+/// recover from any failing draw.
+pub fn cap_with(bug: bool, v: u64) -> u64 {
+    if bug && v > CAP {
+        v
+    } else {
+        v.min(CAP)
+    }
+}
+
+/// The campaign-facing SUT: buggy only under `--features planted-bug`.
+pub fn cap(v: u64) -> u64 {
+    cap_with(cfg!(feature = "planted-bug"), v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_correct_path_clamps() {
+        assert_eq!(cap_with(false, 0), 0);
+        assert_eq!(cap_with(false, CAP), CAP);
+        assert_eq!(cap_with(false, u64::MAX), CAP);
+    }
+
+    #[test]
+    fn the_bug_leaks_above_the_cap_only() {
+        assert_eq!(cap_with(true, CAP), CAP);
+        assert_eq!(cap_with(true, CAP + 1), CAP + 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Greedy choice-tape minimization, Hypothesis-style.
+//!
+//! The shrinker never looks at the generated *values* — it edits the
+//! recorded tape of `u64` choices and re-runs the property on the
+//! candidate. Because every generator maps smaller tape words to simpler
+//! outputs (shorter vectors, lower integers, earlier alternatives) and
+//! replay zero-pads past the tape end, three structural passes suffice:
+//!
+//! 1. **Chunk deletion** — drop contiguous windows, largest first.
+//! 2. **Chunk zeroing** — overwrite contiguous windows with zeros.
+//! 3. **Value minimization** — per position, binary-search the smallest
+//!    word that still fails.
+//!
+//! Each successful trial replaces the tape with the *canonical* recorded
+//! form of the failing run (unread words pruned, consumed padding made
+//! explicit), so structure shifts caused by an edit are absorbed
+//! immediately. The process is fully deterministic and bounded by an
+//! execution budget.
+
+/// One shrink trial: replay the property on `candidate`; if it still
+/// fails, return the canonical recorded tape and the failure message.
+pub type Trial<'a> = dyn FnMut(&[u64]) -> Option<(Vec<u64>, String)> + 'a;
+
+/// The result of a minimization: final tape, its failure message, and
+/// how many executions were spent.
+pub struct Shrunk {
+    /// The minimal failing tape found within budget.
+    pub tape: Vec<u64>,
+    /// The failure message of the minimal tape.
+    pub message: String,
+    /// Property executions consumed.
+    pub executions: u32,
+}
+
+/// Shortlex order: a tape improves on another iff it is shorter, or the
+/// same length and lexicographically smaller. Zero-padding on replay can
+/// hand a *failing* candidate back in a canonical form no smaller than
+/// the current best — accepting those would loop forever.
+fn better(cand: &[u64], best: &[u64]) -> bool {
+    cand.len() < best.len() || (cand.len() == best.len() && cand < best)
+}
+
+/// Run one trial if budget remains; return the canonical tape only when
+/// the property failed AND the canonical form shortlex-improves on
+/// `best`.
+fn attempt(
+    trial: &mut Trial<'_>,
+    candidate: &[u64],
+    best: &[u64],
+    used: &mut u32,
+    budget: u32,
+) -> Option<(Vec<u64>, String)> {
+    if *used >= budget {
+        return None;
+    }
+    *used += 1;
+    trial(candidate).filter(|(tape, _)| better(tape, best))
+}
+
+/// Minimize a known-failing tape. `start` is the original recorded tape
+/// and its failure message; `budget` caps property executions.
+pub fn minimize(start: (Vec<u64>, String), trial: &mut Trial<'_>, budget: u32) -> Shrunk {
+    let (mut best, mut message) = start;
+    let mut used = 0u32;
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete contiguous chunks, largest first.
+        let mut size = best.len().max(1);
+        loop {
+            let mut i = 0;
+            while i + size <= best.len() && used < budget {
+                let mut cand = best.clone();
+                cand.drain(i..i + size);
+                let mut accepted = attempt(trial, &cand, &best, &mut used, budget);
+                if accepted.is_none() && i > 0 && best[i - 1] >= size as u64 {
+                    // Deleting drawn elements usually needs the length
+                    // word that sized the collection lowered in step —
+                    // try the deletion again with the preceding word
+                    // decremented by the window size.
+                    let mut cand = best.clone();
+                    cand.drain(i..i + size);
+                    cand[i - 1] -= size as u64;
+                    accepted = attempt(trial, &cand, &best, &mut used, budget);
+                }
+                match accepted {
+                    Some((tape, msg)) => {
+                        // Stay at `i` only when the canonical tape really
+                        // got shorter (the window now holds fresh words).
+                        // A same-length acceptance is lexical-only progress
+                        // — zero-padding regrew, or only the decremented
+                        // length word changed — and retrying the same
+                        // window would shave it by `size` per execution
+                        // until the budget dies.
+                        let shorter = tape.len() < best.len();
+                        best = tape;
+                        message = msg;
+                        improved = true;
+                        if !shorter {
+                            i += size;
+                        }
+                    }
+                    None => i += size,
+                }
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Pass 2: zero out contiguous chunks.
+        let mut size = best.len().max(1);
+        loop {
+            let mut i = 0;
+            while i + size <= best.len() && used < budget {
+                if best[i..i + size].iter().all(|&w| w == 0) {
+                    i += size;
+                    continue;
+                }
+                let mut cand = best.clone();
+                for w in &mut cand[i..i + size] {
+                    *w = 0;
+                }
+                if let Some((tape, msg)) = attempt(trial, &cand, &best, &mut used, budget) {
+                    best = tape;
+                    message = msg;
+                    improved = true;
+                }
+                i += size;
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Pass 3: per-position binary search toward zero.
+        let mut i = 0;
+        while i < best.len() && used < budget {
+            let orig = best[i];
+            if orig == 0 {
+                i += 1;
+                continue;
+            }
+            let with = |v: u64, base: &[u64]| {
+                let mut c = base.to_vec();
+                c[i] = v;
+                c
+            };
+            if let Some((tape, msg)) = attempt(trial, &with(0, &best), &best, &mut used, budget) {
+                best = tape;
+                message = msg;
+                improved = true;
+                i += 1;
+                continue;
+            }
+            // 0 passes, `orig` fails. Generators consume words modulo
+            // something small, so the failure predicate over a word is
+            // rarely monotone — a plain binary search from 2^63 stalls.
+            // First try a cheap ascending ladder: the smallest couple of
+            // values, then the low-bit masks of `orig` (which preserve
+            // the consumed residue for power-of-two moduli).
+            let mut hi = orig; // known failing (current best)
+            let mut shifted = false;
+            let mut ladder = [1u64, 2, orig & 0xff, orig & 0xffff, orig & 0xffff_ffff];
+            ladder.sort_unstable();
+            for v in ladder {
+                if v == 0 || v >= hi || used >= budget {
+                    continue;
+                }
+                if let Some((tape, msg)) = attempt(trial, &with(v, &best), &best, &mut used, budget)
+                {
+                    shifted = tape.get(i).copied() != Some(v);
+                    best = tape;
+                    message = msg;
+                    improved = true;
+                    hi = v;
+                    break; // ascending: the first failing rung is the best
+                }
+            }
+            if shifted || i >= best.len() {
+                i += 1;
+                continue; // the edit moved structure; revisit next loop
+            }
+            // Search (0, hi] for the smallest word that still fails.
+            let mut lo = 0u64; // known (or assumed) passing
+            while hi - lo > 1 && used < budget {
+                let mid = lo + (hi - lo) / 2;
+                match attempt(trial, &with(mid, &best), &best, &mut used, budget) {
+                    Some((tape, msg)) => {
+                        let stable = tape.get(i).copied() == Some(mid);
+                        best = tape;
+                        message = msg;
+                        hi = mid;
+                        improved = true;
+                        if !stable || i >= best.len() {
+                            break; // the edit shifted structure; move on
+                        }
+                    }
+                    None => lo = mid,
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || used >= budget {
+            break;
+        }
+    }
+    Shrunk { tape: best, message, executions: used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+
+    /// Wrap a property into a `Trial` without panicking machinery: the
+    /// property returns `Err(msg)` to signal failure.
+    fn trial_of<F>(prop: F) -> impl FnMut(&[u64]) -> Option<(Vec<u64>, String)>
+    where
+        F: Fn(&mut Source) -> Result<(), String>,
+    {
+        move |cand: &[u64]| {
+            let mut s = Source::replay(cand);
+            match prop(&mut s) {
+                Err(msg) => Some((s.tape().to_vec(), msg)),
+                Ok(()) => None,
+            }
+        }
+    }
+
+    #[test]
+    fn single_value_shrinks_to_boundary() {
+        // Fails iff the drawn value exceeds 1000: minimum counterexample
+        // is exactly 1001.
+        let prop = |s: &mut Source| {
+            let v = s.any_u64();
+            if v > 1000 {
+                Err(format!("{v} too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut trial = trial_of(prop);
+        let start_tape = vec![0xdead_beef_dead_beefu64];
+        let start_msg = "seed".to_string();
+        let out = minimize((start_tape, start_msg), &mut trial, 10_000);
+        assert_eq!(out.tape, vec![1001]);
+        assert_eq!(out.message, "1001 too big");
+        assert!(out.executions > 0 && out.executions < 200);
+    }
+
+    #[test]
+    fn byte_vector_shrinks_to_single_offender() {
+        // Fails iff the drawn byte string contains 0x7F.
+        let prop = |s: &mut Source| {
+            let v = s.bytes(0, 64);
+            if v.contains(&0x7F) {
+                Err("offender present".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let mut trial = trial_of(prop);
+        // A fat failing tape: length 9, bytes with one 0x7F in the middle.
+        let start = vec![9, 3, 4, 5, 6, 0x7F, 8, 9, 10, 11];
+        let out = minimize((start, "x".to_string()), &mut trial, 10_000);
+        assert_eq!(out.tape, vec![1, 0x7F], "minimal = one-byte vector [0x7F]");
+    }
+
+    #[test]
+    fn minimization_is_deterministic() {
+        let prop = |s: &mut Source| {
+            let v = s.bytes(0, 32);
+            if v.iter().map(|&b| b as u32).sum::<u32>() > 300 {
+                Err("sum too big".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let start: Vec<u64> = vec![20, 200, 200, 200, 9, 9, 9, 9, 9, 9, 200, 200, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let a = minimize((start.clone(), "x".into()), &mut trial_of(prop), 5_000);
+        let b = minimize((start, "x".into()), &mut trial_of(prop), 5_000);
+        assert_eq!(a.tape, b.tape);
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.executions, b.executions);
+    }
+
+    #[test]
+    fn budget_bounds_executions() {
+        let prop = |s: &mut Source| {
+            let v = s.bytes(0, 64);
+            if v.len() > 2 {
+                Err("long".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let start: Vec<u64> = (0..65).map(|i| i + 3).collect();
+        let out = minimize((start, "x".into()), &mut trial_of(prop), 7);
+        assert!(out.executions <= 7);
+    }
+}

@@ -1,0 +1,218 @@
+//! The choice tape: every random draw a property makes goes through a
+//! [`Source`] and is recorded as one `u64`. A failing input therefore
+//! *is* its tape — it can be replayed verbatim, mutated structurally by
+//! the shrinker, and reported as a compact hex string, all without any
+//! cooperation from the generators that consumed it.
+//!
+//! Replay semantics: a [`Source`] built from a tape returns the recorded
+//! words in order and **pads with zeros** once the tape is exhausted.
+//! Zero is always the "smallest" choice (minimal length, lowest value,
+//! `false`, first alternative), so deleting tape suffixes can only make
+//! an input simpler — the property the shrinker relies on.
+
+use std::net::Ipv4Addr;
+
+use lucent_support::rng::{derive, Rng64};
+
+enum Mode {
+    /// Fresh draws from a seeded RNG.
+    Random(Rng64),
+    /// Replaying a recorded tape; reads past the end yield 0.
+    Replay { tape: Vec<u64>, pos: usize },
+}
+
+/// A recording stream of bounded random choices.
+pub struct Source {
+    mode: Mode,
+    record: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh random source for `stream` under `seed` (distinct streams
+    /// never share draws).
+    pub fn new(seed: u64, stream: u64) -> Source {
+        Source { mode: Mode::Random(derive(seed, stream)), record: Vec::new() }
+    }
+
+    /// A source replaying `tape`; reads past the end return 0.
+    pub fn replay(tape: &[u64]) -> Source {
+        Source { mode: Mode::Replay { tape: tape.to_vec(), pos: 0 }, record: Vec::new() }
+    }
+
+    /// Every word drawn so far, in draw order. For a replayed source
+    /// this is the *canonical* tape: unread suffixes are absent and
+    /// zero-padding that was actually consumed is present.
+    pub fn tape(&self) -> &[u64] {
+        &self.record
+    }
+
+    fn draw(&mut self) -> u64 {
+        let v = match &mut self.mode {
+            Mode::Random(rng) => rng.next_u64(),
+            Mode::Replay { tape, pos } => {
+                let v = tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// A full-width draw.
+    pub fn any_u64(&mut self) -> u64 {
+        self.draw()
+    }
+
+    /// A 32-bit draw (low bits of one word).
+    pub fn any_u32(&mut self) -> u32 {
+        self.draw() as u32
+    }
+
+    /// A 16-bit draw.
+    pub fn any_u16(&mut self) -> u16 {
+        self.draw() as u16
+    }
+
+    /// An 8-bit draw.
+    pub fn any_u8(&mut self) -> u8 {
+        self.draw() as u8
+    }
+
+    /// A boolean; tape value 0 means `false` (the shrink target).
+    pub fn any_bool(&mut self) -> bool {
+        self.below(2) == 1
+    }
+
+    /// A value in `0..n`. Consumes **no** tape when `n <= 1`, so
+    /// degenerate choices never bloat the shrink search space.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n <= 1 {
+            0
+        } else {
+            self.draw() % n
+        }
+    }
+
+    /// A value in `lo..=hi`; shrinks toward `lo`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi, "range_u64: {lo} > {hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo).wrapping_add(1)))
+    }
+
+    /// True with probability `num/den`. Note the shrink direction: a
+    /// zero draw yields `true` whenever `num > 0`, so properties should
+    /// put the *simpler* behaviour on the `true` branch.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// A length in `lo..=hi`; shrinks toward `lo`.
+    pub fn len_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A byte vector with uniform contents and a length in `lo..=hi`.
+    pub fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let len = self.len_in(lo, hi);
+        (0..len).map(|_| self.any_u8()).collect()
+    }
+
+    /// A string of `lo..=hi` chars drawn uniformly from `alphabet`.
+    /// The alphabet must be non-empty.
+    pub fn string(&mut self, alphabet: &str, lo: usize, hi: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "Source::string: empty alphabet");
+        let len = self.len_in(lo, hi);
+        (0..len).map(|_| chars[self.below(chars.len() as u64) as usize]).collect()
+    }
+
+    /// One uniformly chosen element of a non-empty slice; shrinks toward
+    /// the first element.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Source::pick: empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle driven by the tape; a zero tape leaves the
+    /// slice in its original order (a zero draw swaps each position with
+    /// itself), so shrinking a shuffle converges on the identity.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = i - self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// An arbitrary IPv4 address.
+    pub fn ipv4(&mut self) -> Ipv4Addr {
+        Ipv4Addr::from(self.any_u32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_draws_are_recorded_and_replayable() {
+        let mut a = Source::new(7, 0);
+        let drawn: Vec<u64> = (0..8).map(|_| a.any_u64()).collect();
+        let mut b = Source::replay(a.tape());
+        let replayed: Vec<u64> = (0..8).map(|_| b.any_u64()).collect();
+        assert_eq!(drawn, replayed);
+        assert_eq!(a.tape(), b.tape());
+    }
+
+    #[test]
+    fn replay_pads_with_zeros_past_the_end() {
+        let mut s = Source::replay(&[5]);
+        assert_eq!(s.any_u64(), 5);
+        assert_eq!(s.any_u64(), 0);
+        assert!(!s.any_bool());
+        assert_eq!(s.tape(), &[5, 0, 0]);
+    }
+
+    #[test]
+    fn degenerate_choices_consume_no_tape() {
+        let mut s = Source::new(1, 0);
+        assert_eq!(s.below(1), 0);
+        assert_eq!(s.below(0), 0);
+        assert_eq!(s.len_in(3, 3), 3);
+        assert!(s.tape().is_empty());
+    }
+
+    #[test]
+    fn bounded_draws_respect_bounds() {
+        let mut s = Source::new(42, 9);
+        for _ in 0..256 {
+            let v = s.range_u64(10, 20);
+            assert!((10..=20).contains(&v));
+            let b = s.bytes(2, 5);
+            assert!((2..=5).contains(&b.len()));
+            let t = s.string("ab", 1, 3);
+            assert!((1..=3).contains(&t.len()));
+            assert!(t.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn zero_tape_is_the_minimal_input() {
+        let mut s = Source::replay(&[]);
+        assert_eq!(s.bytes(0, 64), Vec::<u8>::new());
+        assert_eq!(*s.pick(&['x', 'y', 'z']), 'x');
+        let mut items = [1, 2, 3, 4];
+        s.shuffle(&mut items);
+        assert_eq!(items, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let mut a = Source::new(7, 0);
+        let mut b = Source::new(7, 1);
+        assert_ne!(
+            (0..4).map(|_| a.any_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.any_u64()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -18,7 +18,8 @@
 //!   justification (most crates simply `#![forbid(unsafe_code)]`).
 //! - **L6 print hygiene** — no `println!`/`eprintln!` in non-test library
 //!   code outside the sanctioned sinks (the bench stopwatch, the `repro`
-//!   CLI and the lint CLI); diagnostics go through `lucent-obs`.
+//!   CLI, the lint CLI, and the `lucent-check` campaign reporter with
+//!   its `fuzz-smoke` binary); diagnostics go through `lucent-obs`.
 //!
 //! The lint is dependency-free by construction: it ships its own Rust
 //! scrubbing lexer and a TOML subset parser, so the gate itself cannot

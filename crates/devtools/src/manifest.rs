@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! support → {obs, packet} → netsim → tcp → dns → {web, middlebox}
-//!         → topology → core → bench
+//!         → topology → core → bench → check
 //! ```
 //!
 //! (`dns` sits above `tcp` because resolvers are transport apps hosted
@@ -175,6 +175,12 @@ pub fn layer_map() -> BTreeMap<&'static str, Vec<&'static str>> {
     m.insert(
         "lucent-bench",
         vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY, CORE],
+    );
+    // The fuzzing/property harness sits above everything it checks —
+    // lower crates consume it through dev-dependencies only.
+    m.insert(
+        "lucent-check",
+        vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY, CORE, "lucent-bench"],
     );
     m
 }

@@ -184,12 +184,15 @@ pub fn check_panic_budget(
 const PRINT_MACROS: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
 
 /// Files allowed to print: the bench stopwatch's progress reporting, the
-/// `repro` CLI (the workspace's one user-facing binary), and the lint
-/// CLI itself.
-const PRINT_SINKS: [&str; 3] = [
+/// `repro` CLI (the workspace's one user-facing binary), the lint CLI
+/// itself, and the lucent-check campaign reporter plus its `fuzz-smoke`
+/// binary (a fuzz transcript is user-facing output, not diagnostics).
+const PRINT_SINKS: [&str; 5] = [
     "crates/support/src/bench.rs",
     "crates/bench/src/bin/repro.rs",
     "crates/devtools/src/bin/lucent-lint.rs",
+    "crates/check/src/report.rs",
+    "crates/check/src/bin/fuzz-smoke.rs",
 ];
 
 /// L6: no console prints in non-test library code outside the sanctioned
@@ -357,6 +360,19 @@ mod tests {
         for path in super::PRINT_SINKS {
             assert!(check_print_hygiene(&SourceFile { path, text }, &lexed).is_empty());
         }
+    }
+
+    #[test]
+    fn the_check_reporter_is_a_sanctioned_sink() {
+        // The lucent-check campaign reporter and its fuzz-smoke binary
+        // print transcripts by design; any other check file must not.
+        let text = "fn emit() { print!(\"{}\", t); eprintln!(\"usage\"); }\n";
+        let lexed = Lexed::new(text);
+        for path in ["crates/check/src/report.rs", "crates/check/src/bin/fuzz-smoke.rs"] {
+            assert!(check_print_hygiene(&SourceFile { path, text }, &lexed).is_empty(), "{path}");
+        }
+        let v = check_print_hygiene(&SourceFile { path: "crates/check/src/runner.rs", text }, &lexed);
+        assert_eq!(v.len(), 2, "non-sink check files stay under L6: {v:?}");
     }
 
     #[test]

@@ -1,224 +1,71 @@
-//! Property-based tests for every wire format: roundtrips, parser safety
-//! on arbitrary bytes, and checksum integrity under corruption.
+//! Property-based tests for every wire format, driven by the
+//! `lucent-check` harness: roundtrips, parser safety on arbitrary and
+//! corrupted bytes, and checksum integrity.
+//!
+//! The ad-hoc `arb_*` builders that used to live here are gone — the
+//! structured generators now live in `lucent_check::packets` and the
+//! properties themselves in `lucent_check::oracles`, where the fuzz
+//! campaign (`fuzz-smoke`) also runs them. This suite pins each oracle
+//! into `cargo test -p lucent-packet` with a deeper case count, and a
+//! failure reports a shrunk, replayable tape instead of a bare seed.
 
-use std::net::Ipv4Addr;
+use lucent_check::{check, oracles, Config};
 
-use lucent_support::prop;
-use lucent_support::rng::Rng64;
-use lucent_support::Bytes;
-
-use lucent_packet::{
-    checksum, DnsMessage, HttpRequest, HttpResponse, IcmpMessage, Ipv4Header, Packet,
-    RequestParseMode, TcpFlags, TcpHeader, UdpHeader,
-};
-
-fn arb_ip(rng: &mut Rng64) -> Ipv4Addr {
-    Ipv4Addr::from(rng.gen::<u32>())
-}
-
-fn arb_tcp_header(rng: &mut Rng64) -> TcpHeader {
-    TcpHeader {
-        src_port: rng.gen(),
-        dst_port: rng.gen(),
-        seq: rng.gen(),
-        ack: rng.gen(),
-        flags: TcpFlags(rng.gen_range(0u8..0x40)),
-        window: rng.gen(),
-        mss: if rng.gen() { Some(rng.gen()) } else { None },
-    }
-}
-
-fn arb_ipv4_header(rng: &mut Rng64) -> Ipv4Header {
-    Ipv4Header {
-        src: arb_ip(rng),
-        dst: arb_ip(rng),
-        ttl: rng.gen(),
-        protocol: 6,
-        identification: rng.gen(),
-        tos: rng.gen(),
-        dont_frag: rng.gen(),
-    }
+fn cfg() -> Config {
+    Config::cases(256)
 }
 
 #[test]
 fn checksum_split_invariance() {
-    prop::check(256, |rng| {
-        let data = prop::vec_u8(rng, 0..512);
-        let split = rng.gen_range(0usize..512).min(data.len());
-        let whole = checksum::of(&data);
-        let mut c = checksum::Checksum::new();
-        c.add(&data[..split]);
-        c.add(&data[split..]);
-        assert_eq!(c.finish(), whole);
-    });
+    check(&cfg(), oracles::checksum_split);
 }
 
 #[test]
 fn ipv4_roundtrip() {
-    prop::check(256, |rng| {
-        let h = arb_ipv4_header(rng);
-        let payload = prop::vec_u8(rng, 0..256);
-        let mut wire = Vec::new();
-        h.emit(&payload, &mut wire);
-        let (parsed, body) = Ipv4Header::parse(&wire).unwrap();
-        assert_eq!(parsed, h);
-        assert_eq!(body, &payload[..]);
-    });
+    check(&cfg(), oracles::ipv4_roundtrip);
 }
 
 #[test]
-fn ipv4_single_byte_corruption_detected_in_header() {
-    prop::check(256, |rng| {
-        let h = arb_ipv4_header(rng);
-        let byte = rng.gen_range(0usize..20);
-        let bit = rng.gen_range(0u8..8);
-        let mut wire = Vec::new();
-        h.emit(&[], &mut wire);
-        wire[byte] ^= 1 << bit;
-        // Any single-bit flip in the header must be rejected (checksum,
-        // version, or length checks).
-        assert!(Ipv4Header::parse(&wire).is_err());
-    });
+fn ipv4_single_bit_corruption_detected_in_header() {
+    check(&cfg(), oracles::ipv4_corruption_detected);
 }
 
 #[test]
 fn tcp_roundtrip() {
-    prop::check(256, |rng| {
-        let (src, dst) = (arb_ip(rng), arb_ip(rng));
-        let h = arb_tcp_header(rng);
-        let payload = prop::vec_u8(rng, 0..512);
-        let mut wire = Vec::new();
-        h.emit(src, dst, &payload, &mut wire);
-        let (parsed, body) = TcpHeader::parse(src, dst, &wire).unwrap();
-        assert_eq!(parsed, h);
-        assert_eq!(body, &payload[..]);
-    });
+    check(&cfg(), oracles::tcp_roundtrip);
 }
 
 #[test]
 fn udp_roundtrip() {
-    prop::check(256, |rng| {
-        let (src, dst) = (arb_ip(rng), arb_ip(rng));
-        let h = UdpHeader::new(rng.gen(), rng.gen());
-        let payload = prop::vec_u8(rng, 0..512);
-        let mut wire = Vec::new();
-        h.emit(src, dst, &payload, &mut wire);
-        let (parsed, body) = UdpHeader::parse(src, dst, &wire).unwrap();
-        assert_eq!(parsed, h);
-        assert_eq!(body, &payload[..]);
-    });
+    check(&cfg(), oracles::udp_roundtrip);
 }
 
 #[test]
 fn icmp_roundtrip() {
-    prop::check(256, |rng| {
-        let (ident, seq) = (rng.gen(), rng.gen());
-        let orig = prop::vec_u8(rng, 0..64);
-        for msg in [
-            IcmpMessage::EchoRequest { ident, seq },
-            IcmpMessage::EchoReply { ident, seq },
-            IcmpMessage::TimeExceeded { original: orig.clone() },
-            IcmpMessage::DestUnreachable { code: 3, original: orig.clone() },
-        ] {
-            let mut wire = Vec::new();
-            msg.emit(&mut wire);
-            assert_eq!(IcmpMessage::parse(&wire).unwrap(), msg);
-        }
-    });
+    check(&cfg(), oracles::icmp_roundtrip);
 }
 
 #[test]
 fn full_packet_roundtrip() {
-    prop::check(256, |rng| {
-        let (src, dst) = (arb_ip(rng), arb_ip(rng));
-        let h = arb_tcp_header(rng);
-        let ttl = rng.gen_range(1u8..=255);
-        let ident = rng.gen::<u16>();
-        let payload = prop::vec_u8(rng, 0..256);
-        let pkt = Packet::tcp(src, dst, h, Bytes::from(payload)).with_ttl(ttl).with_ip_id(ident);
-        let parsed = Packet::parse(&pkt.emit()).unwrap();
-        assert_eq!(parsed, pkt);
-    });
+    check(&cfg(), oracles::full_packet_roundtrip);
 }
 
 #[test]
-fn ip_parser_never_panics() {
-    prop::check(256, |rng| {
-        let bytes = prop::vec_u8(rng, 0..128);
-        let _ = Ipv4Header::parse(&bytes);
-        let _ = Packet::parse(&bytes);
-    });
+fn parsers_never_panic_on_garbage() {
+    check(&cfg(), oracles::parsers_survive_garbage);
 }
 
 #[test]
-fn dns_parser_never_panics() {
-    prop::check(256, |rng| {
-        let bytes = prop::vec_u8(rng, 0..256);
-        let _ = DnsMessage::parse(&bytes);
-    });
+fn parsers_never_panic_on_corrupted_valid_images() {
+    check(&cfg(), oracles::parsers_survive_corruption);
 }
 
 #[test]
-fn http_parsers_never_panic() {
-    prop::check(256, |rng| {
-        let bytes = prop::vec_u8(rng, 0..256);
-        let _ = HttpRequest::parse(&bytes, RequestParseMode::Rfc);
-        let _ = HttpRequest::parse(&bytes, RequestParseMode::Strict);
-        let _ = HttpResponse::parse(&bytes);
-    });
+fn dns_roundtrip() {
+    check(&cfg(), oracles::dns_roundtrip);
 }
 
 #[test]
-fn dns_query_roundtrip() {
-    prop::check(256, |rng| {
-        let id = rng.gen::<u16>();
-        let labels = prop::vec_of(rng, 1..5, |rng| prop::alnum_lower(rng, 1..=16));
-        let name = labels.join(".");
-        let q = DnsMessage::query_a(id, &name);
-        let mut wire = Vec::new();
-        q.emit(&mut wire).unwrap();
-        let parsed = DnsMessage::parse(&wire).unwrap();
-        assert_eq!(parsed, q);
-    });
-}
-
-#[test]
-fn dns_answer_roundtrip() {
-    prop::check(256, |rng| {
-        let id = rng.gen::<u16>();
-        let ips = prop::vec_of(rng, 0..6, arb_ip);
-        let ttl = rng.gen::<u32>();
-        let q = DnsMessage::query_a(id, "host.example.com");
-        let a = DnsMessage::answer_a(&q, &ips, ttl);
-        let mut wire = Vec::new();
-        a.emit(&mut wire).unwrap();
-        let parsed = DnsMessage::parse(&wire).unwrap();
-        assert_eq!(parsed.a_records(), ips);
-        assert_eq!(parsed, a);
-    });
-}
-
-#[test]
-fn http_request_builder_roundtrip() {
-    prop::check(256, |rng| {
-        let path = format!("/{}", prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789/", 0..=20));
-        let host = prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789.", 1..=30);
-        let bytes = lucent_packet::http::RequestBuilder::browser(&host, &path).build();
-        let (req, used) = HttpRequest::parse(&bytes, RequestParseMode::Rfc).unwrap();
-        assert_eq!(used, bytes.len());
-        assert_eq!(req.host(), Some(host.as_str()));
-        assert_eq!(req.target, path);
-    });
-}
-
-#[test]
-fn http_response_roundtrip() {
-    prop::check(256, |rng| {
-        let status = rng.gen_range(100u16..600);
-        let body = prop::vec_of(rng, 0..256, |rng| rng.gen_range(0x20u8..0x7f));
-        let resp = HttpResponse::new(status, "Reason", body.clone());
-        let parsed = HttpResponse::parse(&resp.emit()).unwrap();
-        assert_eq!(parsed.status, status);
-        assert_eq!(parsed.body, body);
-    });
+fn http_roundtrips() {
+    check(&cfg(), oracles::http_roundtrips);
 }

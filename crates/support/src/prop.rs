@@ -1,5 +1,12 @@
-//! A micro property-testing harness, replacing `proptest` for the three
-//! `props.rs` suites.
+//! A micro property-testing harness — **superseded by `lucent-check`**.
+//!
+//! The wire-format, TCP and integration property suites now run on the
+//! `lucent-check` crate, which adds recorded choice tapes, integrated
+//! shrinking and replayable failure reports on top of what this module
+//! offers. New properties should use `lucent_check::{check, Config}`
+//! and draw inputs from a `lucent_check::Source`; this shim stays only
+//! for `support`'s own substrate tests (which cannot depend on a crate
+//! above them in the layer DAG) and will shrink further as they migrate.
 //!
 //! Each case gets a [`Rng64`] seeded deterministically from the case
 //! index, so failures are reproducible by construction: the panic
@@ -34,18 +41,24 @@ pub fn check(cases: u32, f: impl Fn(&mut Rng64)) {
 }
 
 /// A `Vec<u8>` with uniform contents and a uniform length in `range`.
+/// The range must be non-empty: an empty half-open range like `3..3` is
+/// a caller bug (it used to silently yield `range.start` elements,
+/// masking typos such as a swapped `hi..lo`).
 pub fn vec_u8(rng: &mut Rng64, range: std::ops::Range<usize>) -> Vec<u8> {
-    let len = if range.is_empty() { range.start } else { rng.gen_range(range) };
+    assert!(!range.is_empty(), "vec_u8: empty length range {range:?}");
+    let len = rng.gen_range(range);
     (0..len).map(|_| rng.gen::<u8>()).collect()
 }
 
-/// A `Vec` of `len_range.sample()` items drawn by `item`.
+/// A `Vec` of `len_range.sample()` items drawn by `item`. Like
+/// [`vec_u8`], the length range must be non-empty.
 pub fn vec_of<T>(
     rng: &mut Rng64,
     range: std::ops::Range<usize>,
     mut item: impl FnMut(&mut Rng64) -> T,
 ) -> Vec<T> {
-    let len = if range.is_empty() { range.start } else { rng.gen_range(range) };
+    assert!(!range.is_empty(), "vec_of: empty length range {range:?}");
+    let len = rng.gen_range(range);
     (0..len).map(|_| item(rng)).collect()
 }
 
@@ -105,6 +118,21 @@ mod tests {
             let pick = select(rng, &[1, 2, 3]);
             assert!([1, 2, 3].contains(pick));
         });
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the empty range IS the subject
+    fn empty_length_ranges_are_rejected() {
+        // Regression: these used to silently return `range.start`
+        // elements, hiding swapped-bound typos at call sites.
+        let mut rng = Rng64::seed_from_u64(1);
+        let r = catch_unwind(AssertUnwindSafe(|| vec_u8(&mut rng, 5..5)));
+        assert!(r.is_err(), "vec_u8 must reject an empty range");
+        let mut rng = Rng64::seed_from_u64(1);
+        let r = catch_unwind(AssertUnwindSafe(|| vec_of(&mut rng, 7..3, |rng| rng.gen::<u8>())));
+        assert!(r.is_err(), "vec_of must reject an empty range");
+        let mut rng = Rng64::seed_from_u64(1);
+        assert!(vec_u8(&mut rng, 0..1).is_empty(), "0..1 draws exactly zero");
     }
 
     #[test]

@@ -1,79 +1,36 @@
-//! Property tests for the TCP state machine: safety under arbitrary
-//! segments, and delivery correctness under loss with retransmission.
+//! Property tests for the TCP state machine, driven by the
+//! `lucent-check` harness: safety under arbitrary segments, and delivery
+//! correctness under duplication and bounded loss with retransmission.
+//!
+//! The handshake rig (`established_pair`) and the arbitrary-segment
+//! safety property live in `lucent_check::oracles`, shared with the
+//! fuzz campaign; the delivery properties below draw their inputs from
+//! a [`Source`] so a failure shrinks to a minimal chunk list or loss
+//! pattern and reports a replayable tape.
 
-use std::net::Ipv4Addr;
-
-use lucent_support::prop;
-
+use lucent_check::oracles::established_pair;
+use lucent_check::{check, oracles, Config, Source};
 use lucent_netsim::SimTime;
-use lucent_packet::tcp::{TcpFlags, TcpHeader};
-use lucent_tcp::tcb::{Tcb, TimerAsk};
-use lucent_tcp::TcpState;
-
-const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
-const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+use lucent_tcp::tcb::TimerAsk;
 
 fn t(ms: u64) -> SimTime {
     SimTime(ms * 1_000)
-}
-
-/// Drive both ends through the handshake.
-fn established() -> (Tcb, Tcb) {
-    let mut a = Tcb::connect((A_IP, 4000), (B_IP, 80), 1_000, t(0));
-    let (syn_out, _) = a.poll(t(0));
-    let (syn, _) = &syn_out[0];
-    let mut b = Tcb::accept((B_IP, 80), (A_IP, 4000), 9_000, syn, t(0));
-    for _ in 0..8 {
-        let (fa, _) = a.poll(t(1));
-        let (fb, _) = b.poll(t(1));
-        if fa.is_empty() && fb.is_empty() {
-            break;
-        }
-        for (h, p) in fa {
-            b.on_segment(&h, &p, t(1));
-        }
-        for (h, p) in fb {
-            a.on_segment(&h, &p, t(1));
-        }
-    }
-    assert_eq!(a.state, TcpState::Established);
-    assert_eq!(b.state, TcpState::Established);
-    (a, b)
 }
 
 /// Arbitrary segments never panic the state machine, and the receive
 /// buffer never shrinks.
 #[test]
 fn arbitrary_segments_are_safe() {
-    prop::check(128, |rng| {
-        let segs = prop::vec_of(rng, 0..48, |rng| {
-            (
-                rng.gen_range(0u8..0x40),
-                rng.gen::<u32>(),
-                rng.gen::<u32>(),
-                prop::vec_u8(rng, 0..64),
-            )
-        });
-        let (mut a, _b) = established();
-        let mut last_len = 0usize;
-        for (i, (flags, seq, ack, payload)) in segs.into_iter().enumerate() {
-            let mut h = TcpHeader::new(80, 4000, TcpFlags(flags));
-            h.seq = seq;
-            h.ack = ack;
-            a.on_segment(&h, &payload, t(10 + i as u64));
-            let _ = a.poll(t(10 + i as u64));
-            assert!(a.recv_buf.len() >= last_len || a.recv_buf.is_empty());
-            last_len = a.recv_buf.len();
-        }
-    });
+    check(&Config::cases(128), oracles::tcb_arbitrary_segments_safe);
 }
 
 /// Lossless in-order exchange delivers exactly the sent bytes.
 #[test]
 fn lossless_delivery_is_exact() {
-    prop::check(128, |rng| {
-        let chunks = prop::vec_of(rng, 1..12, |rng| prop::vec_u8(rng, 1..512));
-        let (mut a, mut b) = established();
+    check(&Config::cases(128), |s: &mut Source| {
+        let n = s.len_in(1, 11);
+        let chunks: Vec<Vec<u8>> = (0..n).map(|_| s.bytes(1, 511)).collect();
+        let (mut a, mut b) = established_pair();
         let mut expected = Vec::new();
         for chunk in &chunks {
             expected.extend_from_slice(chunk);
@@ -103,10 +60,10 @@ fn lossless_delivery_is_exact() {
 /// in order.
 #[test]
 fn lossy_delivery_recovers_via_retransmission() {
-    prop::check(128, |rng| {
-        let payload = prop::vec_u8(rng, 1..2_000);
-        let loss_seed = rng.gen::<u64>();
-        let (mut a, mut b) = established();
+    check(&Config::cases(128), |s: &mut Source| {
+        let payload = s.bytes(1, 1_999);
+        let loss_seed = s.any_u64();
+        let (mut a, mut b) = established_pair();
         a.send(&payload);
         let mut x = loss_seed | 1;
         let mut dropped: std::collections::BTreeMap<u32, u8> = std::collections::BTreeMap::new();
@@ -151,10 +108,10 @@ fn lossy_delivery_recovers_via_retransmission() {
 /// Duplicated (replayed) data segments never corrupt the stream.
 #[test]
 fn duplicate_segments_do_not_corrupt() {
-    prop::check(128, |rng| {
-        let payload = prop::vec_u8(rng, 1..600);
-        let dup_every = rng.gen_range(1usize..4);
-        let (mut a, mut b) = established();
+    check(&Config::cases(128), |s: &mut Source| {
+        let payload = s.bytes(1, 599);
+        let dup_every = s.len_in(1, 3);
+        let (mut a, mut b) = established_pair();
         a.send(&payload);
         let mut now = 100u64;
         for _ in 0..64 {

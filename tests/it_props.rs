@@ -1,7 +1,12 @@
 //! Cross-crate property tests: determinism of the whole world, matcher /
 //! server parse agreements, and wire fidelity of live traffic.
+//!
+//! The drawn-input properties run on the `lucent-check` harness with its
+//! shared `packets` generators, so a failure reports a shrunk,
+//! replayable choice tape; the two whole-world tests are deterministic
+//! fixtures and need no harness.
 
-use lucent_support::prop;
+use lucent_check::{check, packets, Config, Source};
 
 use lucent_core::lab::{Lab, FETCH_TIMEOUT_MS};
 use lucent_middlebox::HostMatcher;
@@ -34,18 +39,14 @@ fn world_build_and_first_fetch_are_deterministic() {
 /// exists for non-canonical requests.
 #[test]
 fn matchers_and_server_agree_on_canonical_requests() {
-    prop::check(64, |rng| {
-        let host = format!(
-            "{}{}{}",
-            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..=1),
-            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789.-", 0..=30),
-            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789", 1..=1),
-        );
-        let path = format!("/{}", prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789/", 0..=16));
+    check(&Config::cases(64), |s: &mut Source| {
+        let host = packets::host_name(s);
+        let path = packets::url_path(s);
         let bytes = RequestBuilder::browser(&host, &path).build();
         let (req, _) = HttpRequest::parse(&bytes, RequestParseMode::Rfc).unwrap();
         let server_view = req.host().map(|h| h.to_ascii_lowercase());
-        for matcher in [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost] {
+        for matcher in [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost]
+        {
             assert_eq!(matcher.extract(&bytes), server_view.clone(), "{matcher:?}");
         }
     });
@@ -55,19 +56,13 @@ fn matchers_and_server_agree_on_canonical_requests() {
 /// RFC parser regardless of what the matchers think.
 #[test]
 fn rfc_server_parse_is_whitespace_invariant() {
-    prop::check(64, |rng| {
-        let host = format!(
-            "{}{}{}",
-            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz", 1..=1),
-            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789.", 0..=24),
-            prop::string_of(rng, "abcdefghijklmnopqrstuvwxyz0123456789", 1..=1),
-        );
-        let lead = *prop::select(rng, &[" ", "  ", "\t", " \t"]);
-        let trail = *prop::select(rng, &["", " ", "\t", "  "]);
+    check(&Config::cases(64), |s: &mut Source| {
+        let host = packets::host_name(s);
+        let lead = *s.pick(&[" ", "  ", "\t", " \t"]);
+        let trail = *s.pick(&["", " ", "\t", "  "]);
         let canonical = RequestBuilder::get("/").header("Host", &host).build();
-        let fudged = RequestBuilder::get("/")
-            .raw_line(&format!("Host:{lead}{host}{trail}"))
-            .build();
+        let fudged =
+            RequestBuilder::get("/").raw_line(&format!("Host:{lead}{host}{trail}")).build();
         let (a, _) = HttpRequest::parse(&canonical, RequestParseMode::Rfc).unwrap();
         let (b, _) = HttpRequest::parse(&fudged, RequestParseMode::Rfc).unwrap();
         assert_eq!(a.host(), b.host());

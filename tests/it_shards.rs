@@ -6,7 +6,7 @@
 
 use lucent_bench::drive::Driver;
 use lucent_bench::Scale;
-use lucent_core::experiments::{race, table1};
+use lucent_core::experiments::{fig2, race, table1};
 use lucent_obs::Telemetry;
 use lucent_support::json::to_string_pretty;
 
@@ -57,4 +57,12 @@ fn table1_is_byte_identical_across_thread_counts() {
         to_string_pretty(&drv.table1(hub, &table1::Table1Options::default()))
     });
     assert_all_identical(&runs, "table1");
+}
+
+#[test]
+fn fig2_is_byte_identical_across_thread_counts() {
+    let runs = at_thread_counts(|drv, hub| {
+        to_string_pretty(&drv.fig2(hub, &fig2::Fig2Options::default()))
+    });
+    assert_all_identical(&runs, "fig2");
 }
