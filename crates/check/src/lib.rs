@@ -22,7 +22,10 @@
 //! - [`runner`] — the case loop: [`check`] panics with a replayable
 //!   report, [`run`] returns the [`Finding`];
 //! - [`oracles`] — differential and round-trip properties over
-//!   `lucent-packet`, `lucent-tcp` and `lucent-middlebox`;
+//!   `lucent-packet`, `lucent-tcp`, `lucent-middlebox`, and the
+//!   `lucent-devtools` lexer/parser (fed by [`rustish`]);
+//! - [`rustish`] — Rust-ish token soup (raw strings, nested block
+//!   comments, escaped literals) for the lint totality oracles;
 //! - [`invariants`] — metamorphic properties through the real simulation
 //!   stack (header-permutation invariance, blocklist monotonicity,
 //!   shard-count invariance);
@@ -41,6 +44,7 @@ pub mod packets;
 pub mod planted;
 pub mod report;
 pub mod runner;
+pub mod rustish;
 pub mod shrink;
 pub mod source;
 

@@ -18,6 +18,8 @@
 //! | `tcb_arbitrary_segments_safe` | the TCP state machine never panics, receive buffer never shrinks |
 //! | `flow_table_invariants` | flow tracking: len moves by ≤1 per packet, sweep reports exactly what it evicts |
 //! | `planted_cap_is_bounded` | the planted SUT respects its cap (fails under `--features planted-bug`) |
+//! | `lint_lexer_total` | the devtools scrubbing lexer preserves length and newlines on Rust-ish soup |
+//! | `lint_parser_total` | the devtools item parser is total and emits sane spans on Rust-ish soup |
 
 use std::net::Ipv4Addr;
 
@@ -293,6 +295,42 @@ pub fn planted_cap_is_bounded(s: &mut Source) {
     );
 }
 
+/// The devtools scrubbing lexer is total on arbitrary Rust-ish soup
+/// and keeps its contract: output has the same byte length and the
+/// same newline positions as the input, and `has_token` never panics.
+pub fn lint_lexer_total(s: &mut Source) {
+    let text = crate::rustish::soup(s);
+    let scrubbed = lucent_devtools::lex::scrub(&text);
+    assert_eq!(scrubbed.len(), text.len(), "scrub must preserve byte length");
+    let newlines = |t: &str| -> Vec<usize> {
+        t.bytes().enumerate().filter(|&(_, c)| c == b'\n').map(|(i, _)| i).collect()
+    };
+    assert_eq!(newlines(&scrubbed), newlines(&text), "scrub must preserve newline positions");
+    let _ = lucent_devtools::lex::has_token(&scrubbed, "fn");
+    let _ = lucent_devtools::lex::test_spans(&scrubbed);
+}
+
+/// The devtools item parser is total on arbitrary Rust-ish soup, and
+/// every item it does extract has a sane span: 1-based lines inside
+/// the file, `end_line >= line`, body ranges inside the text.
+pub fn lint_parser_total(s: &mut Source) {
+    let text = crate::rustish::soup(s);
+    let scrubbed = lucent_devtools::lex::scrub(&text);
+    let parsed = lucent_devtools::parse::parse(&scrubbed);
+    let lines = scrubbed.bytes().filter(|&c| c == b'\n').count() + 1;
+    for f in &parsed.fns {
+        assert!(f.line >= 1 && f.line <= lines, "fn `{}` line {} of {lines}", f.name, f.line);
+        assert!(f.end_line >= f.line, "fn `{}` ends before it starts", f.name);
+        assert!(f.end_line <= lines, "fn `{}` end_line {} of {lines}", f.name, f.end_line);
+        if let Some((lo, hi)) = f.body {
+            assert!(lo <= hi && hi <= scrubbed.len(), "fn `{}` body {lo}..{hi}", f.name);
+        }
+    }
+    for u in &parsed.uses {
+        assert!(u.line >= 1 && u.line <= lines, "use `{}` line {} of {lines}", u.path, u.line);
+    }
+}
+
 /// A named oracle, as listed by [`all`].
 pub type NamedOracle = (&'static str, fn(&mut Source));
 
@@ -313,6 +351,8 @@ pub fn all() -> Vec<NamedOracle> {
         ("tcb_arbitrary_segments_safe", tcb_arbitrary_segments_safe),
         ("flow_table_invariants", flow_table_invariants),
         ("planted_cap_is_bounded", planted_cap_is_bounded),
+        ("lint_lexer_total", lint_lexer_total),
+        ("lint_parser_total", lint_parser_total),
     ]
 }
 

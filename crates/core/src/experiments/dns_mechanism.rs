@@ -44,9 +44,9 @@ pub fn run(lab: &mut Lab, per_isp: usize) -> DnsMechanismReport {
                 rs.iter()
                     .filter(|(_, bl)| !bl.is_empty())
                     .take(per_isp)
-                    .map(|(ip, bl)| {
-                        let site = *bl.iter().next().expect("non-empty");
-                        (*ip, lab.india.corpus.site(site).domain.clone())
+                    .filter_map(|(ip, bl)| {
+                        let site = *bl.iter().next()?;
+                        Some((*ip, lab.india.corpus.site(site).domain.clone()))
                     })
                     .collect()
             })
@@ -109,7 +109,11 @@ pub fn synthetic_injection_control() -> DnsMechanism {
         let port = 42_000 + u16::from(ttl);
         let query = DnsMessage::query_a(port, "blocked.example");
         let mut bytes = Vec::new();
-        query.emit(&mut bytes).expect("emit");
+        if query.emit(&mut bytes).is_err() {
+            // A query that cannot even serialize proves nothing either
+            // way; skip this rung rather than abort the control.
+            continue;
+        }
         if let Some(host) = net.node_mut::<TcpHost>(client) {
             host.udp_bind(port);
             let mut pkt = lucent_packet::Packet::udp(

@@ -1,0 +1,10 @@
+//! Baseline-covered L7 reach: one panic site reachable from `run_isp`,
+//! ceiling one.
+
+pub fn run_isp(sample: Option<u32>) -> u32 {
+    helper(sample)
+}
+
+fn helper(sample: Option<u32>) -> u32 {
+    sample.unwrap()
+}

@@ -1,0 +1,9 @@
+//! Seeded L7 violation: the entry point reaches a panicking helper.
+
+pub fn run_isp(sample: Option<u32>) -> u32 {
+    helper(sample)
+}
+
+fn helper(sample: Option<u32>) -> u32 {
+    sample.unwrap()
+}

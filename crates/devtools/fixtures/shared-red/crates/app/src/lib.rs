@@ -1,0 +1,7 @@
+//! Seeded L8 violations: shared mutable state at static scope.
+
+use std::sync::Mutex;
+
+pub static REGISTRY: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+pub static mut HITS: u32 = 0;

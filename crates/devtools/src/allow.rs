@@ -15,8 +15,13 @@ pub struct Allow {
     pub wall_clock: Vec<String>,
     /// Files permitted to construct RNGs (seed plumbing sources).
     pub rng_construction: Vec<String>,
+    /// Files permitted to hold interior-mutability statics (L8).
+    pub shared_state: Vec<String>,
     /// Per-file panic-site ceilings for non-test library code.
     pub panic_sites: BTreeMap<String, usize>,
+    /// Per-entry-point ceilings on reachable panic sites (L7). Keys
+    /// are entry ids, `<file>::<fn name>`.
+    pub panic_reach: BTreeMap<String, usize>,
 }
 
 impl Allow {
@@ -29,20 +34,23 @@ impl Allow {
                 .map(<[String]>::to_vec)
                 .unwrap_or_default()
         };
-        let mut panic_sites = BTreeMap::new();
-        for (path, v) in doc.section("panic_sites") {
-            let n = v
-                .as_int()
-                .ok_or_else(|| format!("panic_sites.{path}: expected an integer"))?;
-            if n < 0 {
-                return Err(format!("panic_sites.{path}: negative ceiling"));
+        let ceilings = |section: &str| -> Result<BTreeMap<String, usize>, String> {
+            let mut out = BTreeMap::new();
+            for (key, v) in doc.section(section) {
+                let n = v.as_int().ok_or_else(|| format!("{section}.{key}: expected an integer"))?;
+                if n < 0 {
+                    return Err(format!("{section}.{key}: negative ceiling"));
+                }
+                out.insert(key.clone(), n as usize);
             }
-            panic_sites.insert(path.clone(), n as usize);
-        }
+            Ok(out)
+        };
         Ok(Allow {
             wall_clock: files("wall_clock"),
             rng_construction: files("rng_construction"),
-            panic_sites,
+            shared_state: files("shared_state"),
+            panic_sites: ceilings("panic_sites")?,
+            panic_reach: ceilings("panic_reach")?,
         })
     }
 
@@ -54,8 +62,17 @@ impl Allow {
         self.rng_construction.iter().any(|p| p == path)
     }
 
+    pub fn allows_shared_state(&self, path: &str) -> bool {
+        self.shared_state.iter().any(|p| p == path)
+    }
+
     pub fn panic_ceiling(&self, path: &str) -> usize {
         self.panic_sites.get(path).copied().unwrap_or(0)
+    }
+
+    /// Ceiling on panic sites reachable from the entry point `id`.
+    pub fn reach_ceiling(&self, id: &str) -> usize {
+        self.panic_reach.get(id).copied().unwrap_or(0)
     }
 
     /// Serialize back to TOML (used by `--update-baseline`): the file
@@ -75,11 +92,22 @@ impl Allow {
         };
         out.push_str(&list("wall_clock", &self.wall_clock));
         out.push_str(&list("rng_construction", &self.rng_construction));
+        out.push_str("# Files that may hold interior-mutability statics (L8). `static mut`\n");
+        out.push_str("# is forbidden everywhere, allowlist or not.\n");
+        out.push_str(&list("shared_state", &self.shared_state));
         out.push_str("# Panic sites (unwrap/expect/panic!/unreachable!) in non-test code,\n");
         out.push_str("# per file. Regenerate with `lucent-lint --update-baseline`.\n");
         out.push_str("[panic_sites]\n");
         for (path, n) in &self.panic_sites {
             out.push_str(&format!("\"{path}\" = {n}\n"));
+        }
+        out.push('\n');
+        out.push_str("# Panic sites reachable from each experiment entry point, through\n");
+        out.push_str("# the approximate call graph (L7). Keys are `<file>::<fn>`.\n");
+        out.push_str("# Regenerate with `lucent-lint --update-baseline`.\n");
+        out.push_str("[panic_reach]\n");
+        for (id, n) in &self.panic_reach {
+            out.push_str(&format!("\"{id}\" = {n}\n"));
         }
         out
     }
@@ -95,10 +123,14 @@ mod tests {
         a.wall_clock.push("crates/support/src/bench.rs".into());
         a.rng_construction.push("crates/netsim/src/time.rs".into());
         a.panic_sites.insert("crates/packet/src/dns.rs".into(), 7);
+        a.shared_state.push("crates/check/src/runner.rs".into());
+        a.panic_reach.insert("crates/core/src/experiments/race.rs::run_isp".into(), 2);
         let b = Allow::parse(&a.to_toml()).expect("round trip");
         assert_eq!(b.wall_clock, a.wall_clock);
         assert_eq!(b.rng_construction, a.rng_construction);
         assert_eq!(b.panic_sites, a.panic_sites);
+        assert_eq!(b.shared_state, a.shared_state);
+        assert_eq!(b.panic_reach, a.panic_reach);
     }
 
     #[test]

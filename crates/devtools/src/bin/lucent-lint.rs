@@ -1,22 +1,31 @@
 //! The lint gate CLI.
 //!
 //! ```text
-//! lucent-lint [--root <dir>] [--update-baseline] [--verbose]
+//! lucent-lint [--root <dir>] [--update-baseline] [--json] [--threads <n>] [--verbose]
 //! ```
 //!
 //! Exit status 0 when the tree is clean, 1 on violations, 2 on usage or
 //! I/O errors. Run from anywhere inside the workspace; the root is found
 //! by walking up to the `[workspace]` manifest.
+//!
+//! `--json` prints the machine-readable report (schema `lucent-lint/2`)
+//! to stdout and nothing else; the bytes are identical across runs and
+//! `--threads` values, so CI diffs them against a committed golden.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: lucent-lint [--root <dir>] [--update-baseline] [--json] [--threads <n>] [--verbose]";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut update = false;
     let mut verbose = false;
+    let mut json = false;
+    let mut opts = lucent_devtools::Options::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,10 +33,15 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
             },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => return usage("--threads needs a positive integer"),
+            },
             "--update-baseline" => update = true,
+            "--json" => json = true,
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
-                println!("usage: lucent-lint [--root <dir>] [--update-baseline] [--verbose]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -44,7 +58,7 @@ fn main() -> ExitCode {
     let result = if update {
         lucent_devtools::update_baseline(&root)
     } else {
-        lucent_devtools::run_root(&root)
+        lucent_devtools::run_root_with(&root, &opts)
     };
     let report = match result {
         Ok(r) => r,
@@ -53,6 +67,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if json && !update {
+        print!("{}", report.to_json());
+        return if report.ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
 
     for v in &report.violations {
         println!("{v}");
@@ -68,8 +87,11 @@ fn main() -> ExitCode {
     }
     if report.ok() {
         println!(
-            "lucent-lint: clean — {} files, {} panic sites within baseline, {} note(s)",
+            "lucent-lint: clean — {} files, {} fns, {} call edges, {} panic sites within \
+             baseline, {} note(s)",
             report.files_scanned,
+            report.functions,
+            report.call_edges,
             report.panic_total,
             report.warnings.len()
         );
@@ -82,6 +104,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("lucent-lint: {msg}");
-    eprintln!("usage: lucent-lint [--root <dir>] [--update-baseline] [--verbose]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }

@@ -1,0 +1,230 @@
+//! Approximate workspace call graph over the symbol index.
+//!
+//! Call sites are recognized lexically in scrubbed function bodies:
+//! an identifier followed by `(` (optionally through a `::<…>`
+//! turbofish), with the preceding tokens deciding whether the call is
+//! qualified (`race::run_isp(`), a method (`.observe(`), or bare.
+//! Resolution is name-based and deliberately *over-approximate*: a
+//! qualifier narrows the candidate set when it matches a defining
+//! file's stem or an in-file qualifier segment, otherwise every
+//! same-named function is a candidate. For the L7 panic-provenance
+//! ratchet an over-approximation is the safe direction — reachability
+//! can only shrink by hardening code, never by confusing the resolver.
+
+use crate::parse::next_token;
+use crate::symbols::Index;
+
+/// One lexical call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    pub name: String,
+    /// `Some("race")` for `race::run_isp(…)`; `None` for bare calls.
+    pub qualifier: Option<String>,
+    /// Preceded by `.` — a method call.
+    pub method: bool,
+}
+
+/// Control-flow keywords that look like calls (`if (…)`, `while (…)`)
+/// plus item keywords whose following identifier is a definition, not
+/// a call.
+const NOT_CALLEES: [&str; 22] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "fn", "pub", "use", "mod", "impl", "move", "ref", "mut", "where", "unsafe",
+];
+
+fn skip_ws(b: &[u8], mut j: usize) -> usize {
+    while j < b.len() && (b[j] as char).is_whitespace() {
+        j += 1;
+    }
+    j
+}
+
+/// Extract call sites from the scrubbed byte range `lo..hi` (a
+/// function body). Total on arbitrary input.
+pub fn calls_in(scrubbed: &str, lo: usize, hi: usize) -> Vec<CallSite> {
+    let hi = hi.min(scrubbed.len());
+    let b = &scrubbed.as_bytes()[..hi];
+    let mut calls = Vec::new();
+    // Last three token texts, most recent last.
+    let mut prev: [String; 3] = [String::new(), String::new(), String::new()];
+    let mut i = lo.min(hi);
+    while let Some((s, e, ident)) = next_token(b, i) {
+        let text = &scrubbed[s..e];
+        i = e;
+        if ident && !NOT_CALLEES.contains(&text) && prev[2] != "fn" && prev[2] != "struct" {
+            let mut j = skip_ws(b, e);
+            // `name::<T>(…)` — step through the turbofish.
+            if j + 1 < hi && b[j] == b':' && b[j + 1] == b':' {
+                let k = skip_ws(b, j + 2);
+                if k < hi && b[k] == b'<' {
+                    let mut depth = 1usize;
+                    let mut m = k + 1;
+                    while m < hi && depth > 0 {
+                        match b[m] {
+                            b'<' => depth += 1,
+                            b'>' => depth -= 1,
+                            b';' | b'{' => break,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    j = skip_ws(b, m);
+                } else {
+                    j = hi; // path continues: `a::b` — `a` is not the callee
+                }
+            }
+            if j < hi && b[j] == b'(' {
+                let method = prev[2] == ".";
+                let qualifier = if prev[2] == ":" && prev[1] == ":" && !prev[0].is_empty() {
+                    Some(prev[0].clone())
+                } else {
+                    None
+                };
+                calls.push(CallSite { name: text.to_string(), qualifier, method });
+            }
+        }
+        prev.rotate_left(1);
+        prev[2] = text.to_string();
+    }
+    calls
+}
+
+/// Resolve one call site to candidate symbol indices.
+fn resolve(index: &Index, site: &CallSite) -> Vec<usize> {
+    let Some(cands) = index.by_name.get(&site.name) else {
+        return Vec::new();
+    };
+    if let Some(q) = &site.qualifier {
+        if !matches!(q.as_str(), "self" | "Self" | "crate" | "super") {
+            let narrowed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let s = &index.syms[i];
+                    s.stem == *q || s.qual.split("::").any(|seg| seg == q)
+                })
+                .collect();
+            if !narrowed.is_empty() {
+                return narrowed;
+            }
+        }
+    }
+    if site.method {
+        let narrowed: Vec<usize> =
+            cands.iter().copied().filter(|&i| !index.syms[i].qual.is_empty()).collect();
+        if !narrowed.is_empty() {
+            return narrowed;
+        }
+    }
+    cands.clone()
+}
+
+/// Forward adjacency: `edges[caller]` is the sorted, deduplicated list
+/// of callee symbol indices.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub edges: Vec<Vec<usize>>,
+    pub edge_count: usize,
+}
+
+impl Graph {
+    /// Build from `(caller index, call site)` pairs.
+    pub fn build<'a>(index: &Index, calls: impl Iterator<Item = (usize, &'a CallSite)>) -> Graph {
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); index.len()];
+        for (caller, site) in calls {
+            if caller >= edges.len() {
+                continue;
+            }
+            for callee in resolve(index, site) {
+                edges[caller].push(callee);
+            }
+        }
+        let mut edge_count = 0;
+        for adj in &mut edges {
+            adj.sort_unstable();
+            adj.dedup();
+            edge_count += adj.len();
+        }
+        Graph { edges, edge_count }
+    }
+
+    /// All symbols reachable from `from` (inclusive).
+    pub fn reachable(&self, from: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.edges.len()];
+        if from >= seen.len() {
+            return seen;
+        }
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(n) = stack.pop() {
+            for &m in &self.edges[n] {
+                if !seen[m] {
+                    seen[m] = true;
+                    stack.push(m);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::scrub;
+    use crate::parse;
+    use crate::symbols::Index;
+
+    fn sites(src: &str) -> Vec<CallSite> {
+        let scrubbed = scrub(src);
+        calls_in(&scrubbed, 0, scrubbed.len())
+    }
+
+    #[test]
+    fn bare_qualified_and_method_calls_are_classified() {
+        let got = sites("helper(); race::run_isp(lab); lab.client_of(isp); parse::<u32>(s);");
+        assert_eq!(
+            got,
+            vec![
+                CallSite { name: "helper".into(), qualifier: None, method: false },
+                CallSite { name: "run_isp".into(), qualifier: Some("race".into()), method: false },
+                CallSite { name: "client_of".into(), qualifier: None, method: true },
+                CallSite { name: "parse".into(), qualifier: None, method: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_macros_and_definitions_are_not_calls() {
+        let got = sites("if (x) {} while (y) {} println!(\"x\"); fn not_a_call() {}");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn graph_edges_resolve_through_qualifiers() {
+        let a = parse::parse(&scrub("pub fn run_isp() { helper() }\nfn helper() {}\n"));
+        let b = parse::parse(&scrub("pub fn drive() { race::run_isp() }\npub fn other() {}\n"));
+        let index = Index::build(
+            vec![
+                ("crates/core/src/experiments/race.rs", a.fns.as_slice()),
+                ("crates/bench/src/drive.rs", b.fns.as_slice()),
+            ]
+            .into_iter(),
+        );
+        let scrub_a = scrub("pub fn run_isp() { helper() }\nfn helper() {}\n");
+        let scrub_b = scrub("pub fn drive() { race::run_isp() }\npub fn other() {}\n");
+        let a_calls = calls_in(&scrub_a, 0, scrub_a.len());
+        let b_calls = calls_in(&scrub_b, 0, scrub_b.len());
+        let all: Vec<(usize, &CallSite)> = a_calls
+            .iter()
+            .map(|c| (0usize, c))
+            .chain(b_calls.iter().map(|c| (2usize, c)))
+            .collect();
+        let g = Graph::build(&index, all.into_iter());
+        assert_eq!(g.edges[0], vec![1], "run_isp -> helper");
+        assert_eq!(g.edges[2], vec![0], "drive -> race::run_isp");
+        let seen = g.reachable(2);
+        assert!(seen[0] && seen[1] && seen[2] && !seen[3]);
+        assert_eq!(g.edge_count, 2);
+    }
+}

@@ -63,8 +63,12 @@ pub fn scrub(src: &str) -> String {
                 i += 1;
                 while i < b.len() {
                     match b[i] {
+                        // `\X` — blank both bytes, but never a newline
+                        // (a `\` + newline is the line-continuation
+                        // escape, and newlines must survive scrubbing).
                         b'\\' if i + 1 < b.len() => {
-                            out.extend_from_slice(b"  ");
+                            out.push(b' ');
+                            out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
                             i += 2;
                         }
                         b'"' => {
@@ -89,7 +93,8 @@ pub fn scrub(src: &str) -> String {
                 while i < b.len() {
                     match b[i] {
                         b'\\' if i + 1 < b.len() => {
-                            out.extend_from_slice(b"  ");
+                            out.push(b' ');
+                            out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
                             i += 2;
                         }
                         b'\'' => {
@@ -97,6 +102,10 @@ pub fn scrub(src: &str) -> String {
                             i += 1;
                             break;
                         }
+                        // A char literal cannot span a line; an
+                        // unterminated one ends at the newline so the
+                        // rest of the file is still scanned.
+                        b'\n' => break,
                         _ => {
                             out.push(b' ');
                             i += 1;
@@ -266,6 +275,21 @@ mod tests {
         let s = scrub("a /* x /* HashMap */ y */ b");
         assert!(!s.contains("HashMap"));
         assert!(s.starts_with('a') && s.ends_with('b'));
+    }
+
+    #[test]
+    fn unterminated_char_literal_stops_at_the_newline() {
+        // Found by the `lint_lexer_total` fuzz oracle: an unterminated
+        // byte/char literal used to blank the rest of the file,
+        // including its newlines.
+        let src = "b'\\n// \nlet x = 1;\n";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(
+            s.match_indices('\n').collect::<Vec<_>>(),
+            src.match_indices('\n').collect::<Vec<_>>()
+        );
+        assert!(s.contains("let x = 1;"), "code after the literal is still scanned: {s:?}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `lucent-devtools`: in-tree static analysis for the lucent workspace.
 //!
 //! The `lucent-lint` binary (and the `run_root` library entry point the
-//! tier-1 gate calls) enforces six rule families:
+//! tier-1 gate calls) enforces eight rule families:
 //!
 //! - **L1 hermeticity** — every dependency is a path dependency; the
 //!   workspace builds with the network unplugged.
@@ -20,18 +20,36 @@
 //!   code outside the sanctioned sinks (the bench stopwatch, the `repro`
 //!   CLI, the lint CLI, and the `lucent-check` campaign reporter with
 //!   its `fuzz-smoke` binary); diagnostics go through `lucent-obs`.
+//! - **L7 panic provenance** — every residual panic site is attributed,
+//!   through a workspace-wide approximate call graph, to the experiment
+//!   entry points that can reach it; per-entry reachable counts are
+//!   capped by the shrink-only `[panic_reach]` baseline.
+//! - **L8 shard isolation** — `static mut` is forbidden everywhere, and
+//!   interior-mutability statics (`Mutex`/`RefCell`/atomics/… at static
+//!   scope, `thread_local!`) are confined to `[shared_state]`
+//!   allowlisted files so shard workers never share mutable state.
 //!
 //! The lint is dependency-free by construction: it ships its own Rust
-//! scrubbing lexer and a TOML subset parser, so the gate itself cannot
-//! violate L1.
+//! scrubbing lexer, a brace-tree item parser ([`parse`]), a symbol
+//! index ([`symbols`]) with a name-based call graph ([`callgraph`]),
+//! and a TOML subset parser, so the gate itself cannot violate L1.
+//!
+//! The per-file pass runs on the deterministic [`pool`]: files are
+//! partitioned round-robin and merged in path order, so the report —
+//! including its `--json` form — is byte-identical at any thread count.
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod lex;
 pub mod manifest;
+pub mod parse;
+pub mod pool;
+pub mod reach;
 pub mod report;
 pub mod source;
+pub mod symbols;
 pub mod toml;
 
 use std::fs;
@@ -39,15 +57,38 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use allow::Allow;
+use callgraph::{CallSite, Graph};
+use lex::in_spans;
+use reach::PanicSite;
 use report::{Report, Rule, Violation};
 use source::{Lexed, SourceFile};
+use symbols::Index;
 
 /// Name of the allowlist file at the workspace root.
 pub const ALLOW_FILE: &str = "lint-allow.toml";
 
+/// Gate options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Worker threads for the per-file scan. The output is identical at
+    /// any value; >1 only changes wall-clock time.
+    pub threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { threads: 1 }
+    }
+}
+
+/// Run the whole gate against a workspace root with default options.
+pub fn run_root(root: &Path) -> io::Result<Report> {
+    run_root_with(root, &Options::default())
+}
+
 /// Run the whole gate against a workspace root. I/O errors (an
 /// unreadable tree) surface as `Err`; rule findings land in the report.
-pub fn run_root(root: &Path) -> io::Result<Report> {
+pub fn run_root_with(root: &Path, opts: &Options) -> io::Result<Report> {
     let mut report = Report::default();
 
     let allow = match fs::read_to_string(root.join(ALLOW_FILE)) {
@@ -86,33 +127,60 @@ pub fn run_root(root: &Path) -> io::Result<Report> {
         }
     }
 
-    // L3–L5 over library source trees; L5 additionally over test and
-    // bench code (unsafe needs a justification wherever it appears).
-    for rel in rust_sources(root)? {
-        let text = fs::read_to_string(root.join(&rel))?;
-        let file = SourceFile { path: &rel, text: &text };
-        let lexed = Lexed::new(&text);
+    // L3–L6 + L8 plus parsing over library source trees, on the
+    // deterministic pool; L5 additionally over test and bench code
+    // (unsafe needs a justification wherever it appears).
+    let paths = rust_sources(root)?;
+    let mut scans = pool::map_indexed(paths.len(), opts.threads, |i| scan_file(root, &paths[i], &allow));
+    for s in &mut scans {
+        if let Some(e) = s.read_err.take() {
+            return Err(e);
+        }
         report.files_scanned += 1;
-        if in_library_tree(&rel) {
-            report.merge(source::check_determinism(&file, &lexed, &allow));
-            report.merge(source::check_print_hygiene(&file, &lexed));
-            let (v, count) = source::check_panic_budget(&file, &lexed, &allow);
-            report.merge(v);
-            report.panic_total += count;
-            if count < allow.panic_ceiling(&rel) {
-                report.warnings.push(format!(
-                    "{rel}: {count} panic site(s), baseline {} — shrink the entry",
-                    allow.panic_ceiling(&rel)
+        report.merge(std::mem::take(&mut s.violations));
+        report.warnings.append(&mut s.warnings);
+        let count = s.panic_lines.len();
+        if count > 0 {
+            report.panic_by_file.insert(s.rel.clone(), count);
+        }
+        report.panic_total += count;
+    }
+
+    // L7: assemble the symbol index and call graph, then ratchet the
+    // per-entry reachable-panic counts.
+    let (index, graph, sites) = graph_phase(&scans);
+    report.functions = index.len();
+    report.call_edges = graph.edge_count;
+    let reach_out = reach::check_reach(&index, &graph, &sites, &allow);
+    report.merge(reach_out.violations);
+    report.warnings.extend(reach_out.warnings);
+    report.panic_reach = reach_out.reach;
+
+    // Baseline hygiene: entries for files that no longer exist are
+    // violations — a stale ceiling looks live while guarding nothing.
+    let lists: [(&str, Rule, &[String]); 3] = [
+        ("wall_clock", Rule::Determinism, &allow.wall_clock),
+        ("rng_construction", Rule::Determinism, &allow.rng_construction),
+        ("shared_state", Rule::SharedState, &allow.shared_state),
+    ];
+    for (section, rule, files) in lists {
+        for path in files {
+            if !root.join(path).is_file() {
+                report.violations.push(Violation::file(
+                    rule,
+                    ALLOW_FILE,
+                    format!("stale [{section}] entry for missing file {path} — remove it"),
                 ));
             }
         }
-        report.merge(source::check_unsafe(&file, &lexed));
     }
-
-    // Baseline hygiene: entries for files that no longer exist must go.
     for path in allow.panic_sites.keys() {
         if !root.join(path).is_file() {
-            report.warnings.push(format!("{ALLOW_FILE}: stale entry for missing file {path}"));
+            report.violations.push(Violation::file(
+                Rule::PanicBudget,
+                ALLOW_FILE,
+                format!("stale [panic_sites] entry for missing file {path} — remove it"),
+            ));
         }
     }
 
@@ -120,9 +188,107 @@ pub fn run_root(root: &Path) -> io::Result<Report> {
     Ok(report)
 }
 
-/// Rewrite `lint-allow.toml` with current panic counts. Ceilings only
-/// ever move down: an attempt to raise one is reported as a violation
-/// instead of written.
+/// Everything the per-file pass extracts; merged in path order.
+struct FileScan {
+    rel: String,
+    read_err: Option<io::Error>,
+    violations: Vec<Violation>,
+    warnings: Vec<String>,
+    /// 1-based lines of panic sites in non-test library code.
+    panic_lines: Vec<usize>,
+    /// Non-test `fn` items (library tree only).
+    fns: Vec<parse::FnItem>,
+    /// `(local fn index, call site)` pairs from non-test bodies.
+    calls: Vec<(usize, CallSite)>,
+}
+
+impl FileScan {
+    fn empty(rel: &str) -> FileScan {
+        FileScan {
+            rel: rel.to_string(),
+            read_err: None,
+            violations: Vec::new(),
+            warnings: Vec::new(),
+            panic_lines: Vec::new(),
+            fns: Vec::new(),
+            calls: Vec::new(),
+        }
+    }
+}
+
+fn scan_file(root: &Path, rel: &str, allow: &Allow) -> FileScan {
+    let mut scan = FileScan::empty(rel);
+    let text = match fs::read_to_string(root.join(rel)) {
+        Ok(t) => t,
+        Err(e) => {
+            scan.read_err = Some(e);
+            return scan;
+        }
+    };
+    let file = SourceFile { path: rel, text: &text };
+    let lexed = Lexed::new(&text);
+    if in_library_tree(rel) {
+        scan.violations.extend(source::check_determinism(&file, &lexed, allow));
+        scan.violations.extend(source::check_print_hygiene(&file, &lexed));
+        scan.violations.extend(source::check_shared_state(&file, &lexed, allow));
+        let (v, count) = source::check_panic_budget(&file, &lexed, allow);
+        scan.violations.extend(v);
+        scan.panic_lines = source::panic_site_lines(&lexed);
+        if count < allow.panic_ceiling(rel) {
+            scan.warnings.push(format!(
+                "{rel}: {count} panic site(s), baseline {} — shrink the entry",
+                allow.panic_ceiling(rel)
+            ));
+        }
+        let parsed = parse::parse(lexed.scrubbed());
+        scan.fns = parsed
+            .fns
+            .into_iter()
+            .filter(|f| !in_spans(lexed.test_spans(), f.line))
+            .collect();
+        for (li, f) in scan.fns.iter().enumerate() {
+            if let Some((lo, hi)) = f.body {
+                scan.calls
+                    .extend(callgraph::calls_in(lexed.scrubbed(), lo, hi).into_iter().map(|c| (li, c)));
+            }
+        }
+    }
+    scan.violations.extend(source::check_unsafe(&file, &lexed));
+    scan
+}
+
+/// Globalize per-file symbols into the index, the call graph, and the
+/// owner-attributed panic-site list.
+fn graph_phase(scans: &[FileScan]) -> (Index, Graph, Vec<PanicSite>) {
+    let index = Index::build(scans.iter().map(|s| (s.rel.as_str(), s.fns.as_slice())));
+    let mut calls: Vec<(usize, &CallSite)> = Vec::new();
+    let mut sites = Vec::new();
+    let mut base = 0;
+    for s in scans {
+        for (li, c) in &s.calls {
+            calls.push((base + li, c));
+        }
+        for &line in &s.panic_lines {
+            // Owner: the smallest enclosing non-test fn, so a panic in a
+            // nested helper is attributed to the helper, not the outer fn.
+            let owner = s
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.line <= line && line <= f.end_line)
+                .min_by_key(|(_, f)| f.end_line - f.line)
+                .map(|(li, _)| base + li);
+            sites.push(PanicSite { file: s.rel.clone(), line, owner });
+        }
+        base += s.fns.len();
+    }
+    let graph = Graph::build(&index, calls.into_iter());
+    (index, graph, sites)
+}
+
+/// Rewrite `lint-allow.toml` with current panic counts and per-entry
+/// reach counts. Ceilings only ever move down: an attempt to raise one
+/// is reported as a violation instead of written.
 pub fn update_baseline(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
     let old = fs::read_to_string(root.join(ALLOW_FILE))
@@ -131,31 +297,60 @@ pub fn update_baseline(root: &Path) -> io::Result<Report> {
         .unwrap_or_default();
     let mut new = old.clone();
     new.panic_sites.clear();
-    for rel in rust_sources(root)? {
-        if !in_library_tree(&rel) {
-            continue;
+    new.panic_reach.clear();
+    let paths = rust_sources(root)?;
+    let mut scans = pool::map_indexed(paths.len(), 1, |i| scan_file(root, &paths[i], &old));
+    for s in &mut scans {
+        if let Some(e) = s.read_err.take() {
+            return Err(e);
         }
-        let text = fs::read_to_string(root.join(&rel))?;
-        let count = source::count_panic_sites(&Lexed::new(&text));
+    }
+    for s in &scans {
+        let count = s.panic_lines.len();
         if count == 0 {
             continue;
         }
-        let prior = old.panic_sites.get(&rel).copied();
+        let prior = old.panic_sites.get(&s.rel).copied();
         if prior.is_some_and(|p| count > p) {
             report.violations.push(Violation::file(
                 Rule::PanicBudget,
-                &rel,
+                &s.rel,
                 format!(
                     "refusing to raise the baseline from {} to {count} — \
                      remove panic sites or edit {ALLOW_FILE} explicitly in review",
                     prior.unwrap_or(0)
                 ),
             ));
-            new.panic_sites.insert(rel, prior.unwrap_or(0));
+            new.panic_sites.insert(s.rel.clone(), prior.unwrap_or(0));
         } else {
-            new.panic_sites.insert(rel, count);
+            new.panic_sites.insert(s.rel.clone(), count);
         }
         report.panic_total += count;
+    }
+    let (index, graph, sites) = graph_phase(&scans);
+    for entry in reach::entry_points(&index) {
+        let sym = &index.syms[entry];
+        let id = sym.id();
+        let reachable = graph.reachable(entry);
+        let count = sites.iter().filter(|s| s.owner.is_some_and(|o| reachable[o])).count();
+        if count == 0 {
+            continue;
+        }
+        let prior = old.panic_reach.get(&id).copied();
+        if prior.is_some_and(|p| count > p) {
+            report.violations.push(Violation::file(
+                Rule::PanicReach,
+                &sym.file,
+                format!(
+                    "refusing to raise the [panic_reach] baseline for `{id}` from {} to \
+                     {count} — harden the reachable sites or edit {ALLOW_FILE} in review",
+                    prior.unwrap_or(0)
+                ),
+            ));
+            new.panic_reach.insert(id, prior.unwrap_or(0));
+        } else {
+            new.panic_reach.insert(id, count);
+        }
     }
     if report.ok() {
         fs::write(root.join(ALLOW_FILE), new.to_toml())?;
@@ -228,7 +423,9 @@ fn member_manifests(root: &Path) -> io::Result<Vec<String>> {
 }
 
 /// Every `.rs` file under `crates/`, `tests/` and `examples/`, sorted,
-/// repo-relative with forward slashes. `target/` is never entered.
+/// repo-relative with forward slashes. `target/` and rule-fixture
+/// trees (`fixtures/`, which hold deliberately-violating code for the
+/// lint's own self-tests) are never entered.
 fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
     let mut out = Vec::new();
     for top in ["crates", "tests", "examples"] {
@@ -248,7 +445,7 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
         let path = e.path();
         let name = e.file_name();
         if path.is_dir() {
-            if name != "target" && !name.to_string_lossy().starts_with('.') {
+            if name != "target" && name != "fixtures" && !name.to_string_lossy().starts_with('.') {
                 walk(&path, root, out)?;
             }
         } else if path.extension().is_some_and(|x| x == "rs") {

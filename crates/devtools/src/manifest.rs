@@ -177,10 +177,25 @@ pub fn layer_map() -> BTreeMap<&'static str, Vec<&'static str>> {
         vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY, CORE],
     );
     // The fuzzing/property harness sits above everything it checks —
-    // lower crates consume it through dev-dependencies only.
+    // lower crates consume it through dev-dependencies only. It also
+    // checks the lint's own lexer and parser, so the devtools leaf is
+    // in scope for it.
     m.insert(
         "lucent-check",
-        vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, WEB, MIDDLEBOX, TOPOLOGY, CORE, "lucent-bench"],
+        vec![
+            SUPPORT,
+            OBS,
+            PACKET,
+            NETSIM,
+            TCP,
+            DNS,
+            WEB,
+            MIDDLEBOX,
+            TOPOLOGY,
+            CORE,
+            "lucent-bench",
+            "lucent-devtools",
+        ],
     );
     m
 }

@@ -1,0 +1,389 @@
+//! A brace-tree item parser over *scrubbed* source (see [`crate::lex`]):
+//! `fn` / `impl` / `mod` / `use` items with line spans and body byte
+//! ranges. This is the substrate the workspace symbol index
+//! ([`crate::symbols`]) and the approximate call graph
+//! ([`crate::callgraph`]) are built on.
+//!
+//! The parser is total: any byte soup yields a (possibly empty) item
+//! list and never panics — unbalanced braces simply close at
+//! end-of-file. Because it only ever sees scrubbed text, comments and
+//! literals can neither fabricate nor hide an item.
+
+/// One `fn` item. `qual` is the enclosing context within the file —
+/// module names and impl self-types joined with `::` (e.g. `Parser`
+/// for a method, `detail::Parser` for a method in a nested module, and
+/// the empty string for a top-level free function).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    pub name: String,
+    pub qual: String,
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the closing brace (equals `line` for bodyless
+    /// trait-method declarations).
+    pub end_line: usize,
+    /// Byte range of the body interior in the scrubbed text, exclusive
+    /// of the braces; `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `use` item, whitespace squeezed out of the path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseItem {
+    pub path: String,
+    pub line: usize,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseItem>,
+}
+
+enum Scope {
+    Block,
+    Mod(String),
+    Impl(String),
+    Fn(usize),
+}
+
+enum ItemEnd {
+    /// Opening `{` of the body at this byte.
+    Body(usize),
+    /// Terminating `;` at this byte.
+    Semi(usize),
+    /// A stray `}` at this byte — the enclosing scope is closing; do
+    /// not consume it.
+    Stop(usize),
+    Eof,
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Next token at or after `i`: `(start, end, is_ident)`. Identifiers
+/// are maximal ident-byte runs; everything else is a single byte.
+pub(crate) fn next_token(b: &[u8], mut i: usize) -> Option<(usize, usize, bool)> {
+    while i < b.len() && (b[i] as char).is_whitespace() {
+        i += 1;
+    }
+    if i >= b.len() {
+        return None;
+    }
+    if is_ident(b[i]) && !b[i].is_ascii_digit() {
+        let start = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        Some((start, i, true))
+    } else {
+        Some((i, i + 1, false))
+    }
+}
+
+/// Byte offsets of line starts; `line_of` maps a byte offset to its
+/// 1-based line.
+pub(crate) fn line_starts(s: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, c) in s.bytes().enumerate() {
+        if c == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+pub(crate) fn line_of(starts: &[usize], off: usize) -> usize {
+    starts.partition_point(|&s| s <= off)
+}
+
+/// Scan forward from an item header for its body `{`, a terminating
+/// `;`, or a scope-closing `}` — at zero paren/bracket depth, so
+/// `fn f(x: [u8; 3])` does not end at the array-length semicolon.
+fn scan_item_end(b: &[u8], from: usize) -> ItemEnd {
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < b.len() {
+        match b[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b'{' if depth == 0 => return ItemEnd::Body(j),
+            b';' if depth == 0 => return ItemEnd::Semi(j),
+            b'}' if depth == 0 => return ItemEnd::Stop(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    ItemEnd::Eof
+}
+
+/// The self-type of an `impl` header: `impl<T> Wrapper<T>` → `Wrapper`,
+/// `impl fmt::Display for Report` → `Report`.
+fn self_type(header: &str) -> String {
+    let mut h = header.trim();
+    if let Some(rest) = h.strip_prefix('<') {
+        // Skip the generic-parameter list.
+        let mut depth = 1usize;
+        let mut end = rest.len();
+        for (k, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        h = rest[end.min(rest.len())..].trim();
+    }
+    let h = match h.rfind(" for ") {
+        Some(p) => &h[p + 5..],
+        None => h,
+    };
+    let h = h.trim().trim_start_matches("dyn ").trim_start_matches('&').trim_start_matches("mut ");
+    let h = h.split(" where ").next().unwrap_or_default();
+    let h = h.split('<').next().unwrap_or_default();
+    h.trim().rsplit("::").next().unwrap_or_default().trim().to_string()
+}
+
+fn qual_of(stack: &[Scope]) -> String {
+    let parts: Vec<&str> = stack
+        .iter()
+        .filter_map(|s| match s {
+            Scope::Mod(n) | Scope::Impl(n) => Some(n.as_str()),
+            _ => None,
+        })
+        .collect();
+    parts.join("::")
+}
+
+fn close_fn(fns: &mut [FnItem], idx: usize, pos: usize, starts: &[usize]) {
+    if let Some(body) = &mut fns[idx].body {
+        body.1 = pos.max(body.0);
+    }
+    fns[idx].end_line = line_of(starts, pos);
+}
+
+/// Parse one scrubbed file into its item list.
+pub fn parse(scrubbed: &str) -> ParsedFile {
+    let b = scrubbed.as_bytes();
+    let starts = line_starts(scrubbed);
+    let mut out = ParsedFile::default();
+    let mut stack: Vec<Scope> = Vec::new();
+    // Tokens since the last statement boundary (`;`, `{`, `}`) — just
+    // enough context to see a `pub` / `pub(crate)` ahead of `fn`.
+    let mut recent: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while let Some((s, e, ident)) = next_token(b, i) {
+        let text = &scrubbed[s..e];
+        i = e;
+        if !ident {
+            match b[s] {
+                b'{' => {
+                    stack.push(Scope::Block);
+                    recent.clear();
+                }
+                b'}' => {
+                    if let Some(Scope::Fn(idx)) = stack.pop() {
+                        close_fn(&mut out.fns, idx, s, &starts);
+                    }
+                    recent.clear();
+                }
+                b';' => recent.clear(),
+                _ => {
+                    if recent.len() < 8 {
+                        recent.push(text.to_string());
+                    }
+                }
+            }
+            continue;
+        }
+        match text {
+            "mod" => {
+                if let Some((ns, ne, true)) = next_token(b, i) {
+                    let name = scrubbed[ns..ne].to_string();
+                    match scan_item_end(b, ne) {
+                        ItemEnd::Body(p) => {
+                            stack.push(Scope::Mod(name));
+                            i = p + 1;
+                        }
+                        ItemEnd::Semi(p) => i = p + 1,
+                        ItemEnd::Stop(p) => i = p,
+                        ItemEnd::Eof => i = b.len(),
+                    }
+                    recent.clear();
+                }
+            }
+            "impl" => {
+                match scan_item_end(b, i) {
+                    ItemEnd::Body(p) => {
+                        stack.push(Scope::Impl(self_type(&scrubbed[i..p])));
+                        i = p + 1;
+                    }
+                    ItemEnd::Semi(p) => i = p + 1,
+                    ItemEnd::Stop(p) => i = p,
+                    ItemEnd::Eof => i = b.len(),
+                }
+                recent.clear();
+            }
+            "fn" => {
+                // `fn` immediately followed by `(` is a fn-pointer
+                // type, not an item.
+                let Some((ns, ne, true)) = next_token(b, i) else {
+                    recent.clear();
+                    continue;
+                };
+                let name = scrubbed[ns..ne].to_string();
+                let is_pub = recent.iter().any(|t| t == "pub");
+                let line = line_of(&starts, s);
+                let item = FnItem { name, qual: qual_of(&stack), is_pub, line, end_line: line, body: None };
+                match scan_item_end(b, ne) {
+                    ItemEnd::Body(p) => {
+                        let idx = out.fns.len();
+                        out.fns.push(FnItem { body: Some((p + 1, b.len())), ..item });
+                        stack.push(Scope::Fn(idx));
+                        i = p + 1;
+                    }
+                    ItemEnd::Semi(p) => {
+                        out.fns.push(item);
+                        i = p + 1;
+                    }
+                    ItemEnd::Stop(p) => {
+                        out.fns.push(item);
+                        i = p;
+                    }
+                    ItemEnd::Eof => {
+                        out.fns.push(item);
+                        i = b.len();
+                    }
+                }
+                recent.clear();
+            }
+            "use" => {
+                let mut end = i;
+                while end < b.len() && b[end] != b';' {
+                    end += 1;
+                }
+                let path: String =
+                    scrubbed[i..end].chars().filter(|c| !c.is_whitespace()).collect();
+                out.uses.push(UseItem { path, line: line_of(&starts, s) });
+                i = (end + 1).min(b.len());
+                recent.clear();
+            }
+            _ => {
+                if recent.len() < 8 {
+                    recent.push(text.to_string());
+                }
+            }
+        }
+    }
+    // Unbalanced braces close at EOF; clamp to the last real byte so
+    // end_line never points past a trailing newline.
+    let eof = b.len().saturating_sub(1);
+    while let Some(scope) = stack.pop() {
+        if let Scope::Fn(idx) = scope {
+            close_fn(&mut out.fns, idx, eof, &starts);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::scrub;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&scrub(src))
+    }
+
+    #[test]
+    fn free_functions_methods_and_modules_get_quals() {
+        let src = "pub fn top() { helper(); }\n\
+                   fn helper() {}\n\
+                   mod inner {\n    pub fn nested() {}\n}\n\
+                   impl Widget {\n    pub fn method(&self) {}\n}\n";
+        let p = parsed(src);
+        let names: Vec<(&str, &str, bool)> =
+            p.fns.iter().map(|f| (f.name.as_str(), f.qual.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top", "", true),
+                ("helper", "", false),
+                ("nested", "inner", true),
+                ("method", "Widget", true),
+            ]
+        );
+        assert_eq!(p.fns[0].line, 1);
+        assert_eq!(p.fns[0].end_line, 1);
+    }
+
+    #[test]
+    fn trait_impls_use_the_self_type() {
+        let src = "impl fmt::Display for Report {\n    fn fmt(&self) {}\n}\n\
+                   impl<T: Clone> Wrapper<T> {\n    fn get(&self) {}\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].qual, "Report");
+        assert_eq!(p.fns[1].qual, "Wrapper");
+    }
+
+    #[test]
+    fn fn_pointer_types_and_trait_decls_are_not_bodies() {
+        let src = "pub type Oracle = (&'static str, fn(&mut Source));\n\
+                   trait T {\n    fn required(&self) -> u8;\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "required");
+        assert!(p.fns[0].body.is_none());
+    }
+
+    #[test]
+    fn array_length_semicolons_do_not_end_the_header() {
+        let p = parsed("fn f(x: [u8; 3]) -> u8 { x[0] }\n");
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn body_spans_cover_multiline_bodies() {
+        let src = "fn f() {\n    let x = 1;\n    g(x)\n}\nfn g(x: u8) -> u8 { x }\n";
+        let p = parsed(src);
+        assert_eq!((p.fns[0].line, p.fns[0].end_line), (1, 4));
+        assert_eq!((p.fns[1].line, p.fns[1].end_line), (5, 5));
+        let (lo, hi) = p.fns[0].body.expect("body");
+        assert!(src[lo..hi].contains("g(x)"));
+    }
+
+    #[test]
+    fn use_items_capture_squeezed_paths() {
+        let p = parsed("use std::collections::{\n    BTreeMap,\n    BTreeSet,\n};\n");
+        assert_eq!(p.uses.len(), 1);
+        assert_eq!(p.uses[0].path, "std::collections::{BTreeMap,BTreeSet,}");
+    }
+
+    #[test]
+    fn pub_from_a_previous_item_does_not_leak() {
+        let p = parsed("pub use x::y;\nfn f() {}\n");
+        assert!(!p.fns[0].is_pub);
+        let p = parsed("pub(crate) fn g() {}\n");
+        assert!(p.fns[0].is_pub);
+    }
+
+    #[test]
+    fn unbalanced_braces_close_at_eof() {
+        let p = parsed("fn f() {\n    let x = 1;\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].end_line, 2);
+        // Stray closers never panic either.
+        let p = parsed("}}} fn g() {}\n");
+        assert_eq!(p.fns.len(), 1);
+    }
+}

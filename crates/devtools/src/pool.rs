@@ -1,0 +1,67 @@
+//! A deterministic scoped map for the per-file scan — the second (and
+//! last) sanctioned home of `std::thread` in the workspace, next to
+//! the bench shard scheduler.
+//!
+//! Determinism argument: indices are statically partitioned
+//! round-robin across workers, every result is placed back into its
+//! slot by index, and the merged vector is returned in index order —
+//! so the output is byte-identical at any thread count, which CI
+//! checks by diffing `lucent-lint --json` at `--threads 1` and `4`.
+
+/// Apply `f` to `0..n` on up to `threads` workers, returning results
+/// in index order. `threads <= 1` runs inline.
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for k in 0..workers {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut part = Vec::new();
+                let mut i = k;
+                while i < n {
+                    part.push((i, f(i)));
+                    i += workers;
+                }
+                part
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(part) => {
+                    for (i, v) in part {
+                        slots[i] = Some(v);
+                    }
+                }
+                // A worker panic is a bug in `f`; surface it on the
+                // caller's thread rather than swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Every index is assigned to exactly one worker and every worker
+    // was joined, so all slots are filled.
+    slots.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order_at_any_width() {
+        let serial = map_indexed(37, 1, |i| i * i);
+        for threads in [2, 3, 4, 8, 64] {
+            assert_eq!(map_indexed(37, threads, |i| i * i), serial, "threads={threads}");
+        }
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,209 @@
+//! L7 panic provenance: attribute every residual panic site to the
+//! public experiment entry points that can reach it through the
+//! approximate call graph, and ratchet the per-entry counts against
+//! the shrink-only `[panic_reach]` baseline in `lint-allow.toml`.
+//!
+//! Entry points are the functions whose results the paper's tables and
+//! figures are built from: every top-level `pub fn` in
+//! `crates/core/src/experiments/` (the `run` / `run_isp` / `prepare` /
+//! `assemble` family) plus `main` in the `repro` CLI (the subcommand
+//! dispatcher). A panic newly reachable from any of them is a panic on
+//! a result path — the gate goes red before it can skew a verdict.
+
+use std::collections::BTreeMap;
+
+use crate::allow::Allow;
+use crate::callgraph::Graph;
+use crate::report::{Rule, Violation};
+use crate::symbols::Index;
+use crate::ALLOW_FILE;
+
+/// Directory whose top-level `pub fn`s are experiment entry points.
+pub const ENTRY_DIR: &str = "crates/core/src/experiments/";
+/// The subcommand dispatcher binary; its `main` is an entry point.
+pub const ENTRY_BIN: &str = "crates/bench/src/bin/repro.rs";
+
+/// One panic site, attributed to its enclosing function (if any).
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub file: String,
+    pub line: usize,
+    /// Global symbol index of the smallest enclosing non-test `fn`.
+    pub owner: Option<usize>,
+}
+
+/// Symbol indices of the experiment entry points, in index order.
+pub fn entry_points(index: &Index) -> Vec<usize> {
+    index
+        .syms
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            (s.file.starts_with(ENTRY_DIR) && s.is_pub && s.qual.is_empty())
+                || (s.file == ENTRY_BIN && s.name == "main")
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The outcome of the provenance pass.
+#[derive(Debug, Default)]
+pub struct ReachOutcome {
+    pub violations: Vec<Violation>,
+    pub warnings: Vec<String>,
+    /// Entry id → sorted `file:line` of every reachable panic site.
+    /// Entries with nothing reachable are omitted.
+    pub reach: BTreeMap<String, Vec<String>>,
+}
+
+/// Run the provenance pass and compare against the baseline.
+pub fn check_reach(
+    index: &Index,
+    graph: &Graph,
+    sites: &[PanicSite],
+    allow: &Allow,
+) -> ReachOutcome {
+    let mut out = ReachOutcome::default();
+    let entries = entry_points(index);
+    let mut seen_ids = Vec::new();
+    for &entry in &entries {
+        let sym = &index.syms[entry];
+        let id = sym.id();
+        seen_ids.push(id.clone());
+        let reachable = graph.reachable(entry);
+        let mut hit: Vec<String> = sites
+            .iter()
+            .filter(|s| s.owner.is_some_and(|o| reachable[o]))
+            .map(|s| format!("{}:{}", s.file, s.line))
+            .collect();
+        hit.sort();
+        let count = hit.len();
+        let ceiling = allow.reach_ceiling(&id);
+        if count > ceiling {
+            let mut listed = hit.clone();
+            listed.truncate(6);
+            out.violations.push(Violation::file(
+                Rule::PanicReach,
+                &sym.file,
+                format!(
+                    "`{}`: {count} panic site(s) reachable from this experiment entry point \
+                     exceeds the shrink-only baseline of {ceiling} — sites: {}{}",
+                    sym.name,
+                    listed.join(", "),
+                    if count > listed.len() { ", …" } else { "" },
+                ),
+            ));
+        } else if count < ceiling {
+            out.warnings.push(format!(
+                "{ALLOW_FILE}: [panic_reach] \"{id}\" = {ceiling}, but only {count} site(s) \
+                 are reachable — shrink the entry"
+            ));
+        }
+        if count > 0 {
+            out.reach.insert(id, hit);
+        }
+    }
+    // Stale baseline entries must go: an id that no longer names an
+    // entry point would otherwise rot silently while looking like a
+    // live ceiling.
+    for id in allow.panic_reach.keys() {
+        if !seen_ids.contains(id) {
+            out.violations.push(Violation::file(
+                Rule::PanicReach,
+                ALLOW_FILE,
+                format!("stale [panic_reach] entry `{id}` — no such entry point exists; remove it"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{self, CallSite};
+    use crate::lex::scrub;
+    use crate::parse;
+    use crate::symbols::Index;
+
+    /// Two-file world: an experiment entry calling a panicking helper,
+    /// and an unrelated pub fn that panics but is reached by nothing.
+    fn world() -> (Index, Graph, Vec<PanicSite>) {
+        let exp_src = "pub fn run_isp(x: Option<u32>) -> u32 { helper(x) }\n\
+                       fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let other_src = "pub fn lonely(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let exp = parse::parse(&scrub(exp_src));
+        let other = parse::parse(&scrub(other_src));
+        let index = Index::build(
+            vec![
+                ("crates/core/src/experiments/exp.rs", exp.fns.as_slice()),
+                ("crates/web/src/other.rs", other.fns.as_slice()),
+            ]
+            .into_iter(),
+        );
+        let s = scrub(exp_src);
+        let body = exp.fns[0].body.expect("body");
+        let calls: Vec<(usize, CallSite)> = callgraph::calls_in(&s, body.0, body.1)
+            .into_iter()
+            .map(|c| (0usize, c))
+            .collect();
+        let graph = Graph::build(&index, calls.iter().map(|(i, c)| (*i, c)));
+        let sites = vec![
+            PanicSite { file: "crates/core/src/experiments/exp.rs".into(), line: 2, owner: Some(1) },
+            PanicSite { file: "crates/web/src/other.rs".into(), line: 1, owner: Some(2) },
+        ];
+        (index, graph, sites)
+    }
+
+    #[test]
+    fn entry_points_are_experiment_pub_fns_only() {
+        let (index, _, _) = world();
+        assert_eq!(entry_points(&index), vec![0], "helper and lonely are not entries");
+    }
+
+    #[test]
+    fn reach_above_baseline_is_a_violation() {
+        let (index, graph, sites) = world();
+        let out = check_reach(&index, &graph, &sites, &Allow::default());
+        assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+        assert!(out.violations[0].msg.contains("run_isp"), "{}", out.violations[0].msg);
+        assert!(out.violations[0].msg.contains("exp.rs:2"), "{}", out.violations[0].msg);
+        assert_eq!(
+            out.reach["crates/core/src/experiments/exp.rs::run_isp"],
+            vec!["crates/core/src/experiments/exp.rs:2"]
+        );
+    }
+
+    #[test]
+    fn reach_at_baseline_is_clean_and_below_warns() {
+        let (index, graph, sites) = world();
+        let mut allow = Allow::default();
+        allow
+            .panic_reach
+            .insert("crates/core/src/experiments/exp.rs::run_isp".into(), 1);
+        let out = check_reach(&index, &graph, &sites, &allow);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.warnings.is_empty());
+
+        allow
+            .panic_reach
+            .insert("crates/core/src/experiments/exp.rs::run_isp".into(), 3);
+        let out = check_reach(&index, &graph, &sites, &allow);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+        assert!(out.warnings[0].contains("shrink"), "{}", out.warnings[0]);
+    }
+
+    #[test]
+    fn stale_baseline_entries_are_violations() {
+        let (index, graph, sites) = world();
+        let mut allow = Allow::default();
+        allow.panic_reach.insert("crates/core/src/experiments/gone.rs::run".into(), 2);
+        let out = check_reach(&index, &graph, &sites, &allow);
+        assert!(
+            out.violations.iter().any(|v| v.msg.contains("stale [panic_reach]")),
+            "{:?}",
+            out.violations
+        );
+    }
+}

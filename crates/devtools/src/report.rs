@@ -17,6 +17,12 @@ pub enum Rule {
     UnsafeHygiene,
     /// L6 — no console prints outside sanctioned sinks.
     PrintHygiene,
+    /// L7 — panic sites reachable from experiment entry points stay
+    /// within the shrink-only `[panic_reach]` baseline.
+    PanicReach,
+    /// L8 — no `static mut`; interior-mutability statics confined to
+    /// `[shared_state]` allowlisted files.
+    SharedState,
 }
 
 impl Rule {
@@ -28,6 +34,8 @@ impl Rule {
             Rule::PanicBudget => "L4-panic-budget",
             Rule::UnsafeHygiene => "L5-unsafe",
             Rule::PrintHygiene => "L6-print",
+            Rule::PanicReach => "L7-panic-reach",
+            Rule::SharedState => "L8-shared-state",
         }
     }
 }
@@ -70,6 +78,14 @@ pub struct Report {
     pub files_scanned: usize,
     /// Total panic sites counted in non-test library code.
     pub panic_total: usize,
+    /// Non-test functions in the symbol index.
+    pub functions: usize,
+    /// Resolved call-graph edges.
+    pub call_edges: usize,
+    /// Per-file panic-site counts (files with zero sites omitted).
+    pub panic_by_file: std::collections::BTreeMap<String, usize>,
+    /// Entry id → sorted `file:line` of reachable panic sites.
+    pub panic_reach: std::collections::BTreeMap<String, Vec<String>>,
 }
 
 impl Report {
@@ -79,5 +95,108 @@ impl Report {
 
     pub fn merge(&mut self, mut other: Vec<Violation>) {
         self.violations.append(&mut other);
+    }
+
+    /// Machine-readable report (schema `lucent-lint/2`). Hand-rolled on
+    /// purpose: every map is a `BTreeMap` and every list is pre-sorted
+    /// by the caller, so the bytes are identical across runs and thread
+    /// counts — CI diffs this against a committed golden.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"lucent-lint/2\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"functions\": {},\n", self.functions));
+        out.push_str(&format!("  \"call_edges\": {},\n", self.call_edges));
+        out.push_str(&format!("  \"panic_total\": {},\n", self.panic_total));
+        out.push_str("  \"panic_sites\": {");
+        let mut first = true;
+        for (path, n) in &self.panic_by_file {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!("    {}: {n}", json_str(path)));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"panic_reach\": {");
+        first = true;
+        for (id, sites) in &self.panic_reach {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let listed: Vec<String> = sites.iter().map(|s| json_str(s)).collect();
+            out.push_str(&format!("    {}: [{}]", json_str(id), listed.join(", ")));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"violations\": [");
+        first = true;
+        for v in &self.violations {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"msg\": {}}}",
+                json_str(v.rule.code()),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.msg)
+            ));
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"warnings\": [");
+        first = true;
+        for w in &self.warnings {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!("    {}", json_str(w)));
+        }
+        out.push_str(if first { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping — quotes, backslashes, and control
+/// bytes; everything else (including multi-byte UTF-8) passes through.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_stable_and_escaped() {
+        let mut r = Report { files_scanned: 2, panic_total: 1, functions: 3, ..Report::default() };
+        r.panic_by_file.insert("crates/x/src/a.rs".into(), 1);
+        r.panic_reach.insert("crates/x/src/a.rs::run".into(), vec!["crates/x/src/a.rs:4".into()]);
+        r.violations.push(Violation::at(Rule::SharedState, "crates/x/src/b.rs", 7, "a \"quoted\" msg"));
+        r.warnings.push("note\twith tab".into());
+        let json = r.to_json();
+        assert_eq!(json, r.to_json(), "emission is deterministic");
+        assert!(json.contains("\"schema\": \"lucent-lint/2\""), "{json}");
+        assert!(json.contains("\"L8-shared-state\""), "{json}");
+        assert!(json.contains("a \\\"quoted\\\" msg"), "{json}");
+        assert!(json.contains("note\\twith tab"), "{json}");
+        assert!(json.contains("\"crates/x/src/a.rs::run\": [\"crates/x/src/a.rs:4\"]"), "{json}");
+    }
+
+    #[test]
+    fn empty_report_serializes_with_empty_collections() {
+        let json = Report::default().to_json();
+        assert!(json.contains("\"panic_sites\": {},"), "{json}");
+        assert!(json.contains("\"violations\": [],"), "{json}");
+        assert!(json.ends_with("]\n}\n"), "{json}");
     }
 }

@@ -29,6 +29,17 @@ impl Lexed {
         Lexed { scrubbed, spans }
     }
 
+    /// The scrubbed text (length- and newline-preserving) — the input
+    /// the item parser and call-graph extraction run on.
+    pub fn scrubbed(&self) -> &str {
+        &self.scrubbed
+    }
+
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
+    pub fn test_spans(&self) -> &[(usize, usize)] {
+        &self.spans
+    }
+
     /// Non-test scrubbed lines with 1-based numbers.
     fn live_lines(&self) -> impl Iterator<Item = (usize, &str)> {
         self.scrubbed
@@ -56,14 +67,15 @@ const HASH_ORDER: [&str; 2] = ["HashMap", "HashSet"];
 const RNG_CONSTRUCT: [&str; 2] = ["seed_from_u64", "from_seed"];
 
 /// Thread primitives — scheduling order is nondeterministic, so thread
-/// use is confined to the one scheduler whose merge discipline makes a
-/// determinism argument ([`THREAD_HOME`]). No allowlist: new thread use
-/// goes through the shard pool or not at all.
+/// use is confined to the schedulers whose merge discipline makes a
+/// determinism argument ([`THREAD_HOMES`]). No allowlist: new thread
+/// use goes through one of those pools or not at all.
 const THREADING: [&str; 3] = ["std::thread", "thread::spawn", "thread::scope"];
 
-/// The only sanctioned home of `std::thread`: the bench shard scheduler,
-/// which merges results in submission order.
-const THREAD_HOME: &str = "crates/bench/src/shard.rs";
+/// The only sanctioned homes of `std::thread`: the bench shard
+/// scheduler (merges results in submission order) and the lint's own
+/// scan pool (merges per-file results in path order).
+const THREAD_HOMES: [&str; 2] = ["crates/bench/src/shard.rs", "crates/devtools/src/pool.rs"];
 
 /// L3: scan non-test code for determinism hazards.
 pub fn check_determinism(file: &SourceFile, lexed: &Lexed, allow: &Allow) -> Vec<Violation> {
@@ -103,7 +115,7 @@ pub fn check_determinism(file: &SourceFile, lexed: &Lexed, allow: &Allow) -> Vec
                 ));
             }
         }
-        if file.path != THREAD_HOME {
+        if !THREAD_HOMES.contains(&file.path) {
             for tok in THREADING {
                 if has_token(line, tok) {
                     v.push(Violation::at(
@@ -111,8 +123,9 @@ pub fn check_determinism(file: &SourceFile, lexed: &Lexed, allow: &Allow) -> Vec
                         file.path,
                         n,
                         format!(
-                            "thread primitive `{tok}` outside the shard scheduler \
-                             ({THREAD_HOME}) — submit a shard job instead"
+                            "thread primitive `{tok}` outside the sanctioned pools \
+                             ({}) — submit a shard job instead",
+                            THREAD_HOMES.join(", ")
                         ),
                     ));
                     break; // `std::thread::spawn` matches two tokens; report once
@@ -144,15 +157,19 @@ const PANIC_SITES: [&str; 4] = [".unwrap()", ".expect(", "panic!", "unreachable!
 
 /// Count panic sites in non-test code.
 pub fn count_panic_sites(lexed: &Lexed) -> usize {
-    lexed
-        .live_lines()
-        .map(|(_, line)| {
-            PANIC_SITES
-                .iter()
-                .map(|tok| line.match_indices(tok).count())
-                .sum::<usize>()
-        })
-        .sum()
+    panic_site_lines(lexed).len()
+}
+
+/// 1-based lines of every panic site in non-test code, one entry per
+/// site (a line with two `.unwrap()`s appears twice) — the raw input
+/// of the L7 provenance pass.
+pub fn panic_site_lines(lexed: &Lexed) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (n, line) in lexed.live_lines() {
+        let count: usize = PANIC_SITES.iter().map(|tok| line.match_indices(tok).count()).sum();
+        out.extend(std::iter::repeat_n(n, count));
+    }
+    out
 }
 
 /// L4: the count must not exceed the file's baseline ceiling; files with
@@ -243,6 +260,109 @@ pub fn check_unsafe(file: &SourceFile, lexed: &Lexed) -> Vec<Violation> {
     v
 }
 
+/// Interior-mutability wrappers that make a `static` shared mutable
+/// state. Shard workers are replayed deterministically only if their
+/// inputs are explicit, so these live exclusively in `[shared_state]`
+/// allowlisted files.
+const SHARED_STATE: [&str; 21] = [
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "Once",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Find a `static` *keyword* on the line — rejecting the `'static`
+/// lifetime and identifier substrings — and report whether it declares
+/// a `static mut`.
+fn static_decl(line: &str) -> Option<bool> {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("static") {
+        let i = from + pos;
+        let j = i + "static".len();
+        from = j;
+        let prev_ok = i == 0 || {
+            let c = b[i - 1];
+            c != b'\'' && !(c as char).is_alphanumeric() && c != b'_'
+        };
+        let next_ok = j >= b.len() || !((b[j] as char).is_alphanumeric() || b[j] == b'_');
+        if prev_ok && next_ok {
+            let rest = line[j..].trim_start();
+            let is_mut = rest.starts_with("mut")
+                && rest[3..].chars().next().is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            return Some(is_mut);
+        }
+    }
+    None
+}
+
+/// L8: shard isolation. `static mut` is forbidden everywhere;
+/// interior-mutability statics and `thread_local!` state are confined
+/// to `[shared_state]` allowlisted files.
+pub fn check_shared_state(file: &SourceFile, lexed: &Lexed, allow: &Allow) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let allowed = allow.allows_shared_state(file.path);
+    for (n, line) in lexed.live_lines() {
+        let decl = static_decl(line);
+        if decl == Some(true) {
+            v.push(Violation::at(
+                Rule::SharedState,
+                file.path,
+                n,
+                "`static mut` is forbidden everywhere — shard workers must not share \
+                 mutable state; pass it explicitly or use a [shared_state] allowlisted \
+                 interior-mutability static"
+                    .to_string(),
+            ));
+            continue;
+        }
+        if allowed {
+            continue;
+        }
+        let tls = has_token(line, "thread_local");
+        if decl == Some(false) || tls {
+            if let Some(tok) = SHARED_STATE.iter().find(|t| has_token(line, t)) {
+                v.push(Violation::at(
+                    Rule::SharedState,
+                    file.path,
+                    n,
+                    format!(
+                        "interior-mutability static `{tok}` outside the [shared_state] \
+                         allowlist — shared mutable state breaks shard replay"
+                    ),
+                ));
+            } else if tls {
+                v.push(Violation::at(
+                    Rule::SharedState,
+                    file.path,
+                    n,
+                    "`thread_local!` state outside the [shared_state] allowlist — \
+                     per-thread state breaks shard replay"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,9 +416,11 @@ mod tests {
         let src = "std::thread::spawn(|| {});\n";
         let v = run_l3("crates/x/src/a.rs", src, &Allow::default());
         assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].msg.contains("shard scheduler"), "{}", v[0].msg);
-        // The scheduler itself is exempt — no allowlist entry needed.
-        assert!(run_l3(super::THREAD_HOME, src, &Allow::default()).is_empty());
+        assert!(v[0].msg.contains("sanctioned pools"), "{}", v[0].msg);
+        // The schedulers themselves are exempt — no allowlist entry needed.
+        for home in super::THREAD_HOMES {
+            assert!(run_l3(home, src, &Allow::default()).is_empty(), "{home}");
+        }
         // `use std::thread;` + bare `thread::scope` is still caught.
         let aliased = "use std::thread;\nfn f() { thread::scope(|_| {}); }\n";
         assert_eq!(run_l3("crates/x/src/b.rs", aliased, &Allow::default()).len(), 2);
@@ -414,5 +536,54 @@ mod tests {
         let text = "#![forbid(unsafe_code)]\nfn f() {}\n";
         let lexed = Lexed::new(text);
         assert!(check_unsafe(&SourceFile { path: "crates/x/src/a.rs", text }, &lexed).is_empty());
+    }
+
+    fn run_l8(path: &str, text: &str, allow: &Allow) -> Vec<Violation> {
+        let lexed = Lexed::new(text);
+        check_shared_state(&SourceFile { path, text }, &lexed, allow)
+    }
+
+    #[test]
+    fn static_mut_is_forbidden_even_in_allowlisted_files() {
+        let src = "pub static mut HITS: u32 = 0;\n";
+        let v = run_l8("crates/x/src/a.rs", src, &Allow::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("static mut"), "{}", v[0].msg);
+        let mut allow = Allow::default();
+        allow.shared_state.push("crates/x/src/a.rs".into());
+        assert_eq!(run_l8("crates/x/src/a.rs", src, &allow).len(), 1, "no allowlist escape");
+    }
+
+    #[test]
+    fn interior_mutability_statics_need_the_allowlist() {
+        let src = "static REGISTRY: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n";
+        let v = run_l8("crates/x/src/a.rs", src, &Allow::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("Mutex"), "{}", v[0].msg);
+        let mut allow = Allow::default();
+        allow.shared_state.push("crates/x/src/a.rs".into());
+        assert!(run_l8("crates/x/src/a.rs", src, &allow).is_empty());
+    }
+
+    #[test]
+    fn thread_local_state_needs_the_allowlist() {
+        let src = "thread_local! {\n    static DEPTH: Cell<u32> = const { Cell::new(0) };\n}\n";
+        let v = run_l8("crates/x/src/a.rs", src, &Allow::default());
+        assert!(!v.is_empty(), "{v:?}");
+        let mut allow = Allow::default();
+        allow.shared_state.push("crates/x/src/a.rs".into());
+        assert!(run_l8("crates/x/src/a.rs", src, &allow).is_empty());
+    }
+
+    #[test]
+    fn immutable_statics_and_lifetimes_stay_clean() {
+        let src = "static NAMES: [&str; 2] = [\"a\", \"b\"];\nfn f() -> &'static str { \"x\" }\nfn g<T: 'static>(t: T) {}\nlet staticky = 1;\n";
+        assert!(run_l8("crates/x/src/a.rs", src, &Allow::default()).is_empty());
+    }
+
+    #[test]
+    fn statics_in_test_code_are_exempt_from_l8() {
+        let src = "#[cfg(test)]\nmod tests {\n    static HIT: AtomicBool = AtomicBool::new(false);\n}\n";
+        assert!(run_l8("crates/x/src/a.rs", src, &Allow::default()).is_empty());
     }
 }

@@ -1,0 +1,98 @@
+//! Workspace-wide symbol index: every non-test `fn` in every crate's
+//! library tree, in deterministic file-then-declaration order, with a
+//! name → candidates map for the approximate call-graph resolver.
+
+use std::collections::BTreeMap;
+
+use crate::parse::FnItem;
+
+/// One indexed function.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// File stem (`race` for `crates/core/src/experiments/race.rs`) —
+    /// matched against call-site qualifiers like `race::run_isp`.
+    pub stem: String,
+    pub name: String,
+    /// In-file context (modules and impl self-types, `::`-joined).
+    pub qual: String,
+    pub is_pub: bool,
+    pub line: usize,
+    pub end_line: usize,
+}
+
+impl Symbol {
+    /// The stable display identity: `<file>::<name>`.
+    pub fn id(&self) -> String {
+        format!("{}::{}", self.file, self.name)
+    }
+}
+
+/// The index. Symbol indices are assigned in the order files (and fns
+/// within a file) are supplied, which the caller keeps sorted — so the
+/// numbering is deterministic across runs and thread counts.
+#[derive(Debug, Default)]
+pub struct Index {
+    pub syms: Vec<Symbol>,
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+fn stem_of(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or_default().trim_end_matches(".rs")
+}
+
+impl Index {
+    /// Build from `(file path, fns)` pairs in sorted file order.
+    pub fn build<'a>(files: impl Iterator<Item = (&'a str, &'a [FnItem])>) -> Index {
+        let mut index = Index::default();
+        for (path, fns) in files {
+            let stem = stem_of(path).to_string();
+            for f in fns {
+                let idx = index.syms.len();
+                index.by_name.entry(f.name.clone()).or_default().push(idx);
+                index.syms.push(Symbol {
+                    file: path.to_string(),
+                    stem: stem.clone(),
+                    name: f.name.clone(),
+                    qual: f.qual.clone(),
+                    is_pub: f.is_pub,
+                    line: f.line,
+                    end_line: f.end_line,
+                });
+            }
+        }
+        index
+    }
+
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::scrub;
+    use crate::parse;
+
+    #[test]
+    fn index_is_ordered_and_searchable() {
+        let a = parse::parse(&scrub("pub fn run() {}\nfn helper() {}\n"));
+        let b = parse::parse(&scrub("impl Widget {\n    pub fn run(&self) {}\n}\n"));
+        let files = vec![
+            ("crates/x/src/alpha.rs", a.fns.as_slice()),
+            ("crates/x/src/beta.rs", b.fns.as_slice()),
+        ];
+        let index = Index::build(files.into_iter());
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.by_name["run"], vec![0, 2]);
+        assert_eq!(index.syms[0].stem, "alpha");
+        assert_eq!(index.syms[2].qual, "Widget");
+        assert_eq!(index.syms[0].id(), "crates/x/src/alpha.rs::run");
+    }
+}
