@@ -1,0 +1,13 @@
+//! Same hot path as `alloc-red`, but the baselines cover the site.
+
+pub fn step(packets: &[Vec<u8>]) -> usize {
+    let mut total = 0;
+    for p in packets {
+        total += handle(p.clone());
+    }
+    total
+}
+
+fn handle(p: Vec<u8>) -> usize {
+    p.len()
+}

@@ -1,0 +1,13 @@
+//! Seeded L9/L10 violations: the hot root reaches a per-event clone.
+
+pub fn step(packets: &[Vec<u8>]) -> usize {
+    let mut total = 0;
+    for p in packets {
+        total += handle(p.clone());
+    }
+    total
+}
+
+fn handle(p: Vec<u8>) -> usize {
+    p.len()
+}

@@ -1,0 +1,294 @@
+//! Allocation-site detection for the L9/L10 heap-discipline rules.
+//!
+//! The detector classifies the allocating idioms the event-engine
+//! overhaul must drive out of the hot path: `clone()`, `to_vec()`,
+//! `Vec::new` / `with_capacity`, `collect()`, `format!`, `Box::new`,
+//! `String::from` and `vec![…]`. Like the L4 panic matcher it runs on
+//! *scrubbed* lines (see [`crate::lex`]), so a needle inside a string
+//! literal or a comment — including this crate's own rule tables —
+//! never counts. One match is one site; a line with two `clone()`s
+//! yields two sites.
+//!
+//! The grammar is deliberately token-level and over-inclusive: a cheap
+//! `Rc` handle `.clone()` counts the same as a deep payload copy. For
+//! a shrink-only ceiling that is the safe direction — converting a deep
+//! copy to `Rc::clone(&x)` (which the detector does not match, by
+//! design) registers as a shrink, and nothing allocating can hide.
+//!
+//! [`loop_spans`] locates the line ranges of `loop` / `while` / `for`
+//! bodies so L10 can hold per-event (in-loop) allocations to a tighter
+//! ceiling than one-off setup allocations.
+
+use crate::lex::in_spans;
+use crate::parse::{line_of, line_starts, next_token};
+use crate::source::Lexed;
+
+/// One detected allocation site in non-test code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// 1-based line of the match.
+    pub line: usize,
+    /// Which idiom matched (e.g. `"clone"`, `"vec!"`).
+    pub kind: &'static str,
+    /// Lexically inside a `loop`/`while`/`for` body.
+    pub in_loop: bool,
+}
+
+/// The detector grammar: `(needle, kind)`. Needles whose first byte is
+/// an identifier character additionally require a non-identifier byte
+/// (or line start) before the match, so `MyVec::new(` never counts.
+const NEEDLES: [(&str, &str); 10] = [
+    (".clone()", "clone"),
+    (".to_vec()", "to_vec"),
+    ("Vec::new(", "Vec::new"),
+    ("with_capacity(", "with_capacity"),
+    (".collect(", "collect"),
+    (".collect::<", "collect"),
+    ("format!", "format!"),
+    ("Box::new(", "Box::new"),
+    ("String::from(", "String::from"),
+    ("vec!", "vec!"),
+];
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Count boundary-respecting occurrences of `needle` in one scrubbed
+/// line, returning the byte offset of each match.
+fn matches_in(line: &str, needle: &str) -> Vec<usize> {
+    let lb = line.as_bytes();
+    let first = needle.as_bytes()[0];
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = !is_ident(first) || at == 0 || !is_ident(lb[at - 1]);
+        if before_ok {
+            out.push(at);
+        }
+        from = at + 1;
+    }
+    out
+}
+
+/// Every allocation site in the non-test lines of a lexed file, in
+/// line order (kinds in grammar order within a line). Total on
+/// arbitrary input.
+pub fn alloc_sites(lexed: &Lexed) -> Vec<AllocSite> {
+    let loops = loop_spans(lexed.scrubbed());
+    let mut out = Vec::new();
+    for (n, line) in lexed.scrubbed().lines().enumerate().map(|(i, l)| (i + 1, l)) {
+        if in_spans(lexed.test_spans(), n) {
+            continue;
+        }
+        for (needle, kind) in NEEDLES {
+            for _ in matches_in(line, needle) {
+                out.push(AllocSite { line: n, kind, in_loop: in_spans(&loops, n) });
+            }
+        }
+    }
+    out
+}
+
+/// 1-based inclusive line ranges covered by `loop` / `while` / `for`
+/// bodies in scrubbed source, outermost and nested alike.
+///
+/// The body `{` is found by scanning forward from the keyword at zero
+/// paren/bracket depth (so a closure brace inside `for x in xs.iter()`
+/// headers does not start the body early), then brace-matched to its
+/// closer — unbalanced braces close at end-of-file. `for` is skipped
+/// when the previous token is an identifier or `>` (the `impl Trait
+/// for Type` position) or the next token is `<` (`for<'a>` bounds);
+/// both would otherwise sweep whole impl blocks into "loop bodies".
+/// The result is over-approximate in the safe, shrink-only direction.
+pub fn loop_spans(scrubbed: &str) -> Vec<(usize, usize)> {
+    let b = scrubbed.as_bytes();
+    let starts = line_starts(scrubbed);
+    let mut spans = Vec::new();
+    let mut prev = String::new();
+    let mut i = 0usize;
+    while let Some((s, e, ident)) = next_token(b, i) {
+        let text = &scrubbed[s..e];
+        i = e;
+        if ident && matches!(text, "loop" | "while" | "for") {
+            let impl_for = text == "for"
+                && (prev.as_bytes().first().is_some_and(|&c| is_ident(c) || c >= 0x80)
+                    || prev == ">");
+            let hrtb = text == "for"
+                && matches!(next_token(b, e), Some((hs, _, false)) if b[hs] == b'<');
+            if !impl_for && !hrtb {
+                if let Some(open) = body_open(b, e) {
+                    let close = brace_close(b, open);
+                    spans.push((line_of(&starts, open), line_of(&starts, close)));
+                    // Continue scanning *inside* the body so nested
+                    // loops get their own (redundant but harmless)
+                    // spans; i stays at the token after the keyword.
+                }
+            }
+        }
+        prev.clear();
+        prev.push_str(text);
+    }
+    spans
+}
+
+/// The body-opening `{` after a loop keyword: first `{` at zero
+/// paren/bracket depth. `None` when a `;` or `}` intervenes (a stray
+/// keyword with no body).
+fn body_open(b: &[u8], from: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < b.len() {
+        match b[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b'{' if depth == 0 => return Some(j),
+            b';' | b'}' if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Byte of the `}` matching the `{` at `open`; the last byte when
+/// unbalanced.
+fn brace_close(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < b.len() {
+        match b[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    b.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<(usize, &'static str, bool)> {
+        alloc_sites(&Lexed::new(src)).into_iter().map(|s| (s.line, s.kind, s.in_loop)).collect()
+    }
+
+    #[test]
+    fn the_grammar_matches_each_idiom_once() {
+        let src = "fn f() {\n\
+                   let a = x.clone();\n\
+                   let b = y.to_vec();\n\
+                   let c = Vec::new();\n\
+                   let d = Vec::with_capacity(8);\n\
+                   let e: Vec<u8> = it.collect();\n\
+                   let g = it.collect::<Vec<u8>>();\n\
+                   let h = format!(\"x{}\", 1);\n\
+                   let i = Box::new(7);\n\
+                   let j = String::from(\"s\");\n\
+                   let k = vec![0u8; 4];\n\
+                   }\n";
+        let got = sites(src);
+        let kinds: Vec<&str> = got.iter().map(|(_, k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "clone", "to_vec", "Vec::new", "with_capacity", "collect", "collect",
+                "format!", "Box::new", "String::from", "vec!"
+            ]
+        );
+        assert!(got.iter().all(|(_, _, l)| !l), "nothing here is in a loop: {got:?}");
+    }
+
+    #[test]
+    fn lookalike_identifiers_and_literals_do_not_match() {
+        let src = "fn f() {\n\
+                   let a = MyVec::new();\n\
+                   let b = reformat!(x);\n\
+                   let c = \"use Vec::new() and vec![] and format!\";\n\
+                   // x.clone() in a comment\n\
+                   let d = Rc::clone(&x);\n\
+                   let e = cloned();\n\
+                   }\n";
+        assert!(sites(src).is_empty(), "{:?}", sites(src));
+    }
+
+    #[test]
+    fn two_sites_on_one_line_count_twice() {
+        let got = sites("fn f() { (a.clone(), a.clone()) }\n");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, got[1].0);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn live() { x.clone(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.clone(); }\n}\n";
+        assert_eq!(sites(src), vec![(1, "clone", false)]);
+    }
+
+    #[test]
+    fn loop_bodies_mark_sites_in_loop() {
+        let src = "fn f(xs: &[u8]) {\n\
+                   let setup = Vec::new();\n\
+                   for x in xs {\n\
+                       let per_event = x.clone();\n\
+                   }\n\
+                   while go() {\n\
+                       buf.push(format!(\"{x}\"));\n\
+                   }\n\
+                   loop {\n\
+                       let v = vec![1];\n\
+                       break;\n\
+                   }\n\
+                   }\n";
+        let got = sites(src);
+        assert_eq!(
+            got,
+            vec![
+                (2, "Vec::new", false),
+                (4, "clone", true),
+                (7, "format!", true),
+                (10, "vec!", true),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        let src = "impl fmt::Display for Report {\n\
+                   fn fmt(&self) { let s = x.clone(); }\n\
+                   }\n\
+                   fn g<F: for<'a> Fn(&'a u8)>(f: F) { let v = vec![1]; }\n";
+        let got = sites(src);
+        assert_eq!(got, vec![(2, "clone", false), (4, "vec!", false)]);
+        assert!(loop_spans(&crate::lex::scrub(src)).is_empty());
+    }
+
+    #[test]
+    fn closure_braces_in_loop_headers_do_not_open_the_body() {
+        let src = "fn f() {\n\
+                   for x in xs.iter().map(|y| { y + 1 }) {\n\
+                       let c = x.clone();\n\
+                   }\n\
+                   let after = Vec::new();\n\
+                   }\n";
+        let got = sites(src);
+        assert_eq!(got, vec![(3, "clone", true), (5, "Vec::new", false)]);
+    }
+
+    #[test]
+    fn nested_loops_and_unbalanced_braces_stay_total() {
+        let src = "fn f() {\n    for a in xs {\n        while b {\n            c.clone();\n";
+        let got = sites(src);
+        assert_eq!(got, vec![(4, "clone", true)]);
+        // Pure soup never panics.
+        let _ = sites("}}} for for { { vec! while ((( loop");
+    }
+}

@@ -1,0 +1,386 @@
+//! L9/L10 allocation provenance: attribute every allocation site to the
+//! hot-path roots that can reach it through the approximate call graph,
+//! and ratchet the per-root counts against the shrink-only
+//! `[alloc_reach]` (L9) and `[alloc_in_loop]` (L10) baselines in
+//! `lint-allow.toml`.
+//!
+//! Unlike L7's entry points (derived from the tree layout), hot roots
+//! are *named configuration*: the `[hot_roots]` table lists the
+//! `<file>::<fn>` ids of the event-engine hot path — the netsim
+//! `Network` step/run family, the middlebox `on_packet`/matcher path,
+//! and the `crates/packet` parse fns. A root id naming a function that
+//! no longer exists in the symbol index is a violation, same as any
+//! other stale allowlist entry: a ceiling guarding nothing must not
+//! look live.
+//!
+//! When one id matches several symbols (two `parse` fns in one file,
+//! or a method dispatching to many impls), the root's reach is the BFS
+//! *union* — over-approximation keeps the shrink-only ceiling safe.
+
+use std::collections::BTreeMap;
+
+use crate::allow::Allow;
+use crate::callgraph::Graph;
+use crate::report::{Rule, Violation};
+use crate::symbols::Index;
+use crate::ALLOW_FILE;
+
+/// One allocation site, attributed to its enclosing function (if any).
+#[derive(Debug, Clone)]
+pub struct HotSite {
+    pub file: String,
+    pub line: usize,
+    /// Which detector idiom matched (`"clone"`, `"vec!"`, …).
+    pub kind: &'static str,
+    /// Lexically inside a `loop`/`while`/`for` body.
+    pub in_loop: bool,
+    /// Global symbol index of the smallest enclosing non-test `fn`.
+    pub owner: Option<usize>,
+}
+
+/// The outcome of the allocation-provenance pass.
+#[derive(Debug, Default)]
+pub struct HotAllocOutcome {
+    pub violations: Vec<Violation>,
+    pub warnings: Vec<String>,
+    /// Root id → count of reachable allocation sites (zero omitted).
+    pub alloc_reach: BTreeMap<String, usize>,
+    /// Root id → count of reachable *in-loop* sites (zero omitted).
+    pub alloc_in_loop: BTreeMap<String, usize>,
+    /// Crate name → `(reachable, in_loop)` over the union of all hot
+    /// roots: the per-crate hot-path allocation census.
+    pub census: BTreeMap<String, (usize, usize)>,
+}
+
+/// Reachable allocation counts for one root: `(total, in_loop, sites)`
+/// with `sites` as sorted `file:line (kind)` strings.
+fn root_reach(
+    index: &Index,
+    graph: &Graph,
+    sites: &[HotSite],
+    root: &str,
+) -> Option<(usize, usize, Vec<String>, Vec<bool>)> {
+    let matches: Vec<usize> =
+        (0..index.syms.len()).filter(|&i| index.syms[i].id() == root).collect();
+    if matches.is_empty() {
+        return None;
+    }
+    let mut reachable = vec![false; index.len()];
+    for m in matches {
+        for (i, r) in graph.reachable(m).into_iter().enumerate() {
+            reachable[i] = reachable[i] || r;
+        }
+    }
+    let mut hit: Vec<(&HotSite, String)> = sites
+        .iter()
+        .filter(|s| s.owner.is_some_and(|o| reachable[o]))
+        .map(|s| (s, format!("{}:{} ({})", s.file, s.line, s.kind)))
+        .collect();
+    hit.sort_by(|a, b| a.1.cmp(&b.1));
+    let in_loop = hit.iter().filter(|(s, _)| s.in_loop).count();
+    let listed = hit.iter().map(|(_, t)| t.clone()).collect();
+    Some((hit.len(), in_loop, listed, reachable))
+}
+
+/// Current `(reachable, in_loop)` counts per hot root, plus the roots
+/// that no longer resolve in the symbol index — `--update-baseline`
+/// input. Roots with zero reachable sites are omitted from the counts,
+/// matching the check's "omit zero entries" convention.
+pub fn root_counts(
+    index: &Index,
+    graph: &Graph,
+    sites: &[HotSite],
+    roots: &[String],
+) -> (BTreeMap<String, (usize, usize)>, Vec<String>) {
+    let mut counts = BTreeMap::new();
+    let mut stale = Vec::new();
+    for root in roots {
+        match root_reach(index, graph, sites, root) {
+            Some((count, in_loop, _, _)) if count > 0 => {
+                counts.insert(root.clone(), (count, in_loop));
+            }
+            Some(_) => {}
+            None => stale.push(root.clone()),
+        }
+    }
+    (counts, stale)
+}
+
+/// Run the allocation-provenance pass and compare against the baseline.
+pub fn check_hot_alloc(
+    index: &Index,
+    graph: &Graph,
+    sites: &[HotSite],
+    allow: &Allow,
+) -> HotAllocOutcome {
+    let mut out = HotAllocOutcome::default();
+    let mut union = vec![false; index.len()];
+    for root in &allow.hot_roots {
+        let Some((count, in_loop, listed, reachable)) = root_reach(index, graph, sites, root)
+        else {
+            out.violations.push(Violation::file(
+                Rule::AllocReach,
+                ALLOW_FILE,
+                format!(
+                    "stale [hot_roots] entry `{root}` — no such function in the symbol index; \
+                     remove it"
+                ),
+            ));
+            continue;
+        };
+        for (i, r) in reachable.into_iter().enumerate() {
+            union[i] = union[i] || r;
+        }
+        let file = root.split("::").next().unwrap_or(root);
+        let ceiling = allow.alloc_reach_ceiling(root);
+        if count > ceiling {
+            let mut shown = listed.clone();
+            shown.truncate(6);
+            out.violations.push(Violation::file(
+                Rule::AllocReach,
+                file,
+                format!(
+                    "`{root}`: {count} allocation site(s) reachable from this hot root exceeds \
+                     the shrink-only baseline of {ceiling} — sites: {}{}",
+                    shown.join(", "),
+                    if count > shown.len() { ", …" } else { "" },
+                ),
+            ));
+        } else if count < ceiling {
+            out.warnings.push(format!(
+                "{ALLOW_FILE}: [alloc_reach] \"{root}\" = {ceiling}, but only {count} site(s) \
+                 are reachable — shrink the entry"
+            ));
+        }
+        let loop_ceiling = allow.alloc_in_loop_ceiling(root);
+        if in_loop > loop_ceiling {
+            let mut shown: Vec<String> = sites
+                .iter()
+                .filter(|s| s.in_loop)
+                .map(|s| format!("{}:{} ({})", s.file, s.line, s.kind))
+                .filter(|t| listed.contains(t))
+                .collect();
+            shown.sort();
+            shown.truncate(6);
+            out.violations.push(Violation::file(
+                Rule::AllocInLoop,
+                file,
+                format!(
+                    "`{root}`: {in_loop} per-event (in-loop) allocation site(s) reachable from \
+                     this hot root exceeds the shrink-only baseline of {loop_ceiling} — \
+                     sites: {}{}",
+                    shown.join(", "),
+                    if in_loop > shown.len() { ", …" } else { "" },
+                ),
+            ));
+        } else if in_loop < loop_ceiling {
+            out.warnings.push(format!(
+                "{ALLOW_FILE}: [alloc_in_loop] \"{root}\" = {loop_ceiling}, but only {in_loop} \
+                 site(s) are reachable — shrink the entry"
+            ));
+        }
+        if count > 0 {
+            out.alloc_reach.insert(root.clone(), count);
+        }
+        if in_loop > 0 {
+            out.alloc_in_loop.insert(root.clone(), in_loop);
+        }
+    }
+    // Stale ceiling entries: an id in a generated table that is not a
+    // configured hot root would never be checked — promote to red.
+    for (section, table) in
+        [("alloc_reach", &allow.alloc_reach), ("alloc_in_loop", &allow.alloc_in_loop)]
+    {
+        for id in table.keys() {
+            if !allow.hot_roots.contains(id) {
+                out.violations.push(Violation::file(
+                    Rule::AllocReach,
+                    ALLOW_FILE,
+                    format!(
+                        "stale [{section}] entry `{id}` — not a [hot_roots] entry; remove it"
+                    ),
+                ));
+            }
+        }
+    }
+    // Census: union-reachable sites bucketed by crate.
+    for s in sites {
+        if !s.owner.is_some_and(|o| union[o]) {
+            continue;
+        }
+        let krate = s
+            .file
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("(root)")
+            .to_string();
+        let e = out.census.entry(krate).or_insert((0, 0));
+        e.0 += 1;
+        if s.in_loop {
+            e.1 += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{self, CallSite};
+    use crate::lex::scrub;
+    use crate::parse;
+    use crate::symbols::Index;
+
+    /// Two-file world: a hot `step` fn calling a helper that allocates
+    /// in a loop, and a cold fn allocating on its own.
+    fn world() -> (Index, Graph, Vec<HotSite>) {
+        let hot_src = "pub fn step(xs: &[u8]) { handle(xs) }\n\
+                       fn handle(xs: &[u8]) {\n\
+                           let setup = Vec::new();\n\
+                           for x in xs { let c = x.clone(); }\n\
+                       }\n";
+        let cold_src = "pub fn cold() -> Vec<u8> { vec![1, 2, 3] }\n";
+        let hot = parse::parse(&scrub(hot_src));
+        let cold = parse::parse(&scrub(cold_src));
+        let index = Index::build(
+            vec![
+                ("crates/netsim/src/engine.rs", hot.fns.as_slice()),
+                ("crates/web/src/cold.rs", cold.fns.as_slice()),
+            ]
+            .into_iter(),
+        );
+        let s = scrub(hot_src);
+        let body = hot.fns[0].body.expect("body");
+        let calls: Vec<(usize, CallSite)> = callgraph::calls_in(&s, body.0, body.1)
+            .into_iter()
+            .map(|c| (0usize, c))
+            .collect();
+        let graph = Graph::build(&index, calls.iter().map(|(i, c)| (*i, c)));
+        let sites = vec![
+            HotSite {
+                file: "crates/netsim/src/engine.rs".into(),
+                line: 3,
+                kind: "Vec::new",
+                in_loop: false,
+                owner: Some(1),
+            },
+            HotSite {
+                file: "crates/netsim/src/engine.rs".into(),
+                line: 4,
+                kind: "clone",
+                in_loop: true,
+                owner: Some(1),
+            },
+            HotSite {
+                file: "crates/web/src/cold.rs".into(),
+                line: 1,
+                kind: "vec!",
+                in_loop: false,
+                owner: Some(2),
+            },
+        ];
+        (index, graph, sites)
+    }
+
+    fn root_allow() -> Allow {
+        let mut a = Allow::default();
+        a.hot_roots.push("crates/netsim/src/engine.rs::step".into());
+        a
+    }
+
+    #[test]
+    fn reach_above_baseline_fires_l9_and_l10() {
+        let (index, graph, sites) = world();
+        let out = check_hot_alloc(&index, &graph, &sites, &root_allow());
+        let l9: Vec<_> =
+            out.violations.iter().filter(|v| v.rule == Rule::AllocReach).collect();
+        let l10: Vec<_> =
+            out.violations.iter().filter(|v| v.rule == Rule::AllocInLoop).collect();
+        assert_eq!(l9.len(), 1, "{:?}", out.violations);
+        assert_eq!(l10.len(), 1, "{:?}", out.violations);
+        assert!(l9[0].msg.contains("engine.rs:3 (Vec::new)"), "{}", l9[0].msg);
+        assert!(l9[0].msg.contains("engine.rs:4 (clone)"), "{}", l9[0].msg);
+        assert!(l10[0].msg.contains("engine.rs:4 (clone)"), "{}", l10[0].msg);
+        assert!(!l9[0].msg.contains("cold.rs"), "cold fn is not hot-reachable: {}", l9[0].msg);
+        assert_eq!(out.alloc_reach["crates/netsim/src/engine.rs::step"], 2);
+        assert_eq!(out.alloc_in_loop["crates/netsim/src/engine.rs::step"], 1);
+        assert_eq!(out.census["netsim"], (2, 1));
+        assert!(!out.census.contains_key("web"));
+    }
+
+    #[test]
+    fn reach_at_baseline_is_clean_and_below_warns() {
+        let (index, graph, sites) = world();
+        let mut allow = root_allow();
+        allow.alloc_reach.insert("crates/netsim/src/engine.rs::step".into(), 2);
+        allow.alloc_in_loop.insert("crates/netsim/src/engine.rs::step".into(), 1);
+        let out = check_hot_alloc(&index, &graph, &sites, &allow);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+
+        allow.alloc_reach.insert("crates/netsim/src/engine.rs::step".into(), 5);
+        allow.alloc_in_loop.insert("crates/netsim/src/engine.rs::step".into(), 3);
+        let out = check_hot_alloc(&index, &graph, &sites, &allow);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.warnings.len(), 2, "{:?}", out.warnings);
+        assert!(out.warnings.iter().all(|w| w.contains("shrink")), "{:?}", out.warnings);
+    }
+
+    #[test]
+    fn a_stale_hot_root_is_a_violation() {
+        let (index, graph, sites) = world();
+        let mut allow = Allow::default();
+        allow.hot_roots.push("crates/netsim/src/engine.rs::gone".into());
+        let out = check_hot_alloc(&index, &graph, &sites, &allow);
+        assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+        assert!(out.violations[0].msg.contains("stale [hot_roots]"), "{}", out.violations[0].msg);
+    }
+
+    #[test]
+    fn stale_generated_entries_are_violations() {
+        let (index, graph, sites) = world();
+        let mut allow = root_allow();
+        allow.alloc_reach.insert("crates/netsim/src/engine.rs::step".into(), 2);
+        allow.alloc_in_loop.insert("crates/netsim/src/engine.rs::step".into(), 1);
+        allow.alloc_reach.insert("crates/web/src/cold.rs::cold".into(), 1);
+        let out = check_hot_alloc(&index, &graph, &sites, &allow);
+        assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+        assert!(
+            out.violations[0].msg.contains("stale [alloc_reach] entry `crates/web/src/cold.rs::cold`"),
+            "{}",
+            out.violations[0].msg
+        );
+    }
+
+    #[test]
+    fn a_root_matching_multiple_symbols_unions_their_reach() {
+        // Two fns named `parse` in one file — the root id matches both;
+        // the reach must cover sites owned by either.
+        let src = "pub fn parse(a: u8) { let v = Vec::new(); }\n\
+                   pub fn parse(b: u16) { let w = vec![0]; }\n";
+        let parsed = parse::parse(&scrub(src));
+        let index =
+            Index::build(vec![("crates/packet/src/http.rs", parsed.fns.as_slice())].into_iter());
+        let graph = Graph::build(&index, Vec::<(usize, &CallSite)>::new().into_iter());
+        let sites = vec![
+            HotSite {
+                file: "crates/packet/src/http.rs".into(),
+                line: 1,
+                kind: "Vec::new",
+                in_loop: false,
+                owner: Some(0),
+            },
+            HotSite {
+                file: "crates/packet/src/http.rs".into(),
+                line: 2,
+                kind: "vec!",
+                in_loop: false,
+                owner: Some(1),
+            },
+        ];
+        let mut allow = Allow::default();
+        allow.hot_roots.push("crates/packet/src/http.rs::parse".into());
+        let out = check_hot_alloc(&index, &graph, &sites, &allow);
+        assert_eq!(out.alloc_reach["crates/packet/src/http.rs::parse"], 2);
+    }
+}

@@ -1,7 +1,7 @@
 //! `lucent-devtools`: in-tree static analysis for the lucent workspace.
 //!
 //! The `lucent-lint` binary (and the `run_root` library entry point the
-//! tier-1 gate calls) enforces eight rule families:
+//! tier-1 gate calls) enforces ten rule families:
 //!
 //! - **L1 hermeticity** — every dependency is a path dependency; the
 //!   workspace builds with the network unplugged.
@@ -28,6 +28,15 @@
 //!   interior-mutability statics (`Mutex`/`RefCell`/atomics/… at static
 //!   scope, `thread_local!`) are confined to `[shared_state]`
 //!   allowlisted files so shard workers never share mutable state.
+//! - **L9 alloc provenance** — allocation sites (`clone`/`to_vec`/
+//!   `Vec::new`/`with_capacity`/`collect`/`format!`/`Box::new`/
+//!   `String::from`/`vec!`) reachable from the configured `[hot_roots]`
+//!   (the event-engine hot path) are capped per root by the shrink-only
+//!   `[alloc_reach]` baseline.
+//! - **L10 per-event heap discipline** — the subset of hot-reachable
+//!   allocation sites lexically inside `loop`/`while`/`for` bodies gets
+//!   a separate, tighter `[alloc_in_loop]` ceiling: per-event
+//!   allocations are what the arena refactor must eliminate.
 //!
 //! The lint is dependency-free by construction: it ships its own Rust
 //! scrubbing lexer, a brace-tree item parser ([`parse`]), a symbol
@@ -40,8 +49,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod allocsite;
 pub mod allow;
 pub mod callgraph;
+pub mod hotalloc;
 pub mod lex;
 pub mod manifest;
 pub mod parse;
@@ -58,6 +69,7 @@ use std::path::{Path, PathBuf};
 
 use allow::Allow;
 use callgraph::{CallSite, Graph};
+use hotalloc::HotSite;
 use lex::in_spans;
 use reach::PanicSite;
 use report::{Report, Rule, Violation};
@@ -146,15 +158,23 @@ pub fn run_root_with(root: &Path, opts: &Options) -> io::Result<Report> {
         report.panic_total += count;
     }
 
-    // L7: assemble the symbol index and call graph, then ratchet the
-    // per-entry reachable-panic counts.
-    let (index, graph, sites) = graph_phase(&scans);
+    // L7/L9/L10: assemble the symbol index and call graph, then ratchet
+    // the per-entry reachable-panic counts and the per-hot-root
+    // reachable-allocation counts.
+    let (index, graph, sites, alloc) = graph_phase(&scans);
     report.functions = index.len();
     report.call_edges = graph.edge_count;
+    report.alloc_total = alloc.len();
     let reach_out = reach::check_reach(&index, &graph, &sites, &allow);
     report.merge(reach_out.violations);
     report.warnings.extend(reach_out.warnings);
     report.panic_reach = reach_out.reach;
+    let alloc_out = hotalloc::check_hot_alloc(&index, &graph, &alloc, &allow);
+    report.merge(alloc_out.violations);
+    report.warnings.extend(alloc_out.warnings);
+    report.alloc_reach = alloc_out.alloc_reach;
+    report.alloc_in_loop = alloc_out.alloc_in_loop;
+    report.hot_alloc_census = alloc_out.census;
 
     // Baseline hygiene: entries for files that no longer exist are
     // violations — a stale ceiling looks live while guarding nothing.
@@ -196,6 +216,8 @@ struct FileScan {
     warnings: Vec<String>,
     /// 1-based lines of panic sites in non-test library code.
     panic_lines: Vec<usize>,
+    /// Allocation sites in non-test library code (L9/L10 input).
+    alloc_sites: Vec<allocsite::AllocSite>,
     /// Non-test `fn` items (library tree only).
     fns: Vec<parse::FnItem>,
     /// `(local fn index, call site)` pairs from non-test bodies.
@@ -210,6 +232,7 @@ impl FileScan {
             violations: Vec::new(),
             warnings: Vec::new(),
             panic_lines: Vec::new(),
+            alloc_sites: Vec::new(),
             fns: Vec::new(),
             calls: Vec::new(),
         }
@@ -234,6 +257,7 @@ fn scan_file(root: &Path, rel: &str, allow: &Allow) -> FileScan {
         let (v, count) = source::check_panic_budget(&file, &lexed, allow);
         scan.violations.extend(v);
         scan.panic_lines = source::panic_site_lines(&lexed);
+        scan.alloc_sites = allocsite::alloc_sites(&lexed);
         if count < allow.panic_ceiling(rel) {
             scan.warnings.push(format!(
                 "{rel}: {count} panic site(s), baseline {} — shrink the entry",
@@ -258,46 +282,91 @@ fn scan_file(root: &Path, rel: &str, allow: &Allow) -> FileScan {
 }
 
 /// Globalize per-file symbols into the index, the call graph, and the
-/// owner-attributed panic-site list.
-fn graph_phase(scans: &[FileScan]) -> (Index, Graph, Vec<PanicSite>) {
+/// owner-attributed panic- and allocation-site lists.
+fn graph_phase(scans: &[FileScan]) -> (Index, Graph, Vec<PanicSite>, Vec<HotSite>) {
     let index = Index::build(scans.iter().map(|s| (s.rel.as_str(), s.fns.as_slice())));
     let mut calls: Vec<(usize, &CallSite)> = Vec::new();
     let mut sites = Vec::new();
+    let mut alloc = Vec::new();
     let mut base = 0;
     for s in scans {
         for (li, c) in &s.calls {
             calls.push((base + li, c));
         }
-        for &line in &s.panic_lines {
-            // Owner: the smallest enclosing non-test fn, so a panic in a
-            // nested helper is attributed to the helper, not the outer fn.
-            let owner = s
-                .fns
+        // Owner: the smallest enclosing non-test fn, so a site in a
+        // nested helper is attributed to the helper, not the outer fn.
+        let owner_of = |line: usize| {
+            s.fns
                 .iter()
                 .enumerate()
                 .filter(|(_, f)| f.line <= line && line <= f.end_line)
                 .min_by_key(|(_, f)| f.end_line - f.line)
-                .map(|(li, _)| base + li);
-            sites.push(PanicSite { file: s.rel.clone(), line, owner });
+                .map(|(li, _)| base + li)
+        };
+        for &line in &s.panic_lines {
+            sites.push(PanicSite { file: s.rel.clone(), line, owner: owner_of(line) });
+        }
+        for a in &s.alloc_sites {
+            alloc.push(HotSite {
+                file: s.rel.clone(),
+                line: a.line,
+                kind: a.kind,
+                in_loop: a.in_loop,
+                owner: owner_of(a.line),
+            });
         }
         base += s.fns.len();
     }
     let graph = Graph::build(&index, calls.into_iter());
-    (index, graph, sites)
+    (index, graph, sites, alloc)
 }
 
-/// Rewrite `lint-allow.toml` with current panic counts and per-entry
-/// reach counts. Ceilings only ever move down: an attempt to raise one
-/// is reported as a violation instead of written.
+/// Ratchet one generated baseline table against a fresh census in one
+/// sorted pass: each key takes its current count, except that an
+/// attempt to *raise* a prior ceiling is refused — the prior value is
+/// kept and a violation recorded, so the rewrite never happens.
+/// `counts` maps table key → `(attribution path, current count)`; zero
+/// counts are expected to be pre-filtered.
+fn ratchet_table(
+    section: &str,
+    rule: Rule,
+    old: &std::collections::BTreeMap<String, usize>,
+    counts: &std::collections::BTreeMap<String, (String, usize)>,
+    report: &mut Report,
+) -> std::collections::BTreeMap<String, usize> {
+    let mut new = std::collections::BTreeMap::new();
+    for (key, (path, count)) in counts {
+        let prior = old.get(key).copied();
+        if prior.is_some_and(|p| *count > p) {
+            report.violations.push(Violation::file(
+                rule,
+                path,
+                format!(
+                    "refusing to raise the [{section}] baseline for `{key}` from {} to \
+                     {count} — shrink the count or edit {ALLOW_FILE} explicitly in review",
+                    prior.unwrap_or(0)
+                ),
+            ));
+            new.insert(key.clone(), prior.unwrap_or(0));
+        } else {
+            new.insert(key.clone(), *count);
+        }
+    }
+    new
+}
+
+/// Rewrite `lint-allow.toml` with current panic counts, per-entry panic
+/// reach, and per-hot-root allocation reach — all four generated tables
+/// (`[panic_sites]`, `[panic_reach]`, `[alloc_reach]`,
+/// `[alloc_in_loop]`) in one deterministic sorted pass. Ceilings only
+/// ever move down: an attempt to raise one, or a stale `[hot_roots]`
+/// entry, is reported as a violation and nothing is written.
 pub fn update_baseline(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
     let old = fs::read_to_string(root.join(ALLOW_FILE))
         .ok()
         .and_then(|t| Allow::parse(&t).ok())
         .unwrap_or_default();
-    let mut new = old.clone();
-    new.panic_sites.clear();
-    new.panic_reach.clear();
     let paths = rust_sources(root)?;
     let mut scans = pool::map_indexed(paths.len(), 1, |i| scan_file(root, &paths[i], &old));
     for s in &mut scans {
@@ -305,53 +374,63 @@ pub fn update_baseline(root: &Path) -> io::Result<Report> {
             return Err(e);
         }
     }
+
+    // Census first, tables second: every count is gathered before any
+    // table is ratcheted, so the pass order can never skew a ceiling.
+    type Counts = std::collections::BTreeMap<String, (String, usize)>;
+    let mut panic_counts = Counts::new();
     for s in &scans {
         let count = s.panic_lines.len();
-        if count == 0 {
-            continue;
+        if count > 0 {
+            panic_counts.insert(s.rel.clone(), (s.rel.clone(), count));
+            report.panic_total += count;
         }
-        let prior = old.panic_sites.get(&s.rel).copied();
-        if prior.is_some_and(|p| count > p) {
-            report.violations.push(Violation::file(
-                Rule::PanicBudget,
-                &s.rel,
-                format!(
-                    "refusing to raise the baseline from {} to {count} — \
-                     remove panic sites or edit {ALLOW_FILE} explicitly in review",
-                    prior.unwrap_or(0)
-                ),
-            ));
-            new.panic_sites.insert(s.rel.clone(), prior.unwrap_or(0));
-        } else {
-            new.panic_sites.insert(s.rel.clone(), count);
-        }
-        report.panic_total += count;
     }
-    let (index, graph, sites) = graph_phase(&scans);
+    let (index, graph, sites, alloc) = graph_phase(&scans);
+    report.alloc_total = alloc.len();
+    let mut reach_counts = Counts::new();
     for entry in reach::entry_points(&index) {
         let sym = &index.syms[entry];
-        let id = sym.id();
         let reachable = graph.reachable(entry);
         let count = sites.iter().filter(|s| s.owner.is_some_and(|o| reachable[o])).count();
-        if count == 0 {
-            continue;
-        }
-        let prior = old.panic_reach.get(&id).copied();
-        if prior.is_some_and(|p| count > p) {
-            report.violations.push(Violation::file(
-                Rule::PanicReach,
-                &sym.file,
-                format!(
-                    "refusing to raise the [panic_reach] baseline for `{id}` from {} to \
-                     {count} — harden the reachable sites or edit {ALLOW_FILE} in review",
-                    prior.unwrap_or(0)
-                ),
-            ));
-            new.panic_reach.insert(id, prior.unwrap_or(0));
-        } else {
-            new.panic_reach.insert(id, count);
+        if count > 0 {
+            reach_counts.insert(sym.id(), (sym.file.clone(), count));
         }
     }
+    let (root_counts, stale_roots) = hotalloc::root_counts(&index, &graph, &alloc, &old.hot_roots);
+    for stale in stale_roots {
+        report.violations.push(Violation::file(
+            Rule::AllocReach,
+            ALLOW_FILE,
+            format!(
+                "stale [hot_roots] entry `{stale}` — no such function in the symbol index; \
+                 remove it before regenerating baselines"
+            ),
+        ));
+    }
+    let file_of = |id: &String| id.split("::").next().unwrap_or(id).to_string();
+    let alloc_counts: Counts =
+        root_counts.iter().map(|(id, (n, _))| (id.clone(), (file_of(id), *n))).collect();
+    let loop_counts: Counts = root_counts
+        .iter()
+        .filter(|(_, (_, l))| *l > 0)
+        .map(|(id, (_, l))| (id.clone(), (file_of(id), *l)))
+        .collect();
+
+    let mut new = old.clone();
+    new.panic_sites =
+        ratchet_table("panic_sites", Rule::PanicBudget, &old.panic_sites, &panic_counts, &mut report);
+    new.panic_reach =
+        ratchet_table("panic_reach", Rule::PanicReach, &old.panic_reach, &reach_counts, &mut report);
+    new.alloc_reach =
+        ratchet_table("alloc_reach", Rule::AllocReach, &old.alloc_reach, &alloc_counts, &mut report);
+    new.alloc_in_loop = ratchet_table(
+        "alloc_in_loop",
+        Rule::AllocInLoop,
+        &old.alloc_in_loop,
+        &loop_counts,
+        &mut report,
+    );
     if report.ok() {
         fs::write(root.join(ALLOW_FILE), new.to_toml())?;
     }

@@ -161,12 +161,10 @@ impl Node for InterceptiveMiddlebox {
             && (!self.cfg.inspects_port(h.dst_port) || !self.cfg.inspects_client(pkt.src())));
 
         if track {
-            let h = h.clone();
-            let payload = payload.clone();
             if let Some(insp) = self.flows.observe(&pkt, ctx.now()) {
-                if let Some(domain) = self.cfg.matcher.extract(&payload) {
+                if let Some(domain) = self.cfg.matcher.extract(payload) {
                     if self.cfg.blocks(&domain) {
-                        self.intercept(ctx, iface, &insp, &h, &domain);
+                        self.intercept(ctx, iface, &insp, h, &domain);
                         self.maybe_arm_sweep(ctx);
                         return; // (1) the request is consumed
                     }

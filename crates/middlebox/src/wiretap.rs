@@ -141,13 +141,12 @@ impl Node for WiretapMiddlebox {
         {
             return;
         }
-        let payload = payload.clone();
         let Some(insp) = self.flows.observe(&pkt, ctx.now()) else {
             self.maybe_arm_sweep(ctx);
             return;
         };
         self.maybe_arm_sweep(ctx);
-        let Some(domain) = self.cfg.matcher.extract(&payload) else {
+        let Some(domain) = self.cfg.matcher.extract(payload) else {
             return;
         };
         if self.cfg.blocks(&domain) {

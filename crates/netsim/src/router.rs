@@ -131,8 +131,10 @@ impl Node for RouterNode {
         }
         self.forwarded += 1;
         ctx.obs().counter_inc("netsim.router.forwarded", ctx.label());
-        for &m in &self.mirrors {
-            if self.mirror_only_egress.is_empty() || self.mirror_only_egress.contains(&out) {
+        // The egress filter is loop-invariant: evaluate it once so an
+        // unmirrored egress costs nothing per tap.
+        if self.mirror_only_egress.is_empty() || self.mirror_only_egress.contains(&out) {
+            for &m in &self.mirrors {
                 ctx.send(m, pkt.clone());
             }
         }

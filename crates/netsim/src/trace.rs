@@ -181,11 +181,15 @@ impl TraceHandle {
         // independent of the legacy capture's enable/filter state.
         if let Some(bus) = &s.bus {
             if bus.enabled("pkttrace", Level::Trace) {
-                let (name, mut fields) = match dir {
-                    Dir::Tx => ("tx", Vec::new()),
-                    Dir::Rx => ("rx", Vec::new()),
+                // One exact-capacity field vector per event: 6 common
+                // fields plus the drop reason.
+                let mut fields = Vec::with_capacity(7);
+                let name = match dir {
+                    Dir::Tx => "tx",
+                    Dir::Rx => "rx",
                     Dir::Drop(why) => {
-                        ("drop", vec![("reason".to_string(), Json::Str(why.to_string()))])
+                        fields.push(("reason".to_string(), Json::Str(why.to_string())));
+                        "drop"
                     }
                 };
                 fields.extend([

@@ -1,14 +1,16 @@
 //! Tier-1 gate: `cargo test` fails if the workspace violates the
 //! lucent-lint rules (hermeticity, layering, determinism, panic budget,
-//! unsafe hygiene, print hygiene, panic provenance, shard isolation).
-//! Equivalent to running the binary:
+//! unsafe hygiene, print hygiene, panic provenance, shard isolation,
+//! allocation provenance, per-event heap discipline). Equivalent to
+//! running the binary:
 //! `cargo run -p lucent-devtools --bin lucent-lint`.
 //!
 //! Also pins the machine-readable report: `--json` output must be
 //! byte-identical across runs and across `--threads` values (CI diffs
-//! it against `tests/golden/lint-report.json`), and the L7/L8 rule
+//! it against `tests/golden/lint-report.json`), the L7/L8/L9/L10 rule
 //! fixtures under `crates/devtools/fixtures/` must go red/green
-//! exactly as designed.
+//! exactly as designed, and `--update-baseline` must refuse to raise
+//! any generated ceiling.
 
 use std::path::{Path, PathBuf};
 
@@ -36,6 +38,17 @@ fn workspace_passes_the_lint_gate() {
     assert!(report.functions > 400, "only {} fns indexed", report.functions);
     assert!(report.call_edges > 1000, "only {} call edges", report.call_edges);
     assert!(report.panic_total <= 4, "panic ratchet regressed: {}", report.panic_total);
+    // The allocation census actually ran: the detector saw the tree and
+    // every configured hot root resolved with a reachable count.
+    assert!(report.alloc_total > 500, "only {} alloc sites detected", report.alloc_total);
+    assert!(!report.alloc_reach.is_empty(), "no hot roots produced reach counts");
+    for krate in ["netsim", "middlebox", "packet"] {
+        assert!(
+            report.hot_alloc_census.contains_key(krate),
+            "census missing crate {krate}: {:?}",
+            report.hot_alloc_census
+        );
+    }
 }
 
 #[test]
@@ -46,7 +59,9 @@ fn json_report_is_byte_identical_across_runs_and_thread_counts() {
     assert_eq!(serial, again, "two serial runs diverged");
     let wide = run_root_with(root, &Options { threads: 4 }).expect("scan").to_json();
     assert_eq!(serial, wide, "threads=1 and threads=4 diverged");
-    assert!(serial.contains("\"schema\": \"lucent-lint/2\""));
+    assert!(serial.contains("\"schema\": \"lucent-lint/3\""));
+    assert!(serial.contains("\"alloc_total\""), "schema 3 carries the alloc census");
+    assert!(serial.contains("\"hot_alloc_census\""), "schema 3 carries the alloc census");
 }
 
 #[test]
@@ -73,6 +88,36 @@ fn l7_fixture_goes_green_with_the_reach_baseline() {
 }
 
 #[test]
+fn l9_l10_fixture_goes_red_without_alloc_baselines() {
+    let report = run_root(&fixture("alloc-red")).expect("fixture scan");
+    let l9: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.code() == "L9-alloc-reach")
+        .collect();
+    let l10: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.code() == "L10-alloc-in-loop")
+        .collect();
+    assert_eq!(l9.len(), 1, "{:?}", report.violations);
+    assert_eq!(l10.len(), 1, "{:?}", report.violations);
+    assert!(l9[0].msg.contains("step"), "{}", l9[0].msg);
+    assert!(l9[0].msg.contains("lib.rs:6 (clone)"), "{}", l9[0].msg);
+    assert!(l10[0].msg.contains("per-event"), "{}", l10[0].msg);
+    assert!(l10[0].msg.contains("lib.rs:6 (clone)"), "{}", l10[0].msg);
+}
+
+#[test]
+fn l9_l10_fixture_goes_green_with_alloc_baselines() {
+    let report = run_root(&fixture("alloc-green")).expect("fixture scan");
+    assert!(report.ok(), "{:?}", report.violations);
+    assert_eq!(report.alloc_reach["crates/engine/src/lib.rs::step"], 1);
+    assert_eq!(report.alloc_in_loop["crates/engine/src/lib.rs::step"], 1);
+    assert_eq!(report.hot_alloc_census["engine"], (1, 1));
+}
+
+#[test]
 fn l8_fixture_goes_red_on_static_mut_and_unallowlisted_statics() {
     let report = run_root(&fixture("shared-red")).expect("fixture scan");
     let shared: Vec<_> = report
@@ -89,6 +134,91 @@ fn l8_fixture_goes_red_on_static_mut_and_unallowlisted_statics() {
 fn l8_fixture_goes_green_when_allowlisted() {
     let report = run_root(&fixture("shared-green")).expect("fixture scan");
     assert!(report.ok(), "{:?}", report.violations);
+}
+
+/// Build a throwaway copy of the `alloc-green` hot path under the
+/// cargo-managed tmpdir with a caller-chosen allowlist, for exercising
+/// `--update-baseline` (which rewrites the allowlist in place).
+fn scratch_workspace(name: &str, allow: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let engine = dir.join("crates/engine/src");
+    std::fs::create_dir_all(&engine).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/engine\"]\n")
+        .expect("write");
+    std::fs::write(
+        dir.join("crates/engine/Cargo.toml"),
+        "[package]\nname = \"fixture-engine\"\nversion = \"0.0.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write");
+    std::fs::write(
+        engine.join("lib.rs"),
+        "pub fn step(packets: &[Vec<u8>]) -> usize {\n    let mut total = 0;\n    for p in \
+         packets {\n        total += handle(p.clone());\n    }\n    total\n}\n\nfn handle(p: \
+         Vec<u8>) -> usize {\n    p.len()\n}\n",
+    )
+    .expect("write");
+    std::fs::write(dir.join("lint-allow.toml"), allow).expect("write");
+    dir
+}
+
+#[test]
+fn update_baseline_refuses_to_raise_a_generated_ceiling() {
+    let allow = "[hot_roots]\nroots = [\"crates/engine/src/lib.rs::step\"]\n\n\
+                 [alloc_reach]\n\"crates/engine/src/lib.rs::step\" = 0\n";
+    let dir = scratch_workspace("ratchet-raise", allow);
+    let report = lucent_devtools::update_baseline(&dir).expect("update");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.msg.contains("refusing to raise the [alloc_reach] baseline")),
+        "{:?}",
+        report.violations
+    );
+    let after = std::fs::read_to_string(dir.join("lint-allow.toml")).expect("read");
+    assert_eq!(after, allow, "a refused update must not rewrite the allowlist");
+}
+
+#[test]
+fn update_baseline_emits_all_generated_tables_in_one_pass() {
+    let allow = "[hot_roots]\nroots = [\"crates/engine/src/lib.rs::step\"]\n\n\
+                 [alloc_reach]\n\"crates/engine/src/lib.rs::step\" = 5\n\n\
+                 [alloc_in_loop]\n\"crates/engine/src/lib.rs::step\" = 4\n";
+    let dir = scratch_workspace("ratchet-shrink", allow);
+    let report = lucent_devtools::update_baseline(&dir).expect("update");
+    assert!(report.ok(), "{:?}", report.violations);
+    let after = std::fs::read_to_string(dir.join("lint-allow.toml")).expect("read");
+    // One deterministic pass rewrote every generated table — the alloc
+    // ceilings ratcheted down to the real counts, the panic tables are
+    // present (empty), and the hot-root configuration survived.
+    assert!(after.contains("[panic_sites]"), "{after}");
+    assert!(after.contains("[panic_reach]"), "{after}");
+    assert!(
+        after.contains("roots = [\"crates/engine/src/lib.rs::step\"]"),
+        "hot_roots config lost: {after}"
+    );
+    assert!(after.contains("\"crates/engine/src/lib.rs::step\" = 1\n"), "{after}");
+    assert!(!after.contains("= 5"), "stale ceiling survived: {after}");
+    assert!(!after.contains("= 4"), "stale ceiling survived: {after}");
+    // Idempotent: a second pass writes the same bytes.
+    let report2 = lucent_devtools::update_baseline(&dir).expect("update");
+    assert!(report2.ok(), "{:?}", report2.violations);
+    let again = std::fs::read_to_string(dir.join("lint-allow.toml")).expect("read");
+    assert_eq!(after, again);
+}
+
+#[test]
+fn update_baseline_rejects_a_stale_hot_root() {
+    let allow = "[hot_roots]\nroots = [\"crates/engine/src/lib.rs::gone\"]\n";
+    let dir = scratch_workspace("ratchet-stale", allow);
+    let report = lucent_devtools::update_baseline(&dir).expect("update");
+    assert!(
+        report.violations.iter().any(|v| v.msg.contains("stale [hot_roots] entry")),
+        "{:?}",
+        report.violations
+    );
+    let after = std::fs::read_to_string(dir.join("lint-allow.toml")).expect("read");
+    assert_eq!(after, allow, "a stale root must block the rewrite");
 }
 
 #[test]
