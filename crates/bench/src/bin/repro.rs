@@ -23,8 +23,17 @@
 //! `--threads N` shards the per-ISP experiments (table1, fig2, race,
 //! triggers, evasion, anonymity) across N OS threads; every artifact is
 //! byte-identical to `--threads 1` (default: available parallelism).
-//! Wall-time per run lands in `BENCH_repro.json` next to the JSON
-//! results.
+//! Wall-time, event count, and events/sec per run land in
+//! `BENCH_repro.json` next to the JSON results (`lucent-bench` ratchets
+//! against these).
+//!
+//! `--profile PATH` turns on the profiler and writes a two-plane
+//! profile: a `deterministic` section (virtual-time scheduler dwell
+//! histograms, per-event-kind pop counts, middlebox path counters,
+//! per-shard totals — byte-identical across runs and `--threads`
+//! values) and a `wall` section (per-phase timers, per-shard busy/idle,
+//! events/sec — explicitly nondeterministic). A Chrome trace-event
+//! phase view lands next to it at `PATH` with extension `.phases.json`.
 
 use std::fs;
 use std::path::PathBuf;
@@ -42,7 +51,7 @@ use lucent_core::probe::ooni::web_connectivity_with;
 use lucent_topology::{India, IspId};
 
 const USAGE: &str = "repro [EXPERIMENT] [--scale tiny|small|paper] [--json DIR] \
-                     [--trace SPEC] [--metrics-out PATH] [--threads N]";
+                     [--trace SPEC] [--metrics-out PATH] [--profile PATH] [--threads N]";
 
 struct Args {
     experiment: String,
@@ -50,6 +59,7 @@ struct Args {
     json_dir: Option<PathBuf>,
     trace: Option<String>,
     metrics_out: Option<PathBuf>,
+    profile: Option<PathBuf>,
     threads: usize,
 }
 
@@ -59,6 +69,7 @@ fn parse_args() -> Args {
     let mut json_dir = None;
     let mut trace = None;
     let mut metrics_out = None;
+    let mut profile = None;
     let mut threads = shard::default_threads();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -82,6 +93,12 @@ fn parse_args() -> Args {
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--metrics-out needs a file path");
+                    std::process::exit(2);
+                })));
+            }
+            "--profile" => {
+                profile = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--profile needs a file path");
                     std::process::exit(2);
                 })));
             }
@@ -109,7 +126,7 @@ fn parse_args() -> Args {
             other => experiment = other.to_string(),
         }
     }
-    Args { experiment, scale, json_dir, trace, metrics_out, threads }
+    Args { experiment, scale, json_dir, trace, metrics_out, profile, threads }
 }
 
 fn emit_json<T: lucent_support::ToJson>(dir: &Option<PathBuf>, name: &str, value: &T) {
@@ -348,6 +365,11 @@ fn main() {
         obs.enable_spans(true);
         obs.set_thread_name(0, "sim");
     }
+    if args.profile.is_some() {
+        // After the world is built, matching what each shard does: the
+        // deterministic plane profiles the experiments, not the build.
+        obs.enable_prof(true);
+    }
     println!(
         "world built: {} sites, {} ISPs, {} events so far ({:.1}s)\n",
         lab.india.corpus.sites().len(),
@@ -355,8 +377,11 @@ fn main() {
         lab.india.net.events_processed(),
         start.elapsed_secs()
     );
+    let mut phases = Vec::new();
+    let mut phase_from = phase_mark(&start, &mut phases, "prepare", 0);
     let json = &args.json_dir;
-    let drv = Driver::new(args.scale, args.threads, args.trace.clone());
+    let drv = Driver::new(args.scale, args.threads, args.trace.clone())
+        .with_prof(args.profile.is_some());
     match args.experiment.as_str() {
         "table1" => run_table1(&drv, &obs, caps, json),
         "table2" => {
@@ -404,6 +429,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    phase_from = phase_mark(&start, &mut phases, "run", phase_from);
     if args.trace.is_some() {
         let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
         let _ = std::fs::create_dir_all(&dir);
@@ -423,29 +449,100 @@ fn main() {
         write_or_die(path, &obs.metrics_snapshot_pretty());
         println!("metrics snapshot -> {}", path.display());
     }
+    phase_mark(&start, &mut phases, "assemble", phase_from);
+    if obs.events_dropped() > 0 {
+        eprintln!(
+            "warn: {} telemetry event(s) dropped at the ring cap — event-derived \
+             artifacts are incomplete; narrow --trace or run a smaller scale",
+            obs.events_dropped()
+        );
+    }
     let wall = start.elapsed_secs();
     let events = lab.india.net.events_processed() + drv.shard_events();
     let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+    if let Some(path) = &args.profile {
+        write_profile(path, &args, &obs, &lab, &drv, phases, wall, events);
+    }
     println!(
         "done in {wall:.1}s wall, {events} simulator events ({rate:.0} events/s), virtual time {}",
         lab.now()
     );
-    record_bench(&args, wall);
+    record_bench(&args, wall, events);
 }
 
-/// Upsert this run's wall time into `BENCH_repro.json`, keyed by
-/// experiment, scale and thread count so speedup across `--threads`
-/// values can be read off one file. The file sits next to the JSON
-/// results (or in the current directory) and is a measurement artifact
-/// — it is deliberately NOT part of the determinism-diffed outputs.
-fn record_bench(args: &Args, wall: f64) {
-    use lucent_support::{Json, ToJson};
+/// Close the phase that started at `from` µs (process wall clock) under
+/// `name`, returning the new phase start.
+fn phase_mark(
+    start: &lucent_support::bench::Stopwatch,
+    phases: &mut Vec<lucent_obs::prof::WallPhase>,
+    name: &str,
+    from: u64,
+) -> u64 {
+    let now = (start.elapsed_nanos() / 1_000) as u64;
+    phases.push(lucent_obs::prof::WallPhase {
+        name: name.to_string(),
+        start_us: from,
+        dur_us: now.saturating_sub(from),
+    });
+    now
+}
+
+/// Write the two-plane profile to `path` and the Chrome trace-event
+/// phase view next to it (`path` with extension `.phases.json`).
+#[allow(clippy::too_many_arguments)] // one-shot exporter, not an API
+fn write_profile(
+    path: &std::path::Path,
+    args: &Args,
+    obs: &lucent_obs::Telemetry,
+    lab: &Lab,
+    drv: &Driver,
+    phases: Vec<lucent_obs::prof::WallPhase>,
+    wall: f64,
+    events: u64,
+) {
+    use lucent_support::Json;
+    let wall_plane = lucent_obs::prof::WallPlane {
+        phases,
+        pools: drv.pool_walls(),
+        threads: args.threads,
+        events,
+        wall_secs: wall,
+    };
+    let profile = Json::Obj(vec![
+        (
+            "deterministic".to_string(),
+            lucent_obs::prof::deterministic_json(obs, lab.india.net.queue_depth_hwm()),
+        ),
+        ("schema".to_string(), Json::Str(lucent_obs::prof::SCHEMA.to_string())),
+        ("wall".to_string(), wall_plane.render_json()),
+    ]);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    write_or_die(path, &profile.to_string_pretty());
+    let chrome_path = path.with_extension("phases.json");
+    write_or_die(&chrome_path, &wall_plane.phases_chrome());
+    println!("profile -> {} (phase view: {})", path.display(), chrome_path.display());
+}
+
+/// Upsert this run's measurement into `BENCH_repro.json` under the
+/// versioned [`lucent_bench::benchfile`] schema (`wall_secs`, `events`,
+/// `events_per_sec`), keyed by experiment, scale and thread count so
+/// speedup across `--threads` values can be read off one file. The file
+/// sits next to the JSON results (or in the current directory) and is a
+/// measurement artifact — it is deliberately NOT part of the
+/// determinism-diffed outputs; `lucent-bench check` ratchets against it.
+fn record_bench(args: &Args, wall: f64, events: u64) {
+    use lucent_bench::benchfile;
     let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
     let _ = fs::create_dir_all(&dir);
     let path = dir.join("BENCH_repro.json");
-    let mut entries = match fs::read_to_string(&path).ok().and_then(|s| Json::parse(&s).ok()) {
-        Some(Json::Obj(entries)) => entries,
-        _ => Vec::new(),
+    let mut entries = match benchfile::load(&path) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("warn: {e}; rewriting {} from scratch", path.display());
+            Vec::new()
+        }
     };
     let key = format!(
         "{}@{}@threads={}",
@@ -453,13 +550,13 @@ fn record_bench(args: &Args, wall: f64) {
         format!("{:?}", args.scale).to_lowercase(),
         args.threads
     );
-    let value = Json::Obj(vec![("wall_secs".to_string(), wall.to_json())]);
-    match entries.iter_mut().find(|(k, _)| *k == key) {
-        Some(slot) => slot.1 = value,
-        None => entries.push((key, value)),
-    }
-    entries.sort_by(|a, b| a.0.cmp(&b.0));
-    if let Err(e) = fs::write(&path, Json::Obj(entries).to_string_pretty()) {
+    let entry = benchfile::Entry {
+        wall_secs: wall,
+        events: Some(events),
+        events_per_sec: (wall > 0.0).then(|| events as f64 / wall),
+    };
+    benchfile::upsert(&mut entries, &key, entry);
+    if let Err(e) = fs::write(&path, benchfile::render(&entries)) {
         eprintln!("warn: cannot write {}: {e}", path.display());
     }
 }

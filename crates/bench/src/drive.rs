@@ -6,7 +6,9 @@
 
 use lucent_core::experiments::{anonymity, evasion, fig2, race, table1, triggers};
 use lucent_core::probe::dns_scan::{survey_batch, ResolverScan};
+use lucent_obs::prof::PoolWall;
 use lucent_obs::Telemetry;
+use lucent_support::bench::Stopwatch;
 use lucent_topology::IspId;
 
 use crate::shard::{Job, Pool, ShardOut};
@@ -23,7 +25,9 @@ pub struct Driver {
     scale: Scale,
     threads: usize,
     trace: Option<String>,
+    prof: bool,
     shard_events: std::cell::Cell<u64>,
+    walls: std::cell::RefCell<Vec<PoolWall>>,
 }
 
 impl Driver {
@@ -31,7 +35,24 @@ impl Driver {
     /// filter spec (already validated on the hub) replicated onto every
     /// shard registry.
     pub fn new(scale: Scale, threads: usize, trace: Option<String>) -> Driver {
-        Driver { scale, threads, trace, shard_events: std::cell::Cell::new(0) }
+        Driver {
+            scale,
+            threads,
+            trace,
+            prof: false,
+            shard_events: std::cell::Cell::new(0),
+            // `default()` rather than `new()`: the lint's name-based
+            // call graph puts every `Vec::new` in a fn named `new` into
+            // the hot-root closure; this constructor is cold.
+            walls: std::cell::RefCell::default(),
+        }
+    }
+
+    /// Enable the profiler on every shard registry, and collect
+    /// wall-clock pool accounting ([`Driver::pool_walls`]) per run.
+    pub fn with_prof(mut self, on: bool) -> Driver {
+        self.prof = on;
+        self
     }
 
     /// Simulator events processed by all shards so far — the hub
@@ -40,8 +61,30 @@ impl Driver {
         self.shard_events.get()
     }
 
+    /// Wall accounting for every sharded pool run so far, in run order.
+    /// Empty unless the driver was built [`Driver::with_prof`].
+    pub fn pool_walls(&self) -> Vec<PoolWall> {
+        self.walls.borrow().clone()
+    }
+
     fn pool(&self) -> Pool {
-        Pool::new(self.scale.config(), self.threads, self.trace.clone())
+        Pool::new(self.scale.config(), self.threads, self.trace.clone()).with_prof(self.prof)
+    }
+
+    /// Run `jobs` on a fresh pool under `tag`, recording busy-vs-idle
+    /// wall stats when profiling (wall-clock plane only — the shard
+    /// outputs themselves stay deterministic).
+    fn run_pool<'a, T: Send>(&self, tag: &'static str, jobs: Vec<Job<'a, T>>) -> Vec<ShardOut<T>> {
+        let sw = Stopwatch::start();
+        let outs = self.pool().run_tagged(tag, jobs);
+        if self.prof {
+            self.walls.borrow_mut().push(PoolWall {
+                tag: tag.to_string(),
+                wall_secs: sw.elapsed_secs(),
+                busy_secs: outs.iter().map(|o| o.busy_secs).collect(),
+            });
+        }
+        outs
     }
 
     /// Absorb shard telemetry into `hub` in submission order and return
@@ -63,7 +106,7 @@ impl Driver {
             .iter()
             .map(|&isp| Box::new(move |ctx: &mut crate::shard::ShardCtx| race::run_isp(&mut ctx.lab, isp, opts)) as _)
             .collect();
-        race::Race { rows: self.merge(hub, self.pool().run(jobs)) }
+        race::Race { rows: self.merge(hub, self.run_pool("race", jobs)) }
     }
 
     /// Table 1, one shard per ISP.
@@ -78,7 +121,7 @@ impl Driver {
                 }) as _
             })
             .collect();
-        let rows = self.merge(hub, self.pool().run(jobs));
+        let rows = self.merge(hub, self.run_pool("table1", jobs));
         let sites_tested = rows.first().map(|(_, n)| *n).unwrap_or(0);
         table1::Table1 { rows: rows.into_iter().map(|(r, _)| r).collect(), sites_tested }
     }
@@ -96,7 +139,7 @@ impl Driver {
                 }) as _
             })
             .collect();
-        let prep = self.merge(hub, self.pool().run(prep_jobs));
+        let prep = self.merge(hub, self.run_pool("fig2.prepare", prep_jobs));
 
         let mut chunk_jobs: Vec<Job<'_, Vec<ResolverScan>>> = Vec::new();
         let mut chunks_per_isp = Vec::new();
@@ -112,7 +155,7 @@ impl Driver {
             }
             chunks_per_isp.push(chunks);
         }
-        let mut scans = self.merge(hub, self.pool().run(chunk_jobs)).into_iter();
+        let mut scans = self.merge(hub, self.run_pool("fig2.survey", chunk_jobs)).into_iter();
 
         let mut rows = Vec::new();
         for ((&isp, (resolvers, _)), chunks) in
@@ -136,7 +179,7 @@ impl Driver {
                     }) as _
                 })
                 .collect();
-        let cells = self.merge(hub, self.pool().run(jobs));
+        let cells = self.merge(hub, self.run_pool("evasion", jobs));
         let mut matrix = std::collections::BTreeMap::new();
         let mut fully = std::collections::BTreeMap::new();
         for (&isp, (per_technique, full)) in opts.isps.iter().zip(cells) {
@@ -152,7 +195,7 @@ impl Driver {
             .iter()
             .map(|&isp| Box::new(move |ctx: &mut crate::shard::ShardCtx| triggers::run_isp(&mut ctx.lab, isp)) as _)
             .collect();
-        triggers::Triggers { rows: self.merge(hub, self.pool().run(jobs)) }
+        triggers::Triggers { rows: self.merge(hub, self.run_pool("triggers", jobs)) }
     }
 
     /// §6.1, one shard per ISP.
@@ -170,7 +213,7 @@ impl Driver {
                 }) as _
             })
             .collect();
-        anonymity::Anonymity { rows: self.merge(hub, self.pool().run(jobs)) }
+        anonymity::Anonymity { rows: self.merge(hub, self.run_pool("anonymity", jobs)) }
     }
 }
 
@@ -195,5 +238,29 @@ mod tests {
         let r4 = driver(4).race(&hub4, &opts);
         assert_eq!(format!("{r1}"), format!("{r4}"));
         assert_eq!(hub1.metrics_snapshot_pretty(), hub4.metrics_snapshot_pretty());
+    }
+
+    #[test]
+    fn profiled_pools_label_shards_and_record_walls() {
+        let opts = race::RaceOptions {
+            isps: vec![IspId::Airtel, IspId::Idea],
+            attempts: 2,
+            sites_per_isp: 1,
+        };
+        let prof_snapshot = |threads: usize| {
+            let drv = driver(threads).with_prof(true);
+            let hub = Telemetry::new();
+            drv.race(&hub, &opts);
+            let walls = drv.pool_walls();
+            assert_eq!(walls.len(), 1);
+            assert_eq!(walls[0].tag, "race");
+            assert_eq!(walls[0].busy_secs.len(), 2);
+            lucent_obs::prof::deterministic_json(&hub, 0).to_string_pretty()
+        };
+        let det1 = prof_snapshot(1);
+        let det4 = prof_snapshot(4);
+        assert_eq!(det1, det4, "deterministic plane must be thread-count invariant");
+        assert!(det1.contains("race/shard-00"), "{det1}");
+        assert!(det1.contains("race/shard-01"), "{det1}");
     }
 }

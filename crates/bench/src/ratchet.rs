@@ -1,0 +1,222 @@
+//! The shrink-only performance ratchet.
+//!
+//! A committed baseline (`BENCH_baseline.json`, same schema as the
+//! bench file — see [`crate::benchfile`]) records the throughput CI has
+//! already demonstrated. [`check`] compares a fresh measurement against
+//! it under a tolerance band; [`update`] tightens the baseline and
+//! **refuses to loosen it**:
+//!
+//! - `events_per_sec` may only ratchet **up** (the stored floor is the
+//!   max of old and new),
+//! - `wall_secs` may only ratchet **down** (min of old and new),
+//!
+//! mirroring the lucent-lint ceilings in `lint-allow.toml`. The band
+//! exists because wall clocks are noisy across machines; it bounds how
+//! far below the floor a run may land before CI calls it a regression.
+//! A band ≥ 1.0 would make the throughput check vacuous
+//! (`floor × (1 − band) ≤ 0`), so [`check`] rejects it up front.
+
+use crate::benchfile::Entry;
+
+/// The verdict of one [`check`] run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Regressions (and structural problems) that must fail CI.
+    pub failures: Vec<String>,
+    /// Non-fatal observations, e.g. "improved; tighten the baseline".
+    pub notes: Vec<String>,
+}
+
+impl Outcome {
+    /// True when nothing failed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn find<'a>(entries: &'a [(String, Entry)], key: &str) -> Option<&'a Entry> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, e)| e)
+}
+
+/// Compare `measured` against `baseline` under `band` (a fraction,
+/// e.g. 0.25 = ±25%). Every baseline key must be present in the
+/// measurement with an `events_per_sec`; throughput below
+/// `floor × (1 − band)` or wall time above `ceiling × (1 + band)` is a
+/// failure. Throughput above `floor × (1 + band)` earns a note
+/// suggesting a baseline update. Measured keys absent from the
+/// baseline are noted, never failed — the ratchet only guards what it
+/// has already locked in.
+pub fn check(measured: &[(String, Entry)], baseline: &[(String, Entry)], band: f64) -> Outcome {
+    let mut out = Outcome::default();
+    if !(0.0..1.0).contains(&band) {
+        out.failures.push(format!(
+            "band {band} is outside [0, 1): at band >= 1 the throughput floor collapses to 0 \
+             and the check is vacuous"
+        ));
+        return out;
+    }
+    for (key, base) in baseline {
+        let Some(base_eps) = base.events_per_sec else {
+            out.failures.push(format!("baseline {key:?} lacks events_per_sec; re-seed the baseline"));
+            continue;
+        };
+        let Some(m) = find(measured, key) else {
+            out.failures.push(format!("no measurement for baseline key {key:?}"));
+            continue;
+        };
+        let Some(eps) = m.events_per_sec else {
+            out.failures.push(format!("measurement {key:?} lacks events_per_sec"));
+            continue;
+        };
+        let floor = base_eps * (1.0 - band);
+        let ceiling = base.wall_secs * (1.0 + band);
+        if eps < floor {
+            out.failures.push(format!(
+                "{key}: events/sec regression: {eps:.0} < {floor:.0} \
+                 (baseline {base_eps:.0}, band {band})"
+            ));
+        } else if eps > base_eps * (1.0 + band) {
+            out.notes.push(format!(
+                "{key}: {eps:.0} events/sec beats the baseline {base_eps:.0} by more than the \
+                 band; run update-baseline to lock it in"
+            ));
+        }
+        if m.wall_secs > ceiling {
+            out.failures.push(format!(
+                "{key}: wall-time regression: {:.3}s > {ceiling:.3}s \
+                 (baseline {:.3}s, band {band})",
+                m.wall_secs, base.wall_secs
+            ));
+        }
+    }
+    for (key, m) in measured {
+        if find(baseline, key).is_none() && m.events_per_sec.is_some() {
+            out.notes.push(format!("{key}: not in baseline yet; update-baseline will add it"));
+        }
+    }
+    out
+}
+
+/// Tighten `baseline` from `measured`, refusing on any [`check`]
+/// failure (a regression must never be laundered into a new floor).
+/// Keys in both ratchet shrink-only; measured keys with throughput are
+/// added; baseline-only keys are kept untouched.
+pub fn update(
+    measured: &[(String, Entry)],
+    baseline: &[(String, Entry)],
+    band: f64,
+) -> Result<Vec<(String, Entry)>, Outcome> {
+    let outcome = check(measured, baseline, band);
+    if !outcome.ok() {
+        return Err(outcome);
+    }
+    let mut next: Vec<(String, Entry)> = Vec::new();
+    for (key, base) in baseline {
+        let mut entry = base.clone();
+        if let Some(m) = find(measured, key) {
+            if let (Some(old), Some(new)) = (entry.events_per_sec, m.events_per_sec) {
+                entry.events_per_sec = Some(old.max(new));
+            }
+            entry.wall_secs = entry.wall_secs.min(m.wall_secs);
+            if m.events.is_some() {
+                entry.events = m.events;
+            }
+        }
+        next.push((key.clone(), entry));
+    }
+    for (key, m) in measured {
+        if find(baseline, key).is_none() && m.events_per_sec.is_some() {
+            next.push((key.clone(), m.clone()));
+        }
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(wall: f64, eps: f64) -> Entry {
+        Entry { wall_secs: wall, events: Some((wall * eps) as u64), events_per_sec: Some(eps) }
+    }
+
+    fn one(key: &str, e: Entry) -> Vec<(String, Entry)> {
+        vec![(key.to_string(), e)]
+    }
+
+    #[test]
+    fn in_band_measurement_passes() {
+        let base = one("k", entry(1.0, 1000.0));
+        let out = check(&one("k", entry(1.1, 900.0)), &base, 0.25);
+        assert!(out.ok(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn throughput_below_floor_fails() {
+        let base = one("k", entry(1.0, 1000.0));
+        let out = check(&one("k", entry(2.0, 500.0)), &base, 0.25);
+        assert!(!out.ok());
+        assert!(out.failures[0].contains("events/sec regression"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn wall_above_ceiling_fails_even_with_good_throughput() {
+        let base = one("k", entry(1.0, 1000.0));
+        // Twice the events in twice the wall: same throughput, blown wall.
+        let out = check(&one("k", entry(2.6, 1000.0)), &base, 0.25);
+        assert!(!out.ok());
+        assert!(out.failures[0].contains("wall-time regression"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn missing_key_and_missing_eps_fail() {
+        let base = one("k", entry(1.0, 1000.0));
+        assert!(!check(&[], &base, 0.25).ok());
+        let no_eps = one("k", Entry { wall_secs: 1.0, events: None, events_per_sec: None });
+        assert!(!check(&no_eps, &base, 0.25).ok());
+    }
+
+    #[test]
+    fn vacuous_band_is_rejected() {
+        let base = one("k", entry(1.0, 1000.0));
+        let out = check(&one("k", entry(1.0, 1.0)), &base, 1.0);
+        assert!(!out.ok());
+        assert!(out.failures[0].contains("vacuous"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn update_ratchets_shrink_only() {
+        let base = one("k", entry(1.0, 1000.0));
+        // Faster run: eps up, wall down → both ratchet.
+        let next = update(&one("k", entry(0.8, 1250.0)), &base, 0.25).unwrap();
+        assert_eq!(next[0].1.events_per_sec, Some(1250.0));
+        assert_eq!(next[0].1.wall_secs, 0.8);
+        // In-band slower run: floor and ceiling must NOT loosen.
+        let next2 = update(&one("k", entry(0.9, 1150.0)), &next, 0.25).unwrap();
+        assert_eq!(next2[0].1.events_per_sec, Some(1250.0));
+        assert_eq!(next2[0].1.wall_secs, 0.8);
+    }
+
+    #[test]
+    fn update_refuses_regressions_and_adds_new_keys() {
+        let base = one("k", entry(1.0, 1000.0));
+        assert!(update(&one("k", entry(4.0, 250.0)), &base, 0.25).is_err());
+        let mut measured = one("k", entry(1.0, 1000.0));
+        measured.push(("fresh".to_string(), entry(2.0, 500.0)));
+        let next = update(&measured, &base, 0.25).unwrap();
+        assert_eq!(next.len(), 2);
+        assert_eq!(next[1].0, "fresh");
+    }
+
+    #[test]
+    fn baseline_only_keys_survive_update() {
+        let mut base = one("k", entry(1.0, 1000.0));
+        base.push(("legacy".to_string(), entry(5.0, 10.0)));
+        // "legacy" missing from the measurement fails check, so feed a
+        // measurement covering both.
+        let mut measured = one("k", entry(1.0, 1000.0));
+        measured.push(("legacy".to_string(), entry(5.0, 10.0)));
+        let next = update(&measured, &base, 0.25).unwrap();
+        assert_eq!(next.len(), 2);
+    }
+}

@@ -34,13 +34,17 @@ pub type Job<'a, T> = Box<dyn FnOnce(&mut ShardCtx) -> T + Send + 'a>;
 /// One shard's output: the job's value plus the shard-local telemetry,
 /// ready to be absorbed into a hub registry in submission order.
 pub struct ShardOut<T> {
-    /// The job's return value.
+    /// The job's value.
     pub value: T,
     /// Drained metrics/events/spans of the shard's private world.
     pub dump: TelemetryDump,
     /// Simulator events the shard's network processed (for the
     /// events/s accounting the hub can no longer see).
     pub events: u64,
+    /// Wall-clock seconds this shard's job ran for — the busy side of
+    /// the profiler's busy-vs-idle pool accounting. Nondeterministic;
+    /// never merged into telemetry.
+    pub busy_secs: f64,
 }
 
 /// The scheduler: a config every shard rebuilds its world from, a
@@ -51,6 +55,7 @@ pub struct Pool {
     config: IndiaConfig,
     threads: usize,
     trace: Option<String>,
+    prof: bool,
 }
 
 impl Pool {
@@ -59,7 +64,14 @@ impl Pool {
     /// on the hub — an invalid one is ignored here rather than panicking
     /// mid-shard.
     pub fn new(config: IndiaConfig, threads: usize, trace: Option<String>) -> Pool {
-        Pool { config, threads: threads.max(1), trace }
+        Pool { config, threads: threads.max(1), trace, prof: false }
+    }
+
+    /// Enable the deterministic profiler plane on every shard registry
+    /// (mirroring how the hub enables it after the world is built).
+    pub fn with_prof(mut self, on: bool) -> Pool {
+        self.prof = on;
+        self
     }
 
     /// Run every job against its own fresh [`ShardCtx`] and return the
@@ -68,12 +80,20 @@ impl Pool {
     /// runs inline on the caller's thread — no spawn, identical
     /// semantics, which is what makes the determinism claim testable.
     pub fn run<T: Send>(&self, jobs: Vec<Job<'_, T>>) -> Vec<ShardOut<T>> {
+        self.run_tagged("pool", jobs)
+    }
+
+    /// [`Pool::run`], labelling per-shard profiler samples
+    /// `tag/shard-NN`. The label depends only on the tag and the
+    /// submission index, never on a thread id, so the merged registry
+    /// stays byte-identical at any `--threads N`.
+    pub fn run_tagged<T: Send>(&self, tag: &str, jobs: Vec<Job<'_, T>>) -> Vec<ShardOut<T>> {
         let n = jobs.len();
         if self.threads == 1 || n <= 1 {
             return jobs
                 .into_iter()
                 .enumerate()
-                .map(|(i, job)| self.run_one(i as u64, job))
+                .map(|(i, job)| self.run_one(tag, i as u64, job))
                 .collect();
         }
         let queue: Mutex<VecDeque<(usize, Job<'_, T>)>> =
@@ -85,7 +105,7 @@ impl Pool {
                 scope.spawn(|| loop {
                     let next = lock(&queue).pop_front();
                     let Some((i, job)) = next else { break };
-                    let out = self.run_one(i as u64, job);
+                    let out = self.run_one(tag, i as u64, job);
                     lock(&results)[i] = Some(out);
                 });
             }
@@ -93,17 +113,35 @@ impl Pool {
         results.into_inner().unwrap_or_else(|p| p.into_inner()).into_iter().flatten().collect()
     }
 
-    fn run_one<T>(&self, shard_id: u64, job: Job<'_, T>) -> ShardOut<T> {
+    fn run_one<T>(&self, tag: &str, shard_id: u64, job: Job<'_, T>) -> ShardOut<T> {
         let lab = Lab::new(India::build(self.config.clone()));
+        let obs = lab.india.net.telemetry();
         if let Some(spec) = &self.trace {
-            let obs = lab.india.net.telemetry();
             let _ = obs.set_filter_spec(spec);
             obs.enable_spans(true);
         }
+        if self.prof {
+            obs.enable_prof(true);
+        }
+        let sw = lucent_support::bench::Stopwatch::start();
         let mut ctx = ShardCtx { shard_id, rng: derive(self.config.seed, shard_id), lab };
         let value = job(&mut ctx);
-        let dump = ctx.lab.india.net.telemetry().drain_dump();
-        ShardOut { value, dump, events: ctx.lab.india.net.events_processed() }
+        let busy_secs = sw.elapsed_secs();
+        let events = ctx.lab.india.net.events_processed();
+        if self.prof {
+            // Shard-local totals under a (tag, submission-index) label:
+            // unique per shard, so counter merge and last-writer-wins
+            // gauge merge are both order-insensitive.
+            let label = format!("{tag}/shard-{shard_id:02}");
+            obs.counter_add(lucent_obs::prof::SHARD_EVENTS, &label, events);
+            obs.gauge_set(
+                lucent_obs::prof::SHARD_QUEUE_HWM,
+                &label,
+                ctx.lab.india.net.queue_depth_hwm() as i64,
+            );
+        }
+        let dump = obs.drain_dump();
+        ShardOut { value, dump, events, busy_secs }
     }
 }
 

@@ -68,6 +68,34 @@ fn json_dir_is_created_on_demand() {
 }
 
 #[test]
+fn profile_needs_a_path_and_writes_both_views() {
+    let out = repro().args(["race", "--scale", "tiny", "--profile"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "--profile without a path must exit 2");
+
+    let root = scratch("profile");
+    std::fs::create_dir_all(&root).expect("scratch dir");
+    let path = root.join("prof").join("profile.json");
+    let out = repro()
+        .args(["race", "--scale", "tiny", "--threads", "2", "--profile"])
+        .arg(&path)
+        .current_dir(&root)
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).expect("profile written");
+    assert!(text.contains("\"schema\": \"lucent-prof/1\""), "{text}");
+    assert!(text.contains("\"deterministic\""), "{text}");
+    assert!(text.contains("\"wall\""), "{text}");
+    let phases = std::fs::read_to_string(path.with_extension("phases.json"))
+        .expect("phase view written next to the profile");
+    assert!(phases.contains("traceEvents"), "{phases}");
+    // The bench side file carries the versioned throughput schema.
+    let bench = std::fs::read_to_string(root.join("BENCH_repro.json")).expect("bench file");
+    assert!(bench.contains("\"events_per_sec\""), "{bench}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn metrics_out_creates_parent_directories() {
     let root = scratch("metrics");
     std::fs::create_dir_all(&root).expect("scratch dir");

@@ -21,6 +21,7 @@
 //! | `lint_lexer_total` | the devtools scrubbing lexer preserves length and newlines on Rust-ish soup |
 //! | `lint_parser_total` | the devtools item parser is total and emits sane spans on Rust-ish soup |
 //! | `lint_allocsite_total` | the devtools allocation-site detector is total and never mis-spans on Rust-ish soup |
+//! | `obs_histogram_merge` | telemetry merge is order/grouping-insensitive and conserves histogram buckets under shard splits |
 
 use std::net::Ipv4Addr;
 
@@ -355,6 +356,81 @@ pub fn lint_allocsite_total(s: &mut Source) {
     }
 }
 
+/// Telemetry merge — the operation the profiler's thread-count
+/// invariance claim rests on — is commutative and associative, and
+/// conserves histogram buckets under shard splits: absorbing shard
+/// dumps in any order or grouping yields a registry byte-identical to
+/// one that recorded every sample directly, and the merged bucket
+/// counts are the element-wise sum of the per-shard bucket counts.
+pub fn obs_histogram_merge(s: &mut Source) {
+    use lucent_obs::Telemetry;
+    const METRIC: &str = "check.merge.dwell_us";
+    const COUNTER: &str = "check.merge.samples";
+    let k = s.len_in(2, 5);
+    let n = s.len_in(0, 64);
+    let samples: Vec<(usize, u64)> =
+        (0..n).map(|_| (s.len_in(0, k - 1), s.range_u64(0, 30_000_000))).collect();
+    let shard = |id: usize| -> Telemetry {
+        let t = Telemetry::new();
+        for &(sh, v) in &samples {
+            if sh == id {
+                t.histogram_record(METRIC, v);
+                t.counter_inc(COUNTER, "all");
+            }
+        }
+        t
+    };
+    let flat = Telemetry::new();
+    for &(_, v) in &samples {
+        flat.histogram_record(METRIC, v);
+        flat.counter_inc(COUNTER, "all");
+    }
+
+    // Element-wise sum of the per-shard bucket counts, captured before
+    // any dump is drained.
+    let shards: Vec<Telemetry> = (0..k).map(shard).collect();
+    let mut summed: Vec<u64> = Vec::new();
+    for t in &shards {
+        if let Some(buckets) = t.histogram_buckets(METRIC) {
+            if summed.is_empty() {
+                summed = vec![0; buckets.len()];
+            }
+            for (acc, b) in summed.iter_mut().zip(buckets) {
+                *acc += b;
+            }
+        }
+    }
+
+    // Forward order, reverse order, and a grouped (associativity)
+    // absorb through two intermediate hubs.
+    let fwd = Telemetry::new();
+    for t in &shards {
+        fwd.absorb(t.drain_dump());
+    }
+    let rev = Telemetry::new();
+    for t in (0..k).map(shard).collect::<Vec<_>>().iter().rev() {
+        rev.absorb(t.drain_dump());
+    }
+    let split = s.len_in(0, k);
+    let (left, right) = (Telemetry::new(), Telemetry::new());
+    for (i, t) in (0..k).map(shard).enumerate() {
+        if i < split { &left } else { &right }.absorb(t.drain_dump());
+    }
+    let grouped = Telemetry::new();
+    grouped.absorb(left.drain_dump());
+    grouped.absorb(right.drain_dump());
+
+    let want = flat.metrics_snapshot_pretty();
+    assert_eq!(fwd.metrics_snapshot_pretty(), want, "shard split changed the merged registry");
+    assert_eq!(rev.metrics_snapshot_pretty(), want, "absorb order changed the merged registry");
+    assert_eq!(grouped.metrics_snapshot_pretty(), want, "absorb grouping changed the merged registry");
+
+    let merged = fwd.histogram_buckets(METRIC).unwrap_or_default();
+    assert_eq!(merged, summed, "merged buckets must be the per-shard element-wise sum");
+    let total: u64 = merged.iter().sum();
+    assert_eq!(total, n as u64, "every sample must land in exactly one bucket");
+}
+
 /// A named oracle, as listed by [`all`].
 pub type NamedOracle = (&'static str, fn(&mut Source));
 
@@ -378,6 +454,7 @@ pub fn all() -> Vec<NamedOracle> {
         ("lint_lexer_total", lint_lexer_total),
         ("lint_parser_total", lint_parser_total),
         ("lint_allocsite_total", lint_allocsite_total),
+        ("obs_histogram_merge", obs_histogram_merge),
     ]
 }
 

@@ -204,9 +204,10 @@ const PRINT_MACROS: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
 /// `repro` CLI (the workspace's one user-facing binary), the lint CLI
 /// itself, and the lucent-check campaign reporter plus its `fuzz-smoke`
 /// binary (a fuzz transcript is user-facing output, not diagnostics).
-const PRINT_SINKS: [&str; 5] = [
+const PRINT_SINKS: [&str; 6] = [
     "crates/support/src/bench.rs",
     "crates/bench/src/bin/repro.rs",
+    "crates/bench/src/bin/lucent-bench.rs",
     "crates/devtools/src/bin/lucent-lint.rs",
     "crates/check/src/report.rs",
     "crates/check/src/bin/fuzz-smoke.rs",
@@ -481,6 +482,20 @@ mod tests {
         let lexed = Lexed::new(text);
         for path in super::PRINT_SINKS {
             assert!(check_print_hygiene(&SourceFile { path, text }, &lexed).is_empty());
+        }
+    }
+
+    #[test]
+    fn the_ratchet_binary_is_a_sanctioned_sink() {
+        // `lucent-bench` reports pass/fail verdicts to CI on stdout by
+        // design; the ratchet *library* modules it fronts must not.
+        let text = "fn verdict() { println!(\"FAIL {}\", f); eprintln!(\"usage\"); }\n";
+        let lexed = Lexed::new(text);
+        let sink = SourceFile { path: "crates/bench/src/bin/lucent-bench.rs", text };
+        assert!(check_print_hygiene(&sink, &lexed).is_empty());
+        for path in ["crates/bench/src/ratchet.rs", "crates/bench/src/benchfile.rs"] {
+            let v = check_print_hygiene(&SourceFile { path, text }, &lexed);
+            assert_eq!(v.len(), 2, "ratchet library files stay under L6: {v:?}");
         }
     }
 

@@ -141,8 +141,11 @@ impl InterceptiveMiddlebox {
 
 impl Node for InterceptiveMiddlebox {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: Packet) {
+        // Each exit path charges one static-label profiler counter, so
+        // a profile shows how inline traffic fared at the device.
         let out = Self::other(iface);
         let Transport::Tcp(h, payload) = &pkt.transport else {
+            ctx.obs().prof_path("im.forward-other");
             ctx.send(out, pkt); // ICMP, UDP: pass through untouched
             return;
         };
@@ -151,6 +154,7 @@ impl Node for InterceptiveMiddlebox {
         let as_client_key =
             FlowKey { client: (pkt.src(), h.src_port), server: (pkt.dst(), h.dst_port) };
         if self.blackholed.contains_key(&as_client_key) {
+            ctx.obs().prof_path("im.blackhole");
             ctx.trace_drop(&pkt, "im-blackhole");
             return;
         }
@@ -164,6 +168,7 @@ impl Node for InterceptiveMiddlebox {
             if let Some(insp) = self.flows.observe(&pkt, ctx.now()) {
                 if let Some(domain) = self.cfg.matcher.extract(payload) {
                     if self.cfg.blocks(&domain) {
+                        ctx.obs().prof_path("im.intercept");
                         self.intercept(ctx, iface, &insp, h, &domain);
                         self.maybe_arm_sweep(ctx);
                         return; // (1) the request is consumed
@@ -172,6 +177,7 @@ impl Node for InterceptiveMiddlebox {
             }
             self.maybe_arm_sweep(ctx);
         }
+        ctx.obs().prof_path("im.forward");
         ctx.send(out, pkt);
     }
 
@@ -299,6 +305,21 @@ mod tests {
             pcap.iter()
                 .any(|(_, p)| p.as_tcp().map(|(h, _)| h.flags.contains(TcpFlags::RST)).unwrap_or(false)),
             "forged client RST resets the server side"
+        );
+    }
+
+    #[test]
+    fn profiler_path_counters_follow_outcomes() {
+        let mut rig = build(overt_cfg("blocked.example"));
+        rig.net.telemetry().enable_prof(true);
+        let req = RequestBuilder::browser("blocked.example", "/").build();
+        let _ = fetch(&mut rig, req);
+        let t = rig.net.telemetry();
+        assert_eq!(t.counter("prof.mb.path", "im.intercept"), 1);
+        assert!(t.counter("prof.mb.path", "im.forward") > 0, "handshake forwarded inline");
+        assert!(
+            t.counter("prof.mb.path", "im.blackhole") > 0,
+            "post-trigger client packets are black-holed"
         );
     }
 

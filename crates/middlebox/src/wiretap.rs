@@ -131,7 +131,10 @@ impl WiretapMiddlebox {
 
 impl Node for WiretapMiddlebox {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+        // Each early return charges one static-label profiler counter,
+        // so a profile shows where mirrored traffic leaves the device.
         let Some((h, payload)) = pkt.as_tcp() else {
+            ctx.obs().prof_path("wm.not-tcp");
             return; // a wiretap discards what it does not understand
         };
         // Gate tracking at SYN time: port and client-source filters.
@@ -139,18 +142,24 @@ impl Node for WiretapMiddlebox {
             && !h.flags.contains(TcpFlags::ACK)
             && (!self.cfg.inspects_port(h.dst_port) || !self.cfg.inspects_client(pkt.src()))
         {
+            ctx.obs().prof_path("wm.syn-filtered");
             return;
         }
         let Some(insp) = self.flows.observe(&pkt, ctx.now()) else {
+            ctx.obs().prof_path("wm.untracked");
             self.maybe_arm_sweep(ctx);
             return;
         };
         self.maybe_arm_sweep(ctx);
         let Some(domain) = self.cfg.matcher.extract(payload) else {
+            ctx.obs().prof_path("wm.no-domain");
             return;
         };
         if self.cfg.blocks(&domain) {
+            ctx.obs().prof_path("wm.inject");
             self.inject(ctx, &insp, &domain);
+        } else {
+            ctx.obs().prof_path("wm.clean");
         }
     }
 
@@ -260,6 +269,23 @@ mod tests {
         let resp = HttpResponse::parse(&got).expect("got a response");
         assert!(looks_like_notice(&resp), "expected notice, got: {resp:?}");
         assert_eq!(rig.net.node_ref::<WiretapMiddlebox>(rig.wm).unwrap().injections, 1);
+    }
+
+    #[test]
+    fn profiler_path_counters_follow_outcomes() {
+        let mut rig = build(cfg_blocking("blocked.example"), 30);
+        rig.net.telemetry().enable_prof(true);
+        let _ = fetch(&mut rig, "blocked.example", 80);
+        let t = rig.net.telemetry();
+        assert_eq!(t.counter("prof.mb.path", "wm.inject"), 1);
+        assert!(
+            t.counter_total("prof.mb.path") > 1,
+            "handshake packets take non-inject paths too"
+        );
+        // Profiling off → nothing recorded.
+        let mut quiet = build(cfg_blocking("blocked.example"), 30);
+        let _ = fetch(&mut quiet, "blocked.example", 80);
+        assert_eq!(quiet.net.telemetry().counter_total("prof.mb.path"), 0);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub(crate) struct Inner {
     pub(crate) telemetry: Telemetry,
     drops: BTreeMap<DropReason, u64>,
     events_processed: u64,
+    queue_hwm: u64,
     wire_fidelity: bool,
 }
 
@@ -79,6 +80,13 @@ impl Inner {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent { at, queued_at: self.now, seq, kind }));
+        // Track the high-water mark unconditionally: one compare per
+        // push, and the profiler can report it without having been
+        // enabled before the world was built.
+        let depth = self.queue.len() as u64;
+        if depth > self.queue_hwm {
+            self.queue_hwm = depth;
+        }
     }
 
     pub(crate) fn transmit(
@@ -181,6 +189,7 @@ impl Network {
                 telemetry,
                 drops: BTreeMap::new(),
                 events_processed: 0,
+                queue_hwm: 0,
                 wire_fidelity: false,
             },
             nodes: Vec::new(),
@@ -271,6 +280,12 @@ impl Network {
         self.inner.events_processed
     }
 
+    /// Deepest the event queue has ever been — a deterministic function
+    /// of the event stream, profiled as scheduler back-pressure.
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.inner.queue_hwm
+    }
+
     /// Wiring-level drop counters.
     pub fn drops(&self, reason: DropReason) -> u64 {
         self.inner.drops.get(&reason).copied().unwrap_or(0)
@@ -336,6 +351,18 @@ impl Network {
             };
             let ts = ev.queued_at.micros();
             self.inner.telemetry.span(name, "netsim", ts, ev.at.micros() - ts, tid);
+        }
+        if self.inner.telemetry.prof_enabled() {
+            // The profiler's per-kind pop counter and virtual-time
+            // dwell (enqueue → dispatch) histogram. Static labels only:
+            // this path runs once per simulator event.
+            let kind = match &ev.kind {
+                EventKind::Deliver { .. } => "deliver",
+                EventKind::Timer { token, .. } if *token == WAKE => "wake",
+                EventKind::Timer { .. } => "timer",
+            };
+            let dwell = ev.at.micros() - ev.queued_at.micros();
+            self.inner.telemetry.prof_pop(kind, dwell);
         }
         match ev.kind {
             EventKind::Deliver { node, iface, pkt } => {
@@ -572,6 +599,46 @@ mod tests {
                 net.node_ref::<Echo>(b).unwrap().seen,
                 net.node_ref::<Probe>(a).unwrap().got.clone(),
                 net.events_processed(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn profiler_counts_pops_dwell_and_queue_hwm() {
+        let (mut net, a, _) = two_node_net(5, 2);
+        net.telemetry().enable_prof(true);
+        net.wake(a);
+        net.run_until_idle(100);
+        let t = net.telemetry();
+        assert_eq!(
+            t.counter_total("prof.sched.pops"),
+            net.events_processed(),
+            "every pop is profiled"
+        );
+        assert_eq!(t.counter("prof.sched.pops", "wake"), 1);
+        assert!(t.counter("prof.sched.pops", "deliver") >= 2);
+        assert!(net.queue_depth_hwm() >= 1);
+        let dwell: u64 = t
+            .histogram_buckets("prof.sched.dwell_us.deliver")
+            .unwrap()
+            .iter()
+            .sum();
+        assert_eq!(dwell, t.counter("prof.sched.pops", "deliver"), "dwell counts conserve pops");
+    }
+
+    #[test]
+    fn profiling_leaves_results_untouched() {
+        let run = |prof: bool| {
+            let (mut net, a, b) = two_node_net(5, 2);
+            net.telemetry().enable_prof(prof);
+            net.wake(a);
+            net.run_until_idle(100);
+            (
+                net.node_ref::<Echo>(b).unwrap().seen,
+                net.node_ref::<Probe>(a).unwrap().got.clone(),
+                net.events_processed(),
+                net.queue_depth_hwm(),
             )
         };
         assert_eq!(run(false), run(true));

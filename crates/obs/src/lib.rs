@@ -30,6 +30,7 @@ pub mod event;
 pub mod export;
 pub mod level;
 pub mod metrics;
+pub mod prof;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -49,6 +50,7 @@ struct State {
     events: Ring<Event>,
     spans: Ring<Span>,
     spans_on: bool,
+    prof_on: bool,
     metrics: Metrics,
     thread_names: BTreeMap<u64, String>,
 }
@@ -169,6 +171,43 @@ impl Telemetry {
         self.state.borrow_mut().thread_names.insert(tid, name.to_string());
     }
 
+    // --- profiling ------------------------------------------------------
+
+    /// Turn the deterministic profiler plane on or off (off by
+    /// default). Profiler samples land in the ordinary metrics registry
+    /// under `prof.*` names, so they shard, merge and export exactly
+    /// like every other metric.
+    pub fn enable_prof(&self, on: bool) {
+        self.state.borrow_mut().prof_on = on;
+    }
+
+    /// Whether the profiler plane is collecting.
+    pub fn prof_enabled(&self) -> bool {
+        self.state.borrow().prof_on
+    }
+
+    /// Record one scheduler pop: the event kind and its virtual-time
+    /// dwell (enqueue → dispatch, µs). A no-op when profiling is off.
+    /// Allocation-free on the hot path: `kind` is a static label and
+    /// the dwell histogram name is resolved by a static match.
+    pub fn prof_pop(&self, kind: &'static str, dwell_us: u64) {
+        let mut st = self.state.borrow_mut();
+        if !st.prof_on {
+            return;
+        }
+        st.metrics.counter_add(prof::SCHED_POPS, kind, 1);
+        st.metrics.histogram_record(prof::dwell_metric(kind), dwell_us);
+    }
+
+    /// Count one middlebox `on_packet` path outcome (a static label
+    /// like `"wm.inject"`). A no-op when profiling is off.
+    pub fn prof_path(&self, path: &'static str) {
+        let mut st = self.state.borrow_mut();
+        if st.prof_on {
+            st.metrics.counter_add(prof::MB_PATH, path, 1);
+        }
+    }
+
     // --- metrics --------------------------------------------------------
 
     /// Add `delta` to the counter `name{label}`.
@@ -209,6 +248,23 @@ impl Telemetry {
     /// Current value of a gauge, if ever set.
     pub fn gauge(&self, name: &str, label: &str) -> Option<i64> {
         self.state.borrow().metrics.gauge(name, label)
+    }
+
+    /// All labels and values of a gauge family, in label order.
+    pub fn gauge_family(&self, name: &str) -> Vec<(String, i64)> {
+        self.state.borrow().metrics.gauge_family(name)
+    }
+
+    /// A histogram's snapshot JSON (`count`/`sum_us`/`buckets`), if the
+    /// histogram was ever recorded.
+    pub fn histogram_json(&self, name: &str) -> Option<Json> {
+        self.state.borrow().metrics.histogram(name).map(metrics::Histogram::to_json)
+    }
+
+    /// A histogram's per-bucket counts (overflow bucket last), if the
+    /// histogram was ever recorded.
+    pub fn histogram_buckets(&self, name: &str) -> Option<Vec<u64>> {
+        self.state.borrow().metrics.histogram(name).map(|h| h.bucket_counts().to_vec())
     }
 
     // --- shard merge ----------------------------------------------------
@@ -261,9 +317,23 @@ impl Telemetry {
         export::chrome_trace(st.spans.iter(), &st.thread_names)
     }
 
-    /// The metrics registry as one deterministic JSON tree.
+    /// The metrics registry as one deterministic JSON tree, plus a
+    /// `ring` section reporting how many events and spans the bounded
+    /// rings evicted — so a profile or trace run can never *silently*
+    /// lose telemetry.
     pub fn metrics_snapshot(&self) -> Json {
-        self.state.borrow().metrics.snapshot()
+        let st = self.state.borrow();
+        let mut snap = st.metrics.snapshot();
+        if let Json::Obj(entries) = &mut snap {
+            entries.push((
+                "ring".to_string(),
+                Json::Obj(vec![
+                    ("events_dropped".to_string(), Json::UInt(st.events.dropped())),
+                    ("spans_dropped".to_string(), Json::UInt(st.spans.dropped())),
+                ]),
+            ));
+        }
+        snap
     }
 
     /// The metrics registry, pretty-printed (the `--metrics-out` file
@@ -391,6 +461,24 @@ mod tests {
         assert_eq!(hub.event_count(), 0);
         assert_eq!(hub.events_dropped(), 1, "refused events count as drops");
         assert_eq!(hub.counter("c", "l"), 1, "metrics merge regardless of ring caps");
+    }
+
+    #[test]
+    fn snapshot_reports_ring_drops() {
+        let t = Telemetry::new();
+        t.set_filter_spec("trace").unwrap();
+        t.set_event_cap(1);
+        for i in 0..3 {
+            t.event(i, Level::Info, "a", "e", vec![]);
+        }
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.get("ring").and_then(|r| r.get("events_dropped")), Some(&Json::UInt(2)));
+        assert_eq!(snap.get("ring").and_then(|r| r.get("spans_dropped")), Some(&Json::UInt(0)));
+        // Shard-side drops survive the dump/absorb round trip.
+        let hub = Telemetry::new();
+        hub.absorb(t.drain_dump());
+        let merged = hub.metrics_snapshot();
+        assert_eq!(merged.get("ring").and_then(|r| r.get("events_dropped")), Some(&Json::UInt(2)));
     }
 
     #[test]

@@ -59,6 +59,14 @@ impl Histogram {
         self.sum
     }
 
+    /// Per-bucket counts: one per bound, plus the trailing overflow
+    /// bucket. Their sum always equals [`Histogram::count`] — the
+    /// conservation law the profiler's dwell accounting (and the
+    /// lucent-check merge oracle) lean on.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Fold another histogram into this one. Matching bucket bounds
     /// merge count-for-count; on a bounds mismatch (never produced by
     /// this registry, which only builds default-bucket histograms) the
@@ -77,7 +85,9 @@ impl Histogram {
         self.count = self.count.saturating_add(other.count);
     }
 
-    fn to_json(&self) -> Json {
+    /// The histogram as its snapshot JSON form: `count`, `sum_us`, and
+    /// the `buckets` array of `{le, n}` pairs.
+    pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
             .bounds
             .iter()
@@ -168,6 +178,14 @@ impl Metrics {
     /// Current value of a gauge, if ever set.
     pub fn gauge(&self, name: &str, label: &str) -> Option<i64> {
         self.gauges.get(name).and_then(|f| f.get(label)).copied()
+    }
+
+    /// All labels and values of a gauge family, in label order.
+    pub fn gauge_family(&self, name: &str) -> Vec<(String, i64)> {
+        self.gauges
+            .get(name)
+            .map(|f| f.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
     }
 
     /// A histogram by name, if ever recorded.
