@@ -56,31 +56,31 @@ impl Entry {
         Json::Obj(members)
     }
 
-    /// Parse one entry value, rejecting unknown keys.
+    /// Parse one entry value, rejecting unknown keys and non-finite or
+    /// negative measurements. The finiteness check is load-bearing: a
+    /// NaN would make every ratchet band comparison vacuously false,
+    /// and an `inf` events_per_sec (e.g. from a `1e999` literal) would
+    /// ratchet the up-only baseline to a floor no run can ever meet.
     pub fn from_json(key: &str, value: &Json) -> Result<Entry, String> {
         let Json::Obj(members) = value else {
             return Err(format!("entry {key:?}: expected an object"));
         };
-        let mut entry = Entry { wall_secs: f64::NAN, events: None, events_per_sec: None };
-        let mut have_wall = false;
+        let mut wall: Option<f64> = None;
+        let mut events = None;
+        let mut events_per_sec = None;
         for (k, v) in members {
             match k.as_str() {
                 "wall_secs" => {
-                    entry.wall_secs = v
-                        .as_f64()
-                        .ok_or_else(|| format!("entry {key:?}: wall_secs must be a number"))?;
-                    have_wall = true;
+                    wall = Some(checked_measure(key, "wall_secs", v)?);
                 }
                 "events" => {
-                    entry.events = Some(
+                    events = Some(
                         as_u64(v)
                             .ok_or_else(|| format!("entry {key:?}: events must be a non-negative integer"))?,
                     );
                 }
                 "events_per_sec" => {
-                    entry.events_per_sec = Some(v.as_f64().ok_or_else(|| {
-                        format!("entry {key:?}: events_per_sec must be a number")
-                    })?);
+                    events_per_sec = Some(checked_measure(key, "events_per_sec", v)?);
                 }
                 other => {
                     return Err(format!(
@@ -89,11 +89,23 @@ impl Entry {
                 }
             }
         }
-        if !have_wall {
+        let Some(wall_secs) = wall else {
             return Err(format!("entry {key:?}: missing wall_secs"));
-        }
-        Ok(entry)
+        };
+        Ok(Entry { wall_secs, events, events_per_sec })
     }
+}
+
+/// A measurement must be a finite, non-negative number — anything else
+/// poisons the shrink/grow-only ratchet comparisons downstream.
+fn checked_measure(key: &str, field: &str, v: &Json) -> Result<f64, String> {
+    let n = v.as_f64().ok_or_else(|| format!("entry {key:?}: {field} must be a number"))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(format!(
+            "entry {key:?}: {field} must be finite and non-negative, got {n}"
+        ));
+    }
+    Ok(n)
 }
 
 fn as_u64(v: &Json) -> Option<u64> {
@@ -184,6 +196,25 @@ mod tests {
     fn wall_secs_is_mandatory() {
         let err = parse(r#"{"k": {"events": 5}}"#).unwrap_err();
         assert!(err.contains("missing wall_secs"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_measurements_are_rejected() {
+        // `1e999` overflows f64 parsing to +inf — the realistic way a
+        // non-finite value enters a JSON benchfile.
+        let err = parse(r#"{"k": {"wall_secs": 1e999}}"#).unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+        let err = parse(r#"{"k": {"wall_secs": 1.0, "events_per_sec": 1e999}}"#).unwrap_err();
+        assert!(err.contains("events_per_sec"), "{err}");
+        assert!(err.contains("finite"), "{err}");
+    }
+
+    #[test]
+    fn negative_measurements_are_rejected() {
+        let err = parse(r#"{"k": {"wall_secs": -1.0}}"#).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = parse(r#"{"k": {"wall_secs": 1.0, "events_per_sec": -2.0}}"#).unwrap_err();
+        assert!(err.contains("events_per_sec"), "{err}");
     }
 
     #[test]

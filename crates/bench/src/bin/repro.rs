@@ -550,11 +550,19 @@ fn record_bench(args: &Args, wall: f64, events: u64) {
         format!("{:?}", args.scale).to_lowercase(),
         args.threads
     );
-    let entry = benchfile::Entry {
-        wall_secs: wall,
-        events: Some(events),
-        events_per_sec: (wall > 0.0).then(|| events as f64 / wall),
-    };
+    // Guard the throughput derivation against zero or sub-resolution
+    // wall times: `events / 0.0` is `inf`, and one `inf` written here
+    // would ratchet the up-only baseline to a floor no later run can
+    // meet. Record "events present, eps absent" instead and warn.
+    let events_per_sec = (wall > 0.0).then(|| events as f64 / wall).filter(|eps| eps.is_finite());
+    if events_per_sec.is_none() {
+        eprintln!(
+            "warn: wall time {wall}s is too small to derive events/sec for {} events; \
+             recording the event count without a throughput figure",
+            events
+        );
+    }
+    let entry = benchfile::Entry { wall_secs: wall, events: Some(events), events_per_sec };
     benchfile::upsert(&mut entries, &key, entry);
     if let Err(e) = fs::write(&path, benchfile::render(&entries)) {
         eprintln!("warn: cannot write {}: {e}", path.display());

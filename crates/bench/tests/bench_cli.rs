@@ -1,0 +1,82 @@
+//! CLI contract tests for the `lucent-bench` ratchet binary: corrupt
+//! benchfiles — non-finite or absent measurements — must fail `check`
+//! loudly at load time, never flow NaN/inf into the band comparisons.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lucent-bench"))
+}
+
+/// A per-test scratch directory under the temp tree.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lucent-bench-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+const GOOD: &str = r#"{"all@small@threads=1": {"events": 1000, "events_per_sec": 500.0, "wall_secs": 2.0}}"#;
+
+fn run_check(dir: &Path, bench_text: &str, baseline_text: &str) -> std::process::Output {
+    let bench_path = dir.join("bench.json");
+    let base_path = dir.join("baseline.json");
+    std::fs::write(&bench_path, bench_text).expect("write bench");
+    std::fs::write(&base_path, baseline_text).expect("write baseline");
+    bench()
+        .args(["check", "--bench"])
+        .arg(&bench_path)
+        .args(["--baseline"])
+        .arg(&base_path)
+        .args(["--band", "0.5"])
+        .output()
+        .expect("spawn lucent-bench")
+}
+
+#[test]
+fn a_clean_benchfile_passes_check() {
+    let dir = scratch("clean");
+    let out = run_check(&dir, GOOD, GOOD);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn an_infinite_throughput_benchfile_fails_check_loudly() {
+    // `1e999` parses as +inf — exactly the value a zero-wall-time run
+    // would have written before the throughput guard. If this loaded
+    // silently, `update-baseline` would lock the floor at infinity.
+    let dir = scratch("inf");
+    let bad = r#"{"all@small@threads=1": {"events": 1000, "events_per_sec": 1e999, "wall_secs": 2.0}}"#;
+    let out = run_check(&dir, bad, GOOD);
+    assert_eq!(out.status.code(), Some(2), "corrupt benchfile must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("finite"), "{stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_corrupt_baseline_also_fails_check_loudly() {
+    // The poisoned file on the *baseline* side must be just as fatal:
+    // NaN band comparisons are vacuously false, which would wave every
+    // regression through.
+    let dir = scratch("badbase");
+    let bad = r#"{"all@small@threads=1": {"events": 1000, "wall_secs": -3.0}}"#;
+    let out = run_check(&dir, GOOD, bad);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("non-negative"), "{stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_missing_wall_secs_field_fails_check_loudly() {
+    let dir = scratch("nowall");
+    let bad = r#"{"all@small@threads=1": {"events": 1000, "events_per_sec": 500.0}}"#;
+    let out = run_check(&dir, bad, GOOD);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing wall_secs"), "{stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -22,6 +22,7 @@
 //! | `lint_parser_total` | the devtools item parser is total and emits sane spans on Rust-ish soup |
 //! | `lint_allocsite_total` | the devtools allocation-site detector is total and never mis-spans on Rust-ish soup |
 //! | `obs_histogram_merge` | telemetry merge is order/grouping-insensitive and conserves histogram buckets under shard splits |
+//! | `sched_matches_heap_model` | the netsim calendar queue pops in exactly the reference binary-heap order, deadline pops included |
 
 use std::net::Ipv4Addr;
 
@@ -431,6 +432,89 @@ pub fn obs_histogram_merge(s: &mut Source) {
     assert_eq!(total, n as u64, "every sample must land in exactly one bucket");
 }
 
+/// The netsim calendar-queue scheduler pops in exactly the order a
+/// reference binary heap does — the strict `(time, seq)` total order —
+/// on random event streams with same-tick bursts, at-now injects and
+/// far-future overflow timers, across random wheel geometries. This is
+/// the scheduler-swap equivalence claim the deterministic profile
+/// golden pins at the system level, checked here at the structure
+/// level with tiny horizons so overflow and wheel wrap are hammered.
+pub fn sched_matches_heap_model(s: &mut Source) {
+    use lucent_netsim::{CalendarQueue, Scheduled};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let slot_log2 = s.len_in(0, 6) as u32;
+    let slots = 1usize << s.len_in(2, 4); // 4..=16 buckets
+    let mut q = CalendarQueue::with_geometry(slot_log2, slots);
+    let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let steps = s.len_in(1, 96);
+    for _ in 0..steps {
+        // Every tier must agree on the frontier before each operation.
+        assert_eq!(
+            q.next_at().map(|t| t.micros()),
+            model.peek().map(|&Reverse((at, _))| at),
+            "next_at diverged from the model's min"
+        );
+        if s.chance(3, 5) {
+            // A burst of pushes relative to `now`, like a node callback.
+            for _ in 0..s.len_in(1, 4) {
+                let delta = match s.below(4) {
+                    0 => 0,                                        // inject at now
+                    1 => s.range_u64(0, 40),                       // same-tick burst
+                    2 => s.range_u64(0, 1 << (slot_log2 + 3)),     // in-ring latency
+                    _ => s.range_u64(180_000_000, 200_000_000),    // flow-timeout tail
+                };
+                let at = now + delta;
+                q.schedule(Scheduled {
+                    at: SimTime(at),
+                    queued_at: SimTime(now),
+                    seq,
+                    payload: seq,
+                });
+                model.push(Reverse((at, seq)));
+                seq += 1;
+            }
+        } else if s.chance(1, 2) {
+            // Deadline-bounded pop — the `step_before` path.
+            let deadline = now + s.range_u64(0, 1 << (slot_log2 + 4));
+            let got = q.pop_next_before(SimTime(deadline)).map(|i| (i.at.micros(), i.seq));
+            let want = match model.peek() {
+                Some(&Reverse((at, sq))) if at <= deadline => {
+                    model.pop();
+                    Some((at, sq))
+                }
+                _ => None,
+            };
+            assert_eq!(got, want, "pop_next_before({deadline}) diverged");
+            match got {
+                Some((at, _)) => now = at,
+                None => now = now.max(deadline), // the driver's clock advance
+            }
+        } else {
+            let got = q.pop_next().map(|i| (i.at.micros(), i.seq));
+            let want = model.pop().map(|Reverse(p)| p);
+            assert_eq!(got, want, "pop_next diverged");
+            if let Some((at, _)) = got {
+                now = at;
+            }
+        }
+        assert_eq!(q.len(), model.len(), "live-count drift");
+    }
+    // Drain the tail: order must agree to the very last item.
+    loop {
+        let got = q.pop_next().map(|i| (i.at.micros(), i.seq));
+        let want = model.pop().map(|Reverse(p)| p);
+        assert_eq!(got, want, "drain order diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert_eq!(q.next_at(), None, "drained queue must have no frontier");
+}
+
 /// A named oracle, as listed by [`all`].
 pub type NamedOracle = (&'static str, fn(&mut Source));
 
@@ -455,6 +539,7 @@ pub fn all() -> Vec<NamedOracle> {
         ("lint_parser_total", lint_parser_total),
         ("lint_allocsite_total", lint_allocsite_total),
         ("obs_histogram_merge", obs_histogram_merge),
+        ("sched_matches_heap_model", sched_matches_heap_model),
     ]
 }
 

@@ -177,6 +177,11 @@ impl Lab {
     }
 
     /// Run in small slices until `pred` is true or `timeout_ms` elapses.
+    ///
+    /// The 10 ms slicing makes deadline-bounded popping the simulator's
+    /// hottest entry point, which is why `netsim`'s calendar queue
+    /// amortizes `pop_next_before` by advancing its wheel eagerly
+    /// instead of re-scanning on every poll (DESIGN §15).
     fn run_until_ms<F: FnMut(&mut Self) -> bool>(&mut self, timeout_ms: u64, mut pred: F) -> bool {
         let deadline = self.now() + SimDuration::from_millis(timeout_ms);
         loop {

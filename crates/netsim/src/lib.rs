@@ -12,9 +12,12 @@
 //!
 //! Design points (in the smoltcp tradition):
 //!
-//! * **Deterministic**: one event queue ordered by `(time, sequence)`;
-//!   every source of randomness is an explicitly seeded RNG owned by the
-//!   node that needs it. The same seed replays the same packet trace.
+//! * **Deterministic**: one event queue ordered by `(time, sequence)` —
+//!   a calendar queue ([`sched`]) whose pop order is provably identical
+//!   to a binary heap's; every source of randomness is an explicitly
+//!   seeded RNG owned by the node that needs it. The same seed replays
+//!   the same packet trace. In-flight packets live in a slab ([`slab`])
+//!   so queued events stay small.
 //! * **Event-driven**: nodes implement [`Node::on_packet`]/[`Node::on_timer`]
 //!   and never block. External drivers (the measurement harness) poke nodes
 //!   through [`Network::wake`] and downcasting accessors, then step the
@@ -28,11 +31,15 @@ pub mod network;
 pub mod node;
 pub mod router;
 pub mod routing;
+pub mod sched;
+pub mod slab;
 pub mod time;
 pub mod trace;
 
 pub use network::{DropReason, Network};
 pub use node::{IfaceId, Node, NodeCtx, NodeId, WAKE};
+pub use sched::{CalendarQueue, Scheduled};
+pub use slab::PacketSlab;
 pub use router::RouterNode;
 pub use time::{SimDuration, SimRng, SimTime};
 pub use trace::{Dir, TraceEntry, TraceHandle};

@@ -1,12 +1,13 @@
 //! The [`Network`]: nodes, links, the event queue and the virtual clock.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::BTreeMap;
 
 use lucent_obs::Telemetry;
-use lucent_packet::Packet;
+use lucent_packet::{Bytes, Packet};
 
 use crate::node::{IfaceId, Node, NodeCtx, NodeId, WAKE};
+use crate::sched::{CalendarQueue, Scheduled};
+use crate::slab::{PacketSlab, PacketSlot};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Dir, TraceHandle};
 
@@ -29,34 +30,10 @@ struct Endpoint {
 }
 
 enum EventKind {
-    Deliver { node: NodeId, iface: IfaceId, pkt: Packet },
+    /// Delivery of a packet held in the slab; the event owns the slot
+    /// and exactly one `reclaim` happens when it pops.
+    Deliver { node: NodeId, iface: IfaceId, slot: PacketSlot },
     Timer { node: NodeId, token: u64 },
-}
-
-struct QueuedEvent {
-    at: SimTime,
-    /// When the event was enqueued — the Chrome-trace span start, so
-    /// in-flight latency renders as slice width.
-    queued_at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Engine internals shared with [`NodeCtx`]; lives in its own struct so a
@@ -64,7 +41,8 @@ impl Ord for QueuedEvent {
 /// of the node table.
 pub(crate) struct Inner {
     pub(crate) now: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    sched: CalendarQueue<EventKind>,
+    packets: PacketSlab,
     seq: u64,
     links: Vec<Vec<Option<Endpoint>>>,
     pub(crate) trace: TraceHandle,
@@ -79,11 +57,11 @@ impl Inner {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, queued_at: self.now, seq, kind }));
+        self.sched.schedule(Scheduled { at, queued_at: self.now, seq, payload: kind });
         // Track the high-water mark unconditionally: one compare per
         // push, and the profiler can report it without having been
         // enabled before the world was built.
-        let depth = self.queue.len() as u64;
+        let depth = self.sched.len() as u64;
         if depth > self.queue_hwm {
             self.queue_hwm = depth;
         }
@@ -101,8 +79,11 @@ impl Inner {
         // Wire-fidelity mode: serialize to octets and reparse at every
         // link, proving the structured fast path hides nothing (and
         // measuring what that fidelity costs — see the substrate bench).
+        // The reparse borrows payload bytes out of the emitted buffer
+        // zero-copy rather than copying them back out.
         let pkt = if self.wire_fidelity {
-            match Packet::parse(&pkt.emit()) {
+            let wire = Bytes::from(pkt.emit());
+            match Packet::parse_bytes(&wire) {
                 Ok(p) => {
                     debug_assert_eq!(p, pkt);
                     p
@@ -131,7 +112,8 @@ impl Inner {
                 let delay = ep.latency + extra_delay;
                 self.telemetry.histogram_record("netsim.link.latency_us", delay.micros());
                 let at = self.now + delay;
-                self.push(at, EventKind::Deliver { node: ep.peer, iface: ep.peer_iface, pkt });
+                let slot = self.packets.stash(pkt);
+                self.push(at, EventKind::Deliver { node: ep.peer, iface: ep.peer_iface, slot });
             }
             None => {
                 *self.drops.entry(DropReason::UnconnectedIface).or_insert(0) += 1;
@@ -178,13 +160,16 @@ impl Network {
     pub fn new() -> Self {
         let telemetry = Telemetry::new();
         let trace = TraceHandle::new();
-        trace.attach_bus(telemetry.clone());
+        // UFCS spells out that this is a cheap shared-state handle, not
+        // a deep copy — same convention as `Rc::clone(&x)`.
+        trace.attach_bus(Telemetry::clone(&telemetry));
         Network {
             inner: Inner {
                 now: SimTime::ZERO,
-                queue: BinaryHeap::new(),
+                sched: CalendarQueue::fresh(),
+                packets: PacketSlab::default(),
                 seq: 0,
-                links: Vec::new(),
+                links: Vec::default(),
                 trace,
                 telemetry,
                 drops: BTreeMap::new(),
@@ -192,14 +177,23 @@ impl Network {
                 queue_hwm: 0,
                 wire_fidelity: false,
             },
-            nodes: Vec::new(),
-            labels: Vec::new(),
+            nodes: Vec::default(),
+            labels: Vec::default(),
         }
     }
 
     /// Add a node; returns its id.
+    ///
+    /// Panics if the node table outgrows the 32-bit id space: like
+    /// [`Network::connect`], topology-construction bugs fail loudly at
+    /// build time instead of silently aliasing ids later.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let count = self.nodes.len();
+        assert!(
+            u32::try_from(count).is_ok(),
+            "node table overflow: {count} nodes exhausts the u32 id space"
+        );
+        let id = NodeId(count as u32);
         self.inner.telemetry.set_thread_name(u64::from(id.0), node.label());
         self.labels.push(node.label().to_string());
         self.nodes.push(Some(node));
@@ -322,19 +316,31 @@ impl Network {
     /// Deliver `pkt` to `node` on `iface` at the current instant, as if it
     /// had arrived from a link. Used by tests and fault injection.
     pub fn inject(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
-        self.inner.push(self.inner.now, EventKind::Deliver { node, iface, pkt });
+        let slot = self.inner.packets.stash(pkt);
+        self.inner.push(self.inner.now, EventKind::Deliver { node, iface, slot });
     }
 
     /// The time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.inner.queue.peek().map(|Reverse(e)| e.at)
+        self.inner.sched.next_at()
+    }
+
+    /// Most packets ever simultaneously in flight — the packet slab's
+    /// resident footprint.
+    pub fn packets_in_flight_hwm(&self) -> usize {
+        self.inner.packets.live_hwm()
     }
 
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.inner.queue.pop() else {
+        let Some(ev) = self.inner.sched.pop_next() else {
             return false;
         };
+        self.dispatch(ev);
+        true
+    }
+
+    fn dispatch(&mut self, ev: Scheduled<EventKind>) {
         debug_assert!(ev.at >= self.inner.now, "time went backwards");
         self.inner.now = ev.at;
         self.inner.events_processed += 1;
@@ -342,7 +348,7 @@ impl Network {
             // One slice per event-loop dispatch, spanning the virtual
             // time the event spent in flight, on the destination node's
             // track — the Chrome-trace view of the event loop.
-            let (name, tid) = match &ev.kind {
+            let (name, tid) = match &ev.payload {
                 EventKind::Deliver { node, .. } => ("deliver", u64::from(node.0)),
                 EventKind::Timer { node, token } if *token == WAKE => {
                     ("wake", u64::from(node.0))
@@ -356,7 +362,7 @@ impl Network {
             // The profiler's per-kind pop counter and virtual-time
             // dwell (enqueue → dispatch) histogram. Static labels only:
             // this path runs once per simulator event.
-            let kind = match &ev.kind {
+            let kind = match &ev.payload {
                 EventKind::Deliver { .. } => "deliver",
                 EventKind::Timer { token, .. } if *token == WAKE => "wake",
                 EventKind::Timer { .. } => "timer",
@@ -364,11 +370,16 @@ impl Network {
             let dwell = ev.at.micros() - ev.queued_at.micros();
             self.inner.telemetry.prof_pop(kind, dwell);
         }
-        match ev.kind {
-            EventKind::Deliver { node, iface, pkt } => {
+        match ev.payload {
+            EventKind::Deliver { node, iface, slot } => {
+                // Reclaim before the node lookup so the slot is freed
+                // even when the destination was removed mid-flight.
+                let Some(pkt) = self.inner.packets.reclaim(slot) else {
+                    return; // not live: already treated as dropped
+                };
                 let Some(mut boxed) = self.nodes.get_mut(node.0 as usize).and_then(Option::take)
                 else {
-                    return true; // node removed or mid-dispatch: drop
+                    return; // node removed or mid-dispatch: drop
                 };
                 let label = std::mem::take(&mut self.labels[node.0 as usize]);
                 self.inner.trace.record(self.inner.now, node, &label, Dir::Rx, &pkt);
@@ -382,7 +393,7 @@ impl Network {
             EventKind::Timer { node, token } => {
                 let Some(mut boxed) = self.nodes.get_mut(node.0 as usize).and_then(Option::take)
                 else {
-                    return true;
+                    return;
                 };
                 let label = std::mem::take(&mut self.labels[node.0 as usize]);
                 {
@@ -393,7 +404,6 @@ impl Network {
                 self.nodes[node.0 as usize] = Some(boxed);
             }
         }
-        true
     }
 
     /// Process the next event only if it is due at or before `deadline`.
@@ -401,11 +411,16 @@ impl Network {
     /// Returns `true` if an event was processed. When the next event lies
     /// beyond the deadline (or the queue is empty), the clock is advanced
     /// to `deadline` and `false` is returned — the driver's virtual
-    /// timeout primitive.
+    /// timeout primitive. Goes through the scheduler's deadline-aware
+    /// pop rather than a read-only peek, so slice-polling drivers never
+    /// rescan the wheel.
     pub fn step_before(&mut self, deadline: SimTime) -> bool {
-        match self.peek_time() {
-            Some(t) if t <= deadline => self.step(),
-            _ => {
+        match self.inner.sched.pop_next_before(deadline) {
+            Some(ev) => {
+                self.dispatch(ev);
+                true
+            }
+            None => {
                 if self.inner.now < deadline {
                     self.inner.now = deadline;
                 }

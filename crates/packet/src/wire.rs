@@ -130,7 +130,10 @@ impl Packet {
         out
     }
 
-    /// Parse a packet from wire octets, verifying every checksum.
+    /// Parse a packet from wire octets, verifying every checksum. The
+    /// payload bytes are copied out of `buf`; when the octets already
+    /// live in a shared [`Bytes`] buffer, [`Packet::parse_bytes`]
+    /// borrows them zero-copy instead.
     pub fn parse(buf: &[u8]) -> Result<Packet, ParseError> {
         let (ip, payload) = Ipv4Header::parse(buf)?;
         let transport = match ip.protocol {
@@ -143,6 +146,39 @@ impl Packet {
                 Transport::Udp(h, Bytes::copy_from_slice(p))
             }
             ipv4::PROTO_ICMP => Transport::Icmp(IcmpMessage::parse(payload)?),
+            other => {
+                return Err(ParseError::Unsupported { what: "ip-proto", value: u32::from(other) })
+            }
+        };
+        Ok(Packet { ip, transport })
+    }
+
+    /// Parse a packet from wire octets held in a shared buffer,
+    /// verifying every checksum. Unlike [`Packet::parse`], transport
+    /// payloads come back as zero-copy [`Bytes::slice`] views into
+    /// `buf`'s allocation — the hot wire-fidelity reparse path moves
+    /// no payload bytes.
+    pub fn parse_bytes(buf: &Bytes) -> Result<Packet, ParseError> {
+        let octets: &[u8] = buf;
+        let (ip, l4) = Ipv4Header::parse(octets)?;
+        // `Ipv4Header::parse` returned `octets[ihl..total_len]`; recover
+        // the transport offset from the already-validated IHL nibble.
+        let l4_off = usize::from(octets[0] & 0x0f) * 4;
+        let l4_end = l4_off + l4.len();
+        let transport = match ip.protocol {
+            ipv4::PROTO_TCP => {
+                // The TCP payload is a suffix of the segment.
+                let (h, p) = TcpHeader::parse(ip.src, ip.dst, l4)?;
+                Transport::Tcp(h, buf.slice(l4_end - p.len()..l4_end))
+            }
+            ipv4::PROTO_UDP => {
+                // The UDP payload starts right after the fixed header
+                // (the datagram may end before the IP payload does).
+                let (h, p) = UdpHeader::parse(ip.src, ip.dst, l4)?;
+                let start = l4_off + crate::udp::HEADER_LEN;
+                Transport::Udp(h, buf.slice(start..start + p.len()))
+            }
+            ipv4::PROTO_ICMP => Transport::Icmp(IcmpMessage::parse(l4)?),
             other => {
                 return Err(ParseError::Unsupported { what: "ip-proto", value: u32::from(other) })
             }
@@ -222,6 +258,49 @@ mod tests {
         assert_eq!(ip.src, C);
         assert_eq!(ip.dst, S);
         assert_eq!(u16::from_be_bytes([rest[0], rest[1]]), 33434);
+    }
+
+    #[test]
+    fn parse_bytes_agrees_with_parse_and_borrows_payload() {
+        let tcp = Packet::tcp(
+            C,
+            S,
+            TcpHeader { seq: 7, ..TcpHeader::new(40000, 80, TcpFlags::PSH) },
+            &b"GET /blocked HTTP/1.1\r\n\r\n"[..],
+        );
+        let udp = Packet::udp(C, S, UdpHeader::new(5000, 53), &b"query"[..]);
+        for pkt in [tcp, udp] {
+            let wire = Bytes::from(pkt.emit());
+            let zero = Packet::parse_bytes(&wire).unwrap();
+            assert_eq!(zero, Packet::parse(&wire).unwrap());
+            assert_eq!(zero, pkt);
+            // The payload is a view into the wire buffer, not a copy.
+            let payload = match &zero.transport {
+                Transport::Tcp(_, p) | Transport::Udp(_, p) => p,
+                Transport::Icmp(_) => unreachable!(),
+            };
+            let off = wire.len() - payload.len();
+            assert!(std::ptr::eq(&wire[off], &payload[0]), "payload must share the allocation");
+        }
+    }
+
+    #[test]
+    fn parse_bytes_udp_payload_respects_datagram_length() {
+        // An IP payload longer than the UDP length field: the trailing
+        // bytes are not part of the datagram and must not leak into the
+        // zero-copy payload slice.
+        let pkt = Packet::udp(C, S, UdpHeader::new(1, 2), &b"abc"[..]);
+        let mut wire = pkt.emit();
+        wire.extend_from_slice(b"ZZ"); // trailer beyond the UDP length
+        // Fix the IP total length + checksum to cover the trailer.
+        let total = wire.len() as u16;
+        wire[2..4].copy_from_slice(&total.to_be_bytes());
+        wire[10] = 0;
+        wire[11] = 0;
+        let ck = crate::checksum::of(&wire[..ipv4::HEADER_LEN]);
+        wire[10..12].copy_from_slice(&ck.to_be_bytes());
+        let parsed = Packet::parse_bytes(&Bytes::from(wire)).unwrap();
+        assert_eq!(parsed.as_udp().unwrap().1, &b"abc"[..]);
     }
 
     #[test]
