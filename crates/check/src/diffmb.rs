@@ -1,0 +1,599 @@
+//! The differential equivalence harness between the declarative policy
+//! engine and the hardcoded middleboxes.
+//!
+//! One PR of overlap is the whole point: `lucent-middlebox` keeps the
+//! legacy [`WiretapMiddlebox`] / [`InterceptiveMiddlebox`] structs alive
+//! alongside the generic [`PolicyBox`] interpreter, and this module
+//! holds them to *byte-identical* behaviour. A random [`MbSpec`] is
+//! drawn from a [`Source`], rendered to policy-TOML text (so the
+//! compiler itself sits inside the differential loop), instantiated
+//! both ways in twin single-device rigs, and driven through a random
+//! packet script. After every step the harness diffs:
+//!
+//! - the full injected-packet transcripts on both taps (arrival time,
+//!   interface, and the exact wire bytes);
+//! - the trigger counter and the `(time, client, domain)` trigger log;
+//! - the flow-table rows (key and stage) and the black-hole set;
+//!
+//! and at the end of the run, the pretty metrics snapshot and the
+//! debug event log of both telemetry registries — so profiler path
+//! counters, injection events, and sweep accounting are all inside the
+//! equivalence claim, not just the packets.
+//!
+//! [`run_diff`] is deliberately exported with the compiled policy as a
+//! parameter: `tests/it_policy.rs` feeds it the planted
+//! `wrong-airtel.toml` fixture to prove the suite *can* go red, and its
+//! green twin to prove the red is the fixture's fault.
+
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+use lucent_middlebox::compile::compile;
+use lucent_middlebox::flow::{FlowKey, Stage};
+use lucent_middlebox::policy::Policy;
+use lucent_middlebox::{
+    HostMatcher, Instance, InterceptiveMiddlebox, MiddleboxConfig, NoticeStyle, PolicyBox,
+    WiretapMiddlebox,
+};
+use lucent_netsim::routing::Cidr;
+use lucent_netsim::{IfaceId, Network, Node, NodeCtx, NodeId, SimDuration, SimTime};
+use lucent_packet::http::RequestBuilder;
+use lucent_packet::{IcmpMessage, Packet, TcpFlags, TcpHeader, UdpHeader};
+use lucent_support::Bytes;
+
+use crate::source::Source;
+
+/// The three host matchers, in draw order.
+const MATCHERS: [HostMatcher; 3] =
+    [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost];
+
+/// Slow-tail probabilities as literals: the TOML renderer and the
+/// legacy config must parse the *same* decimal text, so equality of the
+/// resulting `f64` is exact by construction.
+const SLOW_P: [&str; 4] = ["0.1", "0.25", "0.5", "0.9"];
+
+/// A randomly drawn middlebox specification — the common ancestor both
+/// the legacy config and the rendered policy file are derived from.
+#[derive(Debug, Clone)]
+pub struct MbSpec {
+    /// Wiretap (mirror tap) or interceptive (inline) family.
+    pub wiretap: bool,
+    /// Host extraction discipline.
+    pub matcher: HostMatcher,
+    /// Notice preset name (`airtel` / `idea` / `jio`); `None` renders
+    /// no page — covert on an interceptive device, bare-RST wiretap.
+    pub notice: Option<&'static str>,
+    /// Fixed IP-Identifier; `None` means hashed (WM) / device mark (IM).
+    pub fixed_ip_id: Option<u16>,
+    /// Wiretap injection delay range, microseconds.
+    pub delay_us: (u64, u64),
+    /// Wiretap slow tail: (probability literal, delay range).
+    pub slow: Option<(&'static str, (u64, u64))>,
+    /// Inspect every port rather than only 80.
+    pub any_ports: bool,
+    /// Restrict inspection to clients inside 10.0.0.0/8.
+    pub filtered_clients: bool,
+    /// Flow-state idle timeout, seconds.
+    pub flow_timeout_secs: u64,
+    /// Domains the device censors.
+    pub blocklist: Vec<String>,
+    /// Device RNG seed.
+    pub seed: u64,
+}
+
+fn style_of(name: &str) -> NoticeStyle {
+    match name {
+        "idea" => NoticeStyle::idea_like(),
+        "jio" => NoticeStyle::jio_like(),
+        _ => NoticeStyle::airtel_like(),
+    }
+}
+
+fn matcher_word(m: HostMatcher) -> &'static str {
+    match m {
+        HostMatcher::ExactToken => "exact-token",
+        HostMatcher::StrictPattern => "strict-pattern",
+        HostMatcher::LastHost => "last-host",
+    }
+}
+
+impl MbSpec {
+    /// The specification rendered as a policy-TOML program — the text
+    /// [`run_diff`]'s callers feed through [`compile`], so the compiler
+    /// is exercised by every differential case.
+    pub fn policy_toml(&self) -> String {
+        let mut t = String::from("[policy]\nname = \"diff-spec\"\n");
+        t.push_str(if self.wiretap {
+            "family = \"wiretap\"\n"
+        } else {
+            "family = \"interceptive\"\n"
+        });
+        t.push_str("\n[match]\n");
+        t.push_str(if self.any_ports { "ports = \"any\"\n" } else { "ports = [80]\n" });
+        t.push_str("\n[state]\n");
+        t.push_str(&format!("flow_timeout_secs = {}\n", self.flow_timeout_secs));
+        t.push_str("\n[[rule]]\ntrigger = \"host-header\"\n");
+        t.push_str(&format!("matcher = \"{}\"\n", matcher_word(self.matcher)));
+        t.push_str("hosts = \"blocklist\"\n");
+        let verbs: &str = match (self.wiretap, self.notice.is_some()) {
+            (true, true) => "[\"inject-notice\", \"inject-rst\"]",
+            (true, false) => "[\"inject-rst\"]",
+            (false, true) => "[\"inject-notice\", \"reset-server\", \"drop\"]",
+            (false, false) => "[\"inject-rst\", \"reset-server\", \"drop\"]",
+        };
+        t.push_str(&format!("action = {verbs}\n"));
+        if let Some(preset) = self.notice {
+            t.push_str(&format!("notice = \"{preset}\"\n"));
+        }
+        match (self.fixed_ip_id, self.wiretap) {
+            (Some(v), _) => t.push_str(&format!("ip_id = {v}\n")),
+            (None, true) => t.push_str("ip_id = \"hashed\"\n"),
+            (None, false) => t.push_str("ip_id = \"device\"\n"),
+        }
+        if self.wiretap {
+            let (lo, hi) = self.delay_us;
+            t.push_str(&format!("delay_us = {{ lo = {lo}, hi = {hi} }}\n"));
+            if let Some((p, (slo, shi))) = self.slow {
+                t.push_str(&format!("slow = {{ p = {p}, lo = {slo}, hi = {shi} }}\n"));
+            }
+        }
+        t
+    }
+
+    /// The same specification as a legacy [`MiddleboxConfig`].
+    pub fn legacy_config(&self) -> MiddleboxConfig {
+        let mut cfg = MiddleboxConfig::new(self.blocklist.iter().cloned());
+        cfg.matcher = self.matcher;
+        cfg.ports = if self.any_ports { None } else { Some([80].into_iter().collect()) };
+        cfg.client_filter = self.client_cidrs();
+        cfg.flow_timeout = SimDuration::from_secs(self.flow_timeout_secs);
+        cfg.notice = self.notice.map(style_of);
+        cfg.fixed_ip_id = self.fixed_ip_id;
+        cfg.injection_delay_us = self.delay_us;
+        cfg.slow_injection =
+            self.slow.map(|(p, range)| (p.parse::<f64>().unwrap_or(0.5), range));
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// The same specification as a [`PolicyBox`] device instance.
+    pub fn device_instance(&self) -> Instance {
+        Instance::of(self.blocklist.iter().cloned(), self.client_cidrs(), self.seed)
+    }
+
+    fn client_cidrs(&self) -> Option<Vec<Cidr>> {
+        if self.filtered_clients {
+            let mut v = Vec::default();
+            v.push(Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8));
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// Draw a random middlebox specification.
+pub fn diff_spec(s: &mut Source) -> MbSpec {
+    let wiretap = s.any_bool();
+    let notice = if s.chance(2, 3) { Some(*s.pick(&["airtel", "idea", "jio"])) } else { None };
+    let lo = s.range_u64(50, 2_000);
+    let n = s.len_in(1, 3);
+    let mut blocklist = Vec::default();
+    for i in 0..n {
+        blocklist.push(format!("blocked-{i}.example"));
+    }
+    MbSpec {
+        wiretap,
+        matcher: *s.pick(&MATCHERS),
+        notice,
+        fixed_ip_id: if s.any_bool() { Some(s.range_u64(1, 65_000) as u16) } else { None },
+        delay_us: (lo, lo + s.range_u64(0, 5_000)),
+        slow: if wiretap && s.any_bool() {
+            Some((*s.pick(&SLOW_P), (150_000, 400_000)))
+        } else {
+            None
+        },
+        any_ports: s.chance(1, 4),
+        filtered_clients: s.chance(1, 3),
+        flow_timeout_secs: s.range_u64(30, 300),
+        blocklist,
+        seed: s.range_u64(0, 1 << 48),
+    }
+}
+
+/// The Airtel specification — the legacy reference `tests/it_policy.rs`
+/// diffs the planted `wrong-airtel.toml` fixture (and its green twin)
+/// against.
+pub fn airtel_spec() -> MbSpec {
+    MbSpec {
+        wiretap: true,
+        matcher: HostMatcher::ExactToken,
+        notice: Some("airtel"),
+        fixed_ip_id: Some(242),
+        delay_us: (300, 900),
+        slow: Some(("0.3", (150_000, 400_000))),
+        any_ports: false,
+        filtered_clients: false,
+        flow_timeout_secs: 150,
+        blocklist: {
+            let mut v = Vec::default();
+            v.push("blocked-0.example".to_string());
+            v
+        },
+        seed: 7,
+    }
+}
+
+/// One scripted action against both twin rigs.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Deliver a packet to the device on `iface` at the current instant.
+    Inject(IfaceId, Packet),
+    /// Let simulated time pass (sweeps, flow timeouts, black-hole expiry).
+    Skip(SimDuration),
+}
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+/// Per-flow sequence bookkeeping for the script generator.
+struct FlowGen {
+    client: (Ipv4Addr, u16),
+    dst_port: u16,
+    seq: u32,
+    sisn: u32,
+    shook: bool,
+}
+
+impl FlowGen {
+    fn fresh(client: (Ipv4Addr, u16), dst_port: u16, isn: u32) -> FlowGen {
+        FlowGen { client, dst_port, seq: isn, sisn: isn.wrapping_mul(3).wrapping_add(777), shook: false }
+    }
+
+    fn tcp_in(&self, flags: TcpFlags, seq: u32, ack: u32, payload: Bytes) -> Step {
+        let mut h = TcpHeader::new(self.client.1, self.dst_port, flags);
+        h.seq = seq;
+        h.ack = ack;
+        Step::Inject(IfaceId(0), Packet::tcp(self.client.0, SERVER, h, payload))
+    }
+
+    fn tcp_back(&self, flags: TcpFlags, seq: u32, ack: u32) -> Step {
+        let mut h = TcpHeader::new(self.dst_port, self.client.1, flags);
+        h.seq = seq;
+        h.ack = ack;
+        Step::Inject(IfaceId(1), Packet::tcp(SERVER, self.client.0, h, Bytes::new()))
+    }
+
+    /// The three-way handshake as seen by the device.
+    fn hs_steps(&mut self, out: &mut Vec<Step>) {
+        out.push(self.tcp_in(TcpFlags::SYN, self.seq, 0, Bytes::new()));
+        out.push(self.tcp_back(TcpFlags::SYN | TcpFlags::ACK, self.sisn, self.seq.wrapping_add(1)));
+        self.seq = self.seq.wrapping_add(1);
+        out.push(self.tcp_in(TcpFlags::ACK, self.seq, self.sisn.wrapping_add(1), Bytes::new()));
+        self.shook = true;
+    }
+
+    /// A data segment carrying `body`, advancing the sequence space.
+    fn data_step(&mut self, body: Vec<u8>) -> Step {
+        let len = body.len() as u32;
+        let st = self.tcp_in(
+            TcpFlags::ACK | TcpFlags::PSH,
+            self.seq,
+            self.sisn.wrapping_add(1),
+            Bytes::from(body),
+        );
+        self.seq = self.seq.wrapping_add(len);
+        st
+    }
+}
+
+/// Request-image variants: canonical, double-Host, lowercase header
+/// name, Host-less, and raw garbage — the §5 evasion shapes the
+/// matchers must treat identically on both implementations.
+fn request_image(s: &mut Source, host: &str) -> Vec<u8> {
+    match s.below(5) {
+        0 | 1 => RequestBuilder::browser(host, "/").build(),
+        2 => format!("GET / HTTP/1.1\r\nHost: decoy.example\r\nHost: {host}\r\n\r\n").into_bytes(),
+        3 => format!("GET / HTTP/1.1\r\nhost: {host}\r\nAccept: */*\r\n\r\n").into_bytes(),
+        _ => b"GET / HTTP/1.1\r\nX-Pad: 1\r\n\r\n".to_vec(),
+    }
+}
+
+/// Draw a random packet script for `spec`: handshakes on up to three
+/// flows (one outside the 10/8 client filter), blocked and clean GETs
+/// in evasion variants, teardown RSTs, UDP/ICMP noise, off-port SYNs,
+/// and time skips long enough to cross the sweep and timeout horizons.
+pub fn diff_script(s: &mut Source, spec: &MbSpec) -> Vec<Step> {
+    let mut steps = Vec::default();
+    let mut a = FlowGen::fresh((Ipv4Addr::new(10, 0, 0, 2), 40_000), 80, 1_000);
+    let mut b = FlowGen::fresh((Ipv4Addr::new(10, 0, 7, 9), 41_000), 80, 50_000);
+    // Outside the 10/8 filter: exercises the client-eligibility gate.
+    let mut c = FlowGen::fresh((Ipv4Addr::new(172, 16, 0, 9), 42_000), 80, 90_000);
+    a.hs_steps(&mut steps);
+    let blocked = spec.blocklist[0].clone();
+    let n = s.len_in(4, 10);
+    for _ in 0..n {
+        match s.below(10) {
+            0 | 1 => {
+                let img = request_image(s, &blocked);
+                steps.push(a.data_step(img));
+            }
+            2 => {
+                let img = request_image(s, "fine.example");
+                steps.push(a.data_step(img));
+            }
+            3 => {
+                if !b.shook {
+                    b.hs_steps(&mut steps);
+                }
+                let img = request_image(s, &blocked);
+                steps.push(b.data_step(img));
+            }
+            4 => {
+                if !c.shook {
+                    c.hs_steps(&mut steps);
+                }
+                let img = request_image(s, &blocked);
+                steps.push(c.data_step(img));
+            }
+            5 => {
+                // Client teardown RST mid-flow.
+                let st = a.tcp_in(TcpFlags::RST, a.seq, 0, Bytes::new());
+                steps.push(st);
+            }
+            6 => {
+                let h = UdpHeader::new(5353, 53);
+                steps.push(Step::Inject(
+                    IfaceId(0),
+                    Packet::udp(a.client.0, SERVER, h, Bytes::from(s.bytes(0, 24))),
+                ));
+            }
+            7 => {
+                let msg = IcmpMessage::EchoRequest { ident: 7, seq: 1 };
+                steps.push(Step::Inject(IfaceId(0), Packet::icmp(a.client.0, SERVER, msg)));
+            }
+            8 => {
+                // SYN to a port outside the inspection set (unless
+                // `any_ports`, where it opens a tracked flow instead).
+                let mut d = FlowGen::fresh((Ipv4Addr::new(10, 0, 0, 2), 43_000), 8_080, 5_000);
+                d.hs_steps(&mut steps);
+            }
+            _ => {
+                let secs = if s.any_bool() { s.range_u64(5, 40) } else { s.range_u64(160, 200) };
+                steps.push(Step::Skip(SimDuration::from_secs(secs)));
+            }
+        }
+    }
+    // Always end with a blocked request on the primary flow, so every
+    // case exercises the firing path at least twice.
+    steps.push(a.data_step(RequestBuilder::browser(&blocked, "/").build()));
+    steps
+}
+
+/// A short deterministic script (no [`Source`]) for the CI negative
+/// control: handshake, blocked GET, clean GET, sweep-crossing skip,
+/// second blocked GET.
+pub fn canned_script(spec: &MbSpec) -> Vec<Step> {
+    let mut steps = Vec::default();
+    let mut a = FlowGen::fresh((Ipv4Addr::new(10, 0, 0, 2), 40_000), 80, 1_000);
+    a.hs_steps(&mut steps);
+    let blocked = spec.blocklist[0].clone();
+    steps.push(a.data_step(RequestBuilder::browser(&blocked, "/").build()));
+    steps.push(a.data_step(RequestBuilder::browser("fine.example", "/").build()));
+    steps.push(Step::Skip(SimDuration::from_secs(35)));
+    let mut b = FlowGen::fresh((Ipv4Addr::new(10, 0, 7, 9), 41_000), 80, 50_000);
+    b.hs_steps(&mut steps);
+    steps.push(b.data_step(RequestBuilder::browser(&blocked, "/").build()));
+    steps
+}
+
+/// A recording tap: every packet's arrival instant and exact wire bytes.
+struct Tap {
+    rows: Vec<(u64, Vec<u8>)>,
+    tag: &'static str,
+}
+
+impl Node for Tap {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+        self.rows.push((ctx.now().micros(), pkt.emit()));
+    }
+    fn label(&self) -> &str {
+        self.tag
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Twin {
+    net: Network,
+    mb: NodeId,
+    a: NodeId,
+    b: NodeId,
+}
+
+fn build_twin(device: Box<dyn Node>) -> Result<Twin, String> {
+    let mut net = Network::new();
+    net.telemetry().enable_prof(true);
+    net.telemetry()
+        .set_filter_spec("wiretap=debug,interceptive=debug")
+        .map_err(|e| format!("filter spec rejected: {e:?}"))?;
+    let mb = net.add_node(device);
+    let a = net.add_node(Box::new(Tap { rows: Vec::default(), tag: "tap-client" }));
+    let b = net.add_node(Box::new(Tap { rows: Vec::default(), tag: "tap-server" }));
+    net.connect(mb, IfaceId(0), a, IfaceId(0), SimDuration::from_micros(10));
+    net.connect(mb, IfaceId(1), b, IfaceId(0), SimDuration::from_micros(10));
+    Ok(Twin { net, mb, a, b })
+}
+
+/// Everything state-shaped the two implementations expose, captured
+/// after each step.
+#[derive(Debug, PartialEq)]
+struct Snap {
+    triggers: u64,
+    log: Vec<(SimTime, Ipv4Addr, String)>,
+    flows: Vec<(FlowKey, Stage)>,
+    black: Vec<FlowKey>,
+}
+
+fn mb_snap(net: &Network, mb: NodeId, legacy: bool, wiretap: bool) -> Result<Snap, String> {
+    match (legacy, wiretap) {
+        (true, true) => {
+            let d = net
+                .node_ref::<WiretapMiddlebox>(mb)
+                .ok_or_else(|| "legacy wiretap node missing".to_string())?;
+            Ok(Snap {
+                triggers: d.injections,
+                log: d.trigger_log.clone(),
+                flows: d.flow_rows(),
+                black: Vec::default(),
+            })
+        }
+        (true, false) => {
+            let d = net
+                .node_ref::<InterceptiveMiddlebox>(mb)
+                .ok_or_else(|| "legacy interceptive node missing".to_string())?;
+            Ok(Snap {
+                triggers: d.interceptions,
+                log: d.trigger_log.clone(),
+                flows: d.flow_rows(),
+                black: d.blackhole_rows(),
+            })
+        }
+        (false, _) => {
+            let d = net
+                .node_ref::<PolicyBox>(mb)
+                .ok_or_else(|| "policy node missing".to_string())?;
+            Ok(Snap {
+                triggers: d.triggers,
+                log: d.trigger_log.clone(),
+                flows: d.flow_rows(),
+                black: d.blackhole_rows(),
+            })
+        }
+    }
+}
+
+fn tap_rows(net: &Network, id: NodeId) -> Result<Vec<(u64, Vec<u8>)>, String> {
+    Ok(net.node_ref::<Tap>(id).ok_or_else(|| "tap node missing".to_string())?.rows.clone())
+}
+
+/// Longest slow-tail injection is 400 ms; give every step half a second
+/// of virtual time so all pending forgeries land before the diff.
+const SETTLE: SimDuration = SimDuration(500_000);
+
+fn apply_step(t: &mut Twin, step: &Step) {
+    match step {
+        Step::Inject(iface, pkt) => {
+            t.net.inject(t.mb, *iface, pkt.clone());
+            t.net.run_for(SETTLE);
+        }
+        Step::Skip(d) => t.net.run_for(*d),
+    }
+}
+
+/// Run `policy` and the legacy device derived from `spec` through
+/// `steps`, diffing transcripts, trigger state, flow tables, metrics
+/// and event logs. `Ok(())` means byte-identical behaviour; `Err`
+/// pinpoints the first divergence.
+pub fn run_diff(policy: Policy, spec: &MbSpec, steps: &[Step]) -> Result<(), String> {
+    let legacy_node: Box<dyn Node> = if spec.wiretap {
+        Box::new(WiretapMiddlebox::new(spec.legacy_config(), "mb"))
+    } else {
+        Box::new(InterceptiveMiddlebox::new(spec.legacy_config(), "mb"))
+    };
+    let mut legacy = build_twin(legacy_node)?;
+    let mut pbox = build_twin(Box::new(PolicyBox::new(policy, spec.device_instance(), "mb")))?;
+
+    for (i, step) in steps.iter().enumerate() {
+        apply_step(&mut legacy, step);
+        apply_step(&mut pbox, step);
+        let want = mb_snap(&legacy.net, legacy.mb, true, spec.wiretap)?;
+        let got = mb_snap(&pbox.net, pbox.mb, false, spec.wiretap)?;
+        if want != got {
+            return Err(format!(
+                "step {i} ({step:?}): device state diverged\n legacy: {want:?}\n policy: {got:?}"
+            ));
+        }
+        for (tag, lid, pid) in
+            [("client", legacy.a, pbox.a), ("server", legacy.b, pbox.b)]
+        {
+            let want = tap_rows(&legacy.net, lid)?;
+            let got = tap_rows(&pbox.net, pid)?;
+            if want != got {
+                let at = want.iter().zip(&got).position(|(w, g)| w != g).unwrap_or(want.len().min(got.len()));
+                return Err(format!(
+                    "step {i} ({step:?}): {tag}-side transcript diverged at packet {at} \
+                     (legacy {} packets, policy {})",
+                    want.len(),
+                    got.len()
+                ));
+            }
+        }
+    }
+
+    let want = legacy.net.telemetry().metrics_snapshot_pretty();
+    let got = pbox.net.telemetry().metrics_snapshot_pretty();
+    if want != got {
+        return Err(format!("metrics snapshots diverged\n--- legacy\n{want}\n--- policy\n{got}"));
+    }
+    let want = legacy.net.telemetry().event_log();
+    let got = pbox.net.telemetry().event_log();
+    if want != got {
+        return Err(format!("event logs diverged\n--- legacy\n{want}\n--- policy\n{got}"));
+    }
+    Ok(())
+}
+
+/// Compile `spec`'s own rendered policy text and run the differential:
+/// the everyday entry point ([`crate::oracles::policy_matches_legacy`]
+/// and the fuzz-smoke campaign both go through here).
+pub fn spec_self_diff(spec: &MbSpec, steps: &[Step]) -> Result<(), String> {
+    let policy =
+        compile(&spec.policy_toml()).map_err(|e| format!("rendered policy rejected: {e}"))?;
+    run_diff(policy, spec, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{check, Config};
+
+    #[test]
+    fn airtel_spec_renders_a_compilable_program() {
+        let spec = airtel_spec();
+        let p = compile(&spec.policy_toml()).unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn the_canned_script_matches_on_the_airtel_spec() {
+        let spec = airtel_spec();
+        spec_self_diff(&spec, &canned_script(&spec)).unwrap();
+    }
+
+    #[test]
+    fn random_specs_and_scripts_agree() {
+        check(&Config::cases(24), |s| {
+            let spec = diff_spec(s);
+            let steps = diff_script(s, &spec);
+            if let Err(e) = spec_self_diff(&spec, &steps) {
+                std::panic::panic_any(e);
+            }
+        });
+    }
+
+    #[test]
+    fn a_flipped_action_is_caught() {
+        // The in-process version of the CI negative control: airtel
+        // minus the notice page must fail the differential.
+        let spec = airtel_spec();
+        let mut covert = spec.clone();
+        covert.notice = None;
+        let wrong = compile(&covert.policy_toml()).unwrap();
+        let out = run_diff(wrong, &spec, &canned_script(&spec));
+        assert!(out.is_err(), "the differential suite must catch a flipped action");
+    }
+}

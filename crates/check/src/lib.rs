@@ -26,6 +26,9 @@
 //!   `lucent-devtools` lexer/parser (fed by [`rustish`]);
 //! - [`rustish`] — Rust-ish token soup (raw strings, nested block
 //!   comments, escaped literals) for the lint totality oracles;
+//! - [`diffmb`] — the differential equivalence harness holding the
+//!   declarative policy engine byte-identical to the legacy
+//!   middleboxes (random spec → rendered policy TOML → twin rigs);
 //! - [`invariants`] — metamorphic properties through the real simulation
 //!   stack (header-permutation invariance, blocklist monotonicity,
 //!   shard-count invariance);
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod corrupt;
+pub mod diffmb;
 pub mod gen;
 pub mod invariants;
 pub mod oracles;

@@ -23,6 +23,8 @@
 //! | `lint_allocsite_total` | the devtools allocation-site detector is total and never mis-spans on Rust-ish soup |
 //! | `obs_histogram_merge` | telemetry merge is order/grouping-insensitive and conserves histogram buckets under shard splits |
 //! | `sched_matches_heap_model` | the netsim calendar queue pops in exactly the reference binary-heap order, deadline pops included |
+//! | `policy_matches_legacy` | a compiled policy program is byte-identical in behaviour to the legacy middlebox it describes |
+//! | `policy_compile_total` | the policy compiler never panics and is deterministic on soup, garbage, and corrupted programs |
 
 use std::net::Ipv4Addr;
 
@@ -515,6 +517,53 @@ pub fn sched_matches_heap_model(s: &mut Source) {
     assert_eq!(q.next_at(), None, "drained queue must have no frontier");
 }
 
+/// The declarative policy engine is behaviourally indistinguishable
+/// from the hardcoded middleboxes: a random middlebox specification,
+/// rendered to policy TOML, compiled, and instantiated as a
+/// [`lucent_middlebox::PolicyBox`], must match the legacy device
+/// derived from the same specification packet-for-packet, flow-row for
+/// flow-row, and byte-for-byte in metrics and event logs, over a random
+/// packet script (see [`crate::diffmb`]).
+pub fn policy_matches_legacy(s: &mut Source) {
+    let spec = crate::diffmb::diff_spec(s);
+    let steps = crate::diffmb::diff_script(s, &spec);
+    if let Err(e) = crate::diffmb::spec_self_diff(&spec, &steps) {
+        std::panic::panic_any(e);
+    }
+}
+
+/// The policy compiler is total and deterministic: it never panics —
+/// not on Rust-ish token soup, not on arbitrary bytes, not on a
+/// corrupted image of a valid policy — and compiling the same text
+/// twice yields identical results (policies compare equal, errors
+/// pin the same line and message).
+pub fn policy_compile_total(s: &mut Source) {
+    use lucent_middlebox::compile::compile;
+    let text = match s.below(3) {
+        0 => crate::rustish::soup(s),
+        1 => String::from_utf8_lossy(&s.bytes(0, 400)).into_owned(),
+        _ => {
+            // Mutate a valid program: splice random bytes into the
+            // rendered Airtel policy.
+            let mut img = crate::diffmb::airtel_spec().policy_toml().into_bytes();
+            for _ in 0..s.len_in(1, 8) {
+                let at = s.len_in(0, img.len() - 1);
+                img[at] = img[at].wrapping_add(s.below(255) as u8 + 1);
+            }
+            String::from_utf8_lossy(&img).into_owned()
+        }
+    };
+    let first = compile(&text);
+    let second = compile(&text);
+    match (&first, &second) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "recompilation changed the policy"),
+        (Err(a), Err(b)) => {
+            assert_eq!((a.line, &a.msg), (b.line, &b.msg), "recompilation changed the error")
+        }
+        _ => std::panic::panic_any("recompilation flipped between Ok and Err".to_string()),
+    }
+}
+
 /// A named oracle, as listed by [`all`].
 pub type NamedOracle = (&'static str, fn(&mut Source));
 
@@ -540,6 +589,8 @@ pub fn all() -> Vec<NamedOracle> {
         ("lint_allocsite_total", lint_allocsite_total),
         ("obs_histogram_merge", obs_histogram_merge),
         ("sched_matches_heap_model", sched_matches_heap_model),
+        ("policy_matches_legacy", policy_matches_legacy),
+        ("policy_compile_total", policy_compile_total),
     ]
 }
 

@@ -1,0 +1,904 @@
+//! The policy compiler: TOML policy files → [`Policy`] programs.
+//!
+//! The grammar is a deliberate TOML subset — line-oriented
+//! `key = value` under `[section]` / `[[rule]]` headers, with strings,
+//! integers, floats, booleans, flat lists and flat inline tables — the
+//! same dialect the devtools config reader speaks, extended with float
+//! literals (probability gates need them) and implemented here because
+//! `crates/middlebox` sits below devtools in the layering.
+//!
+//! The compiler is **total**: any input, including fuzzer garbage,
+//! either compiles or returns a line-numbered [`PolicyError`] — it
+//! never panics (enforced by the `policy_compile_total` oracle and the
+//! workspace panic-site lint). Error messages are part of the contract:
+//! the malformed-fixture corpus under `policies/fixtures/bad/` pins
+//! them byte-for-byte.
+//!
+//! ```toml
+//! [policy]
+//! name = "airtel-wm"
+//! family = "wiretap"
+//!
+//! [match]
+//! ports = [80]
+//!
+//! [state]
+//! flow_timeout_secs = 150
+//!
+//! [[rule]]
+//! trigger = "host-header"
+//! matcher = "exact-token"
+//! hosts = "blocklist"
+//! action = ["inject-notice", "inject-rst"]
+//! notice = "airtel"
+//! ip_id = 242
+//! delay_us = { lo = 300, hi = 900 }
+//! slow = { p = 0.3, lo = 150000, hi = 400000 }
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use lucent_netsim::SimDuration;
+
+use crate::matcher::HostMatcher;
+use crate::notice::NoticeStyle;
+use crate::policy::{
+    Action, DelaySpec, Family, FireSpec, HostSet, IpIdSpec, Policy, Rule,
+};
+
+/// A compile failure, pointing at the offending line (0 for whole-file
+/// problems such as a missing section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError {
+    /// 1-based source line, or 0 when no single line is at fault.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+fn err<T>(line: usize, msg: String) -> Result<T, PolicyError> {
+    Err(PolicyError { line, msg })
+}
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    List(Vec<Val>),
+    Table(Vec<(String, Val)>),
+}
+
+impl Val {
+    fn kind(&self) -> &'static str {
+        match self {
+            Val::Str(_) => "a string",
+            Val::Int(_) => "an integer",
+            Val::Float(_) => "a float",
+            Val::Bool(_) => "a boolean",
+            Val::List(_) => "a list",
+            Val::Table(_) => "an inline table",
+        }
+    }
+}
+
+/// One `key = value` line.
+#[derive(Debug)]
+struct Entry {
+    key: String,
+    val: Val,
+    line: usize,
+}
+
+/// One `[section]` or `[[rule]]` block.
+#[derive(Debug)]
+struct Sect {
+    name: String,
+    line: usize,
+    entries: Vec<Entry>,
+}
+
+/// Cut a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Split at top level on `sep`, ignoring separators inside strings,
+/// lists and inline tables.
+fn split_top(s: &str, sep: char) -> Vec<&str> {
+    // `split_top` shares its name with the devtools TOML reader, which
+    // sits in the packet parsers' L9 closure; keep this fn needle-free.
+    let mut parts = Vec::default();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            c if c == sep && !in_str && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Parse one scalar, list, or inline-table value.
+fn toml_value(s: &str, line: usize) -> Result<Val, PolicyError> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return err(line, "unterminated string".to_string());
+        };
+        if body.contains('"') {
+            return err(line, "unterminated string".to_string());
+        }
+        if body.contains('\\') {
+            return err(line, "strings with escapes are not supported".to_string());
+        }
+        return Ok(Val::Str(body.to_string()));
+    }
+    if s == "true" {
+        return Ok(Val::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Val::Bool(false));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let Some(body) = rest.strip_suffix(']') else {
+            return err(line, format!("malformed value `{s}`"));
+        };
+        let mut items = Vec::new();
+        if !body.trim().is_empty() {
+            for part in split_top(body, ',') {
+                items.push(toml_value(part, line)?);
+            }
+        }
+        return Ok(Val::List(items));
+    }
+    if let Some(rest) = s.strip_prefix('{') {
+        let Some(body) = rest.strip_suffix('}') else {
+            return err(line, format!("malformed value `{s}`"));
+        };
+        let mut pairs = Vec::new();
+        if !body.trim().is_empty() {
+            for part in split_top(body, ',') {
+                let Some((k, v)) = part.split_once('=') else {
+                    return err(line, format!("malformed value `{s}`"));
+                };
+                pairs.push((k.trim().to_string(), toml_value(v, line)?));
+            }
+        }
+        return Ok(Val::Table(pairs));
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Val::Int(n));
+    }
+    if s.contains('.') {
+        if let Ok(x) = s.parse::<f64>() {
+            if x.is_finite() {
+                return Ok(Val::Float(x));
+            }
+        }
+    }
+    err(line, format!("malformed value `{s}`"))
+}
+
+/// Scan the file into sections. Accepts only `[policy]`, `[match]`,
+/// `[state]` and repeated `[[rule]]`.
+fn doc_scan(text: &str) -> Result<Vec<Sect>, PolicyError> {
+    let mut sects: Vec<Sect> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return err(line_no, format!("malformed section header `{line}`"));
+            };
+            let name = name.trim();
+            if name != "rule" {
+                return err(line_no, format!("unknown section [[{name}]]"));
+            }
+            sects.push(Sect { name: "rule".to_string(), line: line_no, entries: Vec::new() });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(line_no, format!("malformed section header `{line}`"));
+            };
+            let name = name.trim();
+            if !matches!(name, "policy" | "match" | "state") {
+                return err(line_no, format!("unknown section [{name}]"));
+            }
+            if sects.iter().any(|s| s.name == name) {
+                return err(line_no, format!("duplicate section [{name}]"));
+            }
+            sects.push(Sect { name: name.to_string(), line: line_no, entries: Vec::new() });
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return err(line_no, "expected `key = value`".to_string());
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return err(line_no, "expected `key = value`".to_string());
+        }
+        let val = toml_value(val, line_no)?;
+        let Some(sect) = sects.last_mut() else {
+            return err(line_no, format!("`{key}` before any section header"));
+        };
+        if sect.entries.iter().any(|e| e.key == key) {
+            return err(line_no, format!("duplicate key `{key}`"));
+        }
+        sect.entries.push(Entry { key: key.to_string(), val, line: line_no });
+    }
+    Ok(sects)
+}
+
+/// Reject keys outside the section's vocabulary.
+fn check_keys(sect: &Sect, allowed: &[&str], label: &str) -> Result<(), PolicyError> {
+    for e in &sect.entries {
+        if !allowed.contains(&e.key.as_str()) {
+            return err(e.line, format!("unknown key `{}` in {label}", e.key));
+        }
+    }
+    Ok(())
+}
+
+fn find<'a>(sect: &'a Sect, key: &str) -> Option<&'a Entry> {
+    sect.entries.iter().find(|e| e.key == key)
+}
+
+fn want_str<'a>(e: &'a Entry) -> Result<&'a str, PolicyError> {
+    match &e.val {
+        Val::Str(s) => Ok(s),
+        other => err(e.line, format!("`{}` wants a string, not {}", e.key, other.kind())),
+    }
+}
+
+fn table_u64(
+    pairs: &[(String, Val)],
+    key: &str,
+    entry: &Entry,
+    shape: &str,
+) -> Result<u64, PolicyError> {
+    for (k, v) in pairs {
+        if k == key {
+            if let Val::Int(n) = v {
+                if *n >= 0 {
+                    return Ok(*n as u64);
+                }
+            }
+            break;
+        }
+    }
+    err(entry.line, format!("`{}` wants `{shape}`", entry.key))
+}
+
+fn notice_of(sect: &Sect, overt: bool) -> Result<Option<NoticeStyle>, PolicyError> {
+    let preset = find(sect, "notice");
+    let custom: Vec<&Entry> = ["notice_iframe", "notice_server", "notice_text"]
+        .iter()
+        .filter_map(|k| find(sect, k))
+        .collect();
+    if let Some(e) = preset {
+        if let Some(c) = custom.first() {
+            return err(c.line, "`notice` conflicts with custom notice keys".to_string());
+        }
+        let style = match want_str(e)? {
+            "airtel" => NoticeStyle::airtel_like(),
+            "idea" => NoticeStyle::idea_like(),
+            "jio" => NoticeStyle::jio_like(),
+            other => return err(e.line, format!("unknown notice preset `{other}`")),
+        };
+        return Ok(Some(style));
+    }
+    if !custom.is_empty() {
+        if custom.len() != 3 {
+            let e = custom[0];
+            return err(
+                e.line,
+                "custom notices need `notice_iframe`, `notice_server`, and `notice_text`"
+                    .to_string(),
+            );
+        }
+        return Ok(Some(NoticeStyle {
+            iframe_url: want_str(custom[0])?.to_string(),
+            server_header: want_str(custom[1])?.to_string(),
+            statutory_text: want_str(custom[2])?.to_string(),
+        }));
+    }
+    if overt {
+        return err(sect.line, "rule needs a `notice` style for `inject-notice`".to_string());
+    }
+    Ok(None)
+}
+
+/// Compile one `[[rule]]` section (without `after` resolution, which
+/// needs the whole rule list).
+fn rule_of_sect(sect: &Sect, family: Family) -> Result<(Rule, Option<(String, usize)>), PolicyError> {
+    check_keys(
+        sect,
+        &[
+            "name",
+            "trigger",
+            "matcher",
+            "hosts",
+            "after",
+            "probability",
+            "action",
+            "notice",
+            "notice_iframe",
+            "notice_server",
+            "notice_text",
+            "ip_id",
+            "delay_us",
+            "slow",
+        ],
+        "[[rule]]",
+    )?;
+
+    let Some(trig) = find(sect, "trigger") else {
+        return err(sect.line, "rule needs `trigger = \"host-header\"`".to_string());
+    };
+    match want_str(trig)? {
+        "host-header" => {}
+        other => return err(trig.line, format!("unknown trigger `{other}`")),
+    }
+
+    let Some(m) = find(sect, "matcher") else {
+        return err(sect.line, "rule needs a `matcher`".to_string());
+    };
+    let matcher = match want_str(m)? {
+        "exact-token" => HostMatcher::ExactToken,
+        "strict-pattern" => HostMatcher::StrictPattern,
+        "last-host" => HostMatcher::LastHost,
+        other => return err(m.line, format!("unknown matcher `{other}`")),
+    };
+
+    let hosts = match find(sect, "hosts") {
+        None => HostSet::Blocklist,
+        Some(e) => match &e.val {
+            Val::Str(s) if s == "blocklist" => HostSet::Blocklist,
+            Val::Str(s) if s == "any" => HostSet::Any,
+            Val::List(items) => {
+                let mut set = BTreeSet::new();
+                for item in items {
+                    let Val::Str(host) = item else {
+                        return err(
+                            e.line,
+                            "`hosts` wants \"blocklist\", \"any\", or a list of strings"
+                                .to_string(),
+                        );
+                    };
+                    set.insert(host.to_ascii_lowercase());
+                }
+                HostSet::Listed(set)
+            }
+            _ => {
+                return err(
+                    e.line,
+                    "`hosts` wants \"blocklist\", \"any\", or a list of strings".to_string(),
+                )
+            }
+        },
+    };
+
+    let probability = match find(sect, "probability") {
+        None => None,
+        Some(e) => {
+            let p = match e.val {
+                Val::Float(x) => x,
+                Val::Int(1) => 1.0,
+                _ => return err(e.line, "`probability` must be within (0, 1]".to_string()),
+            };
+            if !(p > 0.0 && p <= 1.0) {
+                return err(e.line, "`probability` must be within (0, 1]".to_string());
+            }
+            Some(p)
+        }
+    };
+
+    let Some(act) = find(sect, "action") else {
+        return err(sect.line, "rule needs a non-empty `action`".to_string());
+    };
+    let Val::List(verbs) = &act.val else {
+        return err(act.line, "`action` wants a list of verbs".to_string());
+    };
+    if verbs.is_empty() {
+        return err(act.line, "rule needs a non-empty `action`".to_string());
+    }
+    let (mut pass, mut inject_notice, mut inject_rst, mut reset_server, mut drop_flow) =
+        (false, false, false, false, false);
+    for v in verbs {
+        let Val::Str(verb) = v else {
+            return err(act.line, "`action` wants a list of verbs".to_string());
+        };
+        match verb.as_str() {
+            "pass" => pass = true,
+            "inject-notice" => inject_notice = true,
+            "inject-rst" => inject_rst = true,
+            "reset-server" => reset_server = true,
+            "drop" => drop_flow = true,
+            other => return err(act.line, format!("unknown verb `{other}` in `action`")),
+        }
+    }
+    if pass && verbs.len() > 1 {
+        return err(act.line, "`pass` admits no other verbs".to_string());
+    }
+    if family == Family::Wiretap {
+        if reset_server {
+            return err(act.line, "verb `reset-server` requires family \"interceptive\"".to_string());
+        }
+        if drop_flow {
+            return err(act.line, "verb `drop` requires family \"interceptive\"".to_string());
+        }
+        if !pass && !inject_notice && !inject_rst {
+            return err(act.line, "a wiretap rule must inject something".to_string());
+        }
+    }
+
+    let delay_entry = find(sect, "delay_us");
+    let slow_entry = find(sect, "slow");
+    if family == Family::Interceptive {
+        if let Some(e) = delay_entry.or(slow_entry) {
+            return err(
+                e.line,
+                format!("`{}` is a wiretap knob; interceptive devices answer inline", e.key),
+            );
+        }
+    }
+    let base = match delay_entry {
+        None if family == Family::Wiretap && !pass => Some((300, 900)),
+        None => None,
+        Some(e) => {
+            let Val::Table(pairs) = &e.val else {
+                return err(e.line, "`delay_us` wants `{ lo = <us>, hi = <us> }`".to_string());
+            };
+            for (k, _) in pairs {
+                if k != "lo" && k != "hi" {
+                    return err(e.line, "`delay_us` wants `{ lo = <us>, hi = <us> }`".to_string());
+                }
+            }
+            let lo = table_u64(pairs, "lo", e, "{ lo = <us>, hi = <us> }")?;
+            let hi = table_u64(pairs, "hi", e, "{ lo = <us>, hi = <us> }")?;
+            if lo > hi {
+                return err(e.line, "empty delay range".to_string());
+            }
+            Some((lo, hi))
+        }
+    };
+    let slow = match slow_entry {
+        None => None,
+        Some(e) => {
+            let Val::Table(pairs) = &e.val else {
+                return err(
+                    e.line,
+                    "`slow` wants `{ p = <0-1>, lo = <us>, hi = <us> }`".to_string(),
+                );
+            };
+            let mut p = None;
+            for (k, v) in pairs {
+                match (k.as_str(), v) {
+                    ("p", Val::Float(x)) => p = Some(*x),
+                    ("p", Val::Int(1)) => p = Some(1.0),
+                    ("lo" | "hi", _) => {}
+                    _ => {
+                        return err(
+                            e.line,
+                            "`slow` wants `{ p = <0-1>, lo = <us>, hi = <us> }`".to_string(),
+                        )
+                    }
+                }
+            }
+            let Some(p) = p else {
+                return err(
+                    e.line,
+                    "`slow` wants `{ p = <0-1>, lo = <us>, hi = <us> }`".to_string(),
+                );
+            };
+            if !(p > 0.0 && p <= 1.0) {
+                return err(e.line, "`slow` probability must be within (0, 1]".to_string());
+            }
+            let lo = table_u64(pairs, "lo", e, "{ p = <0-1>, lo = <us>, hi = <us> }")?;
+            let hi = table_u64(pairs, "hi", e, "{ p = <0-1>, lo = <us>, hi = <us> }")?;
+            if lo > hi {
+                return err(e.line, "empty delay range".to_string());
+            }
+            Some((p, (lo, hi)))
+        }
+    };
+
+    let ip_id = match find(sect, "ip_id") {
+        None => match family {
+            Family::Wiretap => IpIdSpec::SeqHash,
+            Family::Interceptive => IpIdSpec::DeviceMark,
+        },
+        Some(e) => match &e.val {
+            Val::Int(n) if (0..=0xffff).contains(n) => IpIdSpec::Fixed(*n as u16),
+            Val::Str(s) if s == "hashed" => IpIdSpec::SeqHash,
+            Val::Str(s) if s == "device" => IpIdSpec::DeviceMark,
+            _ => {
+                return err(
+                    e.line,
+                    "`ip_id` wants an integer 0-65535, \"hashed\", or \"device\"".to_string(),
+                )
+            }
+        },
+    };
+
+    let action = if pass {
+        for e in ["notice", "notice_iframe", "notice_server", "notice_text", "ip_id", "delay_us", "slow"]
+            .iter()
+            .filter_map(|k| find(sect, k))
+        {
+            return err(e.line, format!("`{}` is meaningless on a pass rule", e.key));
+        }
+        Action::Pass
+    } else {
+        let notice = notice_of(sect, inject_notice)?;
+        if notice.is_some() && !inject_notice {
+            return err(
+                sect.line,
+                "a notice style is set but `action` lacks `inject-notice`".to_string(),
+            );
+        }
+        Action::Fire(FireSpec {
+            notice,
+            rst: inject_rst,
+            reset_server,
+            drop_flow,
+            ip_id,
+            delay: DelaySpec { base, slow },
+        })
+    };
+
+    let name = match find(sect, "name") {
+        None => None,
+        Some(e) => Some(want_str(e)?.to_string()),
+    };
+    let after_ref = match find(sect, "after") {
+        None => None,
+        Some(e) => Some((want_str(e)?.to_string(), e.line)),
+    };
+
+    Ok((Rule { name, matcher, hosts, after: None, probability, action }, after_ref))
+}
+
+/// Compile a policy file. Total: returns a [`PolicyError`] for every
+/// malformed input, and identical output for identical input.
+pub fn compile(text: &str) -> Result<Policy, PolicyError> {
+    let sects = doc_scan(text)?;
+
+    let Some(policy_sect) = sects.iter().find(|s| s.name == "policy") else {
+        return err(0, "policy needs a [policy] section".to_string());
+    };
+    check_keys(policy_sect, &["name", "family"], "[policy]")?;
+    let Some(name_e) = find(policy_sect, "name") else {
+        return err(policy_sect.line, "policy needs a `name`".to_string());
+    };
+    let name = want_str(name_e)?.to_string();
+    let Some(fam_e) = find(policy_sect, "family") else {
+        return err(policy_sect.line, "policy needs a `family`".to_string());
+    };
+    let family = match want_str(fam_e)? {
+        "wiretap" => Family::Wiretap,
+        "interceptive" => Family::Interceptive,
+        other => return err(fam_e.line, format!("unknown family `{other}`")),
+    };
+
+    let mut ports = {
+        let mut p = BTreeSet::new();
+        p.insert(80u16);
+        Some(p)
+    };
+    if let Some(match_sect) = sects.iter().find(|s| s.name == "match") {
+        check_keys(match_sect, &["ports"], "[match]")?;
+        if let Some(e) = find(match_sect, "ports") {
+            ports = match &e.val {
+                Val::Str(s) if s == "any" => None,
+                Val::List(items) if !items.is_empty() => {
+                    let mut set = BTreeSet::new();
+                    for item in items {
+                        match item {
+                            Val::Int(n) if (1..=0xffff).contains(n) => {
+                                set.insert(*n as u16);
+                            }
+                            Val::Int(n) => {
+                                return err(e.line, format!("port {n} is outside 1-65535"))
+                            }
+                            _ => {
+                                return err(
+                                    e.line,
+                                    "`ports` wants a list of integers or \"any\"".to_string(),
+                                )
+                            }
+                        }
+                    }
+                    Some(set)
+                }
+                _ => {
+                    return err(e.line, "`ports` wants a list of integers or \"any\"".to_string())
+                }
+            };
+        }
+    }
+
+    let mut flow_timeout = SimDuration::from_secs(150);
+    if let Some(state_sect) = sects.iter().find(|s| s.name == "state") {
+        check_keys(state_sect, &["flow_timeout_secs"], "[state]")?;
+        if let Some(e) = find(state_sect, "flow_timeout_secs") {
+            match e.val {
+                Val::Int(n) if (1..=86_400).contains(&n) => {
+                    flow_timeout = SimDuration::from_secs(n as u64);
+                }
+                _ => {
+                    return err(
+                        e.line,
+                        "`flow_timeout_secs` wants an integer within 1-86400".to_string(),
+                    )
+                }
+            }
+        }
+    }
+
+    let rule_sects: Vec<&Sect> = sects.iter().filter(|s| s.name == "rule").collect();
+    if rule_sects.is_empty() {
+        return err(0, "a policy needs at least one [[rule]]".to_string());
+    }
+    if rule_sects.len() > 64 {
+        return err(0, "a policy is limited to 64 rules".to_string());
+    }
+
+    let mut rules = Vec::new();
+    let mut afters: Vec<Option<(String, usize)>> = Vec::new();
+    for sect in &rule_sects {
+        let (rule, after_ref) = rule_of_sect(sect, family)?;
+        if let Some(rule_name) = &rule.name {
+            if rules.iter().any(|r: &Rule| r.name.as_deref() == Some(rule_name)) {
+                return err(sect.line, format!("duplicate rule name `{rule_name}`"));
+            }
+        }
+        rules.push(rule);
+        afters.push(after_ref);
+    }
+
+    // Resolve `after` references (forward references allowed) and
+    // reject cycles — a cyclic chain can never arm.
+    for (i, after_ref) in afters.iter().enumerate() {
+        let Some((target, line)) = after_ref else { continue };
+        let Some(j) = rules.iter().position(|r| r.name.as_deref() == Some(target)) else {
+            return err(*line, format!("`after` references unknown rule `{target}`"));
+        };
+        rules[i].after = Some(j);
+    }
+    for (i, _) in rules.iter().enumerate() {
+        let mut cursor = i;
+        let mut hops = 0;
+        while let Some(next) = rules[cursor].after {
+            cursor = next;
+            hops += 1;
+            if cursor == i || hops > rules.len() {
+                let line = rule_sects[i].line;
+                return err(line, "cyclic `after` references".to_string());
+            }
+        }
+    }
+
+    // Reachability: a later rule with the same matcher can never run
+    // once an unconditional catch-all precedes it.
+    for (i, rule) in rules.iter().enumerate() {
+        for earlier in &rules[..i] {
+            if earlier.matcher == rule.matcher
+                && earlier.hosts == HostSet::Any
+                && earlier.probability.is_none()
+                && earlier.after.is_none()
+            {
+                let line = rule_sects[i].line;
+                return err(
+                    line,
+                    "rule is unreachable: an earlier rule already matches every host".to_string(),
+                );
+            }
+        }
+    }
+
+    Ok(Policy { name, family, ports, flow_timeout, rules })
+}
+
+/// Names of the four committed ISP policy files.
+pub fn builtin_names() -> [&'static str; 4] {
+    ["airtel-wm", "jio-wm", "idea-im", "vodafone-im"]
+}
+
+/// Compile one of the committed ISP policy files by name.
+pub fn builtin(name: &str) -> Result<Policy, PolicyError> {
+    let text = match name {
+        "airtel-wm" => include_str!("../policies/airtel-wm.toml"),
+        "jio-wm" => include_str!("../policies/jio-wm.toml"),
+        "idea-im" => include_str!("../policies/idea-im.toml"),
+        "vodafone-im" => include_str!("../policies/vodafone-im.toml"),
+        other => return err(0, format!("unknown builtin policy `{other}`")),
+    };
+    compile(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Instance;
+
+    fn msg(text: &str) -> String {
+        match compile(text) {
+            Err(e) => e.to_string(),
+            Ok(p) => panic!("compiled unexpectedly: {p:?}"),
+        }
+    }
+
+    #[test]
+    fn builtins_compile() {
+        for name in builtin_names() {
+            let policy = builtin(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(policy.name, name);
+            assert!(!policy.rules.is_empty());
+        }
+    }
+
+    #[test]
+    fn airtel_builtin_matches_the_profile_shape() {
+        let p = builtin("airtel-wm").unwrap();
+        assert_eq!(p.family, Family::Wiretap);
+        assert_eq!(p.flow_timeout, SimDuration::from_secs(150));
+        let Action::Fire(act) = &p.rules[0].action else { panic!("airtel rule passes") };
+        assert_eq!(act.ip_id, IpIdSpec::Fixed(242));
+        assert_eq!(act.delay.base, Some((300, 900)));
+        assert_eq!(act.delay.slow, Some((0.3, (150_000, 400_000))));
+        assert!(act.rst && act.notice.is_some());
+        assert!(!act.reset_server && !act.drop_flow);
+    }
+
+    #[test]
+    fn vodafone_builtin_is_covert() {
+        let p = builtin("vodafone-im").unwrap();
+        assert_eq!(p.family, Family::Interceptive);
+        let Action::Fire(act) = &p.rules[0].action else { panic!("vodafone rule passes") };
+        assert!(act.notice.is_none() && act.rst && act.reset_server && act.drop_flow);
+        assert_eq!(act.ip_id, IpIdSpec::DeviceMark);
+    }
+
+    #[test]
+    fn compiling_twice_is_deterministic() {
+        for name in builtin_names() {
+            assert_eq!(builtin(name).unwrap(), builtin(name).unwrap());
+        }
+    }
+
+    #[test]
+    fn fixture_corpus_errors_are_pinned() {
+        // Each malformed fixture under policies/fixtures/bad/ carries
+        // its expected error on the first line: `# expect: <message>`.
+        let corpus: [(&str, &str); 8] = [
+            ("unknown-key", include_str!("../policies/fixtures/bad/unknown-key.toml")),
+            ("bad-rule-order", include_str!("../policies/fixtures/bad/bad-rule-order.toml")),
+            ("cyclic-after", include_str!("../policies/fixtures/bad/cyclic-after.toml")),
+            ("pass-plus", include_str!("../policies/fixtures/bad/pass-plus.toml")),
+            ("wiretap-drop", include_str!("../policies/fixtures/bad/wiretap-drop.toml")),
+            ("no-rule", include_str!("../policies/fixtures/bad/no-rule.toml")),
+            ("bad-probability", include_str!("../policies/fixtures/bad/bad-probability.toml")),
+            ("syntax", include_str!("../policies/fixtures/bad/syntax.toml")),
+        ];
+        for (name, text) in corpus {
+            let first = text.lines().next().unwrap_or("");
+            let expect = first
+                .strip_prefix("# expect: ")
+                .unwrap_or_else(|| panic!("{name}: fixture lacks `# expect:` header"));
+            assert_eq!(msg(text), expect, "fixture {name}");
+        }
+    }
+
+    #[test]
+    fn wrong_airtel_fixture_compiles_but_differs() {
+        // The CI negative control: one flipped action must compile fine
+        // (the divergence is caught behaviorally, not syntactically).
+        let wrong = compile(include_str!("../policies/fixtures/wrong-airtel.toml")).unwrap();
+        let right = compile(include_str!("../policies/fixtures/right-airtel.toml")).unwrap();
+        let real = builtin("airtel-wm").unwrap();
+        assert_ne!(wrong.rules, real.rules, "the flipped action must change the program");
+        assert_eq!(right.rules, real.rules, "the green twin compiles to the committed program");
+    }
+
+    #[test]
+    fn unknown_builtin_is_an_error() {
+        assert_eq!(builtin("tata-wm").unwrap_err().to_string(), "unknown builtin policy `tata-wm`");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = compile(
+            "# header\n[policy] # trailing\nname = \"x\" # comment\nfamily = \"wiretap\"\n\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\naction = [\"inject-rst\"]\n",
+        )
+        .unwrap();
+        assert_eq!(p.name, "x");
+    }
+
+    #[test]
+    fn strings_keep_hash_signs() {
+        let p = compile(
+            "[policy]\nname = \"a#b\"\nfamily = \"wiretap\"\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\naction = [\"inject-rst\"]\n",
+        )
+        .unwrap();
+        assert_eq!(p.name, "a#b");
+    }
+
+    #[test]
+    fn listed_hosts_are_lowercased() {
+        let p = compile(
+            "[policy]\nname = \"x\"\nfamily = \"wiretap\"\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\nhosts = [\"MiXeD.Example\"]\naction = [\"inject-rst\"]\n",
+        )
+        .unwrap();
+        let HostSet::Listed(set) = &p.rules[0].hosts else { panic!("expected a listed set") };
+        assert!(set.contains("mixed.example"));
+    }
+
+    #[test]
+    fn error_lines_point_at_the_offender() {
+        let e = compile("[policy]\nname = \"x\"\nfamily = \"weird\"\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.to_string(), "line 3: unknown family `weird`");
+    }
+
+    #[test]
+    fn interceptive_rejects_wiretap_timing_knobs() {
+        let text = "[policy]\nname = \"x\"\nfamily = \"interceptive\"\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"last-host\"\naction = [\"inject-rst\", \"drop\"]\ndelay_us = { lo = 1, hi = 2 }\n";
+        assert_eq!(
+            msg(text),
+            "line 8: `delay_us` is a wiretap knob; interceptive devices answer inline"
+        );
+    }
+
+    #[test]
+    fn after_chain_compiles_and_resolves() {
+        let text = "[policy]\nname = \"x\"\nfamily = \"wiretap\"\n[[rule]]\nname = \"first\"\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\naction = [\"inject-rst\"]\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\nhosts = \"any\"\nafter = \"first\"\naction = [\"inject-rst\"]\n";
+        let p = compile(text).unwrap();
+        assert_eq!(p.rules[1].after, Some(0));
+    }
+
+    #[test]
+    fn instances_pair_with_compiled_policies() {
+        let p = builtin("airtel-wm").unwrap();
+        let inst = Instance::of(["Blocked.Example".to_string()], None, 3);
+        assert!(inst.blocklist.contains("blocked.example"));
+        assert_eq!(p.rules.len(), 1);
+    }
+}

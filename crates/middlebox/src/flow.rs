@@ -94,6 +94,13 @@ impl FlowTable {
         self.flows.get(key).map(|f| f.stage)
     }
 
+    /// Ordered (key, stage) view of every tracked flow. The
+    /// differential equivalence suite compares table evolution between
+    /// the policy interpreter and the legacy middleboxes.
+    pub fn flow_rows(&self) -> Vec<(FlowKey, Stage)> {
+        self.flows.iter().map(|(k, f)| (*k, f.stage)).collect()
+    }
+
     /// Feed one packet; returns an [`Inspectable`] when the packet is a
     /// client→server payload on an established flow.
     pub fn observe(&mut self, pkt: &Packet, now: SimTime) -> Option<Inspectable> {

@@ -62,6 +62,17 @@ impl InterceptiveMiddlebox {
         }
     }
 
+    /// Ordered (key, stage) view of the tracked flows, for the
+    /// differential equivalence suite.
+    pub fn flow_rows(&self) -> Vec<(FlowKey, crate::flow::Stage)> {
+        self.flows.flow_rows()
+    }
+
+    /// Ordered view of the black-holed flow keys.
+    pub fn blackhole_rows(&self) -> Vec<FlowKey> {
+        self.blackholed.keys().copied().collect()
+    }
+
     fn other(iface: IfaceId) -> IfaceId {
         if iface == IfaceId(0) {
             IfaceId(1)

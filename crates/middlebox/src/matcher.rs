@@ -117,8 +117,11 @@ fn extract_last(payload: &[u8]) -> Option<String> {
     for line in lines(payload) {
         let Ok(text) = std::str::from_utf8(line) else { continue };
         let trimmed = text.trim_start_matches([' ', '\t']);
-        if trimmed.len() >= 5 && trimmed[..5].eq_ignore_ascii_case("host:") {
-            if let Some(v) = finish(&trimmed.as_bytes()[5..]) {
+        // Compare as bytes: slicing the &str at 5 panics when a
+        // multibyte character straddles the boundary ("hostö: x").
+        let tb = trimmed.as_bytes();
+        if tb.len() >= 5 && tb[..5].eq_ignore_ascii_case(b"host:") {
+            if let Some(v) = finish(&tb[5..]) {
                 found = Some(v);
             }
         }
@@ -250,6 +253,23 @@ mod tests {
             assert_eq!(m.extract(b""), None);
             assert_eq!(m.extract(&[0xff, 0xfe, b'\n', 0x80]), None);
             assert_eq!(m.extract(b"Host:\r\n"), None, "empty value");
+        }
+    }
+
+    #[test]
+    fn multibyte_header_name_does_not_panic_last_host() {
+        // Regression: `extract_last` used to slice the trimmed line as
+        // a &str at byte 5, which panics when a multibyte character
+        // straddles that boundary — "hostö" puts the second byte of
+        // 'ö' (U+00F6, two bytes) exactly at index 5. Valid UTF-8, so
+        // the from_utf8 gate does not filter it.
+        let req = b"GET / HTTP/1.1\r\nhost\xc3\xb6: evil.example\r\nHost: fine.example\r\n\r\n";
+        assert_eq!(HostMatcher::LastHost.extract(req).as_deref(), Some("fine.example"));
+        let only_fudged = b"GET / HTTP/1.1\r\nhost\xc3\xb6: evil.example\r\n\r\n";
+        assert_eq!(HostMatcher::LastHost.extract(only_fudged), None);
+        let short_multibyte = b"GET / HTTP/1.1\r\nh\xc3\xb6st: evil.example\r\n\r\n";
+        for m in [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost] {
+            assert_eq!(m.extract(short_multibyte), None, "{m:?}");
         }
     }
 

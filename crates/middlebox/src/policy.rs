@@ -1,0 +1,949 @@
+//! The declarative censor-policy engine.
+//!
+//! The paper's nine ISPs run two mechanism families — wiretap injection
+//! and interceptive filtering — that differ only in match triggers,
+//! state handling, and injected actions (Section 4.2). That is the shape
+//! of a policy *program*, not four hardcoded structs: a [`Policy`] is a
+//! list of [`Rule`]s, each `match` (ports, host trigger set, optional
+//! `after` state predicate) → `state` (flow-table transitions reusing
+//! [`crate::flow`]) → `action` (inject a notice, inject a RST, reset the
+//! server, drop/black-hole, pass, probabilistic variants with derived
+//! RNG). A single generic [`PolicyBox`] interprets a compiled policy
+//! behind the same [`Node`] surface the netsim engine already drives.
+//!
+//! Policies are compiled from TOML files by [`crate::compile`]; the four
+//! committed ISP programs live under `crates/middlebox/policies/`. The
+//! legacy [`crate::WiretapMiddlebox`] / [`crate::InterceptiveMiddlebox`]
+//! structs stay alive one more PR as the differential-equivalence
+//! reference: `PolicyBox` must produce byte-identical verdicts,
+//! injections, flow-table evolution and metrics (see
+//! `lucent-check::diffmb`).
+//!
+//! # Determinism
+//!
+//! The interpreter draws from the same derived RNG stream in the same
+//! order as the legacy devices: the generator is seeded
+//! `seed ^ 0x77aa_77aa`, probability gates draw first (scan order),
+//! then the delay jitter (slow-path coin before range draw). Policies
+//! without `probability` keys therefore replicate the legacy draw
+//! sequence exactly.
+//!
+//! # Hot path
+//!
+//! [`PolicyBox::on_packet`] is registered in `[hot_roots]`
+//! (lint-allow.toml): its reachable-allocation ceilings are governed by
+//! L9/L10 and must stay at or below the legacy middleboxes' baseline.
+//! The interpreter loop itself introduces no new allocation sites — all
+//! per-packet work reuses the flow table, the matcher, and stack values.
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use lucent_obs::Level;
+use lucent_support::{Bytes, Json, ToJson};
+use lucent_netsim::routing::Cidr;
+use lucent_netsim::SimRng;
+
+use lucent_netsim::{IfaceId, Node, NodeCtx, SimDuration, SimTime};
+use lucent_packet::tcp::{TcpFlags, TcpHeader};
+use lucent_packet::{Packet, Transport};
+
+use crate::flow::{FlowKey, FlowTable, Inspectable, Stage};
+use crate::matcher::HostMatcher;
+use crate::notice::NoticeStyle;
+
+const SWEEP: u64 = 1;
+const SWEEP_EVERY: SimDuration = SimDuration(30_000_000);
+
+/// Which mechanism family a policy programs (Section 4.2). The family
+/// fixes the packet plumbing — mirror-port tap vs. inline pair — while
+/// the rules fix everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Mirror-port device: sees copies, can only inject (Airtel, Jio).
+    Wiretap,
+    /// Inline device: consumes, answers, resets, black-holes
+    /// (Idea, Vodafone).
+    Interceptive,
+}
+
+/// The host trigger set a rule matches extracted domains against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostSet {
+    /// The per-device blocklist supplied at instantiation (the common
+    /// case: one program shared by every device of an ISP).
+    Blocklist,
+    /// A literal set baked into the policy file (lowercased).
+    Listed(BTreeSet<String>),
+    /// Every extracted host matches.
+    Any,
+}
+
+/// How the IP-Identifier of forged packets is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpIdSpec {
+    /// A constant stamp (Airtel: 242).
+    Fixed(u16),
+    /// Derived from the forged sequence number, avoiding the Airtel
+    /// signature value (the Jio wiretap behaviour).
+    SeqHash,
+    /// The interceptive devices' default mark, 0x4d49 ("MI").
+    DeviceMark,
+}
+
+/// Injection timing: wiretaps race the real response; `base` is the
+/// normal processing-delay range and `slow` the occasional slow path
+/// that loses the race (§4.2.1). `base == None` answers inline with no
+/// RNG draw at all (interceptive devices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelaySpec {
+    /// Normal injection delay range in microseconds.
+    pub base: Option<(u64, u64)>,
+    /// With probability `.0`, draw the delay from range `.1` instead.
+    pub slow: Option<(f64, (u64, u64))>,
+}
+
+/// What a firing rule injects and transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FireSpec {
+    /// Forge a notification page (FIN|PSH|ACK) toward the client.
+    pub notice: Option<NoticeStyle>,
+    /// Forge a RST toward the client. On a wiretap this is the
+    /// follow-up teardown RST 120 µs behind the notice; on an
+    /// interceptive device it is the covert answer used when there is
+    /// no notice.
+    pub rst: bool,
+    /// Reset the server side with a RST forged as the client
+    /// (interceptive only).
+    pub reset_server: bool,
+    /// Consume the trigger and black-hole the rest of the flow
+    /// (interceptive only).
+    pub drop_flow: bool,
+    /// IP-Identifier discipline for forged packets.
+    pub ip_id: IpIdSpec,
+    /// Injection timing.
+    pub delay: DelaySpec,
+}
+
+/// A rule's action: stop scanning and leave the flow alone, or fire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Explicit whitelist: a matching pass rule ends the scan cleanly.
+    Pass,
+    /// Inject/transition per the [`FireSpec`].
+    Fire(FireSpec),
+}
+
+/// One match → state → action rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Optional rule name, referenced by later rules' `after`.
+    pub name: Option<String>,
+    /// How the domain is extracted from the request.
+    pub matcher: HostMatcher,
+    /// The trigger set the extracted domain must fall in.
+    pub hosts: HostSet,
+    /// State predicate: the rule arms only after the named earlier rule
+    /// (by index) has fired at least once on this device — escalation
+    /// programs ("notice first, bare RSTs once the device is hot").
+    pub after: Option<usize>,
+    /// Probabilistic variant: fire only when a derived-RNG coin with
+    /// this weight comes up. `None` never draws (deterministic rule).
+    pub probability: Option<f64>,
+    /// What to do on match.
+    pub action: Action,
+}
+
+/// A compiled censor program: device-wide match gates plus the rule
+/// list, scanned in order per inspectable request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Program name (diagnostics; builtins use it for lookup).
+    pub name: String,
+    /// Mechanism family.
+    pub family: Family,
+    /// Destination ports inspected at SYN time; `None` inspects all.
+    pub ports: Option<BTreeSet<u16>>,
+    /// Flow-state idle timeout.
+    pub flow_timeout: SimDuration,
+    /// The rules, scanned first-match-wins.
+    pub rules: Vec<Rule>,
+}
+
+/// Per-device instantiation parameters: what a policy file deliberately
+/// leaves open so one program serves every device of an ISP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Domains this device censors (lowercased on construction).
+    pub blocklist: BTreeSet<String>,
+    /// Client prefixes eligible for inspection; `None` inspects all.
+    pub client_filter: Option<Vec<Cidr>>,
+    /// RNG seed for probability gates and delay jitter.
+    pub seed: u64,
+}
+
+impl Instance {
+    /// Build an instance; domains are lowercased like
+    /// [`crate::MiddleboxConfig::new`] does.
+    pub fn of(
+        domains: impl IntoIterator<Item = String>,
+        client_filter: Option<Vec<Cidr>>,
+        seed: u64,
+    ) -> Instance {
+        // Loop rather than collect: `of` shares its name with
+        // `checksum::of` on the packet hot path, so a needle here would
+        // land in every hot root's L9 closure.
+        let mut blocklist = BTreeSet::default();
+        for d in domains {
+            blocklist.insert(d.to_ascii_lowercase());
+        }
+        Instance { blocklist, client_filter, seed }
+    }
+}
+
+fn port_80_only() -> Option<BTreeSet<u16>> {
+    let mut ports = BTreeSet::new();
+    ports.insert(80);
+    Some(ports)
+}
+
+impl Policy {
+    /// A single-rule wiretap program from profile primitives — the
+    /// construction path for censors without a committed policy file
+    /// (and the fallback should a builtin ever fail to compile).
+    pub fn wiretap_like(
+        name: impl Into<String>,
+        matcher: HostMatcher,
+        notice: Option<NoticeStyle>,
+        fixed_ip_id: Option<u16>,
+        injection_delay_us: (u64, u64),
+        slow_injection: Option<(f64, (u64, u64))>,
+    ) -> Policy {
+        let mut rules = Vec::default();
+        rules.push(Rule {
+            name: None,
+            matcher,
+            hosts: HostSet::Blocklist,
+            after: None,
+            probability: None,
+            action: Action::Fire(FireSpec {
+                notice,
+                rst: true,
+                reset_server: false,
+                drop_flow: false,
+                ip_id: match fixed_ip_id {
+                    Some(v) => IpIdSpec::Fixed(v),
+                    None => IpIdSpec::SeqHash,
+                },
+                delay: DelaySpec { base: Some(injection_delay_us), slow: slow_injection },
+            }),
+        });
+        Policy {
+            name: name.into(),
+            family: Family::Wiretap,
+            ports: port_80_only(),
+            flow_timeout: SimDuration::from_secs(150),
+            rules,
+        }
+    }
+
+    /// A single-rule interceptive program from profile primitives.
+    /// `notice == None` programs the covert bare-RST answer.
+    pub fn interceptive_like(
+        name: impl Into<String>,
+        matcher: HostMatcher,
+        notice: Option<NoticeStyle>,
+        fixed_ip_id: Option<u16>,
+    ) -> Policy {
+        let covert = notice.is_none();
+        let mut rules = Vec::default();
+        rules.push(Rule {
+            name: None,
+            matcher,
+            hosts: HostSet::Blocklist,
+            after: None,
+            probability: None,
+            action: Action::Fire(FireSpec {
+                notice,
+                rst: covert,
+                reset_server: true,
+                drop_flow: true,
+                ip_id: match fixed_ip_id {
+                    Some(v) => IpIdSpec::Fixed(v),
+                    None => IpIdSpec::DeviceMark,
+                },
+                delay: DelaySpec { base: None, slow: None },
+            }),
+        });
+        Policy {
+            name: name.into(),
+            family: Family::Interceptive,
+            ports: port_80_only(),
+            flow_timeout: SimDuration::from_secs(150),
+            rules,
+        }
+    }
+}
+
+/// Outcome of one rule scan over an inspectable request.
+enum Scan {
+    /// Rule `usize` fired on the extracted domain.
+    Fire(usize, String),
+    /// A domain was extracted but nothing fired (or a pass rule won).
+    Clean,
+    /// No rule's matcher extracted a domain.
+    NoDomain,
+}
+
+/// How a firing is narrated in the debug event stream: the wiretap race
+/// fields vs. the interceptive covert flag.
+enum FireNote {
+    Race { delay_us: u64, slow: bool },
+    Intercept { covert: bool },
+}
+
+fn rule_hits(hosts: &HostSet, blocklist: &BTreeSet<String>, domain: &str) -> bool {
+    match hosts {
+        HostSet::Blocklist => blocklist.contains(domain),
+        HostSet::Listed(set) => set.contains(domain),
+        HostSet::Any => true,
+    }
+}
+
+fn forge_ip_id(spec: &IpIdSpec, seq: u32) -> u16 {
+    match spec {
+        IpIdSpec::Fixed(v) => *v,
+        IpIdSpec::DeviceMark => 0x4d49, // "MI"
+        IpIdSpec::SeqHash => {
+            let mut id = (seq.wrapping_mul(2654435761) >> 16) as u16;
+            if id == 242 {
+                id = 241; // never collide with the Airtel signature
+            }
+            id
+        }
+    }
+}
+
+/// Replicates the legacy draw order exactly: slow-path coin (only when
+/// a slow tail is configured), then the range draw. No `base` → no
+/// draws at all.
+fn jitter_draw(spec: &DelaySpec, rng: &mut SimRng) -> (u64, bool) {
+    let Some(base) = spec.base else { return (0, false) };
+    let (range, slow) = match spec.slow {
+        Some((p, slow_range)) if rng.gen_bool(p) => (slow_range, true),
+        _ => (base, false),
+    };
+    (rng.gen_range(range.0..=range.1), slow)
+}
+
+fn trigger_event(
+    ctx: &mut NodeCtx<'_>,
+    target: &'static str,
+    name: &'static str,
+    domain: &str,
+    client: Ipv4Addr,
+    note: &FireNote,
+) {
+    if !ctx.obs().enabled(target, Level::Debug) {
+        return;
+    }
+    let mut fields: Vec<(String, Json)> = Vec::default();
+    fields.push(("device".to_string(), ctx.label().to_json()));
+    fields.push(("domain".to_string(), domain.to_json()));
+    fields.push(("client".to_string(), client.to_json()));
+    match note {
+        FireNote::Race { delay_us, slow } => {
+            fields.push(("delay_us".to_string(), delay_us.to_json()));
+            fields.push(("slow".to_string(), slow.to_json()));
+        }
+        FireNote::Intercept { covert } => {
+            fields.push(("covert".to_string(), covert.to_json()));
+        }
+    }
+    ctx.obs().event(ctx.now().micros(), Level::Debug, target, name, fields);
+}
+
+fn flip(iface: IfaceId) -> IfaceId {
+    if iface == IfaceId(0) {
+        IfaceId(1)
+    } else {
+        IfaceId(0)
+    }
+}
+
+/// The generic policy interpreter node. One struct serves both
+/// families: a [`Family::Wiretap`] box is wired to a router mirror port
+/// (single interface), a [`Family::Interceptive`] box sits inline with
+/// two interfaces, packets arriving on one leaving on the other.
+pub struct PolicyBox {
+    /// The compiled program.
+    pub policy: Policy,
+    /// Per-device instantiation.
+    pub inst: Instance,
+    flows: FlowTable,
+    /// Black-holed flows → when they were reset (interceptive state;
+    /// stays empty under a wiretap program).
+    blackholed: BTreeMap<FlowKey, SimTime>,
+    rng: SimRng,
+    label: String,
+    sweep_armed: bool,
+    /// Bit i set once rule i has fired on this device (`after` gates).
+    fired_mask: u64,
+    /// Number of rule firings (injections/interceptions) performed.
+    pub triggers: u64,
+    /// (time, client, domain) trigger log.
+    pub trigger_log: Vec<(SimTime, Ipv4Addr, String)>,
+}
+
+impl PolicyBox {
+    /// Instantiate a program for one device.
+    pub fn new(policy: Policy, inst: Instance, label: impl Into<String>) -> Self {
+        let flows = FlowTable::new(policy.flow_timeout);
+        let rng = SimRng::seed_from_u64(inst.seed ^ 0x77aa_77aa);
+        PolicyBox {
+            policy,
+            inst,
+            flows,
+            blackholed: BTreeMap::default(),
+            rng,
+            label: label.into(),
+            sweep_armed: false,
+            fired_mask: 0,
+            triggers: 0,
+            trigger_log: Vec::default(),
+        }
+    }
+
+    /// Ordered (key, stage) view of the tracked flows, for the
+    /// differential equivalence suite.
+    pub fn flow_rows(&self) -> Vec<(FlowKey, Stage)> {
+        self.flows.flow_rows()
+    }
+
+    /// Ordered view of the black-holed flow keys.
+    pub fn blackhole_rows(&self) -> Vec<FlowKey> {
+        let mut rows = Vec::default();
+        for k in self.blackholed.keys() {
+            rows.push(*k);
+        }
+        rows
+    }
+
+    fn inspects_port(&self, port: u16) -> bool {
+        self.policy.ports.as_ref().map(|p| p.contains(&port)).unwrap_or(true)
+    }
+
+    fn inspects_client(&self, client: Ipv4Addr) -> bool {
+        self.inst
+            .client_filter
+            .as_ref()
+            .map(|prefixes| prefixes.iter().any(|p| p.contains(client)))
+            .unwrap_or(true)
+    }
+
+    fn maybe_arm_sweep(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.sweep_armed && (!self.flows.is_empty() || !self.blackholed.is_empty()) {
+            self.sweep_armed = true;
+            ctx.set_timer(SWEEP_EVERY, SWEEP);
+        }
+    }
+
+    /// Scan the rules in order; first hit wins. Probability gates draw
+    /// here, in scan order, so deterministic policies never touch the
+    /// RNG before the delay jitter — the legacy stream alignment.
+    fn scan_rules(&mut self, payload: &[u8]) -> Scan {
+        let PolicyBox { policy, inst, rng, fired_mask, .. } = self;
+        let mut saw_domain = false;
+        for (i, rule) in policy.rules.iter().enumerate() {
+            let Some(domain) = rule.matcher.extract(payload) else { continue };
+            saw_domain = true;
+            if !rule_hits(&rule.hosts, &inst.blocklist, &domain) {
+                continue;
+            }
+            if let Some(j) = rule.after {
+                if *fired_mask & (1 << j) == 0 {
+                    continue; // state predicate not yet satisfied
+                }
+            }
+            if let Some(p) = rule.probability {
+                if !rng.gen_bool(p) {
+                    continue;
+                }
+            }
+            return match rule.action {
+                Action::Pass => Scan::Clean,
+                Action::Fire(_) => Scan::Fire(i, domain),
+            };
+        }
+        if saw_domain {
+            Scan::Clean
+        } else {
+            Scan::NoDomain
+        }
+    }
+
+    /// Wiretap firing: delayed notice + follow-up RST racing the real
+    /// response, telemetry in the legacy order.
+    fn fire_mirror(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        insp: &Inspectable,
+        domain: &str,
+        rule_idx: usize,
+    ) {
+        let PolicyBox { policy, rng, fired_mask, triggers, trigger_log, .. } = self;
+        let Action::Fire(act) = &policy.rules[rule_idx].action else { return };
+        *fired_mask |= 1 << rule_idx;
+        *triggers += 1;
+        trigger_log.push((ctx.now(), insp.key.client.0, domain.to_string()));
+        let (client_ip, client_port) = insp.key.client;
+        let (server_ip, server_port) = insp.key.server;
+        let (delay_us, slow) = jitter_draw(&act.delay, rng);
+        let delay = SimDuration::from_micros(delay_us);
+        ctx.obs().counter_inc("wm.injections", ctx.label());
+        ctx.obs().counter_inc(if slow { "wm.race.slow" } else { "wm.race.fast" }, ctx.label());
+        trigger_event(
+            ctx,
+            "wiretap",
+            "inject",
+            domain,
+            client_ip,
+            &FireNote::Race { delay_us, slow },
+        );
+
+        let notice_len = if let Some(style) = &act.notice {
+            let body = style.render().emit();
+            let mut h = TcpHeader::new(
+                server_port,
+                client_port,
+                TcpFlags::FIN | TcpFlags::PSH | TcpFlags::ACK,
+            );
+            h.seq = insp.forge_seq;
+            h.ack = insp.forge_ack;
+            let len = body.len() as u32;
+            let id = forge_ip_id(&act.ip_id, h.seq);
+            let mut pkt = Packet::tcp(server_ip, client_ip, h, Bytes::from(body));
+            pkt.ip.ttl = 57; // plausible residual TTL on a forged packet
+            pkt.ip.identification = id;
+            ctx.send_delayed(IfaceId::PRIMARY, pkt, delay);
+            len + 1 // FIN occupies one sequence number
+        } else {
+            0
+        };
+
+        if act.rst {
+            // The follow-up RST that forces immediate teardown even if
+            // the FIN handshake is still in flight (Figure 4).
+            let mut rst = TcpHeader::new(server_port, client_port, TcpFlags::RST);
+            rst.seq = insp.forge_seq.wrapping_add(notice_len);
+            let id = forge_ip_id(&act.ip_id, rst.seq);
+            let mut pkt = Packet::tcp(server_ip, client_ip, rst, Bytes::new());
+            pkt.ip.ttl = 57;
+            pkt.ip.identification = id;
+            ctx.send_delayed(IfaceId::PRIMARY, pkt, delay + SimDuration::from_micros(120));
+        }
+    }
+
+    /// Interceptive firing: answer the client inline, reset the server,
+    /// black-hole the flow — the Figure 3 sequence.
+    fn fire_inline(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        in_iface: IfaceId,
+        insp: &Inspectable,
+        get_header: &TcpHeader,
+        domain: &str,
+        rule_idx: usize,
+    ) {
+        let PolicyBox { policy, flows, blackholed, fired_mask, triggers, trigger_log, .. } = self;
+        let Action::Fire(act) = &policy.rules[rule_idx].action else { return };
+        *fired_mask |= 1 << rule_idx;
+        *triggers += 1;
+        trigger_log.push((ctx.now(), insp.key.client.0, domain.to_string()));
+        let (client_ip, client_port) = insp.key.client;
+        let (server_ip, server_port) = insp.key.server;
+        ctx.obs().counter_inc("im.interceptions", ctx.label());
+        trigger_event(
+            ctx,
+            "interceptive",
+            "trigger",
+            domain,
+            client_ip,
+            &FireNote::Intercept { covert: act.notice.is_none() },
+        );
+
+        // (2) Answer the client ourselves, forged as the server.
+        if let Some(style) = &act.notice {
+            let body = style.render().emit();
+            let mut h = TcpHeader::new(
+                server_port,
+                client_port,
+                TcpFlags::FIN | TcpFlags::PSH | TcpFlags::ACK,
+            );
+            h.seq = insp.forge_seq;
+            h.ack = insp.forge_ack;
+            let id = forge_ip_id(&act.ip_id, h.seq);
+            let mut pkt = Packet::tcp(server_ip, client_ip, h, Bytes::from(body));
+            pkt.ip.ttl = 57;
+            pkt.ip.identification = id;
+            ctx.send(in_iface, pkt);
+        } else if act.rst {
+            let mut rst = TcpHeader::new(server_port, client_port, TcpFlags::RST);
+            rst.seq = insp.forge_seq;
+            let id = forge_ip_id(&act.ip_id, rst.seq);
+            let mut pkt = Packet::tcp(server_ip, client_ip, rst, Bytes::new());
+            pkt.ip.ttl = 57;
+            pkt.ip.identification = id;
+            ctx.send(in_iface, pkt);
+        }
+
+        if act.reset_server {
+            // (3) Reset the server side, forged as the client: the
+            // sequence number equals the server's rcv_nxt — the GET's
+            // own sequence — the paper's tell that the RST the remote
+            // host received was not the client's.
+            let mut rst = TcpHeader::new(client_port, server_port, TcpFlags::RST);
+            rst.seq = get_header.seq;
+            let mut pkt = Packet::tcp(client_ip, server_ip, rst, Bytes::new());
+            pkt.ip.ttl = 57;
+            ctx.send(flip(in_iface), pkt);
+        }
+
+        if act.drop_flow {
+            // (4) Black-hole the rest of the flow.
+            blackholed.insert(insp.key, ctx.now());
+            flows.remove(&insp.key);
+        }
+    }
+
+    /// Mirror-port packet path (wiretap family): identical early-exit
+    /// profiler labels to the legacy WM.
+    fn on_mirror(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        let Some((h, payload)) = pkt.as_tcp() else {
+            ctx.obs().prof_path("wm.not-tcp");
+            return; // a wiretap discards what it does not understand
+        };
+        if h.flags.contains(TcpFlags::SYN)
+            && !h.flags.contains(TcpFlags::ACK)
+            && (!self.inspects_port(h.dst_port) || !self.inspects_client(pkt.src()))
+        {
+            ctx.obs().prof_path("wm.syn-filtered");
+            return;
+        }
+        let Some(insp) = self.flows.observe(&pkt, ctx.now()) else {
+            ctx.obs().prof_path("wm.untracked");
+            self.maybe_arm_sweep(ctx);
+            return;
+        };
+        self.maybe_arm_sweep(ctx);
+        match self.scan_rules(payload) {
+            Scan::Fire(i, domain) => {
+                ctx.obs().prof_path("wm.inject");
+                self.fire_mirror(ctx, &insp, &domain, i);
+            }
+            Scan::Clean => ctx.obs().prof_path("wm.clean"),
+            Scan::NoDomain => ctx.obs().prof_path("wm.no-domain"),
+        }
+    }
+
+    /// Inline packet path (interceptive family): identical exit labels
+    /// and black-hole semantics to the legacy IM.
+    fn on_inline(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: Packet) {
+        let out = flip(iface);
+        let Transport::Tcp(h, payload) = &pkt.transport else {
+            ctx.obs().prof_path("im.forward-other");
+            ctx.send(out, pkt); // ICMP, UDP: pass through untouched
+            return;
+        };
+
+        let as_client_key =
+            FlowKey { client: (pkt.src(), h.src_port), server: (pkt.dst(), h.dst_port) };
+        if self.blackholed.contains_key(&as_client_key) {
+            ctx.obs().prof_path("im.blackhole");
+            ctx.trace_drop(&pkt, "im-blackhole");
+            return;
+        }
+
+        let track = !(h.flags.contains(TcpFlags::SYN)
+            && !h.flags.contains(TcpFlags::ACK)
+            && (!self.inspects_port(h.dst_port) || !self.inspects_client(pkt.src())));
+
+        if track {
+            if let Some(insp) = self.flows.observe(&pkt, ctx.now()) {
+                if let Scan::Fire(i, domain) = self.scan_rules(payload) {
+                    ctx.obs().prof_path("im.intercept");
+                    self.fire_inline(ctx, iface, &insp, h, &domain, i);
+                    self.maybe_arm_sweep(ctx);
+                    return; // (1) the request is consumed
+                }
+            }
+            self.maybe_arm_sweep(ctx);
+        }
+        ctx.obs().prof_path("im.forward");
+        ctx.send(out, pkt);
+    }
+}
+
+impl Node for PolicyBox {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: Packet) {
+        match self.policy.family {
+            Family::Wiretap => self.on_mirror(ctx, pkt),
+            Family::Interceptive => self.on_inline(ctx, iface, pkt),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token == SWEEP {
+            self.sweep_armed = false;
+            let evicted = self.flows.sweep(ctx.now());
+            if evicted > 0 {
+                ctx.obs().counter_add("mb.flow.evictions", ctx.label(), evicted as u64);
+            }
+            ctx.obs().gauge_set("mb.flow.size", ctx.label(), self.flows.len() as i64);
+            let timeout = self.flows.timeout;
+            let now = ctx.now();
+            self.blackholed.retain(|_, at| now.since(*at) < timeout);
+            self.maybe_arm_sweep(ctx);
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notice::looks_like_notice;
+    use lucent_netsim::{Network, NodeId};
+    use lucent_packet::http::RequestBuilder;
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+    /// A sink node that records every packet it receives.
+    struct Sink {
+        got: Vec<Packet>,
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _iface: IfaceId, pkt: Packet) {
+            self.got.push(pkt);
+        }
+        fn label(&self) -> &str {
+            "sink"
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn get_for(host: &str, seq: u32) -> Packet {
+        let body = RequestBuilder::browser(host, "/").build();
+        let mut h = TcpHeader::new(40000, 80, TcpFlags::ACK | TcpFlags::PSH);
+        h.seq = seq;
+        h.ack = 2001;
+        Packet::tcp(CLIENT, SERVER, h, Bytes::from(body))
+    }
+
+    fn handshake(net: &mut Network, mb: NodeId, iface: IfaceId) {
+        let mut syn = TcpHeader::new(40000, 80, TcpFlags::SYN);
+        syn.seq = 999;
+        net.inject(mb, iface, Packet::tcp(CLIENT, SERVER, syn, Bytes::new()));
+        let mut synack = TcpHeader::new(80, 40000, TcpFlags::SYN | TcpFlags::ACK);
+        synack.seq = 2000;
+        synack.ack = 1000;
+        net.inject(mb, IfaceId(1), Packet::tcp(SERVER, CLIENT, synack, Bytes::new()));
+        let mut ack = TcpHeader::new(40000, 80, TcpFlags::ACK);
+        ack.seq = 1000;
+        ack.ack = 2001;
+        net.inject(mb, iface, Packet::tcp(CLIENT, SERVER, ack, Bytes::new()));
+        net.run_for(SimDuration::from_millis(5));
+    }
+
+    /// Wiretap rig: PolicyBox on a mirror port, sink on the box's
+    /// primary interface would be loopy — instead tap the mirror router
+    /// like the legacy wiretap tests: mb iface 0 connects to the sink,
+    /// and packets are injected straight into the box.
+    fn mirror_rig(policy: Policy, inst: Instance) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let mb = net.add_node(Box::new(PolicyBox::new(policy, inst, "pb-test")));
+        let sink = net.add_node(Box::new(Sink { got: Vec::new() }));
+        net.connect(mb, IfaceId(0), sink, IfaceId(0), SimDuration::from_micros(10));
+        (net, mb, sink)
+    }
+
+    fn inline_rig(policy: Policy, inst: Instance) -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new();
+        let mb = net.add_node(Box::new(PolicyBox::new(policy, inst, "pb-test")));
+        let a = net.add_node(Box::new(Sink { got: Vec::new() }));
+        let b = net.add_node(Box::new(Sink { got: Vec::new() }));
+        net.connect(mb, IfaceId(0), a, IfaceId(0), SimDuration::from_micros(10));
+        net.connect(mb, IfaceId(1), b, IfaceId(0), SimDuration::from_micros(10));
+        (net, mb, a, b)
+    }
+
+    fn airtel_policy() -> Policy {
+        Policy::wiretap_like(
+            "airtel-test",
+            HostMatcher::ExactToken,
+            Some(NoticeStyle::airtel_like()),
+            Some(242),
+            (300, 900),
+            None,
+        )
+    }
+
+    fn inst(domains: &[&str]) -> Instance {
+        Instance::of(domains.iter().map(|d| d.to_string()), None, 7)
+    }
+
+    #[test]
+    fn wiretap_policy_injects_notice_and_rst() {
+        let (mut net, mb, sink) = mirror_rig(airtel_policy(), inst(&["blocked.example"]));
+        handshake(&mut net, mb, IfaceId(0));
+        net.inject(mb, IfaceId(0), get_for("blocked.example", 1000));
+        net.run_for(SimDuration::from_millis(5));
+        let got = &net.node_ref::<Sink>(sink).unwrap().got;
+        assert_eq!(got.len(), 2, "notice + follow-up RST");
+        let (h0, body) = got[0].as_tcp().unwrap();
+        assert!(h0.flags.contains(TcpFlags::FIN));
+        let resp = lucent_packet::HttpResponse::parse(body).unwrap();
+        assert!(looks_like_notice(&resp));
+        assert_eq!(got[0].ip.identification, 242);
+        assert_eq!(got[0].ip.ttl, 57);
+        let (h1, _) = got[1].as_tcp().unwrap();
+        assert!(h1.flags.contains(TcpFlags::RST));
+        assert_eq!(net.node_ref::<PolicyBox>(mb).unwrap().triggers, 1);
+    }
+
+    #[test]
+    fn clean_domain_passes_a_wiretap_policy() {
+        let (mut net, mb, sink) = mirror_rig(airtel_policy(), inst(&["blocked.example"]));
+        handshake(&mut net, mb, IfaceId(0));
+        net.inject(mb, IfaceId(0), get_for("fine.example", 1000));
+        net.run_for(SimDuration::from_millis(5));
+        assert!(net.node_ref::<Sink>(sink).unwrap().got.is_empty());
+        assert_eq!(net.node_ref::<PolicyBox>(mb).unwrap().triggers, 0);
+    }
+
+    #[test]
+    fn interceptive_policy_answers_resets_and_blackholes() {
+        let policy = Policy::interceptive_like(
+            "vodafone-test",
+            HostMatcher::LastHost,
+            None,
+            None,
+        );
+        let (mut net, mb, a, b) = inline_rig(policy, inst(&["blocked.example"]));
+        handshake(&mut net, mb, IfaceId(0));
+        net.inject(mb, IfaceId(0), get_for("blocked.example", 1000));
+        net.run_for(SimDuration::from_millis(5));
+        // Client side (iface 0) got the covert bare RST.
+        let client_side = &net.node_ref::<Sink>(a).unwrap().got;
+        let covert = client_side.last().unwrap();
+        let (h, _) = covert.as_tcp().unwrap();
+        assert!(h.flags.contains(TcpFlags::RST));
+        assert_eq!(covert.ip.identification, 0x4d49);
+        // Server side (iface 1) got a forged client RST, not the GET.
+        let server_side = &net.node_ref::<Sink>(b).unwrap().got;
+        let rst = server_side.last().unwrap();
+        let (h, _) = rst.as_tcp().unwrap();
+        assert!(h.flags.contains(TcpFlags::RST));
+        assert_eq!(h.seq, 1000);
+        // Follow-up client packet is black-holed.
+        let before = net.node_ref::<Sink>(b).unwrap().got.len();
+        net.inject(mb, IfaceId(0), get_for("blocked.example", 1400));
+        net.run_for(SimDuration::from_millis(5));
+        assert_eq!(net.node_ref::<Sink>(b).unwrap().got.len(), before);
+        assert_eq!(net.node_ref::<PolicyBox>(mb).unwrap().blackhole_rows().len(), 1);
+    }
+
+    #[test]
+    fn pass_rule_whitelists_ahead_of_blocklist() {
+        let mut policy = airtel_policy();
+        let mut listed = BTreeSet::new();
+        listed.insert("blocked.example".to_string());
+        policy.rules.insert(
+            0,
+            Rule {
+                name: None,
+                matcher: HostMatcher::ExactToken,
+                hosts: HostSet::Listed(listed),
+                after: None,
+                probability: None,
+                action: Action::Pass,
+            },
+        );
+        let (mut net, mb, sink) = mirror_rig(policy, inst(&["blocked.example"]));
+        handshake(&mut net, mb, IfaceId(0));
+        net.inject(mb, IfaceId(0), get_for("blocked.example", 1000));
+        net.run_for(SimDuration::from_millis(5));
+        assert!(net.node_ref::<Sink>(sink).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn after_predicate_arms_a_rule_only_once_the_named_rule_fired() {
+        // Rule 0 fires on the blocklist; rule 1 fires on *any* host but
+        // only after rule 0 has fired once — an escalation program.
+        let mut policy = airtel_policy();
+        policy.rules[0].name = Some("first".to_string());
+        policy.rules.push(Rule {
+            name: None,
+            matcher: HostMatcher::ExactToken,
+            hosts: HostSet::Any,
+            after: Some(0),
+            probability: None,
+            action: policy.rules[0].action.clone(),
+        });
+        let (mut net, mb, sink) = mirror_rig(policy, inst(&["blocked.example"]));
+        handshake(&mut net, mb, IfaceId(0));
+        // Before escalation: a clean host passes.
+        net.inject(mb, IfaceId(0), get_for("fine.example", 1000));
+        net.run_for(SimDuration::from_millis(5));
+        assert!(net.node_ref::<Sink>(sink).unwrap().got.is_empty());
+        // Trip rule 0, then the same clean host is censored.
+        net.inject(mb, IfaceId(0), get_for("blocked.example", 1400));
+        net.run_for(SimDuration::from_millis(5));
+        let after_trip = net.node_ref::<Sink>(sink).unwrap().got.len();
+        assert!(after_trip >= 2);
+        net.inject(mb, IfaceId(0), get_for("fine.example", 1900));
+        net.run_for(SimDuration::from_millis(5));
+        assert!(net.node_ref::<Sink>(sink).unwrap().got.len() > after_trip);
+    }
+
+    #[test]
+    fn probability_one_always_fires_and_zeroish_never_does() {
+        for (p, expect) in [(1.0, 1u64), (0.000001, 0u64)] {
+            let mut policy = airtel_policy();
+            policy.rules[0].probability = Some(p);
+            let (mut net, mb, _sink) = mirror_rig(policy, inst(&["blocked.example"]));
+            handshake(&mut net, mb, IfaceId(0));
+            net.inject(mb, IfaceId(0), get_for("blocked.example", 1000));
+            net.run_for(SimDuration::from_millis(5));
+            assert_eq!(net.node_ref::<PolicyBox>(mb).unwrap().triggers, expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn flow_rows_track_the_handshake() {
+        let (mut net, mb, _sink) = mirror_rig(airtel_policy(), inst(&["blocked.example"]));
+        handshake(&mut net, mb, IfaceId(0));
+        let rows = net.node_ref::<PolicyBox>(mb).unwrap().flow_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, Stage::Established);
+    }
+}

@@ -60,6 +60,12 @@ impl WiretapMiddlebox {
         }
     }
 
+    /// Ordered (key, stage) view of the tracked flows, for the
+    /// differential equivalence suite.
+    pub fn flow_rows(&self) -> Vec<(crate::flow::FlowKey, crate::flow::Stage)> {
+        self.flows.flow_rows()
+    }
+
     fn ip_id(&mut self, seq: u32) -> u16 {
         self.cfg.fixed_ip_id.unwrap_or_else(|| {
             let mut id = (seq.wrapping_mul(2654435761) >> 16) as u16;

@@ -7,15 +7,16 @@ use lucent_netsim::SimRng;
 
 use lucent_dns::{catalog, DnsCatalog, PoisonMode, RegionId, ResolverApp, SharedCatalog};
 use lucent_middlebox::{
-    InterceptiveMiddlebox, MiddleboxConfig, NoticeStyle, WiretapMiddlebox,
+    builtin, Instance, InterceptiveMiddlebox, MiddleboxConfig, NoticeStyle, Policy, PolicyBox,
+    WiretapMiddlebox,
 };
 use lucent_netsim::routing::Cidr;
-use lucent_netsim::{IfaceId, Network, NodeId, RouterNode, SimDuration};
+use lucent_netsim::{IfaceId, Network, Node, NodeId, RouterNode, SimDuration};
 use lucent_tcp::{FixedResponder, TcpHost};
 use lucent_web::{Corpus, IpAllocator, ServerConfig, SiteId, WebServerApp};
 
 use crate::ids::IspId;
-use crate::profile::{HttpProfile, IndiaConfig, MbKind};
+use crate::profile::{HttpProfile, IndiaConfig, MbBackend, MbKind};
 use crate::truth::GroundTruth;
 
 /// Handles into one built ISP.
@@ -351,10 +352,13 @@ impl India {
                 );
                 let victim_iface = match censor_profile.map(|p| p.kind) {
                     Some(MbKind::InterceptiveOvert) | Some(MbKind::InterceptiveCovert) => {
-                        let im = net.add_node(Box::new(InterceptiveMiddlebox::new(
+                        let im = net.add_node(Self::censor_node(
+                            &cfg,
+                            censor,
+                            censor_profile,
                             mb_cfg,
                             format!("border-im-{}-{}", isp_id.name(), censor.name()),
-                        )));
+                        ));
                         let (v_if, _) = wire.link(&mut net, gw, im, MS(4));
                         let (_, c_if) = wire.link(&mut net, im, censor_gw, MS(1));
                         edit_router(&mut net, censor_gw, |r| r.table.add(isp_id.prefix(), c_if));
@@ -369,10 +373,13 @@ impl India {
                         )));
                         let (v_if, b_down) = wire.link(&mut net, gw, border, MS(4));
                         let (b_up, c_if) = wire.link(&mut net, border, censor_gw, MS(1));
-                        let wm = net.add_node(Box::new(WiretapMiddlebox::new(
+                        let wm = net.add_node(Self::censor_node(
+                            &cfg,
+                            censor,
+                            censor_profile,
                             mb_cfg,
                             format!("border-wm-{}-{}", isp_id.name(), censor.name()),
-                        )));
+                        ));
                         let tap = wire.alloc(border);
                         net.connect(border, tap, wm, IfaceId::PRIMARY, SimDuration::from_micros(80));
                         edit_router(&mut net, border, |b| {
@@ -489,6 +496,82 @@ impl India {
             let _ = writeln!(out, "  border {victim}←{censor}: {} sites", sites.len());
         }
         out
+    }
+
+    /// The compiled censor program for `censor`: the ISP's committed
+    /// policy file when one exists, otherwise a program derived from
+    /// the profile primitives (Tata's border wiretap, bespoke tests).
+    /// The derivation is also the safety net should a builtin ever fail
+    /// to compile — a divergence there cannot hide, because the
+    /// differential equivalence suite compares behaviour, not source.
+    fn policy_for(censor: IspId, profile: Option<&HttpProfile>, mb: &MiddleboxConfig) -> Policy {
+        let builtin_name = match censor {
+            IspId::Airtel => Some("airtel-wm"),
+            IspId::Jio => Some("jio-wm"),
+            IspId::Idea => Some("idea-im"),
+            IspId::Vodafone => Some("vodafone-im"),
+            _ => None,
+        };
+        if let Some(name) = builtin_name {
+            if let Ok(policy) = builtin(name) {
+                return policy;
+            }
+        }
+        let mut policy = match profile.map(|p| p.kind) {
+            Some(MbKind::InterceptiveOvert | MbKind::InterceptiveCovert) => {
+                Policy::interceptive_like(
+                    censor.name(),
+                    mb.matcher,
+                    mb.notice.clone(),
+                    mb.fixed_ip_id,
+                )
+            }
+            _ => Policy::wiretap_like(
+                censor.name(),
+                mb.matcher,
+                mb.notice.clone(),
+                mb.fixed_ip_id,
+                mb.injection_delay_us,
+                mb.slow_injection,
+            ),
+        };
+        policy.ports = mb.ports.clone();
+        policy.flow_timeout = mb.flow_timeout;
+        policy
+    }
+
+    /// Construct the censor device node under the configured backend:
+    /// a [`PolicyBox`] interpreting the ISP's policy program (default)
+    /// or the legacy hardcoded struct (the differential reference).
+    fn censor_node(
+        cfg: &IndiaConfig,
+        censor: IspId,
+        profile: Option<&HttpProfile>,
+        mb_cfg: MiddleboxConfig,
+        label: String,
+    ) -> Box<dyn Node> {
+        let interceptive = matches!(
+            profile.map(|p| p.kind),
+            Some(MbKind::InterceptiveOvert | MbKind::InterceptiveCovert)
+        );
+        match cfg.backend {
+            MbBackend::Legacy => {
+                if interceptive {
+                    Box::new(InterceptiveMiddlebox::new(mb_cfg, label))
+                } else {
+                    Box::new(WiretapMiddlebox::new(mb_cfg, label))
+                }
+            }
+            MbBackend::Policy => {
+                let policy = Self::policy_for(censor, profile, &mb_cfg);
+                let inst = Instance {
+                    blocklist: mb_cfg.blocklist,
+                    client_filter: mb_cfg.client_filter,
+                    seed: mb_cfg.seed,
+                };
+                Box::new(PolicyBox::new(policy, inst, label))
+            }
+        }
     }
 
     /// The per-device [`MiddleboxConfig`] for a censor. `device_tag`
@@ -653,10 +736,13 @@ impl India {
                         client_filter,
                         c as u64,
                     );
-                    let im = net.add_node(Box::new(InterceptiveMiddlebox::new(
+                    let im = net.add_node(Self::censor_node(
+                        cfg,
+                        isp_id,
+                        http_profile,
                         mb_cfg,
                         format!("{}-im{}", isp_id.name(), c),
-                    )));
+                    ));
                     let (_gw_if, _) = wire.link(net, gateway, im, MS(1));
                     let (_, _core_if) = wire.link(net, im, core, SimDuration::from_micros(500));
                     edit_router(net, core, |r| r.anonymized = true);
@@ -675,10 +761,13 @@ impl India {
                         client_filter,
                         c as u64,
                     );
-                    let wm = net.add_node(Box::new(WiretapMiddlebox::new(
+                    let wm = net.add_node(Self::censor_node(
+                        cfg,
+                        isp_id,
+                        http_profile,
                         mb_cfg,
                         format!("{}-wm{}", isp_id.name(), c),
-                    )));
+                    ));
                     let tap = wire.alloc(core);
                     net.connect(core, tap, wm, IfaceId::PRIMARY, SimDuration::from_micros(80));
                     edit_router(net, core, |core_router| {

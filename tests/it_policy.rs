@@ -1,0 +1,130 @@
+//! The declarative policy engine at system level.
+//!
+//! The topology now instantiates every censor through the policy
+//! interpreter ([`lucent_topology::MbBackend::Policy`] is the default),
+//! with the hardcoded middleboxes kept for one PR as the reference
+//! implementation. This suite holds the swap to the golden standard:
+//!
+//! 1. the committed tiny goldens (`tests/golden/*-tiny-metrics.json`),
+//!    produced before the policy engine existed, must reproduce
+//!    byte-for-byte under the policy backend at `--threads 1` and `4` —
+//!    **no golden was regenerated for this change**;
+//! 2. flipping [`MbBackend`] between `Legacy` and `Policy` must not
+//!    change a single byte of experiment JSON or metrics;
+//! 3. the planted `wrong-airtel.toml` fixture (one flipped action) must
+//!    turn the differential suite red, and its byte-equivalent green
+//!    twin must pass — proving the suite detects what it claims to.
+
+use lucent_bench::drive::Driver;
+use lucent_bench::Scale;
+use lucent_check::diffmb::{airtel_spec, canned_script, run_diff};
+use lucent_core::experiments::{fig2, race, table1};
+use lucent_middlebox::compile::{builtin, builtin_names, compile};
+use lucent_middlebox::policy::Family;
+use lucent_obs::Telemetry;
+use lucent_support::json::to_string_pretty;
+use lucent_topology::MbBackend;
+
+const TRACE: &str = "wiretap=debug";
+
+/// Run one experiment the exact way `repro` produces the goldens:
+/// trace spec on the hub and replicated to the shards, tiny scale.
+fn tiny_run(
+    exp: &str,
+    threads: usize,
+    backend: Option<MbBackend>,
+) -> (String, String) {
+    let mut drv = Driver::new(Scale::Tiny, threads, Some(TRACE.to_string()));
+    if let Some(b) = backend {
+        drv = drv.with_backend(b);
+    }
+    let hub = Telemetry::new();
+    hub.set_filter_spec(TRACE).unwrap();
+    let json = match exp {
+        "race" => to_string_pretty(&drv.race(&hub, &race::RaceOptions::default())),
+        "table1" => to_string_pretty(&drv.table1(&hub, &table1::Table1Options::default())),
+        _ => to_string_pretty(&drv.fig2(&hub, &fig2::Fig2Options::default())),
+    };
+    (json, hub.metrics_snapshot_pretty())
+}
+
+#[test]
+fn policy_backend_reproduces_the_committed_goldens() {
+    let goldens = [
+        ("race", include_str!("golden/race-tiny-metrics.json")),
+        ("table1", include_str!("golden/table1-tiny-metrics.json")),
+        ("fig2", include_str!("golden/fig2-tiny-metrics.json")),
+    ];
+    for (exp, golden) in goldens {
+        for threads in [1usize, 4] {
+            let (_, metrics) = tiny_run(exp, threads, None);
+            assert_eq!(
+                metrics, golden,
+                "{exp} metrics under the policy backend at --threads {threads} \
+                 diverged from the pre-policy golden"
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_and_policy_backends_are_byte_identical() {
+    for exp in ["race", "table1", "fig2"] {
+        for threads in [1usize, 4] {
+            let legacy = tiny_run(exp, threads, Some(MbBackend::Legacy));
+            let policy = tiny_run(exp, threads, Some(MbBackend::Policy));
+            assert_eq!(
+                legacy.0, policy.0,
+                "{exp} JSON differs between backends at --threads {threads}"
+            );
+            assert_eq!(
+                legacy.1, policy.1,
+                "{exp} metrics differ between backends at --threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_planted_wrong_policy_turns_the_differential_red() {
+    let spec = airtel_spec();
+    let steps = canned_script(&spec);
+    let wrong =
+        compile(include_str!("../crates/middlebox/policies/fixtures/wrong-airtel.toml")).unwrap();
+    let out = run_diff(wrong, &spec, &steps);
+    assert!(
+        out.is_err(),
+        "wrong-airtel.toml (one flipped action) must fail the differential suite"
+    );
+    // The green twin is the same program with the action restored:
+    // passing proves the red above is the flip's fault, not the rig's.
+    let right =
+        compile(include_str!("../crates/middlebox/policies/fixtures/right-airtel.toml")).unwrap();
+    run_diff(right, &spec, &steps).unwrap();
+}
+
+/// CI's negative-control hook: when `LUCENT_POLICY_UNDER_TEST` names a
+/// policy file (relative to the workspace root), it must be
+/// behaviourally identical to the Airtel reference. CI feeds it the
+/// planted `wrong-airtel.toml` and demands the red, then the
+/// byte-equivalent `right-airtel.toml` and demands the green. Without
+/// the variable the test is a no-op.
+#[test]
+fn policy_file_under_test_matches_the_airtel_reference() {
+    let Some(rel) = std::env::var_os("LUCENT_POLICY_UNDER_TEST") else { return };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(rel);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let policy = compile(&text).unwrap();
+    let spec = airtel_spec();
+    run_diff(policy, &spec, &canned_script(&spec)).unwrap();
+}
+
+#[test]
+fn every_committed_isp_policy_compiles_to_its_family() {
+    for name in builtin_names() {
+        let p = builtin(name).unwrap();
+        let want = if name.ends_with("-wm") { Family::Wiretap } else { Family::Interceptive };
+        assert_eq!(p.family, want, "{name}");
+        assert!(!p.rules.is_empty(), "{name} has no rules");
+    }
+}
