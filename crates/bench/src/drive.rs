@@ -9,7 +9,7 @@ use lucent_core::probe::dns_scan::{survey_batch, ResolverScan};
 use lucent_obs::prof::PoolWall;
 use lucent_obs::Telemetry;
 use lucent_support::bench::Stopwatch;
-use lucent_topology::{IspId, MbBackend};
+use lucent_topology::IspId;
 
 use crate::shard::{Job, Pool, ShardOut};
 use crate::Scale;
@@ -26,7 +26,6 @@ pub struct Driver {
     threads: usize,
     trace: Option<String>,
     prof: bool,
-    backend: Option<MbBackend>,
     shard_events: std::cell::Cell<u64>,
     walls: std::cell::RefCell<Vec<PoolWall>>,
 }
@@ -41,7 +40,6 @@ impl Driver {
             threads,
             trace,
             prof: false,
-            backend: None,
             shard_events: std::cell::Cell::new(0),
             // `default()` rather than `new()`: the lint's name-based
             // call graph puts every `Vec::new` in a fn named `new` into
@@ -54,15 +52,6 @@ impl Driver {
     /// wall-clock pool accounting ([`Driver::pool_walls`]) per run.
     pub fn with_prof(mut self, on: bool) -> Driver {
         self.prof = on;
-        self
-    }
-
-    /// Override which middlebox implementation the topology
-    /// instantiates. The differential suite runs the same experiment
-    /// under [`MbBackend::Legacy`] and [`MbBackend::Policy`] and diffs
-    /// every derived artifact byte-for-byte.
-    pub fn with_backend(mut self, backend: MbBackend) -> Driver {
-        self.backend = Some(backend);
         self
     }
 
@@ -79,11 +68,7 @@ impl Driver {
     }
 
     fn pool(&self) -> Pool {
-        let mut config = self.scale.config();
-        if let Some(backend) = self.backend {
-            config.backend = backend;
-        }
-        Pool::new(config, self.threads, self.trace.clone()).with_prof(self.prof)
+        Pool::new(self.scale.config(), self.threads, self.trace.clone()).with_prof(self.prof)
     }
 
     /// Run `jobs` on a fresh pool under `tag`, recording busy-vs-idle

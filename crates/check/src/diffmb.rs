@@ -1,29 +1,31 @@
-//! The differential equivalence harness between the declarative policy
-//! engine and the hardcoded middleboxes.
+//! The policy-engine transcript harness.
 //!
-//! One PR of overlap is the whole point: `lucent-middlebox` keeps the
-//! legacy [`WiretapMiddlebox`] / [`InterceptiveMiddlebox`] structs alive
-//! alongside the generic [`PolicyBox`] interpreter, and this module
-//! holds them to *byte-identical* behaviour. A random [`MbSpec`] is
-//! drawn from a [`Source`], rendered to policy-TOML text (so the
-//! compiler itself sits inside the differential loop), instantiated
-//! both ways in twin single-device rigs, and driven through a random
-//! packet script. After every step the harness diffs:
+//! The hardcoded `WiretapMiddlebox` / `InterceptiveMiddlebox` reference
+//! structs are gone: every censor is a [`PolicyBox`] interpreting a
+//! compiled program. What replaces the live legacy twin is a *recorded*
+//! one — [`render_transcript`] runs a policy device through a packet
+//! script in a single-device rig and renders everything observable into
+//! one canonical text:
 //!
-//! - the full injected-packet transcripts on both taps (arrival time,
-//!   interface, and the exact wire bytes);
-//! - the trigger counter and the `(time, client, domain)` trigger log;
-//! - the flow-table rows (key and stage) and the black-hole set;
+//! - after every step, the device state ([`Snap`]: trigger counter, the
+//!   `(time, client, domain)` trigger log, flow-table rows, black-hole
+//!   set) and the packets newly arrived on both taps (arrival time and
+//!   exact wire bytes, hex);
+//! - at the end of the run, the pretty metrics snapshot and the debug
+//!   event log of the telemetry registry — so profiler path counters,
+//!   injection events, and sweep accounting stay inside the
+//!   equivalence claim, not just the packets.
 //!
-//! and at the end of the run, the pretty metrics snapshot and the
-//! debug event log of both telemetry registries — so profiler path
-//! counters, injection events, and sweep accounting are all inside the
-//! equivalence claim, not just the packets.
+//! The transcripts recorded while the legacy structs were still alive
+//! are committed under `tests/golden/mb-*.transcript`; [`run_diff`]
+//! holds today's interpreter to them byte-for-byte, and
+//! [`spec_self_diff`] holds any spec to *replay determinism* (two fresh
+//! rigs, identical transcripts) — the invariant the recordings rest on.
 //!
-//! [`run_diff`] is deliberately exported with the compiled policy as a
-//! parameter: `tests/it_policy.rs` feeds it the planted
-//! `wrong-airtel.toml` fixture to prove the suite *can* go red, and its
-//! green twin to prove the red is the fixture's fault.
+//! [`run_diff`] takes the compiled policy as a parameter on purpose:
+//! `tests/it_policy.rs` feeds it the planted `wrong-airtel.toml`
+//! fixture to prove the suite *can* go red, and its green twin to prove
+//! the red is the fixture's fault.
 
 use std::any::Any;
 use std::net::Ipv4Addr;
@@ -31,10 +33,7 @@ use std::net::Ipv4Addr;
 use lucent_middlebox::compile::compile;
 use lucent_middlebox::flow::{FlowKey, Stage};
 use lucent_middlebox::policy::Policy;
-use lucent_middlebox::{
-    HostMatcher, Instance, InterceptiveMiddlebox, MiddleboxConfig, NoticeStyle, PolicyBox,
-    WiretapMiddlebox,
-};
+use lucent_middlebox::{HostMatcher, Instance, PolicyBox};
 use lucent_netsim::routing::Cidr;
 use lucent_netsim::{IfaceId, Network, Node, NodeCtx, NodeId, SimDuration, SimTime};
 use lucent_packet::http::RequestBuilder;
@@ -47,13 +46,12 @@ use crate::source::Source;
 const MATCHERS: [HostMatcher; 3] =
     [HostMatcher::ExactToken, HostMatcher::StrictPattern, HostMatcher::LastHost];
 
-/// Slow-tail probabilities as literals: the TOML renderer and the
-/// legacy config must parse the *same* decimal text, so equality of the
-/// resulting `f64` is exact by construction.
+/// Slow-tail probabilities as literals, so the rendered TOML pins the
+/// exact `f64` the interpreter draws against.
 const SLOW_P: [&str; 4] = ["0.1", "0.25", "0.5", "0.9"];
 
-/// A randomly drawn middlebox specification — the common ancestor both
-/// the legacy config and the rendered policy file are derived from.
+/// A randomly drawn middlebox specification — the seed both the policy
+/// program and the packet script are derived from.
 #[derive(Debug, Clone)]
 pub struct MbSpec {
     /// Wiretap (mirror tap) or interceptive (inline) family.
@@ -81,14 +79,6 @@ pub struct MbSpec {
     pub seed: u64,
 }
 
-fn style_of(name: &str) -> NoticeStyle {
-    match name {
-        "idea" => NoticeStyle::idea_like(),
-        "jio" => NoticeStyle::jio_like(),
-        _ => NoticeStyle::airtel_like(),
-    }
-}
-
 fn matcher_word(m: HostMatcher) -> &'static str {
     match m {
         HostMatcher::ExactToken => "exact-token",
@@ -99,8 +89,8 @@ fn matcher_word(m: HostMatcher) -> &'static str {
 
 impl MbSpec {
     /// The specification rendered as a policy-TOML program — the text
-    /// [`run_diff`]'s callers feed through [`compile`], so the compiler
-    /// is exercised by every differential case.
+    /// [`spec_self_diff`] feeds through [`compile`], so the compiler is
+    /// exercised by every differential case.
     pub fn policy_toml(&self) -> String {
         let mut t = String::from("[policy]\nname = \"diff-spec\"\n");
         t.push_str(if self.wiretap {
@@ -140,23 +130,7 @@ impl MbSpec {
         t
     }
 
-    /// The same specification as a legacy [`MiddleboxConfig`].
-    pub fn legacy_config(&self) -> MiddleboxConfig {
-        let mut cfg = MiddleboxConfig::new(self.blocklist.iter().cloned());
-        cfg.matcher = self.matcher;
-        cfg.ports = if self.any_ports { None } else { Some([80].into_iter().collect()) };
-        cfg.client_filter = self.client_cidrs();
-        cfg.flow_timeout = SimDuration::from_secs(self.flow_timeout_secs);
-        cfg.notice = self.notice.map(style_of);
-        cfg.fixed_ip_id = self.fixed_ip_id;
-        cfg.injection_delay_us = self.delay_us;
-        cfg.slow_injection =
-            self.slow.map(|(p, range)| (p.parse::<f64>().unwrap_or(0.5), range));
-        cfg.seed = self.seed;
-        cfg
-    }
-
-    /// The same specification as a [`PolicyBox`] device instance.
+    /// The specification as a [`PolicyBox`] device instance.
     pub fn device_instance(&self) -> Instance {
         Instance::of(self.blocklist.iter().cloned(), self.client_cidrs(), self.seed)
     }
@@ -201,8 +175,9 @@ pub fn diff_spec(s: &mut Source) -> MbSpec {
     }
 }
 
-/// The Airtel specification — the legacy reference `tests/it_policy.rs`
-/// diffs the planted `wrong-airtel.toml` fixture (and its green twin)
+/// The Airtel wiretap specification — the spec behind the recorded
+/// `tests/golden/mb-airtel.transcript` that `tests/it_policy.rs` diffs
+/// the planted `wrong-airtel.toml` fixture (and its green twin)
 /// against.
 pub fn airtel_spec() -> MbSpec {
     MbSpec {
@@ -224,7 +199,30 @@ pub fn airtel_spec() -> MbSpec {
     }
 }
 
-/// One scripted action against both twin rigs.
+/// The Idea interceptive specification — covers the inline family
+/// (consume, answer overtly, reset the server, black-hole) in the
+/// recorded `tests/golden/mb-idea.transcript`.
+pub fn idea_spec() -> MbSpec {
+    MbSpec {
+        wiretap: false,
+        matcher: HostMatcher::StrictPattern,
+        notice: Some("idea"),
+        fixed_ip_id: None,
+        delay_us: (300, 900),
+        slow: None,
+        any_ports: false,
+        filtered_clients: false,
+        flow_timeout_secs: 150,
+        blocklist: {
+            let mut v = Vec::default();
+            v.push("blocked-0.example".to_string());
+            v
+        },
+        seed: 11,
+    }
+}
+
+/// One scripted action against the rig.
 #[derive(Debug, Clone)]
 pub enum Step {
     /// Deliver a packet to the device on `iface` at the current instant.
@@ -288,7 +286,7 @@ impl FlowGen {
 
 /// Request-image variants: canonical, double-Host, lowercase header
 /// name, Host-less, and raw garbage — the §5 evasion shapes the
-/// matchers must treat identically on both implementations.
+/// matchers must treat identically run over run.
 fn request_image(s: &mut Source, host: &str) -> Vec<u8> {
     match s.below(5) {
         0 | 1 => RequestBuilder::browser(host, "/").build(),
@@ -369,9 +367,9 @@ pub fn diff_script(s: &mut Source, spec: &MbSpec) -> Vec<Step> {
     steps
 }
 
-/// A short deterministic script (no [`Source`]) for the CI negative
-/// control: handshake, blocked GET, clean GET, sweep-crossing skip,
-/// second blocked GET.
+/// A short deterministic script (no [`Source`]) for the recorded
+/// goldens and the CI negative control: handshake, blocked GET, clean
+/// GET, sweep-crossing skip, second blocked GET.
 pub fn canned_script(spec: &MbSpec) -> Vec<Step> {
     let mut steps = Vec::default();
     let mut a = FlowGen::fresh((Ipv4Addr::new(10, 0, 0, 2), 40_000), 80, 1_000);
@@ -407,14 +405,14 @@ impl Node for Tap {
     }
 }
 
-struct Twin {
+struct Rig {
     net: Network,
     mb: NodeId,
     a: NodeId,
     b: NodeId,
 }
 
-fn build_twin(device: Box<dyn Node>) -> Result<Twin, String> {
+fn build_rig(device: Box<dyn Node>) -> Result<Rig, String> {
     let mut net = Network::new();
     net.telemetry().enable_prof(true);
     net.telemetry()
@@ -425,11 +423,10 @@ fn build_twin(device: Box<dyn Node>) -> Result<Twin, String> {
     let b = net.add_node(Box::new(Tap { rows: Vec::default(), tag: "tap-server" }));
     net.connect(mb, IfaceId(0), a, IfaceId(0), SimDuration::from_micros(10));
     net.connect(mb, IfaceId(1), b, IfaceId(0), SimDuration::from_micros(10));
-    Ok(Twin { net, mb, a, b })
+    Ok(Rig { net, mb, a, b })
 }
 
-/// Everything state-shaped the two implementations expose, captured
-/// after each step.
+/// Everything state-shaped the device exposes, captured after each step.
 #[derive(Debug, PartialEq)]
 struct Snap {
     triggers: u64,
@@ -438,42 +435,14 @@ struct Snap {
     black: Vec<FlowKey>,
 }
 
-fn mb_snap(net: &Network, mb: NodeId, legacy: bool, wiretap: bool) -> Result<Snap, String> {
-    match (legacy, wiretap) {
-        (true, true) => {
-            let d = net
-                .node_ref::<WiretapMiddlebox>(mb)
-                .ok_or_else(|| "legacy wiretap node missing".to_string())?;
-            Ok(Snap {
-                triggers: d.injections,
-                log: d.trigger_log.clone(),
-                flows: d.flow_rows(),
-                black: Vec::default(),
-            })
-        }
-        (true, false) => {
-            let d = net
-                .node_ref::<InterceptiveMiddlebox>(mb)
-                .ok_or_else(|| "legacy interceptive node missing".to_string())?;
-            Ok(Snap {
-                triggers: d.interceptions,
-                log: d.trigger_log.clone(),
-                flows: d.flow_rows(),
-                black: d.blackhole_rows(),
-            })
-        }
-        (false, _) => {
-            let d = net
-                .node_ref::<PolicyBox>(mb)
-                .ok_or_else(|| "policy node missing".to_string())?;
-            Ok(Snap {
-                triggers: d.triggers,
-                log: d.trigger_log.clone(),
-                flows: d.flow_rows(),
-                black: d.blackhole_rows(),
-            })
-        }
-    }
+fn mb_snap(net: &Network, mb: NodeId) -> Result<Snap, String> {
+    let d = net.node_ref::<PolicyBox>(mb).ok_or_else(|| "policy node missing".to_string())?;
+    Ok(Snap {
+        triggers: d.triggers,
+        log: d.trigger_log.clone(),
+        flows: d.flow_rows(),
+        black: d.blackhole_rows(),
+    })
 }
 
 fn tap_rows(net: &Network, id: NodeId) -> Result<Vec<(u64, Vec<u8>)>, String> {
@@ -481,79 +450,115 @@ fn tap_rows(net: &Network, id: NodeId) -> Result<Vec<(u64, Vec<u8>)>, String> {
 }
 
 /// Longest slow-tail injection is 400 ms; give every step half a second
-/// of virtual time so all pending forgeries land before the diff.
+/// of virtual time so all pending forgeries land before the snapshot.
 const SETTLE: SimDuration = SimDuration(500_000);
 
-fn apply_step(t: &mut Twin, step: &Step) {
+fn apply_step(r: &mut Rig, step: &Step) {
     match step {
         Step::Inject(iface, pkt) => {
-            t.net.inject(t.mb, *iface, pkt.clone());
-            t.net.run_for(SETTLE);
+            r.net.inject(r.mb, *iface, pkt.clone());
+            r.net.run_for(SETTLE);
         }
-        Step::Skip(d) => t.net.run_for(*d),
+        Step::Skip(d) => r.net.run_for(*d),
     }
 }
 
-/// Run `policy` and the legacy device derived from `spec` through
-/// `steps`, diffing transcripts, trigger state, flow tables, metrics
-/// and event logs. `Ok(())` means byte-identical behaviour; `Err`
-/// pinpoints the first divergence.
-pub fn run_diff(policy: Policy, spec: &MbSpec, steps: &[Step]) -> Result<(), String> {
-    let legacy_node: Box<dyn Node> = if spec.wiretap {
-        Box::new(WiretapMiddlebox::new(spec.legacy_config(), "mb"))
-    } else {
-        Box::new(InterceptiveMiddlebox::new(spec.legacy_config(), "mb"))
-    };
-    let mut legacy = build_twin(legacy_node)?;
-    let mut pbox = build_twin(Box::new(PolicyBox::new(policy, spec.device_instance(), "mb")))?;
+/// One tap row as a transcript line: arrival microsecond and the exact
+/// wire bytes, lowercase hex.
+fn hex_row(at: u64, bytes: &[u8]) -> String {
+    let mut line = format!("  @{at} ");
+    for b in bytes {
+        line.push_str(&format!("{b:02x}"));
+    }
+    line
+}
 
+/// Run `policy` through `steps` in a fresh single-device rig and render
+/// the canonical transcript: per-step device state and newly tapped
+/// packets, then the final metrics snapshot and telemetry event log.
+pub fn render_transcript(policy: Policy, spec: &MbSpec, steps: &[Step]) -> Result<String, String> {
+    let mut out =
+        format!("lucent-mb-transcript/1 name={} family={:?}\n", policy.name, policy.family);
+    let mut rig = build_rig(Box::new(PolicyBox::new(policy, spec.device_instance(), "mb")))?;
+    let mut seen = [0usize; 2];
     for (i, step) in steps.iter().enumerate() {
-        apply_step(&mut legacy, step);
-        apply_step(&mut pbox, step);
-        let want = mb_snap(&legacy.net, legacy.mb, true, spec.wiretap)?;
-        let got = mb_snap(&pbox.net, pbox.mb, false, spec.wiretap)?;
-        if want != got {
-            return Err(format!(
-                "step {i} ({step:?}): device state diverged\n legacy: {want:?}\n policy: {got:?}"
-            ));
+        match step {
+            Step::Inject(iface, _) => out.push_str(&format!("= step {i}: inject iface={}\n", iface.0)),
+            Step::Skip(d) => out.push_str(&format!("= step {i}: skip {}us\n", d.micros())),
         }
-        for (tag, lid, pid) in
-            [("client", legacy.a, pbox.a), ("server", legacy.b, pbox.b)]
-        {
-            let want = tap_rows(&legacy.net, lid)?;
-            let got = tap_rows(&pbox.net, pid)?;
-            if want != got {
-                let at = want.iter().zip(&got).position(|(w, g)| w != g).unwrap_or(want.len().min(got.len()));
+        apply_step(&mut rig, step);
+        let snap = mb_snap(&rig.net, rig.mb)?;
+        out.push_str(&format!("state: {snap:?}\n"));
+        for (tag, id, slot) in [("client", rig.a, 0usize), ("server", rig.b, 1)] {
+            let rows = tap_rows(&rig.net, id)?;
+            out.push_str(&format!("tap {tag}:\n"));
+            for (at, bytes) in &rows[seen[slot]..] {
+                out.push_str(&hex_row(*at, bytes));
+                out.push('\n');
+            }
+            seen[slot] = rows.len();
+        }
+    }
+    out.push_str("= final\nmetrics:\n");
+    out.push_str(&rig.net.telemetry().metrics_snapshot_pretty());
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str("events:\n");
+    out.push_str(&rig.net.telemetry().event_log());
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Diff a live transcript against a recording, pinpointing the first
+/// divergent line. The messages say "diverged" — CI's negative control
+/// greps for it.
+pub fn diff_transcripts(live: &str, recorded: &str) -> Result<(), String> {
+    if live == recorded {
+        return Ok(());
+    }
+    let mut l = live.lines();
+    let mut r = recorded.lines();
+    let mut n = 1usize;
+    loop {
+        match (l.next(), r.next()) {
+            (Some(a), Some(b)) if a == b => n += 1,
+            (a, b) => {
                 return Err(format!(
-                    "step {i} ({step:?}): {tag}-side transcript diverged at packet {at} \
-                     (legacy {} packets, policy {})",
-                    want.len(),
-                    got.len()
+                    "transcript diverged from the recording at line {n}:\n live: {}\n gold: {}",
+                    a.unwrap_or("<end of transcript>"),
+                    b.unwrap_or("<end of recording>"),
                 ));
             }
         }
     }
-
-    let want = legacy.net.telemetry().metrics_snapshot_pretty();
-    let got = pbox.net.telemetry().metrics_snapshot_pretty();
-    if want != got {
-        return Err(format!("metrics snapshots diverged\n--- legacy\n{want}\n--- policy\n{got}"));
-    }
-    let want = legacy.net.telemetry().event_log();
-    let got = pbox.net.telemetry().event_log();
-    if want != got {
-        return Err(format!("event logs diverged\n--- legacy\n{want}\n--- policy\n{got}"));
-    }
-    Ok(())
 }
 
-/// Compile `spec`'s own rendered policy text and run the differential:
-/// the everyday entry point ([`crate::oracles::policy_matches_legacy`]
-/// and the fuzz-smoke campaign both go through here).
+/// Run `policy` through `steps` and hold the transcript to `recorded`
+/// byte-for-byte. `Ok(())` means behaviour identical to the recording;
+/// `Err` pinpoints the first divergence.
+pub fn run_diff(
+    policy: Policy,
+    spec: &MbSpec,
+    steps: &[Step],
+    recorded: &str,
+) -> Result<(), String> {
+    diff_transcripts(&render_transcript(policy, spec, steps)?, recorded)
+}
+
+/// Compile `spec`'s own rendered policy text and replay it through two
+/// fresh rigs: the transcripts must be byte-identical. This replay
+/// determinism is the invariant every recorded golden rests on (and the
+/// everyday entry point of [`crate::oracles::policy_replay_deterministic`]
+/// and the fuzz-smoke campaign).
 pub fn spec_self_diff(spec: &MbSpec, steps: &[Step]) -> Result<(), String> {
     let policy =
         compile(&spec.policy_toml()).map_err(|e| format!("rendered policy rejected: {e}"))?;
-    run_diff(policy, spec, steps)
+    let first = render_transcript(policy.clone(), spec, steps)?;
+    let second = render_transcript(policy, spec, steps)?;
+    diff_transcripts(&second, &first)
 }
 
 #[cfg(test)]
@@ -569,13 +574,14 @@ mod tests {
     }
 
     #[test]
-    fn the_canned_script_matches_on_the_airtel_spec() {
-        let spec = airtel_spec();
-        spec_self_diff(&spec, &canned_script(&spec)).unwrap();
+    fn the_canned_script_replays_deterministically() {
+        for spec in [airtel_spec(), idea_spec()] {
+            spec_self_diff(&spec, &canned_script(&spec)).unwrap();
+        }
     }
 
     #[test]
-    fn random_specs_and_scripts_agree() {
+    fn random_specs_and_scripts_replay_deterministically() {
         check(&Config::cases(24), |s| {
             let spec = diff_spec(s);
             let steps = diff_script(s, &spec);
@@ -587,13 +593,30 @@ mod tests {
 
     #[test]
     fn a_flipped_action_is_caught() {
-        // The in-process version of the CI negative control: airtel
-        // minus the notice page must fail the differential.
+        // The in-process version of the CI negative control: record the
+        // Airtel reference, then replay airtel minus the notice page
+        // against the recording — it must diverge.
         let spec = airtel_spec();
+        let steps = canned_script(&spec);
+        let reference = compile(&spec.policy_toml()).unwrap();
+        let recorded = render_transcript(reference, &spec, &steps).unwrap();
         let mut covert = spec.clone();
         covert.notice = None;
         let wrong = compile(&covert.policy_toml()).unwrap();
-        let out = run_diff(wrong, &spec, &canned_script(&spec));
-        assert!(out.is_err(), "the differential suite must catch a flipped action");
+        let out = run_diff(wrong, &spec, &steps, &recorded);
+        let msg = out.expect_err("the transcript diff must catch a flipped action");
+        assert!(msg.contains("diverged"), "CI greps for 'diverged': {msg}");
+    }
+
+    #[test]
+    fn transcripts_carry_state_taps_metrics_and_events() {
+        let spec = airtel_spec();
+        let steps = canned_script(&spec);
+        let policy = compile(&spec.policy_toml()).unwrap();
+        let t = render_transcript(policy, &spec, &steps).unwrap();
+        assert!(t.starts_with("lucent-mb-transcript/1 name=diff-spec family=Wiretap\n"));
+        for needle in ["= step 0", "state: Snap", "tap client:", "tap server:", "= final", "metrics:", "events:"] {
+            assert!(t.contains(needle), "transcript lost its {needle:?} section:\n{t}");
+        }
     }
 }

@@ -6,7 +6,7 @@
 //!   not change when censorship-irrelevant headers are added, renamed or
 //!   reordered. Checked at the matcher level, the config level, and
 //!   end-to-end through a client–router–server rig with a live
-//!   [`WiretapMiddlebox`] on a mirror port.
+//!   policy-interpreted wiretap ([`PolicyBox`]) on a mirror port.
 //! - **Blocklist monotonicity** — growing a blocklist can only grow the
 //!   set of censored domains, never unblock one.
 //! - **Shard invariance** — the sharded experiment driver produces
@@ -19,7 +19,8 @@ use lucent_bench::drive::Driver;
 use lucent_bench::Scale;
 use lucent_core::experiments::race::RaceOptions;
 use lucent_middlebox::notice::looks_like_notice;
-use lucent_middlebox::{HostMatcher, MiddleboxConfig, NoticeStyle, WiretapMiddlebox};
+use lucent_middlebox::policy::Policy;
+use lucent_middlebox::{HostMatcher, Instance, MiddleboxConfig, NoticeStyle, PolicyBox};
 use lucent_netsim::routing::Cidr;
 use lucent_netsim::{IfaceId, Network, NodeId, RouterNode, SimDuration};
 use lucent_obs::Telemetry;
@@ -124,7 +125,10 @@ struct Rig {
 }
 
 /// client — router (mirror → WM) — server, with the server 30 ms away so
-/// the wiretap's injection deterministically wins the race.
+/// the wiretap's injection deterministically wins the race. The device
+/// is a [`PolicyBox`] running the single-rule wiretap program derived
+/// from `cfg` — the same construction path the topology uses for
+/// censors without a committed policy file.
 fn build_rig(cfg: MiddleboxConfig) -> Rig {
     let mut net = Network::new();
     let client = net.add_node(Box::new(TcpHost::new(CLIENT, "client", 1)));
@@ -145,7 +149,18 @@ fn build_rig(cfg: MiddleboxConfig) -> Rig {
     r.table.add(Cidr::new(SERVER, 24), IfaceId(1));
     r.mirrors.push(IfaceId(2));
     let r = net.add_node(Box::new(r));
-    let wm = net.add_node(Box::new(WiretapMiddlebox::new(cfg, "wm")));
+    let mut policy = Policy::wiretap_like(
+        "wm",
+        cfg.matcher,
+        cfg.notice.clone(),
+        cfg.fixed_ip_id,
+        cfg.injection_delay_us,
+        cfg.slow_injection,
+    );
+    policy.ports = cfg.ports.clone();
+    policy.flow_timeout = cfg.flow_timeout;
+    let inst = Instance { blocklist: cfg.blocklist, client_filter: cfg.client_filter, seed: cfg.seed };
+    let wm = net.add_node(Box::new(PolicyBox::new(policy, inst, "wm")));
     net.connect(client, IfaceId::PRIMARY, r, IfaceId(0), SimDuration::from_millis(1));
     net.connect(r, IfaceId(1), server, IfaceId::PRIMARY, SimDuration::from_millis(31));
     net.connect(r, IfaceId(2), wm, IfaceId::PRIMARY, SimDuration::from_micros(80));
@@ -172,7 +187,7 @@ fn fetch_raw(rig: &mut Rig, request: &[u8]) -> Vec<u8> {
 }
 
 fn injections(rig: &Rig) -> u64 {
-    must(rig.net.node_ref::<WiretapMiddlebox>(rig.wm), "wm node").injections
+    must(rig.net.node_ref::<PolicyBox>(rig.wm), "wm node").triggers
 }
 
 /// End-to-end §5 invariance and monotonicity through a live wiretap

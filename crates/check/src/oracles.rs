@@ -23,8 +23,9 @@
 //! | `lint_allocsite_total` | the devtools allocation-site detector is total and never mis-spans on Rust-ish soup |
 //! | `obs_histogram_merge` | telemetry merge is order/grouping-insensitive and conserves histogram buckets under shard splits |
 //! | `sched_matches_heap_model` | the netsim calendar queue pops in exactly the reference binary-heap order, deadline pops included |
-//! | `policy_matches_legacy` | a compiled policy program is byte-identical in behaviour to the legacy middlebox it describes |
+//! | `policy_replay_deterministic` | a compiled policy program renders a byte-identical transcript on every replay — the invariant the recorded `tests/golden/mb-*.transcript` goldens rest on |
 //! | `policy_compile_total` | the policy compiler never panics and is deterministic on soup, garbage, and corrupted programs |
+//! | `policy_anomaly_total` | the L11/L12 symbolic policy analyzer is total (no panic) and deterministic on randomly corrupted policy IRs |
 
 use std::net::Ipv4Addr;
 
@@ -517,14 +518,15 @@ pub fn sched_matches_heap_model(s: &mut Source) {
     assert_eq!(q.next_at(), None, "drained queue must have no frontier");
 }
 
-/// The declarative policy engine is behaviourally indistinguishable
-/// from the hardcoded middleboxes: a random middlebox specification,
-/// rendered to policy TOML, compiled, and instantiated as a
-/// [`lucent_middlebox::PolicyBox`], must match the legacy device
-/// derived from the same specification packet-for-packet, flow-row for
-/// flow-row, and byte-for-byte in metrics and event logs, over a random
-/// packet script (see [`crate::diffmb`]).
-pub fn policy_matches_legacy(s: &mut Source) {
+/// The declarative policy engine replays deterministically: a random
+/// middlebox specification, rendered to policy TOML, compiled, and
+/// instantiated as a [`lucent_middlebox::PolicyBox`], must render the
+/// same transcript — packets, flow rows, metrics and event logs — from
+/// two fresh rigs over the same random packet script (see
+/// [`crate::diffmb`]). This is the invariant that makes the recorded
+/// `tests/golden/mb-*.transcript` goldens a sound stand-in for the
+/// retired hardcoded middleboxes.
+pub fn policy_replay_deterministic(s: &mut Source) {
     let spec = crate::diffmb::diff_spec(s);
     let steps = crate::diffmb::diff_script(s, &spec);
     if let Err(e) = crate::diffmb::spec_self_diff(&spec, &steps) {
@@ -564,6 +566,70 @@ pub fn policy_compile_total(s: &mut Source) {
     }
 }
 
+/// The L11/L12 symbolic policy analyzer is total and deterministic on
+/// corrupted policy IRs: take a compiled program from the differential
+/// spec generator, then mutate it into shapes the compiler itself would
+/// reject — wild `after` targets, self-gates, zero/NaN/infinite
+/// probabilities, empty and garbage host lists, duplicated rules — and
+/// demand that both probes return without panicking and return the
+/// same findings twice.
+pub fn policy_anomaly_total(s: &mut Source) {
+    use lucent_devtools::policycheck::{coverage_findings, probe_policy};
+    use lucent_middlebox::policy::{Action, HostSet};
+    let spec = crate::diffmb::diff_spec(s);
+    let mut policy = match lucent_middlebox::compile::compile(&spec.policy_toml()) {
+        Ok(p) => p,
+        Err(e) => std::panic::panic_any(format!("rendered spec must compile: {e}")),
+    };
+    let copies = s.len_in(0, 4);
+    for _ in 0..copies {
+        let r = policy.rules[0].clone();
+        policy.rules.push(r);
+    }
+    for j in 0..policy.rules.len() {
+        if s.chance(1, 3) {
+            // Often out of range or a self/forward gate the compiler
+            // would never emit.
+            policy.rules[j].after = Some(s.len_in(0, 9));
+        }
+        if s.chance(1, 4) {
+            policy.rules[j].probability = Some(match s.below(4) {
+                0 => 0.0,
+                1 => f64::NAN,
+                2 => f64::INFINITY,
+                _ => 1.0,
+            });
+        }
+        if s.chance(1, 4) {
+            policy.rules[j].hosts = match s.below(3) {
+                0 => HostSet::Listed(Default::default()),
+                1 => {
+                    let mut set = std::collections::BTreeSet::new();
+                    set.insert(String::from_utf8_lossy(&s.bytes(0, 12)).into_owned());
+                    HostSet::Listed(set)
+                }
+                _ => HostSet::Any,
+            };
+        }
+        if s.chance(1, 5) {
+            policy.rules[j].action = Action::Pass;
+        }
+    }
+    // Rule-line tables of the wrong length exercise the pinning
+    // fallback, not just the happy path.
+    let lines: Vec<usize> = (0..s.len_in(0, policy.rules.len())).map(|i| i * 3 + 2).collect();
+    assert_eq!(
+        probe_policy(&policy, &lines),
+        probe_policy(&policy, &lines),
+        "the anomaly probe must be deterministic"
+    );
+    assert_eq!(
+        coverage_findings(&policy, &lines),
+        coverage_findings(&policy, &lines),
+        "the coverage probe must be deterministic"
+    );
+}
+
 /// A named oracle, as listed by [`all`].
 pub type NamedOracle = (&'static str, fn(&mut Source));
 
@@ -589,8 +655,9 @@ pub fn all() -> Vec<NamedOracle> {
         ("lint_allocsite_total", lint_allocsite_total),
         ("obs_histogram_merge", obs_histogram_merge),
         ("sched_matches_heap_model", sched_matches_heap_model),
-        ("policy_matches_legacy", policy_matches_legacy),
+        ("policy_replay_deterministic", policy_replay_deterministic),
         ("policy_compile_total", policy_compile_total),
+        ("policy_anomaly_total", policy_anomaly_total),
     ]
 }
 

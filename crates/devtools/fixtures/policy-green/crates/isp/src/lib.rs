@@ -1,0 +1,1 @@
+//! Carrier crate for the anomaly-free policy files under `policies/`.

@@ -1,0 +1,1 @@
+//! Carrier crate for the seeded-anomaly policy files under `policies/`.

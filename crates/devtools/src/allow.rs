@@ -31,6 +31,9 @@ pub struct Allow {
     /// Per-hot-root ceilings on reachable in-loop allocation sites
     /// (L10) — the per-event allocations the arena refactor must kill.
     pub alloc_in_loop: BTreeMap<String, usize>,
+    /// Per-policy-file ceilings on L11 anomaly findings from the
+    /// symbolic policycheck analyzer.
+    pub policy_anomaly: BTreeMap<String, usize>,
 }
 
 impl Allow {
@@ -68,6 +71,7 @@ impl Allow {
             hot_roots: roots,
             alloc_reach: ceilings("alloc_reach")?,
             alloc_in_loop: ceilings("alloc_in_loop")?,
+            policy_anomaly: ceilings("policy_anomaly")?,
         })
     }
 
@@ -100,6 +104,11 @@ impl Allow {
     /// Ceiling on in-loop allocation sites reachable from `id`.
     pub fn alloc_in_loop_ceiling(&self, id: &str) -> usize {
         self.alloc_in_loop.get(id).copied().unwrap_or(0)
+    }
+
+    /// Ceiling on L11 policy anomalies in the policy file `path`.
+    pub fn policy_anomaly_ceiling(&self, path: &str) -> usize {
+        self.policy_anomaly.get(path).copied().unwrap_or(0)
     }
 
     /// Serialize back to TOML (used by `--update-baseline`): the file
@@ -157,6 +166,15 @@ impl Allow {
         for (id, n) in &self.alloc_in_loop {
             out.push_str(&format!("\"{id}\" = {n}\n"));
         }
+        out.push('\n');
+        out.push_str("# Symbolic policy anomalies (L11) per committed policy file —\n");
+        out.push_str("# dead/shadowed rules, conflicting overlaps, unreachable gates,\n");
+        out.push_str("# probability-mass errors. Regenerate with `lucent-lint\n");
+        out.push_str("# --update-baseline`.\n");
+        out.push_str("[policy_anomaly]\n");
+        for (path, n) in &self.policy_anomaly {
+            out.push_str(&format!("\"{path}\" = {n}\n"));
+        }
         out
     }
 }
@@ -176,6 +194,7 @@ mod tests {
         a.hot_roots.push("crates/netsim/src/network.rs::step".into());
         a.alloc_reach.insert("crates/netsim/src/network.rs::step".into(), 9);
         a.alloc_in_loop.insert("crates/netsim/src/network.rs::step".into(), 3);
+        a.policy_anomaly.insert("crates/middlebox/policies/airtel-wm.toml".into(), 1);
         let b = Allow::parse(&a.to_toml()).expect("round trip");
         assert_eq!(b.wall_clock, a.wall_clock);
         assert_eq!(b.rng_construction, a.rng_construction);
@@ -185,6 +204,7 @@ mod tests {
         assert_eq!(b.hot_roots, a.hot_roots);
         assert_eq!(b.alloc_reach, a.alloc_reach);
         assert_eq!(b.alloc_in_loop, a.alloc_in_loop);
+        assert_eq!(b.policy_anomaly, a.policy_anomaly);
     }
 
     #[test]

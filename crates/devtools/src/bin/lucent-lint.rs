@@ -8,7 +8,7 @@
 //! I/O errors. Run from anywhere inside the workspace; the root is found
 //! by walking up to the `[workspace]` manifest.
 //!
-//! `--json` prints the machine-readable report (schema `lucent-lint/3`)
+//! `--json` prints the machine-readable report (schema `lucent-lint/4`)
 //! to stdout and nothing else; the bytes are identical across runs and
 //! `--threads` values, so CI diffs them against a committed golden.
 

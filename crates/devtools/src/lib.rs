@@ -1,7 +1,7 @@
 //! `lucent-devtools`: in-tree static analysis for the lucent workspace.
 //!
 //! The `lucent-lint` binary (and the `run_root` library entry point the
-//! tier-1 gate calls) enforces ten rule families:
+//! tier-1 gate calls) enforces twelve rule families:
 //!
 //! - **L1 hermeticity** — every dependency is a path dependency; the
 //!   workspace builds with the network unplugged.
@@ -37,11 +37,25 @@
 //!   allocation sites lexically inside `loop`/`while`/`for` bodies gets
 //!   a separate, tighter `[alloc_in_loop]` ceiling: per-event
 //!   allocations are what the arena refactor must eliminate.
+//! - **L11 policy anomalies** — committed censor-policy programs
+//!   (`crates/*/policies/*.toml`) are compiled to the middlebox rule IR
+//!   and symbolically analyzed ([`policycheck`]): dead rules,
+//!   conflicting overlaps, unreachable `after` gates, and
+//!   probability-mass errors are capped per file by the shrink-only
+//!   `[policy_anomaly]` baseline.
+//! - **L12 policy coverage** — the policy set is cross-checked against
+//!   the simulator's ground truth: both mechanism families present,
+//!   emitted telemetry labels known, literal host sets resolvable
+//!   against the blocklist corpus, every program compilable.
 //!
-//! The lint is dependency-free by construction: it ships its own Rust
-//! scrubbing lexer, a brace-tree item parser ([`parse`]), a symbol
-//! index ([`symbols`]) with a name-based call graph ([`callgraph`]),
-//! and a TOML subset parser, so the gate itself cannot violate L1.
+//! The lint's *language frontend* is dependency-free by construction:
+//! it ships its own Rust scrubbing lexer, a brace-tree item parser
+//! ([`parse`]), a symbol index ([`symbols`]) with a name-based call
+//! graph ([`callgraph`]), and a TOML subset parser, so the gate itself
+//! cannot violate L1. The one workspace dependency is
+//! `lucent-middlebox`, linked so L11/L12 analyze the *compiled* policy
+//! IR — the exact programs the interpreter executes — rather than
+//! re-parsing policy TOML with a second grammar.
 //!
 //! The per-file pass runs on the deterministic [`pool`]: files are
 //! partitioned round-robin and merged in path order, so the report —
@@ -56,6 +70,7 @@ pub mod hotalloc;
 pub mod lex;
 pub mod manifest;
 pub mod parse;
+pub mod policycheck;
 pub mod pool;
 pub mod reach;
 pub mod report;
@@ -176,6 +191,16 @@ pub fn run_root_with(root: &Path, opts: &Options) -> io::Result<Report> {
     report.alloc_in_loop = alloc_out.alloc_in_loop;
     report.hot_alloc_census = alloc_out.census;
 
+    // L11/L12: compile and symbolically analyze the committed censor
+    // policies. The pass is single-threaded and file-order
+    // deterministic, so `opts.threads` cannot perturb the report.
+    let policy_paths = policy_sources(root)?;
+    report.policy_files = policy_paths.len();
+    let policy_out = policycheck::check_policy_files(root, &policy_paths, &allow)?;
+    report.merge(policy_out.violations);
+    report.warnings.extend(policy_out.warnings);
+    report.policy_anomaly = policy_out.anomaly_counts;
+
     // Baseline hygiene: entries for files that no longer exist are
     // violations — a stale ceiling looks live while guarding nothing.
     let lists: [(&str, Rule, &[String]); 3] = [
@@ -200,6 +225,15 @@ pub fn run_root_with(root: &Path, opts: &Options) -> io::Result<Report> {
                 Rule::PanicBudget,
                 ALLOW_FILE,
                 format!("stale [panic_sites] entry for missing file {path} — remove it"),
+            ));
+        }
+    }
+    for path in allow.policy_anomaly.keys() {
+        if !root.join(path).is_file() {
+            report.violations.push(Violation::file(
+                Rule::PolicyAnomaly,
+                ALLOW_FILE,
+                format!("stale [policy_anomaly] entry for missing file {path} — remove it"),
             ));
         }
     }
@@ -356,11 +390,12 @@ fn ratchet_table(
 }
 
 /// Rewrite `lint-allow.toml` with current panic counts, per-entry panic
-/// reach, and per-hot-root allocation reach — all four generated tables
-/// (`[panic_sites]`, `[panic_reach]`, `[alloc_reach]`,
-/// `[alloc_in_loop]`) in one deterministic sorted pass. Ceilings only
-/// ever move down: an attempt to raise one, or a stale `[hot_roots]`
-/// entry, is reported as a violation and nothing is written.
+/// reach, per-hot-root allocation reach, and per-policy anomaly counts
+/// — all five generated tables (`[panic_sites]`, `[panic_reach]`,
+/// `[alloc_reach]`, `[alloc_in_loop]`, `[policy_anomaly]`) in one
+/// deterministic sorted pass. Ceilings only ever move down: an attempt
+/// to raise one, or a stale `[hot_roots]` entry, is reported as a
+/// violation and nothing is written.
 pub fn update_baseline(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
     let old = fs::read_to_string(root.join(ALLOW_FILE))
@@ -416,6 +451,13 @@ pub fn update_baseline(root: &Path) -> io::Result<Report> {
         .filter(|(_, (_, l))| *l > 0)
         .map(|(id, (_, l))| (id.clone(), (file_of(id), *l)))
         .collect();
+    let policy_paths = policy_sources(root)?;
+    let policy_out = policycheck::check_policy_files(root, &policy_paths, &old)?;
+    let policy_counts: Counts = policy_out
+        .anomaly_counts
+        .iter()
+        .map(|(path, n)| (path.clone(), (path.clone(), *n)))
+        .collect();
 
     let mut new = old.clone();
     new.panic_sites =
@@ -429,6 +471,13 @@ pub fn update_baseline(root: &Path) -> io::Result<Report> {
         Rule::AllocInLoop,
         &old.alloc_in_loop,
         &loop_counts,
+        &mut report,
+    );
+    new.policy_anomaly = ratchet_table(
+        "policy_anomaly",
+        Rule::PolicyAnomaly,
+        &old.policy_anomaly,
+        &policy_counts,
         &mut report,
     );
     if report.ok() {
@@ -534,6 +583,38 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// Every committed censor-policy file: `crates/<name>/policies/*.toml`,
+/// sorted, repo-relative. Deliberately non-recursive — the `fixtures/`
+/// subtree under a policies directory holds malformed and
+/// deliberately-anomalous programs for the analyzer's own tests and is
+/// never part of the committed set.
+fn policy_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::file_name);
+        for e in entries {
+            let dir = e.path().join("policies");
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut files: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+            files.sort_by_key(std::fs::DirEntry::file_name);
+            for f in files {
+                let path = f.path();
+                if path.is_file() && path.extension().is_some_and(|x| x == "toml") {
+                    if let Ok(rel) = path.strip_prefix(root) {
+                        out.push(rel.to_string_lossy().replace('\\', "/"));
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
 }
 
 /// L3/L4 apply to crate library/bin code only: `crates/<name>/src/…`.

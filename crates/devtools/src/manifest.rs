@@ -162,7 +162,9 @@ pub fn layer_map() -> BTreeMap<&'static str, Vec<&'static str>> {
     const CORE: &str = "lucent-core";
     let mut m = BTreeMap::new();
     m.insert(SUPPORT, vec![]);
-    m.insert("lucent-devtools", vec![]);
+    // The lint links the middlebox policy IR for L11/L12 policycheck,
+    // so it sits just above the middlebox layer (transitively closed).
+    m.insert("lucent-devtools", vec![SUPPORT, OBS, PACKET, NETSIM, TCP, DNS, MIDDLEBOX]);
     m.insert(OBS, vec![SUPPORT]);
     m.insert(PACKET, vec![SUPPORT]);
     m.insert(NETSIM, vec![SUPPORT, OBS, PACKET]);
@@ -178,7 +180,7 @@ pub fn layer_map() -> BTreeMap<&'static str, Vec<&'static str>> {
     );
     // The fuzzing/property harness sits above everything it checks —
     // lower crates consume it through dev-dependencies only. It also
-    // checks the lint's own lexer and parser, so the devtools leaf is
+    // checks the lint's own lexer and parser, so the devtools crate is
     // in scope for it.
     m.insert(
         "lucent-check",

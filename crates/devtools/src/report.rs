@@ -29,6 +29,14 @@ pub enum Rule {
     /// L10 — in-loop (per-event) allocation sites reachable from
     /// `[hot_roots]` stay within the tighter `[alloc_in_loop]` baseline.
     AllocInLoop,
+    /// L11 — symbolic anomalies in compiled censor policies (dead
+    /// rules, conflicting overlaps, unreachable gates, probability-mass
+    /// errors) stay within the shrink-only `[policy_anomaly]` baseline.
+    PolicyAnomaly,
+    /// L12 — the committed policy set covers the simulator's ground
+    /// truth: both mechanism families, known telemetry labels,
+    /// corpus-resolvable host sets, and compilable programs.
+    PolicyCoverage,
 }
 
 impl Rule {
@@ -44,6 +52,8 @@ impl Rule {
             Rule::SharedState => "L8-shared-state",
             Rule::AllocReach => "L9-alloc-reach",
             Rule::AllocInLoop => "L10-alloc-in-loop",
+            Rule::PolicyAnomaly => "L11-policy-anomaly",
+            Rule::PolicyCoverage => "L12-policy-coverage",
         }
     }
 }
@@ -103,6 +113,10 @@ pub struct Report {
     /// Crate name → `(reachable, in_loop)` allocation sites over the
     /// union of all hot roots.
     pub hot_alloc_census: std::collections::BTreeMap<String, (usize, usize)>,
+    /// Committed policy files scanned by L11/L12.
+    pub policy_files: usize,
+    /// Policy file → L11 anomaly count (zero-finding files omitted).
+    pub policy_anomaly: std::collections::BTreeMap<String, usize>,
 }
 
 impl Report {
@@ -114,28 +128,22 @@ impl Report {
         self.violations.append(&mut other);
     }
 
-    /// Machine-readable report (schema `lucent-lint/3`). Hand-rolled on
+    /// Machine-readable report (schema `lucent-lint/4`). Hand-rolled on
     /// purpose: every map is a `BTreeMap` and every list is pre-sorted
     /// by the caller, so the bytes are identical across runs and thread
     /// counts — CI diffs this against a committed golden.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema\": \"lucent-lint/3\",\n");
-        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
-        out.push_str(&format!("  \"functions\": {},\n", self.functions));
-        out.push_str(&format!("  \"call_edges\": {},\n", self.call_edges));
-        out.push_str(&format!("  \"panic_total\": {},\n", self.panic_total));
-        out.push_str(&format!("  \"alloc_total\": {},\n", self.alloc_total));
-        out.push_str("  \"panic_sites\": {");
-        let mut first = true;
-        for (path, n) in &self.panic_by_file {
-            out.push_str(if first { "\n" } else { ",\n" });
-            first = false;
-            out.push_str(&format!("    {}: {n}", json_str(path)));
-        }
-        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("{\n  \"schema\": \"lucent-lint/4\",\n");
+        count_line(&mut out, "files_scanned", self.files_scanned);
+        count_line(&mut out, "functions", self.functions);
+        count_line(&mut out, "call_edges", self.call_edges);
+        count_line(&mut out, "panic_total", self.panic_total);
+        count_line(&mut out, "alloc_total", self.alloc_total);
+        count_line(&mut out, "policy_files", self.policy_files);
+        count_map(&mut out, "panic_sites", &self.panic_by_file);
         out.push_str("  \"panic_reach\": {");
-        first = true;
+        let mut first = true;
         for (id, sites) in &self.panic_reach {
             out.push_str(if first { "\n" } else { ",\n" });
             first = false;
@@ -143,22 +151,8 @@ impl Report {
             out.push_str(&format!("    {}: [{}]", json_str(id), listed.join(", ")));
         }
         out.push_str(if first { "},\n" } else { "\n  },\n" });
-        out.push_str("  \"alloc_reach\": {");
-        first = true;
-        for (id, n) in &self.alloc_reach {
-            out.push_str(if first { "\n" } else { ",\n" });
-            first = false;
-            out.push_str(&format!("    {}: {n}", json_str(id)));
-        }
-        out.push_str(if first { "},\n" } else { "\n  },\n" });
-        out.push_str("  \"alloc_in_loop\": {");
-        first = true;
-        for (id, n) in &self.alloc_in_loop {
-            out.push_str(if first { "\n" } else { ",\n" });
-            first = false;
-            out.push_str(&format!("    {}: {n}", json_str(id)));
-        }
-        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        count_map(&mut out, "alloc_reach", &self.alloc_reach);
+        count_map(&mut out, "alloc_in_loop", &self.alloc_in_loop);
         out.push_str("  \"hot_alloc_census\": {");
         first = true;
         for (krate, (total, in_loop)) in &self.hot_alloc_census {
@@ -170,6 +164,7 @@ impl Report {
             ));
         }
         out.push_str(if first { "},\n" } else { "\n  },\n" });
+        count_map(&mut out, "policy_anomaly", &self.policy_anomaly);
         out.push_str("  \"violations\": [");
         first = true;
         for v in &self.violations {
@@ -195,6 +190,24 @@ impl Report {
         out.push_str("}\n");
         out
     }
+}
+
+/// Emit one `  "name": n,` scalar line of the JSON report.
+fn count_line(out: &mut String, name: &str, n: usize) {
+    out.push_str(&format!("  \"{name}\": {n},\n"));
+}
+
+/// Emit one `"name": {"key": n, …}` object of the JSON report, with
+/// the report's two-space indent and a trailing comma.
+fn count_map(out: &mut String, name: &str, map: &std::collections::BTreeMap<String, usize>) {
+    out.push_str(&format!("  \"{name}\": {{"));
+    let mut first = true;
+    for (key, n) in map {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!("    {}: {n}", json_str(key)));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
 }
 
 /// Minimal JSON string escaping — quotes, backslashes, and control
@@ -232,9 +245,13 @@ mod tests {
         r.alloc_reach.insert("crates/x/src/a.rs::step".into(), 4);
         r.alloc_in_loop.insert("crates/x/src/a.rs::step".into(), 2);
         r.hot_alloc_census.insert("x".into(), (4, 2));
+        r.policy_files = 2;
+        r.policy_anomaly.insert("crates/x/policies/p.toml".into(), 3);
         let json = r.to_json();
         assert_eq!(json, r.to_json(), "emission is deterministic");
-        assert!(json.contains("\"schema\": \"lucent-lint/3\""), "{json}");
+        assert!(json.contains("\"schema\": \"lucent-lint/4\""), "{json}");
+        assert!(json.contains("\"policy_files\": 2"), "{json}");
+        assert!(json.contains("\"crates/x/policies/p.toml\": 3"), "{json}");
         assert!(json.contains("\"alloc_total\": 5"), "{json}");
         assert!(json.contains("\"crates/x/src/a.rs::step\": 4"), "{json}");
         assert!(json.contains("\"x\": {\"reachable\": 4, \"in_loop\": 2}"), "{json}");
@@ -250,6 +267,7 @@ mod tests {
         assert!(json.contains("\"panic_sites\": {},"), "{json}");
         assert!(json.contains("\"alloc_reach\": {},"), "{json}");
         assert!(json.contains("\"hot_alloc_census\": {},"), "{json}");
+        assert!(json.contains("\"policy_anomaly\": {},"), "{json}");
         assert!(json.contains("\"violations\": [],"), "{json}");
         assert!(json.ends_with("]\n}\n"), "{json}");
     }

@@ -599,6 +599,15 @@ fn rule_of_sect(sect: &Sect, family: Family) -> Result<(Rule, Option<(String, us
 /// Compile a policy file. Total: returns a [`PolicyError`] for every
 /// malformed input, and identical output for identical input.
 pub fn compile(text: &str) -> Result<Policy, PolicyError> {
+    compile_with_lines(text).map(|(policy, _)| policy)
+}
+
+/// Compile a policy file and also return, per rule, the 1-based source
+/// line of its `[[rule]]` header. The compiled [`Policy`] deliberately
+/// carries no source positions (the interpreter compares programs for
+/// equality); the line table is the side channel the `policycheck`
+/// analyzer in devtools uses to pin L11/L12 findings back to the file.
+pub fn compile_with_lines(text: &str) -> Result<(Policy, Vec<usize>), PolicyError> {
     let sects = doc_scan(text)?;
 
     let Some(policy_sect) = sects.iter().find(|s| s.name == "policy") else {
@@ -687,7 +696,10 @@ pub fn compile(text: &str) -> Result<Policy, PolicyError> {
         let (rule, after_ref) = rule_of_sect(sect, family)?;
         if let Some(rule_name) = &rule.name {
             if rules.iter().any(|r: &Rule| r.name.as_deref() == Some(rule_name)) {
-                return err(sect.line, format!("duplicate rule name `{rule_name}`"));
+                // Pin the error to the `name =` entry itself, not the
+                // `[[rule]]` header — the name is the offender.
+                let line = find(sect, "name").map(|e| e.line).unwrap_or(sect.line);
+                return err(line, format!("duplicate rule name `{rule_name}`"));
             }
         }
         rules.push(rule);
@@ -734,7 +746,11 @@ pub fn compile(text: &str) -> Result<Policy, PolicyError> {
         }
     }
 
-    Ok(Policy { name, family, ports, flow_timeout, rules })
+    let mut rule_lines = Vec::new();
+    for sect in &rule_sects {
+        rule_lines.push(sect.line);
+    }
+    Ok((Policy { name, family, ports, flow_timeout, rules }, rule_lines))
 }
 
 /// Names of the four committed ISP policy files.
@@ -808,8 +824,9 @@ mod tests {
     fn fixture_corpus_errors_are_pinned() {
         // Each malformed fixture under policies/fixtures/bad/ carries
         // its expected error on the first line: `# expect: <message>`.
-        let corpus: [(&str, &str); 8] = [
+        let corpus: [(&str, &str); 9] = [
             ("unknown-key", include_str!("../policies/fixtures/bad/unknown-key.toml")),
+            ("duplicate-rule", include_str!("../policies/fixtures/bad/duplicate-rule.toml")),
             ("bad-rule-order", include_str!("../policies/fixtures/bad/bad-rule-order.toml")),
             ("cyclic-after", include_str!("../policies/fixtures/bad/cyclic-after.toml")),
             ("pass-plus", include_str!("../policies/fixtures/bad/pass-plus.toml")),
@@ -892,6 +909,20 @@ mod tests {
         let text = "[policy]\nname = \"x\"\nfamily = \"wiretap\"\n[[rule]]\nname = \"first\"\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\naction = [\"inject-rst\"]\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\nhosts = \"any\"\nafter = \"first\"\naction = [\"inject-rst\"]\n";
         let p = compile(text).unwrap();
         assert_eq!(p.rules[1].after, Some(0));
+    }
+
+    #[test]
+    fn rule_lines_point_at_the_rule_headers() {
+        let text = "[policy]\nname = \"x\"\nfamily = \"wiretap\"\n\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"exact-token\"\naction = [\"inject-rst\"]\n\n[[rule]]\ntrigger = \"host-header\"\nmatcher = \"last-host\"\naction = [\"inject-rst\"]\n";
+        let (p, lines) = compile_with_lines(text).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(lines, vec![5, 10]);
+    }
+
+    #[test]
+    fn duplicate_rule_names_are_pinned_to_the_name_entry() {
+        let e = compile(include_str!("../policies/fixtures/bad/duplicate-rule.toml")).unwrap_err();
+        assert_eq!(e.line, 13, "pinned to the second `name =` line, not the [[rule]] header");
     }
 
     #[test]

@@ -94,9 +94,9 @@ impl FlowTable {
         self.flows.get(key).map(|f| f.stage)
     }
 
-    /// Ordered (key, stage) view of every tracked flow. The
-    /// differential equivalence suite compares table evolution between
-    /// the policy interpreter and the legacy middleboxes.
+    /// Ordered (key, stage) view of every tracked flow. The transcript
+    /// harness records table evolution after every scripted step and
+    /// diffs it against the committed recordings.
     pub fn flow_rows(&self) -> Vec<(FlowKey, Stage)> {
         self.flows.iter().map(|(k, f)| (*k, f.stage)).collect()
     }

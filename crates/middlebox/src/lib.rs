@@ -21,11 +21,14 @@
 //! in *how* they match that header — differences Section 5's evasion
 //! techniques exploit, reproduced here in [`matcher::HostMatcher`].
 //!
-//! Both families are also instances of one **censor program** shape —
+//! Both families are instances of one **censor program** shape —
 //! match → state → action — which [`policy`] makes explicit: a generic
 //! [`policy::PolicyBox`] interprets programs compiled by [`compile`]
-//! from TOML files under `policies/`. The hardcoded structs above stay
-//! for one more PR as the differential-equivalence reference.
+//! from TOML files under `policies/`. The hardcoded structs that used
+//! to implement the two families directly are retired; their recorded
+//! behaviour lives on as transcript goldens under `tests/golden/`
+//! (see `lucent-check::diffmb`), and the committed policy programs are
+//! statically verified by the lucent-lint L11/L12 analyzer.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,16 +36,12 @@
 pub mod compile;
 pub mod config;
 pub mod flow;
-pub mod interceptive;
 pub mod matcher;
 pub mod notice;
 pub mod policy;
-pub mod wiretap;
 
 pub use compile::{builtin, PolicyError};
 pub use config::MiddleboxConfig;
-pub use interceptive::InterceptiveMiddlebox;
 pub use matcher::HostMatcher;
 pub use notice::NoticeStyle;
 pub use policy::{Instance, Policy, PolicyBox};
-pub use wiretap::WiretapMiddlebox;

@@ -11,30 +11,28 @@
 //! RNG). A single generic [`PolicyBox`] interprets a compiled policy
 //! behind the same [`Node`] surface the netsim engine already drives.
 //!
-//! Policies are compiled from TOML files by [`crate::compile`]; the four
-//! committed ISP programs live under `crates/middlebox/policies/`. The
-//! legacy [`crate::WiretapMiddlebox`] / [`crate::InterceptiveMiddlebox`]
-//! structs stay alive one more PR as the differential-equivalence
-//! reference: `PolicyBox` must produce byte-identical verdicts,
-//! injections, flow-table evolution and metrics (see
-//! `lucent-check::diffmb`).
+//! Policies are compiled from TOML files by [`crate::compile`]; the
+//! four committed ISP programs live under `crates/middlebox/policies/`.
+//! The hardcoded `WiretapMiddlebox` / `InterceptiveMiddlebox` structs
+//! this engine replaced are gone; their behaviour survives as recorded
+//! transcripts (`tests/golden/mb-*.transcript`) that the
+//! `lucent-check::diffmb` harness holds `PolicyBox` to byte-for-byte.
 //!
 //! # Determinism
 //!
-//! The interpreter draws from the same derived RNG stream in the same
-//! order as the legacy devices: the generator is seeded
-//! `seed ^ 0x77aa_77aa`, probability gates draw first (scan order),
-//! then the delay jitter (slow-path coin before range draw). Policies
-//! without `probability` keys therefore replicate the legacy draw
-//! sequence exactly.
+//! The interpreter draws from one derived RNG stream in a fixed order:
+//! the generator is seeded `seed ^ 0x77aa_77aa`, probability gates draw
+//! first (scan order), then the delay jitter (slow-path coin before
+//! range draw). The recorded transcripts pin this draw sequence — a
+//! reordered draw diverges from the goldens.
 //!
 //! # Hot path
 //!
 //! [`PolicyBox::on_packet`] is registered in `[hot_roots]`
 //! (lint-allow.toml): its reachable-allocation ceilings are governed by
-//! L9/L10 and must stay at or below the legacy middleboxes' baseline.
-//! The interpreter loop itself introduces no new allocation sites — all
-//! per-packet work reuses the flow table, the matcher, and stack values.
+//! L9/L10 and shrink-only. The interpreter loop itself introduces no
+//! new allocation sites — all per-packet work reuses the flow table,
+//! the matcher, and stack values.
 
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -325,9 +323,8 @@ fn forge_ip_id(spec: &IpIdSpec, seq: u32) -> u16 {
     }
 }
 
-/// Replicates the legacy draw order exactly: slow-path coin (only when
-/// a slow tail is configured), then the range draw. No `base` → no
-/// draws at all.
+/// The recorded draw order: slow-path coin (only when a slow tail is
+/// configured), then the range draw. No `base` → no draws at all.
 fn jitter_draw(spec: &DelaySpec, rng: &mut SimRng) -> (u64, bool) {
     let Some(base) = spec.base else { return (0, false) };
     let (range, slow) = match spec.slow {
@@ -451,7 +448,8 @@ impl PolicyBox {
 
     /// Scan the rules in order; first hit wins. Probability gates draw
     /// here, in scan order, so deterministic policies never touch the
-    /// RNG before the delay jitter — the legacy stream alignment.
+    /// RNG before the delay jitter — the stream alignment the recorded
+    /// transcripts pin.
     fn scan_rules(&mut self, payload: &[u8]) -> Scan {
         let PolicyBox { policy, inst, rng, fired_mask, .. } = self;
         let mut saw_domain = false;
@@ -484,7 +482,7 @@ impl PolicyBox {
     }
 
     /// Wiretap firing: delayed notice + follow-up RST racing the real
-    /// response, telemetry in the legacy order.
+    /// response, telemetry in the recorded order.
     fn fire_mirror(
         &mut self,
         ctx: &mut NodeCtx<'_>,
@@ -617,8 +615,8 @@ impl PolicyBox {
         }
     }
 
-    /// Mirror-port packet path (wiretap family): identical early-exit
-    /// profiler labels to the legacy WM.
+    /// Mirror-port packet path (wiretap family): the early-exit
+    /// profiler labels are part of the recorded transcript surface.
     fn on_mirror(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
         let Some((h, payload)) = pkt.as_tcp() else {
             ctx.obs().prof_path("wm.not-tcp");
@@ -647,8 +645,9 @@ impl PolicyBox {
         }
     }
 
-    /// Inline packet path (interceptive family): identical exit labels
-    /// and black-hole semantics to the legacy IM.
+    /// Inline packet path (interceptive family): exit labels and
+    /// black-hole semantics are part of the recorded transcript
+    /// surface.
     fn on_inline(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: Packet) {
         let out = flip(iface);
         let Transport::Tcp(h, payload) = &pkt.transport else {
@@ -775,9 +774,8 @@ mod tests {
     }
 
     /// Wiretap rig: PolicyBox on a mirror port, sink on the box's
-    /// primary interface would be loopy — instead tap the mirror router
-    /// like the legacy wiretap tests: mb iface 0 connects to the sink,
-    /// and packets are injected straight into the box.
+    /// primary interface would be loopy — instead mb iface 0 connects
+    /// to the sink, and packets are injected straight into the box.
     fn mirror_rig(policy: Policy, inst: Instance) -> (Network, NodeId, NodeId) {
         let mut net = Network::new();
         let mb = net.add_node(Box::new(PolicyBox::new(policy, inst, "pb-test")));

@@ -6,17 +6,14 @@ use std::net::Ipv4Addr;
 use lucent_netsim::SimRng;
 
 use lucent_dns::{catalog, DnsCatalog, PoisonMode, RegionId, ResolverApp, SharedCatalog};
-use lucent_middlebox::{
-    builtin, Instance, InterceptiveMiddlebox, MiddleboxConfig, NoticeStyle, Policy, PolicyBox,
-    WiretapMiddlebox,
-};
+use lucent_middlebox::{builtin, Instance, MiddleboxConfig, NoticeStyle, Policy, PolicyBox};
 use lucent_netsim::routing::Cidr;
 use lucent_netsim::{IfaceId, Network, Node, NodeId, RouterNode, SimDuration};
 use lucent_tcp::{FixedResponder, TcpHost};
 use lucent_web::{Corpus, IpAllocator, ServerConfig, SiteId, WebServerApp};
 
 use crate::ids::IspId;
-use crate::profile::{HttpProfile, IndiaConfig, MbBackend, MbKind};
+use crate::profile::{HttpProfile, IndiaConfig, MbKind};
 use crate::truth::GroundTruth;
 
 /// Handles into one built ISP.
@@ -353,7 +350,6 @@ impl India {
                 let victim_iface = match censor_profile.map(|p| p.kind) {
                     Some(MbKind::InterceptiveOvert) | Some(MbKind::InterceptiveCovert) => {
                         let im = net.add_node(Self::censor_node(
-                            &cfg,
                             censor,
                             censor_profile,
                             mb_cfg,
@@ -374,7 +370,6 @@ impl India {
                         let (v_if, b_down) = wire.link(&mut net, gw, border, MS(4));
                         let (b_up, c_if) = wire.link(&mut net, border, censor_gw, MS(1));
                         let wm = net.add_node(Self::censor_node(
-                            &cfg,
                             censor,
                             censor_profile,
                             mb_cfg,
@@ -540,38 +535,21 @@ impl India {
         policy
     }
 
-    /// Construct the censor device node under the configured backend:
-    /// a [`PolicyBox`] interpreting the ISP's policy program (default)
-    /// or the legacy hardcoded struct (the differential reference).
+    /// Construct the censor device node: a [`PolicyBox`] interpreting
+    /// the ISP's policy program.
     fn censor_node(
-        cfg: &IndiaConfig,
         censor: IspId,
         profile: Option<&HttpProfile>,
         mb_cfg: MiddleboxConfig,
         label: String,
     ) -> Box<dyn Node> {
-        let interceptive = matches!(
-            profile.map(|p| p.kind),
-            Some(MbKind::InterceptiveOvert | MbKind::InterceptiveCovert)
-        );
-        match cfg.backend {
-            MbBackend::Legacy => {
-                if interceptive {
-                    Box::new(InterceptiveMiddlebox::new(mb_cfg, label))
-                } else {
-                    Box::new(WiretapMiddlebox::new(mb_cfg, label))
-                }
-            }
-            MbBackend::Policy => {
-                let policy = Self::policy_for(censor, profile, &mb_cfg);
-                let inst = Instance {
-                    blocklist: mb_cfg.blocklist,
-                    client_filter: mb_cfg.client_filter,
-                    seed: mb_cfg.seed,
-                };
-                Box::new(PolicyBox::new(policy, inst, label))
-            }
-        }
+        let policy = Self::policy_for(censor, profile, &mb_cfg);
+        let inst = Instance {
+            blocklist: mb_cfg.blocklist,
+            client_filter: mb_cfg.client_filter,
+            seed: mb_cfg.seed,
+        };
+        Box::new(PolicyBox::new(policy, inst, label))
     }
 
     /// The per-device [`MiddleboxConfig`] for a censor. `device_tag`
@@ -737,7 +715,6 @@ impl India {
                         c as u64,
                     );
                     let im = net.add_node(Self::censor_node(
-                        cfg,
                         isp_id,
                         http_profile,
                         mb_cfg,
@@ -762,7 +739,6 @@ impl India {
                         c as u64,
                     );
                     let wm = net.add_node(Self::censor_node(
-                        cfg,
                         isp_id,
                         http_profile,
                         mb_cfg,

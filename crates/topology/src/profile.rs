@@ -66,20 +66,6 @@ pub struct DnsProfile {
 /// for a victim (Table 3).
 pub type CollateralPlan = BTreeMap<(IspId, IspId), usize>;
 
-/// Which middlebox implementation the topology instantiates. The two
-/// must be byte-identical in behaviour — the differential equivalence
-/// suite (lucent-check `diffmb`, `tests/it_policy.rs`) holds them to
-/// that — so this switch exists for the test layer, not for users.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MbBackend {
-    /// The generic policy interpreter running the committed TOML
-    /// programs under `crates/middlebox/policies/` (the default).
-    Policy,
-    /// The hardcoded wiretap/interceptive structs — kept one more PR as
-    /// the differential reference.
-    Legacy,
-}
-
 /// The whole-simulation configuration.
 #[derive(Debug, Clone)]
 pub struct IndiaConfig {
@@ -100,8 +86,6 @@ pub struct IndiaConfig {
     pub collateral: CollateralPlan,
     /// Master seed.
     pub seed: u64,
-    /// Middlebox implementation to instantiate.
-    pub backend: MbBackend,
 }
 
 impl IndiaConfig {
@@ -262,7 +246,6 @@ impl IndiaConfig {
             dns,
             collateral,
             seed: 0x0011_d1a0_2018,
-            backend: MbBackend::Policy,
         }
     }
 }

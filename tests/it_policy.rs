@@ -1,43 +1,43 @@
 //! The declarative policy engine at system level.
 //!
-//! The topology now instantiates every censor through the policy
-//! interpreter ([`lucent_topology::MbBackend::Policy`] is the default),
-//! with the hardcoded middleboxes kept for one PR as the reference
-//! implementation. This suite holds the swap to the golden standard:
+//! Every censor in the topology is a [`lucent_middlebox::PolicyBox`]
+//! interpreting a compiled program; the hardcoded reference middleboxes
+//! are gone. What holds the interpreter to the retired behaviour is a
+//! pair of *recorded transcripts* (`tests/golden/mb-*.transcript`):
+//! canonical renderings of everything a censor device does — state
+//! after every scripted packet, the exact bytes it injects on both
+//! sides, and its final telemetry — captured while the reference
+//! implementations were still alive. This suite proves:
 //!
 //! 1. the committed tiny goldens (`tests/golden/*-tiny-metrics.json`),
-//!    produced before the policy engine existed, must reproduce
-//!    byte-for-byte under the policy backend at `--threads 1` and `4` —
-//!    **no golden was regenerated for this change**;
-//! 2. flipping [`MbBackend`] between `Legacy` and `Policy` must not
-//!    change a single byte of experiment JSON or metrics;
+//!    produced before the policy engine existed, still reproduce
+//!    byte-for-byte at `--threads 1` and `4`;
+//! 2. the committed Airtel and Idea programs replay their recorded
+//!    transcripts byte-for-byte — one recording per middlebox family;
 //! 3. the planted `wrong-airtel.toml` fixture (one flipped action) must
-//!    turn the differential suite red, and its byte-equivalent green
-//!    twin must pass — proving the suite detects what it claims to.
+//!    diverge from the Airtel recording, and its byte-equivalent green
+//!    twin must match — proving the suite detects what it claims to.
+//!
+//! To re-record after an *intentional* behaviour change, run with
+//! `LUCENT_REGEN_TRANSCRIPTS=1` and commit the diff.
+
+use std::path::{Path, PathBuf};
 
 use lucent_bench::drive::Driver;
 use lucent_bench::Scale;
-use lucent_check::diffmb::{airtel_spec, canned_script, run_diff};
+use lucent_check::diffmb::{airtel_spec, canned_script, idea_spec, render_transcript, run_diff, MbSpec};
 use lucent_core::experiments::{fig2, race, table1};
 use lucent_middlebox::compile::{builtin, builtin_names, compile};
 use lucent_middlebox::policy::Family;
 use lucent_obs::Telemetry;
 use lucent_support::json::to_string_pretty;
-use lucent_topology::MbBackend;
 
 const TRACE: &str = "wiretap=debug";
 
 /// Run one experiment the exact way `repro` produces the goldens:
 /// trace spec on the hub and replicated to the shards, tiny scale.
-fn tiny_run(
-    exp: &str,
-    threads: usize,
-    backend: Option<MbBackend>,
-) -> (String, String) {
-    let mut drv = Driver::new(Scale::Tiny, threads, Some(TRACE.to_string()));
-    if let Some(b) = backend {
-        drv = drv.with_backend(b);
-    }
+fn tiny_run(exp: &str, threads: usize) -> (String, String) {
+    let drv = Driver::new(Scale::Tiny, threads, Some(TRACE.to_string()));
     let hub = Telemetry::new();
     hub.set_filter_spec(TRACE).unwrap();
     let json = match exp {
@@ -49,7 +49,7 @@ fn tiny_run(
 }
 
 #[test]
-fn policy_backend_reproduces_the_committed_goldens() {
+fn policy_engine_reproduces_the_committed_goldens() {
     let goldens = [
         ("race", include_str!("golden/race-tiny-metrics.json")),
         ("table1", include_str!("golden/table1-tiny-metrics.json")),
@@ -57,66 +57,90 @@ fn policy_backend_reproduces_the_committed_goldens() {
     ];
     for (exp, golden) in goldens {
         for threads in [1usize, 4] {
-            let (_, metrics) = tiny_run(exp, threads, None);
+            let (_, metrics) = tiny_run(exp, threads);
             assert_eq!(
                 metrics, golden,
-                "{exp} metrics under the policy backend at --threads {threads} \
+                "{exp} metrics under the policy engine at --threads {threads} \
                  diverged from the pre-policy golden"
             );
         }
     }
 }
 
+fn transcript_path(file: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden").join(file)
+}
+
+/// Read a recorded transcript — or, under `LUCENT_REGEN_TRANSCRIPTS`,
+/// re-record it from the named committed program. A regeneration run
+/// can never pass as a test: [`regen_mode_always_fails`] goes red
+/// whenever the variable is set.
+fn recorded_transcript(file: &str, program: &str, spec: &MbSpec) -> String {
+    let path = transcript_path(file);
+    if std::env::var_os("LUCENT_REGEN_TRANSCRIPTS").is_some() {
+        let live =
+            render_transcript(builtin(program).unwrap(), spec, &canned_script(spec)).unwrap();
+        std::fs::write(&path, &live).unwrap();
+        return live;
+    }
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing recording {}: {e}", path.display()))
+}
+
 #[test]
-fn legacy_and_policy_backends_are_byte_identical() {
-    for exp in ["race", "table1", "fig2"] {
-        for threads in [1usize, 4] {
-            let legacy = tiny_run(exp, threads, Some(MbBackend::Legacy));
-            let policy = tiny_run(exp, threads, Some(MbBackend::Policy));
-            assert_eq!(
-                legacy.0, policy.0,
-                "{exp} JSON differs between backends at --threads {threads}"
-            );
-            assert_eq!(
-                legacy.1, policy.1,
-                "{exp} metrics differ between backends at --threads {threads}"
-            );
-        }
+fn regen_mode_always_fails() {
+    assert!(
+        std::env::var_os("LUCENT_REGEN_TRANSCRIPTS").is_none(),
+        "LUCENT_REGEN_TRANSCRIPTS re-recorded tests/golden/mb-*.transcript; \
+         inspect the diff, commit it, and rerun without the variable"
+    );
+}
+
+#[test]
+fn the_committed_programs_replay_their_recorded_transcripts() {
+    let cases = [
+        ("mb-airtel.transcript", "airtel-wm", airtel_spec()),
+        ("mb-idea.transcript", "idea-im", idea_spec()),
+    ];
+    for (file, program, spec) in cases {
+        let recorded = recorded_transcript(file, program, &spec);
+        run_diff(builtin(program).unwrap(), &spec, &canned_script(&spec), &recorded)
+            .unwrap_or_else(|e| panic!("{program} no longer replays {file}: {e}"));
     }
 }
 
 #[test]
-fn the_planted_wrong_policy_turns_the_differential_red() {
+fn the_planted_wrong_policy_diverges_from_the_recording() {
     let spec = airtel_spec();
     let steps = canned_script(&spec);
+    let recorded = recorded_transcript("mb-airtel.transcript", "airtel-wm", &spec);
     let wrong =
         compile(include_str!("../crates/middlebox/policies/fixtures/wrong-airtel.toml")).unwrap();
-    let out = run_diff(wrong, &spec, &steps);
-    assert!(
-        out.is_err(),
-        "wrong-airtel.toml (one flipped action) must fail the differential suite"
-    );
+    let msg = run_diff(wrong, &spec, &steps, &recorded)
+        .expect_err("wrong-airtel.toml (one flipped action) must diverge from the recording");
+    assert!(msg.contains("diverged"), "CI greps for 'diverged': {msg}");
     // The green twin is the same program with the action restored:
     // passing proves the red above is the flip's fault, not the rig's.
     let right =
         compile(include_str!("../crates/middlebox/policies/fixtures/right-airtel.toml")).unwrap();
-    run_diff(right, &spec, &steps).unwrap();
+    run_diff(right, &spec, &steps, &recorded).unwrap();
 }
 
 /// CI's negative-control hook: when `LUCENT_POLICY_UNDER_TEST` names a
-/// policy file (relative to the workspace root), it must be
-/// behaviourally identical to the Airtel reference. CI feeds it the
-/// planted `wrong-airtel.toml` and demands the red, then the
-/// byte-equivalent `right-airtel.toml` and demands the green. Without
-/// the variable the test is a no-op.
+/// policy file (relative to the workspace root), it must replay the
+/// recorded Airtel transcript byte-for-byte. CI feeds it the planted
+/// `wrong-airtel.toml` and demands the red, then the byte-equivalent
+/// `right-airtel.toml` and demands the green. Without the variable the
+/// test is a no-op.
 #[test]
-fn policy_file_under_test_matches_the_airtel_reference() {
+fn policy_file_under_test_matches_the_airtel_recording() {
     let Some(rel) = std::env::var_os("LUCENT_POLICY_UNDER_TEST") else { return };
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(rel);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join(rel);
     let text = std::fs::read_to_string(&path).unwrap();
     let policy = compile(&text).unwrap();
     let spec = airtel_spec();
-    run_diff(policy, &spec, &canned_script(&spec)).unwrap();
+    let recorded = recorded_transcript("mb-airtel.transcript", "airtel-wm", &spec);
+    run_diff(policy, &spec, &canned_script(&spec), &recorded).unwrap();
 }
 
 #[test]

@@ -1,14 +1,14 @@
 //! Tier-1 gate: `cargo test` fails if the workspace violates the
 //! lucent-lint rules (hermeticity, layering, determinism, panic budget,
 //! unsafe hygiene, print hygiene, panic provenance, shard isolation,
-//! allocation provenance, per-event heap discipline). Equivalent to
-//! running the binary:
+//! allocation provenance, per-event heap discipline, policy anomaly,
+//! policy coverage). Equivalent to running the binary:
 //! `cargo run -p lucent-devtools --bin lucent-lint`.
 //!
 //! Also pins the machine-readable report: `--json` output must be
 //! byte-identical across runs and across `--threads` values (CI diffs
-//! it against `tests/golden/lint-report.json`), the L7/L8/L9/L10 rule
-//! fixtures under `crates/devtools/fixtures/` must go red/green
+//! it against `tests/golden/lint-report.json`), the L7/L8/L9/L10/L11
+//! rule fixtures under `crates/devtools/fixtures/` must go red/green
 //! exactly as designed, and `--update-baseline` must refuse to raise
 //! any generated ceiling.
 
@@ -59,9 +59,11 @@ fn json_report_is_byte_identical_across_runs_and_thread_counts() {
     assert_eq!(serial, again, "two serial runs diverged");
     let wide = run_root_with(root, &Options { threads: 4 }).expect("scan").to_json();
     assert_eq!(serial, wide, "threads=1 and threads=4 diverged");
-    assert!(serial.contains("\"schema\": \"lucent-lint/3\""));
-    assert!(serial.contains("\"alloc_total\""), "schema 3 carries the alloc census");
-    assert!(serial.contains("\"hot_alloc_census\""), "schema 3 carries the alloc census");
+    assert!(serial.contains("\"schema\": \"lucent-lint/4\""));
+    assert!(serial.contains("\"alloc_total\""), "schema 4 carries the alloc census");
+    assert!(serial.contains("\"hot_alloc_census\""), "schema 4 carries the alloc census");
+    assert!(serial.contains("\"policy_files\""), "schema 4 carries the policy census");
+    assert!(serial.contains("\"policy_anomaly\""), "schema 4 carries the policy census");
 }
 
 #[test]
@@ -115,6 +117,35 @@ fn l9_l10_fixture_goes_green_with_alloc_baselines() {
     assert_eq!(report.alloc_reach["crates/engine/src/lib.rs::step"], 1);
     assert_eq!(report.alloc_in_loop["crates/engine/src/lib.rs::step"], 1);
     assert_eq!(report.hot_alloc_census["engine"], (1, 1));
+}
+
+#[test]
+fn l11_fixture_goes_red_on_a_seeded_dead_rule() {
+    let report = run_root(&fixture("policy-red")).expect("fixture scan");
+    let l11: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.code() == "L11-policy-anomaly")
+        .collect();
+    assert_eq!(l11.len(), 1, "{:?}", report.violations);
+    assert!(l11[0].msg.contains("dead rule: fully shadowed by rule #1"), "{}", l11[0].msg);
+    assert!(
+        format!("{}", l11[0]).contains("shadowed.toml:19"),
+        "finding must pin the shadowed [[rule]] header line: {}",
+        l11[0]
+    );
+    // Both families are present, so nothing else goes red: the single
+    // violation above is the whole report.
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.policy_files, 2);
+}
+
+#[test]
+fn l11_fixture_goes_green_without_the_dead_rule() {
+    let report = run_root(&fixture("policy-green")).expect("fixture scan");
+    assert!(report.ok(), "{:?}", report.violations);
+    assert_eq!(report.policy_files, 2);
+    assert!(report.policy_anomaly.is_empty(), "{:?}", report.policy_anomaly);
 }
 
 #[test]
